@@ -1,0 +1,164 @@
+// Ablation: ISKR design choices.
+//
+//  (1) keyword removal (Example 3.2) on/off — how much F-measure the
+//      removal step buys;
+//  (2) incremental value maintenance — recomputation counts of ISKR's
+//      affected-only rule versus the delta-F-measure variant that must
+//      recompute everything (the Sec. 5.3 efficiency argument);
+//  (3) distance to the exhaustive optimum on candidate-capped instances.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/candidates.h"
+#include "core/exact.h"
+#include "core/expansion_context.h"
+#include "core/fmeasure_expander.h"
+#include "core/iskr.h"
+#include "eval/harness.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+struct Tally {
+  double f_with_removal = 0.0;
+  double f_without_removal = 0.0;
+  double f_fmeasure = 0.0;
+  double f_exact = 0.0;
+  size_t iskr_recomputations = 0;
+  size_t fmeasure_recomputations = 0;
+  size_t removal_helped = 0;
+  size_t iskr_matches_exact = 0;
+  size_t clusters = 0;
+};
+
+void RunDataset(const qec::eval::DatasetBundle& bundle, Tally& tally) {
+  for (const auto& wq : bundle.queries) {
+    auto qc = qec::eval::PrepareQueryCase(bundle, wq.text);
+    if (!qc.ok()) continue;
+    // Cap candidates so the exact solver's 2^n search stays feasible.
+    qec::core::CandidateOptions copt;
+    copt.max_candidates = 14;
+    std::vector<qec::TermId> candidates = qec::core::SelectCandidates(
+        *qc->universe, *bundle.index, qc->user_terms, copt);
+    auto members = qc->clustering.Members();
+    for (size_t c = 0; c < members.size(); ++c) {
+      qec::DynamicBitset bits = qc->universe->EmptySet();
+      for (size_t i : members[c]) bits.Set(i);
+      auto ctx = qec::core::MakeContext(*qc->universe, qc->user_terms,
+                                        std::move(bits), candidates);
+
+      auto with = qec::core::IskrExpander().Expand(ctx);
+      qec::core::IskrOptions no_removal;
+      no_removal.allow_removal = false;
+      auto without = qec::core::IskrExpander(no_removal).Expand(ctx);
+      auto fmeasure = qec::core::FMeasureExpander().Expand(ctx);
+      auto exact = qec::core::ExactExpander().Expand(ctx);
+
+      tally.f_with_removal += with.quality.f_measure;
+      tally.f_without_removal += without.quality.f_measure;
+      tally.f_fmeasure += fmeasure.quality.f_measure;
+      tally.f_exact += exact.quality.f_measure;
+      tally.iskr_recomputations += with.value_recomputations;
+      tally.fmeasure_recomputations += fmeasure.value_recomputations;
+      if (with.quality.f_measure > without.quality.f_measure + 1e-12) {
+        tally.removal_helped += 1;
+      }
+      if (with.quality.f_measure >= exact.quality.f_measure - 1e-9) {
+        tally.iskr_matches_exact += 1;
+      }
+      tally.clusters += 1;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: ISKR design choices ===\n\n");
+  Tally tally;
+  auto shopping = qec::eval::MakeShoppingBundle();
+  RunDataset(shopping, tally);
+  auto wikipedia = qec::eval::MakeWikipediaBundle();
+  RunDataset(wikipedia, tally);
+
+  const double n = tally.clusters > 0 ? static_cast<double>(tally.clusters)
+                                      : 1.0;
+  std::printf("clusters evaluated: %zu (candidates capped at 14 for the "
+              "exact 2^n search)\n\n",
+              tally.clusters);
+
+  qec::eval::TablePrinter table({"variant", "avg F-measure"});
+  table.AddRow({"ISKR (with removal)",
+                qec::FormatDouble(tally.f_with_removal / n, 4)});
+  table.AddRow({"ISKR (add-only)",
+                qec::FormatDouble(tally.f_without_removal / n, 4)});
+  table.AddRow({"F-measure variant",
+                qec::FormatDouble(tally.f_fmeasure / n, 4)});
+  table.AddRow({"exact optimum", qec::FormatDouble(tally.f_exact / n, 4)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("removal step strictly improved F on %zu/%zu clusters\n",
+              tally.removal_helped, tally.clusters);
+  std::printf("ISKR matched the exact optimum on %zu/%zu clusters\n\n",
+              tally.iskr_matches_exact, tally.clusters);
+
+  qec::eval::TablePrinter maint(
+      {"method", "value recomputations (total)", "per cluster"});
+  maint.AddRow({"ISKR (affected-only rule)",
+                std::to_string(tally.iskr_recomputations),
+                qec::FormatDouble(tally.iskr_recomputations / n, 1)});
+  maint.AddRow({"F-measure (recompute all)",
+                std::to_string(tally.fmeasure_recomputations),
+                qec::FormatDouble(tally.fmeasure_recomputations / n, 1)});
+  std::printf("%s", maint.ToString().c_str());
+  std::printf(
+      "\n(each F-measure recomputation is a full from-scratch query "
+      "evaluation, which in\nthe paper's implementation compounds into the "
+      "Fig. 6 blowup; with this library's\nbitset algebra both stay "
+      "sub-millisecond — see EXPERIMENTS.md)\n\n");
+
+  // The generated corpora are clean enough that the greedy add path rarely
+  // needs to back out a keyword; keyword interaction shows on adversarial
+  // random instances (the regime of Example 3.2).
+  qec::Rng rng(7);
+  size_t removal_helped_random = 0, random_instances = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    qec::doc::Corpus corpus;
+    std::vector<qec::DocId> ids;
+    const size_t docs = 12 + rng.UniformInt(8);
+    const size_t keywords = 6 + rng.UniformInt(4);
+    for (size_t d = 0; d < docs; ++d) {
+      std::string body = "q";
+      for (size_t k = 0; k < keywords; ++k) {
+        if (rng.Bernoulli(0.5)) body += " kw" + std::to_string(k);
+      }
+      ids.push_back(corpus.AddTextDocument(std::to_string(d), body));
+    }
+    qec::core::ResultUniverse universe(corpus, ids);
+    qec::DynamicBitset cluster(universe.size());
+    for (size_t i = 0; i < docs / 2; ++i) cluster.Set(i);
+    std::vector<qec::TermId> cand;
+    for (size_t k = 0; k < keywords; ++k) {
+      qec::TermId t =
+          corpus.analyzer().vocabulary().Lookup("kw" + std::to_string(k));
+      if (t != qec::kInvalidTermId) cand.push_back(t);
+    }
+    auto ctx = qec::core::MakeContext(
+        universe, {corpus.analyzer().vocabulary().Lookup("q")},
+        std::move(cluster), cand);
+    double with = qec::core::IskrExpander().Expand(ctx).quality.f_measure;
+    qec::core::IskrOptions no_removal;
+    no_removal.allow_removal = false;
+    double without =
+        qec::core::IskrExpander(no_removal).Expand(ctx).quality.f_measure;
+    if (with > without + 1e-12) ++removal_helped_random;
+    ++random_instances;
+  }
+  std::printf(
+      "on %zu adversarial random instances, removal strictly improved F on "
+      "%zu (Example 3.2 regime)\n",
+      random_instances, removal_helped_random);
+  return 0;
+}

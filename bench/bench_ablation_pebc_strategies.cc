@@ -1,0 +1,154 @@
+// Ablation: the three PEBC keyword-selection strategies of Secs. 4.1-4.3.
+//
+// For every Table 1 query and a sweep of intermediate elimination targets,
+// measures (a) how close each strategy gets to the requested x%, (b) how
+// many *distinct* elimination levels each strategy can reach across seeds,
+// and (c) the final F-measure of the full PEBC run. The paper argues
+// (Examples 4.2-4.4) that fixed-order selection can only realize prefix
+// sums of one keyword sequence — visible here as exactly one reachable
+// outcome per target — while the randomized procedures (Secs. 4.2-4.3) can
+// steer toward many different levels, giving the interval-zooming search
+// real choices.
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/candidates.h"
+#include "core/expansion_context.h"
+#include "core/pebc.h"
+#include "eval/harness.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+using qec::core::PebcStrategy;
+
+const char* StrategyName(PebcStrategy s) {
+  switch (s) {
+    case PebcStrategy::kFixedOrder:
+      return "fixed-order (4.1)";
+    case PebcStrategy::kRandomSubset:
+      return "random-subset (4.2)";
+    case PebcStrategy::kRandomSingleResult:
+      return "random-single (4.3)";
+  }
+  return "?";
+}
+
+struct Stats {
+  double error_sum = 0.0;   // over non-trivial targets (0 < x < 100)
+  size_t samples = 0;
+  size_t hits_5pct = 0;     // samples landing within 5 points of target
+  double f_sum = 0.0;
+  size_t runs = 0;
+  // Distinct achieved percentages per (cluster, target) across seeds: the
+  // paper's Sec. 4.1 point is that fixed-order can only realize prefix
+  // sums of ONE keyword sequence (so exactly one outcome), while the
+  // randomized procedures can reach many different elimination levels.
+  double distinct_outcomes_sum = 0.0;
+  size_t outcome_groups = 0;
+};
+
+void RunDataset(const qec::eval::DatasetBundle& bundle,
+                std::vector<Stats>& stats) {
+  const PebcStrategy strategies[] = {PebcStrategy::kFixedOrder,
+                                     PebcStrategy::kRandomSubset,
+                                     PebcStrategy::kRandomSingleResult};
+  for (const auto& wq : bundle.queries) {
+    auto qc = qec::eval::PrepareQueryCase(bundle, wq.text);
+    if (!qc.ok()) continue;
+    std::vector<qec::TermId> candidates = qec::core::SelectCandidates(
+        *qc->universe, *bundle.index, qc->user_terms, {});
+    auto members = qc->clustering.Members();
+    for (size_t c = 0; c < members.size(); ++c) {
+      qec::DynamicBitset bits = qc->universe->EmptySet();
+      for (size_t i : members[c]) bits.Set(i);
+      auto ctx = qec::core::MakeContext(*qc->universe, qc->user_terms,
+                                        std::move(bits), candidates);
+      for (size_t s = 0; s < 3; ++s) {
+        // target -> set of achieved percentages across seeds.
+        std::map<int, std::set<int>> achieved_by_target;
+        for (uint64_t seed = 1; seed <= 5; ++seed) {
+          qec::core::PebcOptions options;
+          options.strategy = strategies[s];
+          options.num_segments = 4;
+          options.num_iterations = 2;
+          options.seed = seed;
+          qec::core::PebcExpander pebc(options);
+          std::vector<qec::core::PebcSample> trace;
+          auto result = pebc.ExpandWithTrace(ctx, &trace);
+          for (const auto& sample : trace) {
+            // 0% (do nothing) and 100% (take everything) are trivially
+            // achievable by every strategy; the Examples 4.2-4.4 argument
+            // is about hitting intermediate targets.
+            if (sample.target_percent <= 0.0 ||
+                sample.target_percent >= 100.0) {
+              continue;
+            }
+            double err =
+                std::abs(sample.achieved_percent - sample.target_percent);
+            stats[s].error_sum += err;
+            stats[s].hits_5pct += err <= 5.0 ? 1 : 0;
+            stats[s].samples += 1;
+            achieved_by_target[static_cast<int>(sample.target_percent)]
+                .insert(static_cast<int>(std::lround(
+                    sample.achieved_percent)));
+          }
+          stats[s].f_sum += result.quality.f_measure;
+          stats[s].runs += 1;
+        }
+        for (const auto& [target, outcomes] : achieved_by_target) {
+          stats[s].distinct_outcomes_sum +=
+              static_cast<double>(outcomes.size());
+          stats[s].outcome_groups += 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: PEBC keyword-selection strategies (Secs. 4.1-4.3) "
+      "===\n\n");
+  std::vector<Stats> stats(3);
+  auto shopping = qec::eval::MakeShoppingBundle();
+  RunDataset(shopping, stats);
+  auto wikipedia = qec::eval::MakeWikipediaBundle();
+  RunDataset(wikipedia, stats);
+
+  const PebcStrategy strategies[] = {PebcStrategy::kFixedOrder,
+                                     PebcStrategy::kRandomSubset,
+                                     PebcStrategy::kRandomSingleResult};
+  qec::eval::TablePrinter table({"strategy", "avg |achieved - target| (%)",
+                                 "within 5% of target",
+                                 "distinct outcomes / target (5 seeds)",
+                                 "avg final F"});
+  for (size_t s = 0; s < 3; ++s) {
+    const double n =
+        stats[s].samples > 0 ? static_cast<double>(stats[s].samples) : 1.0;
+    const double groups = stats[s].outcome_groups > 0
+                              ? static_cast<double>(stats[s].outcome_groups)
+                              : 1.0;
+    table.AddRow(
+        {StrategyName(strategies[s]),
+         qec::FormatDouble(stats[s].error_sum / n, 2),
+         qec::FormatDouble(100.0 * static_cast<double>(stats[s].hits_5pct) / n,
+                           1) + "%",
+         qec::FormatDouble(stats[s].distinct_outcomes_sum / groups, 2),
+         qec::FormatDouble(stats[s].runs ? stats[s].f_sum / stats[s].runs : 0.0,
+                           3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\n(Sec. 4.1's limitation shows as exactly one reachable outcome per "
+      "target for\nfixed-order; the randomized procedures reach several, so "
+      "the zoom step has real\nchoices. Final F is similar for all: PEBC "
+      "returns the best sample it saw.)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5: scores of expanded queries (Eq. 1, the harmonic mean of the
+// per-cluster F-measures) for ISKR, PEBC, the F-measure variant, and CS,
+// on each of the 20 Table 1 queries (Data Clouds and Google are not
+// cluster-based, so the score is inapplicable — Sec. 5.2.2).
+//
+// Paper shape: ISKR and PEBC similar and high, with perfect scores on many
+// shopping queries; F-measure equal or slightly better than ISKR; CS
+// usually far lower (high-TFICF labels with poor co-occurrence).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/bootstrap.h"
+#include "eval/harness.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+void RunDataset(const qec::eval::DatasetBundle& bundle, const char* label,
+                std::vector<double>& iskr_scores,
+                std::vector<double>& cs_scores) {
+  const auto methods = qec::eval::ScoreMethods();
+  std::printf("Figure 5(%s): score (Eq. 1) per query\n", label);
+  std::vector<std::string> headers = {"query"};
+  for (auto m : methods) headers.emplace_back(qec::eval::MethodName(m));
+  qec::eval::TablePrinter table(headers);
+  std::vector<double> sums(methods.size(), 0.0);
+  size_t n = 0;
+  for (const auto& wq : bundle.queries) {
+    auto qc = qec::eval::PrepareQueryCase(bundle, wq.text);
+    if (!qc.ok()) continue;
+    std::vector<std::string> row = {wq.id};
+    for (size_t m = 0; m < methods.size(); ++m) {
+      auto run =
+          qec::eval::RunMethod(bundle, *qc, methods[m], nullptr, wq.text);
+      row.push_back(qec::FormatDouble(run.set_score, 3));
+      sums[m] += run.set_score;
+      if (methods[m] == qec::eval::Method::kIskr) {
+        iskr_scores.push_back(run.set_score);
+      } else if (methods[m] == qec::eval::Method::kCs) {
+        cs_scores.push_back(run.set_score);
+      }
+    }
+    ++n;
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> avg_row = {"avg"};
+  for (double s : sums) {
+    avg_row.push_back(qec::FormatDouble(n ? s / n : 0.0, 3));
+  }
+  table.AddRow(std::move(avg_row));
+  std::printf("%s\n", table.ToString().c_str());
+  table.WriteCsv(qec::eval::ResultsDir() + "/fig5_scores_" +
+                 bundle.name + ".csv");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5: Scores of Expanded Queries (Eq. 1) ===\n\n");
+  std::vector<double> iskr_scores, cs_scores;
+  auto shopping = qec::eval::MakeShoppingBundle();
+  RunDataset(shopping, "a: shopping", iskr_scores, cs_scores);
+  auto wikipedia = qec::eval::MakeWikipediaBundle();
+  RunDataset(wikipedia, "b: wikipedia", iskr_scores, cs_scores);
+
+  // Paired bootstrap over the 20 queries: is ISKR's margin over CS real?
+  auto ci = qec::eval::PairedBootstrap(iskr_scores, cs_scores);
+  std::printf(
+      "ISKR - CS paired bootstrap over all %zu queries: mean %+.3f, "
+      "95%% CI [%+.3f, %+.3f]%s\n",
+      iskr_scores.size(), ci.mean_difference, ci.low, ci.high,
+      ci.significant ? " (significant)" : " (not significant)");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark) for the individual components: index
+// build and search, k-means clustering, result-universe construction, the
+// three expansion algorithms, bitset algebra, and XML parsing.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/kmeans.h"
+#include "common/dynamic_bitset.h"
+#include "core/candidates.h"
+#include "core/expansion_context.h"
+#include "core/fmeasure_expander.h"
+#include "core/iskr.h"
+#include "core/pebc.h"
+#include "core/result_universe.h"
+#include "datagen/shopping.h"
+#include "datagen/wikipedia.h"
+#include "eval/harness.h"
+#include "index/inverted_index.h"
+#include "xml/xml.h"
+
+namespace {
+
+const qec::eval::DatasetBundle& WikiBundle() {
+  static auto* bundle = [] {
+    qec::datagen::WikipediaOptions options;
+    options.docs_per_sense = 20;
+    options.background_docs = 100;
+    return new qec::eval::DatasetBundle(
+        qec::eval::MakeWikipediaBundle(options));
+  }();
+  return *bundle;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  auto corpus = qec::datagen::ShoppingGenerator().Generate();
+  for (auto _ : state) {
+    qec::index::InvertedIndex index(corpus);
+    benchmark::DoNotOptimize(index.DocumentFrequency(0));
+  }
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_SearchTopK(benchmark::State& state) {
+  const auto& bundle = WikiBundle();
+  auto terms = bundle.corpus.analyzer().AnalyzeReadOnly("java");
+  for (auto _ : state) {
+    auto results = bundle.index->Search(terms, 30);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_SearchTopK);
+
+void BM_KMeansCluster(benchmark::State& state) {
+  const auto& bundle = WikiBundle();
+  auto results =
+      bundle.index->Search(bundle.corpus.analyzer().AnalyzeReadOnly("java"),
+                           static_cast<size_t>(state.range(0)));
+  std::vector<qec::cluster::SparseVector> vectors;
+  for (const auto& r : results) {
+    vectors.push_back(
+        qec::cluster::SparseVector::FromDocument(bundle.corpus.Get(r.doc)));
+  }
+  qec::cluster::KMeansOptions options;
+  options.k = 5;
+  for (auto _ : state) {
+    auto clustering = qec::cluster::KMeans(options).Cluster(vectors);
+    benchmark::DoNotOptimize(clustering);
+  }
+}
+BENCHMARK(BM_KMeansCluster)->Arg(10)->Arg(30);
+
+void BM_UniverseBuild(benchmark::State& state) {
+  const auto& bundle = WikiBundle();
+  auto results = bundle.index->Search(
+      bundle.corpus.analyzer().AnalyzeReadOnly("java"), 30);
+  for (auto _ : state) {
+    qec::core::ResultUniverse universe(bundle.corpus, results);
+    benchmark::DoNotOptimize(universe.size());
+  }
+}
+BENCHMARK(BM_UniverseBuild);
+
+struct ExpansionSetup {
+  std::unique_ptr<qec::core::ResultUniverse> universe;
+  qec::core::ExpansionContext context;
+};
+
+ExpansionSetup MakeExpansionSetup() {
+  const auto& bundle = WikiBundle();
+  auto qc_result = qec::eval::PrepareQueryCase(bundle, "java");
+  auto& qc = *qc_result;
+  auto candidates = qec::core::SelectCandidates(*qc.universe, *bundle.index,
+                                                qc.user_terms, {});
+  auto members = qc.clustering.Members();
+  qec::DynamicBitset bits = qc.universe->EmptySet();
+  for (size_t i : members[0]) bits.Set(i);
+  ExpansionSetup setup;
+  setup.context = qec::core::MakeContext(*qc.universe, qc.user_terms,
+                                         std::move(bits), candidates);
+  setup.universe = std::move(qc.universe);
+  setup.context.universe = setup.universe.get();
+  return setup;
+}
+
+void BM_IskrExpand(benchmark::State& state) {
+  auto setup = MakeExpansionSetup();
+  for (auto _ : state) {
+    auto r = qec::core::IskrExpander().Expand(setup.context);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IskrExpand);
+
+void BM_PebcExpand(benchmark::State& state) {
+  auto setup = MakeExpansionSetup();
+  for (auto _ : state) {
+    auto r = qec::core::PebcExpander().Expand(setup.context);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PebcExpand);
+
+void BM_FMeasureExpand(benchmark::State& state) {
+  auto setup = MakeExpansionSetup();
+  for (auto _ : state) {
+    auto r = qec::core::FMeasureExpander().Expand(setup.context);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FMeasureExpand);
+
+void BM_BitsetAndCount(benchmark::State& state) {
+  qec::DynamicBitset a(static_cast<size_t>(state.range(0)));
+  qec::DynamicBitset b(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < a.size(); i += 3) a.Set(i);
+  for (size_t i = 0; i < b.size(); i += 7) b.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCount(b));
+  }
+}
+BENCHMARK(BM_BitsetAndCount)->Arg(512)->Arg(4096);
+
+void BM_XmlParse(benchmark::State& state) {
+  qec::datagen::WikipediaOptions options;
+  options.docs_per_sense = 2;
+  options.background_docs = 0;
+  auto articles =
+      qec::datagen::WikipediaGenerator(options).GenerateArticlesXml();
+  for (auto _ : state) {
+    for (const auto& a : articles) {
+      auto parsed = qec::xml::Parse(a);
+      benchmark::DoNotOptimize(parsed);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(articles.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

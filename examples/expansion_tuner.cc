@@ -1,0 +1,115 @@
+// Tuning tour of the engine's knobs: algorithms, PEBC strategies, candidate
+// fraction, ranked vs. unranked weights, and the cluster-count bound —
+// printing Eq. 1 score and timing for each configuration so a downstream
+// user can pick a tradeoff (the paper: PEBC "approaches the optimal
+// solution in a fast and adjustable progress").
+//
+//   ./build/examples/expansion_tuner
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/query_expander.h"
+#include "datagen/wikipedia.h"
+#include "index/inverted_index.h"
+
+namespace {
+
+struct Config {
+  std::string name;
+  qec::core::QueryExpanderOptions options;
+};
+
+}  // namespace
+
+int main() {
+  qec::doc::Corpus corpus = qec::datagen::WikipediaGenerator().Generate();
+  qec::index::InvertedIndex index(corpus);
+
+  std::vector<Config> configs;
+  {
+    Config c;
+    c.name = "ISKR (defaults)";
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "ISKR, add-only (no removal)";
+    c.options.iskr.allow_removal = false;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "ISKR, all candidates (fraction=1.0)";
+    c.options.candidates.fraction = 1.0;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "ISKR, unranked weights";
+    c.options.use_ranking_weights = false;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "PEBC, random-single (Sec. 4.3)";
+    c.options.algorithm = qec::core::ExpansionAlgorithm::kPebc;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "PEBC, fixed-order (Sec. 4.1)";
+    c.options.algorithm = qec::core::ExpansionAlgorithm::kPebc;
+    c.options.pebc.strategy = qec::core::PebcStrategy::kFixedOrder;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "PEBC, deeper search (5 seg x 4 iter)";
+    c.options.algorithm = qec::core::ExpansionAlgorithm::kPebc;
+    c.options.pebc.num_segments = 5;
+    c.options.pebc.num_iterations = 4;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "F-measure variant";
+    c.options.algorithm = qec::core::ExpansionAlgorithm::kFMeasure;
+    configs.push_back(c);
+  }
+  {
+    Config c;
+    c.name = "ISKR, at most 2 clusters";
+    c.options.max_clusters = 2;
+    configs.push_back(c);
+  }
+
+  const std::vector<std::string> queries = {"java", "eclipse", "rockets"};
+  std::printf("%-38s %10s %10s %10s\n", "configuration", "avg score",
+              "avg ms", "queries");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const auto& config : configs) {
+    double score_sum = 0.0;
+    double ms_sum = 0.0;
+    size_t ok = 0;
+    for (const auto& q : queries) {
+      qec::core::QueryExpander expander(index, config.options);
+      qec::Stopwatch watch;
+      auto outcome = expander.ExpandText(q);
+      double ms = watch.ElapsedMillis();
+      if (!outcome.ok()) continue;
+      score_sum += outcome->set_score;
+      ms_sum += ms;
+      ++ok;
+    }
+    std::printf("%-38s %10.3f %10.3f %10zu\n", config.name.c_str(),
+                ok ? score_sum / ok : 0.0, ok ? ms_sum / ok : 0.0, ok);
+  }
+  std::printf(
+      "\nknobs shown: algorithm, removal, candidate fraction, ranking "
+      "weights,\nPEBC strategy/depth, cluster bound. See "
+      "qec::core::QueryExpanderOptions.\n");
+  return 0;
+}

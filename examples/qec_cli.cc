@@ -1,0 +1,222 @@
+// qec_cli — command-line front end for the library, wiring together XML
+// ingestion, corpus persistence, search, and cluster-based query expansion.
+//
+//   qec_cli index  <corpus.qec> <file.xml|file.txt>...   build + save corpus
+//   qec_cli gen    <corpus.qec> [shopping|wikipedia]     save a demo corpus
+//   qec_cli stats  <corpus.qec>                          corpus statistics
+//   qec_cli search <corpus.qec> <query words>...         top-10 search
+//   qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] <query>...
+//
+// Text files are indexed as one document each; XML files must have a root
+// element (the whole subtree's text is indexed, title = <title> child or
+// the file name).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_expander.h"
+#include "datagen/shopping.h"
+#include "datagen/wikipedia.h"
+#include "doc/corpus_io.h"
+#include "index/inverted_index.h"
+#include "snippet/snippet.h"
+#include "xml/xml.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  qec_cli index  <corpus.qec> <file.xml|file.txt>...\n"
+      "  qec_cli gen    <corpus.qec> [shopping|wikipedia]\n"
+      "  qec_cli stats  <corpus.qec>\n"
+      "  qec_cli search <corpus.qec> <query words>...\n"
+      "  qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] "
+      "<query words>...\n");
+  return 2;
+}
+
+qec::Result<std::string> ReadFile(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (f == nullptr) return qec::Status::NotFound("cannot open " + path);
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) out.append(buf, n);
+  return out;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+int CmdIndex(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  qec::doc::Corpus corpus;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto content = ReadFile(args[i]);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    if (EndsWith(args[i], ".xml")) {
+      auto parsed = qec::xml::Parse(*content);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      const qec::xml::XmlNode* title = parsed->root->FindChild("title");
+      corpus.AddTextDocument(
+          title != nullptr ? title->InnerText() : args[i],
+          parsed->root->InnerText());
+    } else {
+      corpus.AddTextDocument(args[i], *content);
+    }
+  }
+  qec::Status s = qec::doc::SaveCorpus(corpus, args[0]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu documents into %s\n", corpus.NumDocs(),
+              args[0].c_str());
+  return 0;
+}
+
+int CmdGen(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string kind = args.size() > 1 ? args[1] : "wikipedia";
+  qec::doc::Corpus corpus =
+      kind == "shopping" ? qec::datagen::ShoppingGenerator().Generate()
+                         : qec::datagen::WikipediaGenerator().Generate();
+  qec::Status s = qec::doc::SaveCorpus(corpus, args[0]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s corpus (%zu docs) to %s\n", kind.c_str(),
+              corpus.NumDocs(), args[0].c_str());
+  return 0;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto corpus = qec::doc::LoadCorpus(args[0]);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = corpus->Stats();
+  std::printf("documents:        %zu\n", stats.num_docs);
+  std::printf("distinct terms:   %zu\n", stats.num_distinct_terms);
+  std::printf("term occurrences: %zu\n", stats.total_term_occurrences);
+  std::printf("avg doc length:   %.1f\n", stats.avg_doc_length);
+  return 0;
+}
+
+std::string JoinFrom(const std::vector<std::string>& args, size_t from) {
+  std::string out;
+  for (size_t i = from; i < args.size(); ++i) {
+    if (i > from) out += ' ';
+    out += args[i];
+  }
+  return out;
+}
+
+int CmdSearch(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto corpus = qec::doc::LoadCorpus(args[0]);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  qec::index::InvertedIndex index(*corpus);
+  std::string query = JoinFrom(args, 1);
+  auto results = index.SearchText(query, 10);
+  auto query_terms = corpus->analyzer().AnalyzeReadOnly(query);
+  qec::snippet::SnippetGenerator snippets;
+  std::printf("%zu results for \"%s\"\n", results.size(), query.c_str());
+  for (const auto& r : results) {
+    std::printf("  %7.3f  %s\n", r.score, corpus->Get(r.doc).title().c_str());
+    auto s = snippets.Generate(corpus->Get(r.doc), query_terms,
+                               corpus->analyzer().vocabulary());
+    std::printf("           %s\n", s.text.c_str());
+  }
+  return 0;
+}
+
+int CmdExpand(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  qec::core::QueryExpanderOptions options;
+  size_t i = 1;
+  while (i < args.size() && args[i][0] == '-') {
+    if (args[i] == "-a" && i + 1 < args.size()) {
+      const std::string& a = args[i + 1];
+      if (a == "iskr") {
+        options.algorithm = qec::core::ExpansionAlgorithm::kIskr;
+      } else if (a == "pebc") {
+        options.algorithm = qec::core::ExpansionAlgorithm::kPebc;
+      } else if (a == "fmeasure") {
+        options.algorithm = qec::core::ExpansionAlgorithm::kFMeasure;
+      } else {
+        return Usage();
+      }
+      i += 2;
+    } else if (args[i] == "-k" && i + 1 < args.size()) {
+      options.max_clusters = static_cast<size_t>(std::stoul(args[i + 1]));
+      i += 2;
+    } else {
+      return Usage();
+    }
+  }
+  if (i >= args.size()) return Usage();
+
+  auto corpus = qec::doc::LoadCorpus(args[0]);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  qec::index::InvertedIndex index(*corpus);
+  qec::core::QueryExpander expander(index, options);
+  std::string query = JoinFrom(args, i);
+  auto outcome = expander.ExpandText(query);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s expansions for \"%s\" (%zu results, %zu clusters, "
+              "set score %.3f):\n",
+              std::string(qec::core::AlgorithmName(options.algorithm)).c_str(),
+              query.c_str(), outcome->num_results_used,
+              outcome->num_clusters, outcome->set_score);
+  for (const auto& eq : outcome->queries) {
+    std::printf("  [%2zu results] \"", eq.cluster_size);
+    for (size_t k = 0; k < eq.keywords.size(); ++k) {
+      std::printf("%s%s", k > 0 ? ", " : "", eq.keywords[k].c_str());
+    }
+    std::printf("\"  P=%.2f R=%.2f F=%.2f\n", eq.quality.precision,
+                eq.quality.recall, eq.quality.f_measure);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::vector<std::string> args(argv + 2, argv + argc);
+  const std::string cmd = argv[1];
+  if (cmd == "index") return CmdIndex(args);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "search") return CmdSearch(args);
+  if (cmd == "expand") return CmdExpand(args);
+  return Usage();
+}

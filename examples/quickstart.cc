@@ -1,0 +1,75 @@
+// Quickstart: build a tiny corpus around the paper's running "apple"
+// example, index it, and generate cluster-classifying expanded queries with
+// ISKR and PEBC.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/query_expander.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+
+int main() {
+  // 1. Build a corpus. Most results are about Apple Inc.; one is about the
+  // fruit — the ranking-bias situation from the paper's introduction.
+  qec::doc::Corpus corpus;
+  corpus.AddTextDocument(
+      "apple inc store",
+      "apple store opens downtown with iphone laptop displays and genius bar "
+      "apple apple retail launch");
+  corpus.AddTextDocument(
+      "apple quarterly results",
+      "apple reports record revenue as iphone and laptop sales grow apple "
+      "apple earnings investors");
+  corpus.AddTextDocument(
+      "apple job cuts",
+      "apple announces job changes in retail division apple store staffing "
+      "apple location plans");
+  corpus.AddTextDocument(
+      "apple keynote",
+      "apple keynote reveals new iphone laptop and software apple apple "
+      "developers cheer");
+  corpus.AddTextDocument(
+      "apple store location",
+      "new apple store location announced apple mall opening apple retail");
+  corpus.AddTextDocument(
+      "apple orchard guide",
+      "apple orchard harvest fruit trees ripen sweet apple cider pressing "
+      "fruit growers celebrate autumn apple");
+
+  // 2. Index it.
+  qec::index::InvertedIndex index(corpus);
+
+  // 3. Expand "apple": cluster its results, then generate one query per
+  // cluster that maximally retrieves exactly that cluster.
+  qec::core::QueryExpanderOptions options;
+  options.max_clusters = 3;
+  options.candidates.fraction = 1.0;  // tiny corpus: consider all keywords
+
+  for (auto algorithm : {qec::core::ExpansionAlgorithm::kIskr,
+                         qec::core::ExpansionAlgorithm::kPebc}) {
+    options.algorithm = algorithm;
+    qec::core::QueryExpander expander(index, options);
+    auto outcome = expander.ExpandText("apple");
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "expansion failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s expanded queries for \"apple\" (set score %.3f):\n",
+                std::string(qec::core::AlgorithmName(algorithm)).c_str(),
+                outcome->set_score);
+    for (const auto& eq : outcome->queries) {
+      std::printf("  cluster %zu (%zu results): \"", eq.cluster_index,
+                  eq.cluster_size);
+      for (size_t i = 0; i < eq.keywords.size(); ++i) {
+        std::printf("%s%s", i > 0 ? ", " : "", eq.keywords[i].c_str());
+      }
+      std::printf("\"  P=%.2f R=%.2f F=%.2f\n", eq.quality.precision,
+                  eq.quality.recall, eq.quality.f_measure);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef QEC_BASELINES_CLUSTER_SUMMARIZATION_H_
+#define QEC_BASELINES_CLUSTER_SUMMARIZATION_H_
+
+#include <vector>
+
+#include "baselines/suggestion.h"
+#include "cluster/kmeans.h"
+#include "core/expansion_context.h"
+#include "core/result_universe.h"
+#include "index/inverted_index.h"
+
+namespace qec::baselines {
+
+/// Cluster Summarization configuration.
+struct ClusterSummarizationOptions {
+  /// Keywords per cluster label (the paper's CS examples show 3-4 words
+  /// appended to the user query).
+  size_t label_size = 3;
+};
+
+/// CS [Carmel et al., SIGIR'09 style]: clusters the results, then labels
+/// each cluster with its top-TFICF terms (term frequency in the cluster ×
+/// inverse cluster frequency), and uses the label as the expanded query.
+/// Because keyword *interaction* is ignored, high-TFICF words may rarely
+/// co-occur, so the label used as an AND query often has low recall — the
+/// failure mode the paper's Sec. 5 highlights.
+class ClusterSummarization {
+ public:
+  explicit ClusterSummarization(ClusterSummarizationOptions options = {});
+
+  /// One suggested query per cluster: user query + top-TFICF label terms.
+  std::vector<SuggestedQuery> Suggest(
+      const core::ResultUniverse& universe, const index::InvertedIndex& index,
+      const std::vector<TermId>& user_terms,
+      const cluster::Clustering& clustering) const;
+
+  /// Per-cluster quality of the CS queries, so Eq. 1 can be computed for
+  /// CS (Fig. 5 includes CS).
+  std::vector<core::QueryQuality> Evaluate(
+      const core::ResultUniverse& universe,
+      const std::vector<SuggestedQuery>& suggestions,
+      const cluster::Clustering& clustering) const;
+
+  const ClusterSummarizationOptions& options() const { return options_; }
+
+ private:
+  ClusterSummarizationOptions options_;
+};
+
+}  // namespace qec::baselines
+
+#endif  // QEC_BASELINES_CLUSTER_SUMMARIZATION_H_

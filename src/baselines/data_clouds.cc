@@ -1,0 +1,49 @@
+#include "baselines/data_clouds.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace qec::baselines {
+
+DataClouds::DataClouds(DataCloudsOptions options) : options_(options) {}
+
+std::vector<SuggestedQuery> DataClouds::Suggest(
+    const core::ResultUniverse& universe, const index::InvertedIndex& index,
+    const std::vector<TermId>& user_terms) const {
+  std::unordered_set<TermId> excluded(user_terms.begin(), user_terms.end());
+
+  struct Scored {
+    TermId term;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (TermId t : universe.DistinctTerms()) {
+    if (excluded.count(t) != 0) continue;
+    // Σ over results containing t of tf(t, d) · rank(d), rank-weighted.
+    double weighted_tf = 0.0;
+    universe.DocsWithTerm(t).ForEachSetBit([&](size_t i) {
+      const doc::Document& d = universe.corpus().Get(universe.doc_at(i));
+      weighted_tf +=
+          static_cast<double>(d.TermFrequency(t)) * universe.weight(i);
+    });
+    scored.push_back(Scored{t, weighted_tf * index.Idf(t)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.term < b.term;
+  });
+
+  const auto& vocab = index.corpus().analyzer().vocabulary();
+  std::vector<SuggestedQuery> out;
+  for (size_t i = 0; i < scored.size() && out.size() < options_.num_queries;
+       ++i) {
+    SuggestedQuery q;
+    q.terms = user_terms;
+    q.terms.push_back(scored[i].term);
+    for (TermId t : q.terms) q.keywords.push_back(vocab.TermString(t));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qec::baselines

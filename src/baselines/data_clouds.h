@@ -1,0 +1,40 @@
+#ifndef QEC_BASELINES_DATA_CLOUDS_H_
+#define QEC_BASELINES_DATA_CLOUDS_H_
+
+#include <vector>
+
+#include "baselines/suggestion.h"
+#include "core/result_universe.h"
+#include "index/inverted_index.h"
+
+namespace qec::baselines {
+
+/// Data Clouds configuration.
+struct DataCloudsOptions {
+  /// Number of expanded queries (top words) returned.
+  size_t num_queries = 3;
+};
+
+/// Data Clouds [Koutrika et al., EDBT'09]: summarizes a ranked result list
+/// by its top-k important words, where importance combines term frequency,
+/// inverse document frequency, and the ranking score of the results the
+/// word appears in. No clustering: word w scores
+///   score(w) = idf(w) * Σ_{d ∈ results, w ∈ d} tf(w, d) · rank(d).
+/// Each top word w yields the expanded query {user query, w}.
+class DataClouds {
+ public:
+  explicit DataClouds(DataCloudsOptions options = {});
+
+  std::vector<SuggestedQuery> Suggest(
+      const core::ResultUniverse& universe, const index::InvertedIndex& index,
+      const std::vector<TermId>& user_terms) const;
+
+  const DataCloudsOptions& options() const { return options_; }
+
+ private:
+  DataCloudsOptions options_;
+};
+
+}  // namespace qec::baselines
+
+#endif  // QEC_BASELINES_DATA_CLOUDS_H_

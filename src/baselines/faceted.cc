@@ -1,0 +1,109 @@
+#include "baselines/faceted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace qec::baselines {
+
+FacetedNavigator::FacetedNavigator(FacetedOptions options)
+    : options_(options) {}
+
+std::vector<Facet> FacetedNavigator::ExtractFacets(
+    const core::ResultUniverse& universe) const {
+  const size_t n = universe.size();
+  if (n == 0) return {};
+
+  // (entity, attribute) -> value -> set of result positions (a result may
+  // repeat a feature; count each result once).
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, std::vector<size_t>>>
+      groups;
+  for (size_t i = 0; i < n; ++i) {
+    const doc::Document& d = universe.corpus().Get(universe.doc_at(i));
+    for (const doc::Feature& f : d.features()) {
+      auto& per_value = groups[{f.entity, f.attribute}][f.value];
+      if (per_value.empty() || per_value.back() != i) per_value.push_back(i);
+    }
+  }
+
+  struct Scored {
+    Facet facet;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (auto& [key, value_map] : groups) {
+    Facet facet;
+    facet.entity = key.first;
+    facet.attribute = key.second;
+    std::vector<bool> carrying(n, false);
+    for (auto& [value, members] : value_map) {
+      size_t count = 0;
+      for (size_t i : members) {
+        if (!carrying[i]) ++count;
+        carrying[i] = true;
+      }
+      facet.values.emplace_back(value, members.size());
+    }
+    size_t carriers = 0;
+    for (bool c : carrying) carriers += c ? 1 : 0;
+    facet.coverage = static_cast<double>(carriers) / static_cast<double>(n);
+    if (facet.coverage < options_.min_coverage) continue;
+
+    std::sort(facet.values.begin(), facet.values.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const double dominant =
+        static_cast<double>(facet.values.front().second) /
+        static_cast<double>(carriers);
+    if (dominant > options_.max_dominant_value_fraction) continue;
+
+    // Value entropy: how evenly the facet splits its carriers.
+    double entropy = 0.0;
+    for (const auto& [value, count] : facet.values) {
+      double p = static_cast<double>(count) / static_cast<double>(carriers);
+      if (p > 0.0) entropy -= p * std::log2(p);
+    }
+    const double score = facet.coverage * entropy;
+    scored.push_back(Scored{std::move(facet), score});
+  }
+
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.facet.entity != b.facet.entity) return a.facet.entity < b.facet.entity;
+    return a.facet.attribute < b.facet.attribute;
+  });
+
+  std::vector<Facet> out;
+  for (auto& s : scored) {
+    if (out.size() >= options_.max_facets) break;
+    out.push_back(std::move(s.facet));
+  }
+  return out;
+}
+
+double FacetedNavigator::FacetableFraction(
+    const core::ResultUniverse& universe, const std::vector<Facet>& facets) {
+  const size_t n = universe.size();
+  if (n == 0 || facets.empty()) return 0.0;
+  std::vector<bool> covered(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const doc::Document& d = universe.corpus().Get(universe.doc_at(i));
+    for (const doc::Feature& f : d.features()) {
+      for (const Facet& facet : facets) {
+        if (f.entity == facet.entity && f.attribute == facet.attribute) {
+          covered[i] = true;
+          break;
+        }
+      }
+      if (covered[i]) break;
+    }
+  }
+  size_t count = 0;
+  for (bool c : covered) count += c ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(n);
+}
+
+}  // namespace qec::baselines

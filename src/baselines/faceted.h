@@ -1,0 +1,63 @@
+#ifndef QEC_BASELINES_FACETED_H_
+#define QEC_BASELINES_FACETED_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result_universe.h"
+
+namespace qec::baselines {
+
+/// One extracted facet: an (entity, attribute) pair with its value
+/// distribution over the result set.
+struct Facet {
+  std::string entity;
+  std::string attribute;
+  /// (value, #results carrying it), descending by count.
+  std::vector<std::pair<std::string, size_t>> values;
+  /// Fraction of the results that have this facet at all.
+  double coverage = 0.0;
+};
+
+/// Facet-extraction configuration.
+struct FacetedOptions {
+  /// Facets below this result coverage are dropped.
+  double min_coverage = 0.3;
+  /// Maximum facets returned.
+  size_t max_facets = 8;
+  /// Facets whose dominant value covers more than this fraction of the
+  /// carrying results are useless for navigation (no discrimination).
+  double max_dominant_value_fraction = 0.95;
+};
+
+/// The faceted-search comparison point of the paper's related work
+/// (Chakrabarti et al. SIGMOD'04 / FACeTOR / Facetedpedia, simplified):
+/// automatic facet construction over a query's result set. The paper
+/// argues facets work when results share typed features (the shopping
+/// catalog) and break down on text results and ambiguous queries, where
+/// "different results may have completely different facets" — measured by
+/// the coverage numbers this extractor reports.
+class FacetedNavigator {
+ public:
+  explicit FacetedNavigator(FacetedOptions options = {});
+
+  /// Extracts facets from the structured results in `universe`, ranked by
+  /// coverage × value entropy (facets that both apply widely and split the
+  /// results evenly navigate best). Text results contribute nothing — the
+  /// paper's first failure case.
+  std::vector<Facet> ExtractFacets(const core::ResultUniverse& universe) const;
+
+  /// Fraction of universe results that carry at least one returned facet —
+  /// 0.0 on pure text corpora.
+  static double FacetableFraction(const core::ResultUniverse& universe,
+                                  const std::vector<Facet>& facets);
+
+  const FacetedOptions& options() const { return options_; }
+
+ private:
+  FacetedOptions options_;
+};
+
+}  // namespace qec::baselines
+
+#endif  // QEC_BASELINES_FACETED_H_

@@ -1,0 +1,58 @@
+#include "baselines/query_log.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace qec::baselines {
+
+QueryLogSuggester::QueryLogSuggester(std::vector<QueryLogEntry> log)
+    : log_(std::move(log)) {
+  std::sort(log_.begin(), log_.end(),
+            [](const QueryLogEntry& a, const QueryLogEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.query < b.query;
+            });
+  max_count_ = log_.empty() ? 1 : std::max<uint64_t>(1, log_.front().count);
+}
+
+std::vector<SuggestedQuery> QueryLogSuggester::Suggest(
+    std::string_view user_query, const text::Analyzer& analyzer,
+    size_t num_queries) const {
+  text::Tokenizer tokenizer;
+  std::vector<std::string> needed = tokenizer.Tokenize(user_query);
+
+  std::vector<SuggestedQuery> out;
+  std::unordered_set<std::string> seen;
+  for (const QueryLogEntry& entry : log_) {
+    if (out.size() >= num_queries) break;
+    std::vector<std::string> words = tokenizer.Tokenize(entry.query);
+    // The logged query must extend the user query: contain all its words
+    // plus at least one more.
+    bool contains_all = true;
+    for (const auto& w : needed) {
+      if (std::find(words.begin(), words.end(), w) == words.end()) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (!contains_all || words.size() <= needed.size()) continue;
+    std::string key = Join(words, " ");
+    if (!seen.insert(key).second) continue;
+
+    SuggestedQuery q;
+    q.keywords = std::move(words);
+    for (const auto& w : q.keywords) {
+      TermId t = analyzer.vocabulary().Lookup(w);
+      if (t != kInvalidTermId) q.terms.push_back(t);
+    }
+    q.popularity = static_cast<double>(entry.count) /
+                   static_cast<double>(max_count_);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qec::baselines

@@ -1,0 +1,47 @@
+#ifndef QEC_BASELINES_QUERY_LOG_H_
+#define QEC_BASELINES_QUERY_LOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/suggestion.h"
+#include "text/analyzer.h"
+
+namespace qec::baselines {
+
+/// One logged query with its popularity count.
+struct QueryLogEntry {
+  std::string query;
+  uint64_t count = 1;
+};
+
+/// Query-log-driven suggester — the stand-in for the paper's "Google"
+/// baseline (related queries mined from a search engine's query log).
+/// Suggestions are logged queries that extend the user query, ranked by
+/// popularity. Exhibits the behaviours the paper attributes to Google:
+/// popular but possibly off-corpus keywords, and popularity bias that can
+/// leave rare senses uncovered (QW8 "rockets": all suggestions were space
+/// rockets, none the NBA team).
+class QueryLogSuggester {
+ public:
+  explicit QueryLogSuggester(std::vector<QueryLogEntry> log);
+
+  /// Top `num_queries` logged queries containing every word of
+  /// `user_query` (case-insensitive), by descending popularity. Keywords
+  /// that exist in `analyzer`'s vocabulary also get TermIds; off-corpus
+  /// keywords appear as strings only.
+  std::vector<SuggestedQuery> Suggest(std::string_view user_query,
+                                      const text::Analyzer& analyzer,
+                                      size_t num_queries = 3) const;
+
+  size_t log_size() const { return log_.size(); }
+
+ private:
+  std::vector<QueryLogEntry> log_;
+  uint64_t max_count_ = 1;
+};
+
+}  // namespace qec::baselines
+
+#endif  // QEC_BASELINES_QUERY_LOG_H_

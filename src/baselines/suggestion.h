@@ -1,0 +1,28 @@
+#ifndef QEC_BASELINES_SUGGESTION_H_
+#define QEC_BASELINES_SUGGESTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qec::baselines {
+
+/// An expanded query suggested by any method, in renderable form. `terms`
+/// holds the corpus TermIds of the keywords that exist in the corpus
+/// vocabulary; query-log methods can suggest off-corpus words, which appear
+/// in `keywords` only (the paper observes Google doing exactly this).
+struct SuggestedQuery {
+  std::vector<std::string> keywords;
+  std::vector<TermId> terms;
+  /// Popularity evidence in [0, 1] for query-log suggestions (normalized
+  /// log count); 0 for corpus-driven methods. Raters treat popularity as a
+  /// helpfulness signal even when the suggestion retrieves nothing locally
+  /// (the paper's Google results: "generally very popular with the
+  /// users").
+  double popularity = 0.0;
+};
+
+}  // namespace qec::baselines
+
+#endif  // QEC_BASELINES_SUGGESTION_H_

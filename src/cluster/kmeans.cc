@@ -1,0 +1,206 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace qec::cluster {
+
+std::vector<std::vector<size_t>> Clustering::Members() const {
+  std::vector<std::vector<size_t>> members(num_clusters);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    QEC_CHECK_GE(assignment[i], 0);
+    QEC_CHECK_LT(static_cast<size_t>(assignment[i]), num_clusters);
+    members[static_cast<size_t>(assignment[i])].push_back(i);
+  }
+  return members;
+}
+
+KMeans::KMeans(KMeansOptions options) : options_(options) {}
+
+namespace {
+
+double CosineDistance(const SparseVector& a, const SparseVector& b) {
+  return 1.0 - a.Cosine(b);
+}
+
+// k-means++ seeding: first centroid uniform, subsequent proportional to
+// squared distance to the nearest chosen centroid.
+std::vector<size_t> SeedPlusPlus(const std::vector<SparseVector>& points,
+                                 size_t k, Rng& rng) {
+  std::vector<size_t> seeds;
+  seeds.push_back(static_cast<size_t>(rng.UniformInt(points.size())));
+  std::vector<double> best_dist(points.size(),
+                                std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    const SparseVector& last = points[seeds.back()];
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = CosineDistance(points[i], last);
+      best_dist[i] = std::min(best_dist[i], d * d);
+      total += best_dist[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with some centroid; pick any unused point.
+      size_t next = seeds.size() % points.size();
+      seeds.push_back(next);
+      continue;
+    }
+    double target = rng.UniformDouble() * total;
+    size_t chosen = points.size() - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      acc += best_dist[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Clustering KMeans::Cluster(const std::vector<SparseVector>& points) const {
+  const size_t n = points.size();
+  const size_t k_max = std::min(options_.k == 0 ? size_t{1} : options_.k, n);
+  if (!options_.auto_k || n <= 2 || k_max <= 1) {
+    return ClusterWithK(points, k_max);
+  }
+  // Try every k up to the bound and keep the best mean silhouette. Ties and
+  // the all-neutral case prefer the smaller k.
+  Clustering best = ClusterWithK(points, 1);
+  double best_score = 0.0;  // k = 1 is the neutral baseline
+  for (size_t k = 2; k <= k_max; ++k) {
+    Clustering candidate = ClusterWithK(points, k);
+    if (candidate.num_clusters < 2) continue;
+    double score = MeanSilhouette(points, candidate);
+    if (score > best_score + 1e-12) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+Clustering KMeans::ClusterWithK(const std::vector<SparseVector>& points,
+                                size_t k_arg) const {
+  Clustering result;
+  const size_t n = points.size();
+  result.assignment.assign(n, 0);
+  if (n == 0) return result;
+
+  const size_t k = std::min(k_arg == 0 ? size_t{1} : k_arg, n);
+  if (k == 1) {
+    result.num_clusters = 1;
+    return result;
+  }
+  if (k == n) {
+    for (size_t i = 0; i < n; ++i) result.assignment[i] = static_cast<int>(i);
+    result.num_clusters = n;
+    return result;
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> seeds = SeedPlusPlus(points, k, rng);
+  std::vector<SparseVector> centroids;
+  centroids.reserve(k);
+  for (size_t s : seeds) {
+    SparseVector c = points[s];
+    c.Normalize();
+    centroids.push_back(std::move(c));
+  }
+
+  std::vector<int> assignment(n, -1);
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        double d = CosineDistance(points[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step: centroid = normalized sum of members.
+    std::vector<SparseVector> next(centroids.size());
+    std::vector<size_t> counts(centroids.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(assignment[i]);
+      next[c].AddScaled(points[i], 1.0);
+      counts[c]++;
+    }
+    for (size_t c = 0; c < next.size(); ++c) {
+      if (counts[c] == 0) {
+        next[c] = centroids[c];  // keep empty centroid; compacted later
+      } else {
+        next[c].Normalize();
+      }
+    }
+    centroids = std::move(next);
+  }
+
+  // Compact away empty clusters so labels are dense.
+  std::vector<int> remap(centroids.size(), -1);
+  int next_label = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(assignment[i]);
+    if (remap[c] == -1) remap[c] = next_label++;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    result.assignment[i] = remap[static_cast<size_t>(assignment[i])];
+  }
+  result.num_clusters = static_cast<size_t>(next_label);
+  return result;
+}
+
+double MeanSilhouette(const std::vector<SparseVector>& points,
+                      const Clustering& clustering) {
+  const size_t n = points.size();
+  if (n == 0 || clustering.num_clusters < 2) return 0.0;
+  const size_t k = clustering.num_clusters;
+
+  std::vector<size_t> cluster_size(k, 0);
+  for (int a : clustering.assignment) {
+    cluster_size[static_cast<size_t>(a)]++;
+  }
+
+  double total = 0.0;
+  // For each point, mean distance to every cluster (own cluster excludes
+  // the point itself).
+  for (size_t i = 0; i < n; ++i) {
+    const size_t own = static_cast<size_t>(clustering.assignment[i]);
+    if (cluster_size[own] <= 1) continue;  // singleton scores 0
+    std::vector<double> dist_sum(k, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist_sum[static_cast<size_t>(clustering.assignment[j])] +=
+          CosineDistance(points[i], points[j]);
+    }
+    const double a =
+        dist_sum[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == own || cluster_size[c] == 0) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(cluster_size[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace qec::cluster

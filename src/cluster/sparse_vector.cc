@@ -1,0 +1,107 @@
+#include "cluster/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qec::cluster {
+
+SparseVector::SparseVector(std::vector<std::pair<TermId, double>> entries)
+    : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge duplicates and drop explicit zeros.
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    TermId t = entries_[i].first;
+    double sum = 0.0;
+    while (i < entries_.size() && entries_[i].first == t) {
+      sum += entries_[i].second;
+      ++i;
+    }
+    if (sum != 0.0) entries_[out++] = {t, sum};
+  }
+  entries_.resize(out);
+}
+
+SparseVector SparseVector::FromDocument(const doc::Document& document) {
+  std::vector<std::pair<TermId, double>> entries;
+  entries.reserve(document.term_set().size());
+  for (TermId t : document.term_set()) {
+    entries.emplace_back(t, static_cast<double>(document.TermFrequency(t)));
+  }
+  SparseVector v;
+  v.entries_ = std::move(entries);  // already sorted & unique
+  return v;
+}
+
+double SparseVector::Get(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const auto& e, TermId t) { return e.first < t; });
+  if (it == entries_.end() || it->first != term) return 0.0;
+  return it->second;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double sum = 0.0;
+  size_t a = 0, b = 0;
+  while (a < entries_.size() && b < other.entries_.size()) {
+    if (entries_[a].first < other.entries_[b].first) {
+      ++a;
+    } else if (other.entries_[b].first < entries_[a].first) {
+      ++b;
+    } else {
+      sum += entries_[a].second * other.entries_[b].second;
+      ++a;
+      ++b;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::Norm() const {
+  double sq = 0.0;
+  for (const auto& [t, w] : entries_) sq += w * w;
+  return std::sqrt(sq);
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  double na = Norm();
+  double nb = other.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+void SparseVector::AddScaled(const SparseVector& other, double scale) {
+  std::vector<std::pair<TermId, double>> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t a = 0, b = 0;
+  while (a < entries_.size() || b < other.entries_.size()) {
+    if (b >= other.entries_.size() ||
+        (a < entries_.size() && entries_[a].first < other.entries_[b].first)) {
+      merged.push_back(entries_[a++]);
+    } else if (a >= entries_.size() ||
+               other.entries_[b].first < entries_[a].first) {
+      merged.emplace_back(other.entries_[b].first,
+                          scale * other.entries_[b].second);
+      ++b;
+    } else {
+      double w = entries_[a].second + scale * other.entries_[b].second;
+      if (w != 0.0) merged.emplace_back(entries_[a].first, w);
+      ++a;
+      ++b;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+void SparseVector::Scale(double scale) {
+  for (auto& [t, w] : entries_) w *= scale;
+}
+
+void SparseVector::Normalize() {
+  double n = Norm();
+  if (n > 0.0) Scale(1.0 / n);
+}
+
+}  // namespace qec::cluster

@@ -1,0 +1,105 @@
+#include "common/dynamic_bitset.h"
+
+#include "common/logging.h"
+
+namespace qec {
+
+DynamicBitset::DynamicBitset(size_t size, bool value)
+    : size_(size), words_((size + 63) / 64, value ? ~0ULL : 0ULL) {
+  if (value) TrimTail();
+}
+
+void DynamicBitset::TrimTail() {
+  const size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void DynamicBitset::Set(size_t i) {
+  QEC_CHECK_LT(i, size_);
+  words_[i / 64] |= 1ULL << (i % 64);
+}
+
+void DynamicBitset::Reset(size_t i) {
+  QEC_CHECK_LT(i, size_);
+  words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  QEC_CHECK_LT(i, size_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void DynamicBitset::SetAll() {
+  for (auto& w : words_) w = ~0ULL;
+  TrimTail();
+}
+
+void DynamicBitset::ResetAll() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  QEC_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  QEC_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  QEC_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
+  QEC_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+size_t DynamicBitset::AndCount(const DynamicBitset& other) const {
+  QEC_CHECK_EQ(size_, other.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  QEC_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  QEC_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> DynamicBitset::ToIndices() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  ForEachSetBit([&](size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace qec

@@ -1,0 +1,92 @@
+#ifndef QEC_COMMON_DYNAMIC_BITSET_H_
+#define QEC_COMMON_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qec {
+
+/// Fixed-capacity bitset sized at runtime. Used for result-set algebra in
+/// the expansion algorithms (R(q), C, U, E(k) intersections) where the
+/// universe is the result list of the original user query.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `size` bits, all clear (or all set).
+  explicit DynamicBitset(size_t size, bool value = false);
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Reset(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets / clears every bit.
+  void SetAll();
+  void ResetAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True if no bit is set.
+  bool None() const { return Count() == 0; }
+  bool Any() const { return !None(); }
+
+  /// In-place operators. Operands must have equal size.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+
+  /// this &= ~other (set difference).
+  DynamicBitset& AndNot(const DynamicBitset& other);
+
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+
+  /// Count of bits set in (this & other), without materializing it.
+  size_t AndCount(const DynamicBitset& other) const;
+
+  /// True if (this & other) has any bit set.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// True if every set bit of this is also set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> ToIndices() const;
+
+  /// Calls `fn(i)` for every set bit `i`, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  void TrimTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace qec
+
+#endif  // QEC_COMMON_DYNAMIC_BITSET_H_

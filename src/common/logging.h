@@ -1,0 +1,58 @@
+#ifndef QEC_COMMON_LOGGING_H_
+#define QEC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. FATAL aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Minimum level that is actually printed (default: kInfo).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+}  // namespace qec
+
+#define QEC_LOG(level)                                                   \
+  ::qec::internal_logging::LogMessage(::qec::LogLevel::k##level, __FILE__, \
+                                      __LINE__)
+
+/// Fatal-on-failure invariant check. Use for programmer errors; use Status
+/// for recoverable/runtime errors.
+#define QEC_CHECK(cond)                                              \
+  if (!(cond))                                                       \
+  QEC_LOG(Fatal) << "Check failed: " #cond " "
+
+#define QEC_CHECK_EQ(a, b) QEC_CHECK((a) == (b))
+#define QEC_CHECK_NE(a, b) QEC_CHECK((a) != (b))
+#define QEC_CHECK_LT(a, b) QEC_CHECK((a) < (b))
+#define QEC_CHECK_LE(a, b) QEC_CHECK((a) <= (b))
+#define QEC_CHECK_GT(a, b) QEC_CHECK((a) > (b))
+#define QEC_CHECK_GE(a, b) QEC_CHECK((a) >= (b))
+
+#endif  // QEC_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+#ifndef QEC_COMMON_RANDOM_H_
+#define QEC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qec {
+
+/// Deterministic, seedable PRNG (xoshiro256**, seeded via SplitMix64).
+/// Every randomized component in the library takes an explicit seed so
+/// experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Normally distributed double (Box-Muller).
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `n` distinct indices from [0, population) without replacement.
+  /// Returns all indices (shuffled) when n >= population.
+  std::vector<size_t> SampleWithoutReplacement(size_t population, size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace qec
+
+#endif  // QEC_COMMON_RANDOM_H_

@@ -1,0 +1,116 @@
+#ifndef QEC_COMMON_STATUS_H_
+#define QEC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace qec {
+
+/// Error codes used across the library. Modeled after the canonical codes
+/// used by RocksDB/Abseil: a small, closed set that callers can switch on.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight status object for fallible operations. Functions that can
+/// fail for reasons other than programmer error return `Status` (or
+/// `Result<T>`); invariant violations use QEC_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error `Status` (never both).
+/// Analogous to absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status: `return Status::NotFound(..)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qec
+
+/// Propagates a non-OK status from an expression to the caller.
+#define QEC_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::qec::Status qec_status_tmp_ = (expr);       \
+    if (!qec_status_tmp_.ok()) return qec_status_tmp_; \
+  } while (false)
+
+#endif  // QEC_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+#ifndef QEC_COMMON_TYPES_H_
+#define QEC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace qec {
+
+/// Identifier of an interned term (word or structured feature) in a
+/// `text::Vocabulary`. Dense, starting at 0.
+using TermId = uint32_t;
+
+/// Identifier of a document within a `doc::Corpus`. Dense, starting at 0.
+using DocId = uint32_t;
+
+/// Sentinel returned by lookups that can fail (e.g. unknown term).
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+
+/// Sentinel for an invalid/unknown document.
+inline constexpr DocId kInvalidDocId = std::numeric_limits<DocId>::max();
+
+}  // namespace qec
+
+#endif  // QEC_COMMON_TYPES_H_

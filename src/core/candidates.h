@@ -1,0 +1,34 @@
+#ifndef QEC_CORE_CANDIDATES_H_
+#define QEC_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/result_universe.h"
+#include "index/inverted_index.h"
+
+namespace qec::core {
+
+/// Candidate-keyword selection knobs (Appendix C: "we consider the
+/// top-20% words in the results in terms of tfidf for query expansion").
+struct CandidateOptions {
+  /// Fraction of the universe's distinct terms kept, by TF-IDF.
+  double fraction = 0.2;
+  /// Hard cap on the number of candidates (0 = no cap).
+  size_t max_candidates = 0;
+  /// Drop terms contained in every universe result: they can never
+  /// eliminate anything, so they are dead weight for the algorithms.
+  bool drop_universal_terms = true;
+};
+
+/// Selects expansion candidates from the universe's distinct terms, scored
+/// by total term frequency within the results times global IDF, excluding
+/// the user-query terms. Returned sorted by descending score.
+std::vector<TermId> SelectCandidates(const ResultUniverse& universe,
+                                     const index::InvertedIndex& index,
+                                     const std::vector<TermId>& user_query,
+                                     const CandidateOptions& options = {});
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_CANDIDATES_H_

@@ -1,0 +1,55 @@
+#include "core/exact.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qec::core {
+
+ExactExpander::ExactExpander(ExactOptions options) : options_(options) {}
+
+ExpansionResult ExactExpander::Expand(const ExpansionContext& context) const {
+  QEC_CHECK(context.universe != nullptr);
+  QEC_CHECK_LE(context.candidates.size(), options_.max_candidates)
+      << "exact search is exponential; reduce the candidate set";
+  const ResultUniverse& universe = *context.universe;
+  const size_t n = context.candidates.size();
+
+  // Precompute each candidate's containment bitset once.
+  std::vector<const DynamicBitset*> docs_with(n);
+  for (size_t i = 0; i < n; ++i) {
+    docs_with[i] = &universe.DocsWithTerm(context.candidates[i]);
+  }
+  DynamicBitset base = universe.Retrieve(context.user_query);
+
+  uint64_t best_mask = 0;
+  QueryQuality best_quality =
+      EvaluateQuery(universe, base, context.cluster);
+  size_t evaluated = 1;
+
+  const uint64_t limit = 1ULL << n;
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    DynamicBitset r = base;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) r &= *docs_with[i];
+    }
+    QueryQuality q = EvaluateQuery(universe, r, context.cluster);
+    ++evaluated;
+    if (q.f_measure > best_quality.f_measure) {
+      best_quality = q;
+      best_mask = mask;
+    }
+  }
+
+  ExpansionResult result;
+  result.query = context.user_query;
+  for (size_t i = 0; i < n; ++i) {
+    if ((best_mask >> i) & 1) result.query.push_back(context.candidates[i]);
+  }
+  result.quality = best_quality;
+  result.iterations = evaluated;
+  result.value_recomputations = evaluated;
+  return result;
+}
+
+}  // namespace qec::core

@@ -1,0 +1,38 @@
+#ifndef QEC_CORE_EXACT_H_
+#define QEC_CORE_EXACT_H_
+
+#include <cstddef>
+
+#include "core/expansion_context.h"
+
+namespace qec::core {
+
+/// Configuration for the exhaustive solver.
+struct ExactOptions {
+  /// Hard cap on the number of candidate keywords enumerated (the search is
+  /// 2^candidates; QEC is APX-hard so this cannot scale).
+  size_t max_candidates = 20;
+};
+
+/// Exhaustive optimal solver for Definition 2.2: enumerates every subset of
+/// the candidate keywords, evaluates `user_query ∪ subset`, and returns the
+/// F-measure-optimal query. Exponential — usable only on small instances.
+/// Exists to validate the heuristics (ISKR achieves local optimality, PEBC
+/// converges toward this optimum when it zooms into the right interval).
+class ExactExpander {
+ public:
+  explicit ExactExpander(ExactOptions options = {});
+
+  /// Returns the optimal expanded query. Checks that the context has at
+  /// most `max_candidates` candidates.
+  ExpansionResult Expand(const ExpansionContext& context) const;
+
+  const ExactOptions& options() const { return options_; }
+
+ private:
+  ExactOptions options_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_EXACT_H_

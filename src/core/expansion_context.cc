@@ -1,0 +1,28 @@
+#include "core/expansion_context.h"
+
+#include "common/logging.h"
+
+namespace qec::core {
+
+ExpansionContext MakeContext(const ResultUniverse& universe,
+                             std::vector<TermId> user_query,
+                             DynamicBitset cluster,
+                             std::vector<TermId> candidates) {
+  QEC_CHECK_EQ(cluster.size(), universe.size());
+  ExpansionContext ctx;
+  ctx.universe = &universe;
+  ctx.user_query = std::move(user_query);
+  ctx.others = universe.FullSet();
+  ctx.others.AndNot(cluster);
+  ctx.cluster = std::move(cluster);
+  ctx.candidates = std::move(candidates);
+  return ctx;
+}
+
+QueryQuality EvaluateAgainstCluster(const ExpansionContext& context,
+                                    const std::vector<TermId>& query) {
+  DynamicBitset retrieved = context.universe->Retrieve(query);
+  return EvaluateQuery(*context.universe, retrieved, context.cluster);
+}
+
+}  // namespace qec::core

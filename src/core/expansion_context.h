@@ -1,0 +1,54 @@
+#ifndef QEC_CORE_EXPANSION_CONTEXT_H_
+#define QEC_CORE_EXPANSION_CONTEXT_H_
+
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "common/types.h"
+#include "core/metrics.h"
+#include "core/result_universe.h"
+
+namespace qec::core {
+
+/// Input to a per-cluster expansion algorithm (Definition 2.2): the user
+/// query, one cluster C (the ground truth), the results U in all other
+/// clusters, and the candidate keywords the expanded query may add.
+struct ExpansionContext {
+  const ResultUniverse* universe = nullptr;
+  /// The original user query terms. Every universe result contains them.
+  std::vector<TermId> user_query;
+  /// C: the target cluster, as a bitset over the universe.
+  DynamicBitset cluster;
+  /// U: results not in C (typically the complement of `cluster` within the
+  /// universe, but callers may restrict it).
+  DynamicBitset others;
+  /// Keywords the algorithms may add to the query.
+  std::vector<TermId> candidates;
+};
+
+/// Builds a context where U is the complement of C in the universe.
+ExpansionContext MakeContext(const ResultUniverse& universe,
+                             std::vector<TermId> user_query,
+                             DynamicBitset cluster,
+                             std::vector<TermId> candidates);
+
+/// Output of a per-cluster expansion algorithm.
+struct ExpansionResult {
+  /// The expanded query: the user query terms plus any added keywords.
+  std::vector<TermId> query;
+  /// Quality of `query` against the cluster.
+  QueryQuality quality;
+  /// Refinement iterations performed (algorithm-specific meaning).
+  size_t iterations = 0;
+  /// Number of keyword benefit/cost (or delta-F) recomputations — the
+  /// maintenance cost the paper's efficiency comparison hinges on.
+  size_t value_recomputations = 0;
+};
+
+/// Evaluates an arbitrary query against the context's cluster.
+QueryQuality EvaluateAgainstCluster(const ExpansionContext& context,
+                                    const std::vector<TermId>& query);
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_EXPANSION_CONTEXT_H_

@@ -1,0 +1,95 @@
+#include "core/fmeasure_expander.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qec::core {
+
+FMeasureExpander::FMeasureExpander(FMeasureOptions options)
+    : options_(options) {}
+
+ExpansionResult FMeasureExpander::Expand(
+    const ExpansionContext& context) const {
+  QEC_CHECK(context.universe != nullptr);
+  const ResultUniverse& universe = *context.universe;
+
+  std::vector<TermId> query = context.user_query;
+  std::unordered_set<TermId> user_terms(context.user_query.begin(),
+                                        context.user_query.end());
+  DynamicBitset retrieved = universe.Retrieve(query);
+  double current_f =
+      EvaluateQuery(universe, retrieved, context.cluster).f_measure;
+
+  size_t iterations = 0;
+  size_t recomputations = 0;
+
+  while (iterations < options_.max_iterations) {
+    TermId best = kInvalidTermId;
+    bool best_is_removal = false;
+    double best_f = current_f;
+    DynamicBitset best_retrieved = retrieved;
+
+    // Additions: every candidate not yet in the query. Each value is a
+    // full from-scratch evaluation of q ∪ {k} — the naive recomputation
+    // the paper charges this method with (Sec. 3: "the value of every
+    // keyword needs to be dynamically computed, and updated after every
+    // change to q"), and the reason it is orders of magnitude slower than
+    // ISKR's incremental maintenance (Fig. 6).
+    std::unordered_set<TermId> in_query(query.begin(), query.end());
+    for (TermId k : context.candidates) {
+      if (in_query.count(k) != 0) continue;
+      ++recomputations;
+      DynamicBitset r = universe.FullSet();
+      for (TermId t : query) r &= universe.DocsWithTerm(t);
+      r &= universe.DocsWithTerm(k);
+      double f = EvaluateQuery(universe, r, context.cluster).f_measure;
+      if (f > best_f || (f == best_f && best != kInvalidTermId && k < best &&
+                         !best_is_removal)) {
+        best_f = f;
+        best = k;
+        best_is_removal = false;
+        best_retrieved = std::move(r);
+      }
+    }
+    if (options_.allow_removal) {
+      // Removals: every previously added keyword.
+      for (TermId k : query) {
+        if (user_terms.count(k) != 0) continue;
+        ++recomputations;
+        DynamicBitset r = universe.FullSet();
+        for (TermId t : query) {
+          if (t != k) r &= universe.DocsWithTerm(t);
+        }
+        double f = EvaluateQuery(universe, r, context.cluster).f_measure;
+        if (f > best_f) {
+          best_f = f;
+          best = k;
+          best_is_removal = true;
+          best_retrieved = std::move(r);
+        }
+      }
+    }
+
+    if (best == kInvalidTermId || best_f <= current_f) break;
+    ++iterations;
+    current_f = best_f;
+    retrieved = std::move(best_retrieved);
+    if (best_is_removal) {
+      query.erase(std::find(query.begin(), query.end(), best));
+    } else {
+      query.push_back(best);
+    }
+  }
+
+  ExpansionResult result;
+  result.query = std::move(query);
+  result.quality = EvaluateQuery(universe, retrieved, context.cluster);
+  result.iterations = iterations;
+  result.value_recomputations = recomputations;
+  return result;
+}
+
+}  // namespace qec::core

@@ -1,0 +1,36 @@
+#ifndef QEC_CORE_FMEASURE_EXPANDER_H_
+#define QEC_CORE_FMEASURE_EXPANDER_H_
+
+#include <cstddef>
+
+#include "core/expansion_context.h"
+
+namespace qec::core {
+
+/// Configuration for the delta-F-measure refinement variant.
+struct FMeasureOptions {
+  size_t max_iterations = 200;
+  bool allow_removal = true;
+};
+
+/// The "F-measure" comparison method of Sec. 5: the ISKR refinement loop,
+/// but the value of a keyword is the exact change in F-measure from
+/// adding/removing it. More accurate per step than benefit/cost — and much
+/// slower, because every keyword's value must be recomputed after every
+/// refinement (each recomputation evaluates a full query). The experiments
+/// (Fig. 6) show it at 30+ seconds on some queries versus sub-second ISKR.
+class FMeasureExpander {
+ public:
+  explicit FMeasureExpander(FMeasureOptions options = {});
+
+  ExpansionResult Expand(const ExpansionContext& context) const;
+
+  const FMeasureOptions& options() const { return options_; }
+
+ private:
+  FMeasureOptions options_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_FMEASURE_EXPANDER_H_

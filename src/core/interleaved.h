@@ -1,0 +1,58 @@
+#ifndef QEC_CORE_INTERLEAVED_H_
+#define QEC_CORE_INTERLEAVED_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "core/expansion_context.h"
+#include "core/iskr.h"
+
+namespace qec::core {
+
+/// Configuration for interleaved clustering/expansion.
+struct InterleavedOptions {
+  /// Maximum refine rounds after the initial expansion.
+  size_t max_rounds = 3;
+  IskrOptions iskr;
+};
+
+/// Outcome of the interleaved process.
+struct InterleavedOutcome {
+  /// Final clustering (possibly refined from the input one).
+  cluster::Clustering clustering;
+  /// One expansion per final cluster.
+  std::vector<ExpansionResult> expansions;
+  /// Eq. 1 score of the final expansions.
+  double set_score = 0.0;
+  /// Rounds actually executed (0 = the initial expansion already stable).
+  size_t rounds = 0;
+};
+
+/// Prototype of the paper's future-work idea (Sec. 7): "the possibility of
+/// interweaving the clustering and query expansion process".
+///
+/// Round trip: expand each cluster with ISKR, then *reassign* every result
+/// to the expanded query that retrieves it (ties to the query with higher
+/// F-measure; results no query retrieves keep their cluster), and expand
+/// again on the refined clustering. Rounds continue while the Eq. 1 set
+/// score strictly improves, up to `max_rounds`. Because expanded queries
+/// are sharper cluster descriptions than raw centroids, reassignment can
+/// fix borderline k-means placements that block a clean expansion.
+class InterleavedExpander {
+ public:
+  explicit InterleavedExpander(InterleavedOptions options = {});
+
+  InterleavedOutcome Run(const ResultUniverse& universe,
+                         const std::vector<TermId>& user_terms,
+                         const cluster::Clustering& initial,
+                         const std::vector<TermId>& candidates) const;
+
+  const InterleavedOptions& options() const { return options_; }
+
+ private:
+  InterleavedOptions options_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_INTERLEAVED_H_

@@ -1,0 +1,212 @@
+#include "core/iskr.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qec::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Entry {
+  double benefit = 0.0;
+  double cost = 0.0;
+  // True for an addition that would eliminate every cluster result still
+  // retrieved: the benefit/cost ratio may exceed 1, but recall — and hence
+  // F-measure — would drop to exactly 0, so the move can never help.
+  bool kills_cluster = false;
+
+  double value() const {
+    if (kills_cluster) return 0.0;
+    if (cost > 0.0) return benefit / cost;
+    return benefit > 0.0 ? kInf : 0.0;
+  }
+};
+
+/// Mutable ISKR state over one expansion context.
+class IskrState {
+ public:
+  IskrState(const ExpansionContext& ctx, const IskrOptions& options,
+            std::vector<IskrStep>* trace)
+      : ctx_(ctx), options_(options), trace_(trace) {
+    query_ = ctx.user_query;
+    retrieved_ = ctx.universe->Retrieve(query_);
+    for (TermId k : ctx.candidates) {
+      add_entries_.emplace(k, ComputeAddEntry(k));
+      ++recomputations_;
+    }
+  }
+
+  ExpansionResult Run() {
+    while (iterations_ < options_.max_iterations) {
+      auto [term, is_removal, value] = BestMove();
+      if (value <= 1.0) break;
+      ++iterations_;
+      IskrStep step;
+      step.keyword = term;
+      step.is_removal = is_removal;
+      step.value = value;
+      const Entry& entry =
+          is_removal ? remove_entries_.at(term) : add_entries_.at(term);
+      step.benefit = entry.benefit;
+      step.cost = entry.cost;
+      if (is_removal) {
+        ApplyRemoval(term);
+      } else {
+        ApplyAddition(term);
+      }
+      if (trace_ != nullptr) {
+        step.f_measure_after =
+            EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster).f_measure;
+        trace_->push_back(step);
+      }
+    }
+    ExpansionResult result;
+    result.query = query_;
+    result.quality = EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster);
+    result.iterations = iterations_;
+    result.value_recomputations = recomputations_;
+    return result;
+  }
+
+ private:
+  // Addition: benefit = S(R(q) ∩ U ∩ E(k)), cost = S(R(q) ∩ C ∩ E(k)).
+  Entry ComputeAddEntry(TermId k) const {
+    DynamicBitset eliminated = retrieved_;
+    eliminated.AndNot(ctx_.universe->DocsWithTerm(k));  // R(q) ∩ E(k)
+    DynamicBitset in_u = eliminated;
+    in_u &= ctx_.others;
+    DynamicBitset in_c = eliminated;
+    in_c &= ctx_.cluster;
+    Entry e{ctx_.universe->TotalWeight(in_u),
+            ctx_.universe->TotalWeight(in_c)};
+    if (e.cost > 0.0) {
+      DynamicBitset retrieved_c = retrieved_;
+      retrieved_c &= ctx_.cluster;
+      e.kills_cluster = in_c.Count() == retrieved_c.Count();
+    }
+    return e;
+  }
+
+  // Removal: D(k) = R(q\k) \ R(q); benefit = S(C ∩ D), cost = S(U ∩ D).
+  Entry ComputeRemoveEntry(TermId k) const {
+    DynamicBitset delta = RetrieveWithout(k);
+    delta.AndNot(retrieved_);
+    DynamicBitset in_c = delta;
+    in_c &= ctx_.cluster;
+    DynamicBitset in_u = delta;
+    in_u &= ctx_.others;
+    return Entry{ctx_.universe->TotalWeight(in_c),
+                 ctx_.universe->TotalWeight(in_u)};
+  }
+
+  DynamicBitset RetrieveWithout(TermId k) const {
+    DynamicBitset out = ctx_.universe->FullSet();
+    for (TermId t : query_) {
+      if (t != k) out &= ctx_.universe->DocsWithTerm(t);
+    }
+    return out;
+  }
+
+  // (term, is_removal, value) of the best refinement step.
+  std::tuple<TermId, bool, double> BestMove() const {
+    TermId best_term = kInvalidTermId;
+    bool best_removal = false;
+    double best_value = 0.0;
+    auto consider = [&](TermId term, bool removal, const Entry& e) {
+      double v = e.value();
+      if (v > best_value ||
+          (v == best_value && best_term != kInvalidTermId &&
+           term < best_term)) {
+        best_value = v;
+        best_term = term;
+        best_removal = removal;
+      }
+    };
+    for (const auto& [k, e] : add_entries_) consider(k, false, e);
+    if (options_.allow_removal) {
+      for (const auto& [k, e] : remove_entries_) consider(k, true, e);
+    }
+    return {best_term, best_removal, best_value};
+  }
+
+  void ApplyAddition(TermId k) {
+    // Delta results: eliminated from R(q) by adding k.
+    DynamicBitset delta = retrieved_;
+    delta.AndNot(ctx_.universe->DocsWithTerm(k));
+    retrieved_.AndNot(delta);
+    query_.push_back(k);
+    add_entries_.erase(k);
+    RefreshAffected(delta);
+    // The new member's removal entry is always fresh.
+    remove_entries_[k] = ComputeRemoveEntry(k);
+    ++recomputations_;
+  }
+
+  void ApplyRemoval(TermId k) {
+    DynamicBitset new_retrieved = RetrieveWithout(k);
+    DynamicBitset delta = new_retrieved;
+    delta.AndNot(retrieved_);
+    retrieved_ = std::move(new_retrieved);
+    query_.erase(std::find(query_.begin(), query_.end(), k));
+    remove_entries_.erase(k);
+    RefreshAffected(delta);
+    add_entries_[k] = ComputeAddEntry(k);
+    ++recomputations_;
+  }
+
+  // Recomputes exactly the addition keywords that do not appear in all
+  // delta results: for every other keyword the delta results change
+  // nothing (Sec. 3, "Identifying Keywords with Affected Values"). The
+  // rule is exact for additions only — a removal entry's delta results
+  // D(k) = R(q\k) \ R(q) lie *outside* R(q), so refining q can change them
+  // even when k appears in every delta result (e.g. the walkthrough's
+  // removal of "job" after adding store and location). Removal entries are
+  // few (|q| keywords), so they are simply recomputed every step.
+  void RefreshAffected(const DynamicBitset& delta) {
+    if (!delta.None()) {
+      for (auto& [k, e] : add_entries_) {
+        if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
+          e = ComputeAddEntry(k);
+          ++recomputations_;
+        }
+      }
+    }
+    for (auto& [k, e] : remove_entries_) {
+      e = ComputeRemoveEntry(k);
+      ++recomputations_;
+    }
+  }
+
+  const ExpansionContext& ctx_;
+  const IskrOptions& options_;
+  std::vector<IskrStep>* trace_;
+  std::vector<TermId> query_;
+  DynamicBitset retrieved_;
+  std::unordered_map<TermId, Entry> add_entries_;
+  std::unordered_map<TermId, Entry> remove_entries_;
+  size_t iterations_ = 0;
+  size_t recomputations_ = 0;
+};
+
+}  // namespace
+
+IskrExpander::IskrExpander(IskrOptions options) : options_(options) {}
+
+ExpansionResult IskrExpander::Expand(const ExpansionContext& context) const {
+  return ExpandWithTrace(context, nullptr);
+}
+
+ExpansionResult IskrExpander::ExpandWithTrace(
+    const ExpansionContext& context, std::vector<IskrStep>* trace) const {
+  QEC_CHECK(context.universe != nullptr);
+  IskrState state(context, options_, trace);
+  return state.Run();
+}
+
+}  // namespace qec::core

@@ -1,0 +1,67 @@
+#ifndef QEC_CORE_ISKR_H_
+#define QEC_CORE_ISKR_H_
+
+#include <cstddef>
+
+#include "core/expansion_context.h"
+
+namespace qec::core {
+
+/// ISKR configuration.
+struct IskrOptions {
+  /// Safety cap on add/remove refinement steps (the benefit/cost heuristic
+  /// can in principle cycle; the paper's stop rule alone does not bound it).
+  size_t max_iterations = 200;
+  /// Allow the removal step (Example 3.2). Disabling it yields the
+  /// "add-only" ablation.
+  bool allow_removal = true;
+};
+
+/// Iterative Single-Keyword Refinement (Sec. 3, Algorithm 1).
+///
+/// Starting from the user query, repeatedly applies the single best
+/// keyword addition or removal, where the value of a keyword is its
+/// benefit/cost ratio:
+///   addition: benefit = S(R(q) ∩ U ∩ E(k)), cost = S(R(q) ∩ C ∩ E(k))
+///   removal:  benefit = S(C ∩ D(k)),        cost = S(U ∩ D(k))
+/// with E(k) the results lacking k and D(k) the delta results of removing
+/// k. cost = 0 with positive benefit means a free improvement (value +∞);
+/// benefit = cost = 0 means value 0. Stops when no keyword has value > 1.
+///
+/// One refinement step in an ISKR trace: the chosen keyword with the
+/// benefit/cost/value it was chosen at (the rows of the paper's Example
+/// 3.1 tables).
+struct IskrStep {
+  TermId keyword = kInvalidTermId;
+  bool is_removal = false;
+  double benefit = 0.0;
+  double cost = 0.0;
+  double value = 0.0;
+  /// F-measure after applying the step.
+  double f_measure_after = 0.0;
+};
+
+/// After each refinement only the keywords missing from at least one delta
+/// result are recomputed — the incremental-maintenance property that makes
+/// ISKR much faster than the delta-F-measure variant (Sec. 5.3).
+class IskrExpander {
+ public:
+  explicit IskrExpander(IskrOptions options = {});
+
+  /// Generates the expanded query for `context`'s cluster.
+  ExpansionResult Expand(const ExpansionContext& context) const;
+
+  /// Like Expand, but records every refinement step — the "explain" output
+  /// used for debugging and for validating the paper's worked example.
+  ExpansionResult ExpandWithTrace(const ExpansionContext& context,
+                                  std::vector<IskrStep>* trace) const;
+
+  const IskrOptions& options() const { return options_; }
+
+ private:
+  IskrOptions options_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_ISKR_H_

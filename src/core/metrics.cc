@@ -1,0 +1,38 @@
+#include "core/metrics.h"
+
+namespace qec::core {
+
+QueryQuality EvaluateQuery(const ResultUniverse& universe,
+                           const DynamicBitset& retrieved,
+                           const DynamicBitset& cluster) {
+  QueryQuality q;
+  DynamicBitset hit = retrieved;
+  hit &= cluster;
+  const double s_hit = universe.TotalWeight(hit);
+  const double s_retrieved = universe.TotalWeight(retrieved);
+  const double s_cluster = universe.TotalWeight(cluster);
+  q.precision = s_retrieved > 0.0 ? s_hit / s_retrieved : 0.0;
+  q.recall = s_cluster > 0.0 ? s_hit / s_cluster : 0.0;
+  const double denom = q.precision + q.recall;
+  q.f_measure = denom > 0.0 ? 2.0 * q.precision * q.recall / denom : 0.0;
+  return q;
+}
+
+double HarmonicMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    inv_sum += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / inv_sum;
+}
+
+double SetScore(const std::vector<QueryQuality>& qualities) {
+  std::vector<double> fs;
+  fs.reserve(qualities.size());
+  for (const auto& q : qualities) fs.push_back(q.f_measure);
+  return HarmonicMean(fs);
+}
+
+}  // namespace qec::core

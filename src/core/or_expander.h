@@ -1,0 +1,48 @@
+#ifndef QEC_CORE_OR_EXPANDER_H_
+#define QEC_CORE_OR_EXPANDER_H_
+
+#include <cstddef>
+
+#include "core/expansion_context.h"
+
+namespace qec::core {
+
+/// Configuration for OR-semantics expansion.
+struct OrIskrOptions {
+  size_t max_iterations = 200;
+  /// Allow backing keywords out of the disjunction.
+  bool allow_removal = true;
+};
+
+/// ISKR dualized to OR semantics (the paper's appendix: "handling OR
+/// semantics is essentially the identical problem").
+///
+/// Under OR semantics a query retrieves every result containing at least
+/// one of its keywords, so the roles of precision and recall swap relative
+/// to the AND case: adding a keyword can only grow R(q) (helping recall,
+/// risking precision) and removing one can only shrink it. The greedy
+/// refinement therefore values
+///   addition: benefit = S(newly covered ∩ C), cost = S(newly covered ∩ U)
+///   removal:  benefit = S(uniquely covered ∩ U),
+///             cost    = S(uniquely covered ∩ C)
+/// where "uniquely covered" are results covered by no other query keyword.
+/// Refinement stops when no move has a benefit/cost value > 1.
+///
+/// The returned query is the keyword disjunction only — the original user
+/// query terms are NOT included, since under OR semantics they would
+/// retrieve the entire universe (every result contains them).
+class OrIskrExpander {
+ public:
+  explicit OrIskrExpander(OrIskrOptions options = {});
+
+  ExpansionResult Expand(const ExpansionContext& context) const;
+
+  const OrIskrOptions& options() const { return options_; }
+
+ private:
+  OrIskrOptions options_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_OR_EXPANDER_H_

@@ -1,0 +1,315 @@
+#include "core/pebc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace qec::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double ValueOf(double benefit, double cost) {
+  if (cost > 0.0) return benefit / cost;
+  return benefit > 0.0 ? kInf : 0.0;
+}
+
+/// Builds one sample query for a given elimination target.
+class SampleBuilder {
+ public:
+  SampleBuilder(const ExpansionContext& ctx, Rng& rng, size_t* recomputations)
+      : ctx_(ctx), rng_(rng), recomputations_(recomputations) {
+    total_u_weight_ = ctx_.universe->TotalWeight(ctx_.others);
+  }
+
+  /// Generates a query eliminating roughly `target_percent`% of U's weight
+  /// while maximizing retained C, using `strategy`.
+  PebcSample Build(double target_percent, PebcStrategy strategy) {
+    query_ = ctx_.user_query;
+    in_query_.clear();
+    in_query_.insert(query_.begin(), query_.end());
+    retrieved_ = ctx_.universe->Retrieve(query_);
+    const double target =
+        total_u_weight_ * std::clamp(target_percent, 0.0, 100.0) / 100.0;
+    switch (strategy) {
+      case PebcStrategy::kFixedOrder:
+        BuildFixedOrder(target);
+        break;
+      case PebcStrategy::kRandomSubset:
+        BuildRandomSubset(target);
+        break;
+      case PebcStrategy::kRandomSingleResult:
+        BuildRandomSingleResult(target);
+        break;
+    }
+    PebcSample sample;
+    sample.target_percent = target_percent;
+    sample.achieved_percent =
+        total_u_weight_ > 0.0
+            ? 100.0 * EliminatedWeight() / total_u_weight_
+            : 0.0;
+    sample.f_measure =
+        EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster).f_measure;
+    sample.query = query_;
+    return sample;
+  }
+
+ private:
+  double EliminatedWeight() const {
+    DynamicBitset live = retrieved_;
+    live &= ctx_.others;
+    return total_u_weight_ - ctx_.universe->TotalWeight(live);
+  }
+
+  // benefit = S(R ∩ U ∩ E(k)), cost = S(R ∩ C ∩ E(k)).
+  std::pair<double, double> BenefitCost(TermId k) const {
+    ++*recomputations_;
+    DynamicBitset eliminated = retrieved_;
+    eliminated.AndNot(ctx_.universe->DocsWithTerm(k));
+    DynamicBitset in_u = eliminated;
+    in_u &= ctx_.others;
+    DynamicBitset in_c = eliminated;
+    in_c &= ctx_.cluster;
+    return {ctx_.universe->TotalWeight(in_u),
+            ctx_.universe->TotalWeight(in_c)};
+  }
+
+  // True when adding k would eliminate every cluster result still
+  // retrieved. Sample queries maximize retained C for a given elimination
+  // level, so such keywords are never selected (recall would hit 0).
+  bool KillsCluster(TermId k) const {
+    DynamicBitset retrieved_c = retrieved_;
+    retrieved_c &= ctx_.cluster;
+    if (retrieved_c.None()) return false;
+    DynamicBitset kept = retrieved_c;
+    kept &= ctx_.universe->DocsWithTerm(k);
+    return kept.None();
+  }
+
+  size_t NumEliminatedBy(TermId k) const {
+    DynamicBitset eliminated = retrieved_;
+    eliminated.AndNot(ctx_.universe->DocsWithTerm(k));
+    return eliminated.Count();
+  }
+
+  void ApplyKeyword(TermId k) {
+    query_.push_back(k);
+    retrieved_ &= ctx_.universe->DocsWithTerm(k);
+    in_query_.insert(k);
+  }
+
+  void UndoLastKeyword(const DynamicBitset& previous_retrieved) {
+    in_query_.erase(query_.back());
+    query_.pop_back();
+    retrieved_ = previous_retrieved;
+  }
+
+  // Stops the elimination loop once the target is crossed, keeping the
+  // nearer of {with last keyword, without last keyword} (Sec. 4.3's
+  // closeness rule, applied to every strategy).
+  // Returns true if the loop should stop.
+  bool SettleAroundTarget(double target, double before_weight,
+                          const DynamicBitset& before_retrieved) {
+    const double after_weight = EliminatedWeight();
+    if (after_weight < target) return false;
+    if (std::abs(before_weight - target) < std::abs(after_weight - target)) {
+      UndoLastKeyword(before_retrieved);
+    }
+    return true;
+  }
+
+  void BuildFixedOrder(double target) {
+    if (EliminatedWeight() >= target) return;
+    for (;;) {
+      TermId best = kInvalidTermId;
+      double best_value = -1.0;
+      size_t best_elim = 0;
+      for (TermId k : ctx_.candidates) {
+        if (in_query_.count(k) != 0) continue;
+        auto [b, c] = BenefitCost(k);
+        if (b <= 0.0) continue;  // must eliminate something in U
+        if (KillsCluster(k)) continue;
+        double v = ValueOf(b, c);
+        size_t elim = NumEliminatedBy(k);
+        if (v > best_value || (v == best_value && elim < best_elim)) {
+          best_value = v;
+          best = k;
+          best_elim = elim;
+        }
+      }
+      if (best == kInvalidTermId) return;
+      const double before_weight = EliminatedWeight();
+      DynamicBitset before_retrieved = retrieved_;
+      ApplyKeyword(best);
+      if (SettleAroundTarget(target, before_weight, before_retrieved)) return;
+    }
+  }
+
+  void BuildRandomSubset(double target) {
+    if (EliminatedWeight() >= target) return;
+    // Randomly select results of U totalling ~target weight.
+    std::vector<size_t> u_members = ctx_.others.ToIndices();
+    rng_.Shuffle(u_members);
+    DynamicBitset selected = ctx_.universe->EmptySet();
+    double selected_weight = 0.0;
+    for (size_t i : u_members) {
+      if (selected_weight >= target) break;
+      double w = ctx_.universe->weight(i);
+      // Closeness rule at the selection stage too.
+      if (selected_weight + w - target > target - selected_weight &&
+          selected_weight > 0.0) {
+        break;
+      }
+      selected.Set(i);
+      selected_weight += w;
+    }
+    // Greedy weighted cover of the selected subset: maximize weight of
+    // selected results eliminated per unit cost, where eliminating
+    // non-selected results of U counts as cost (Example 4.3).
+    for (;;) {
+      if (EliminatedWeight() >= target) return;
+      TermId best = kInvalidTermId;
+      double best_value = -1.0;
+      for (TermId k : ctx_.candidates) {
+        if (in_query_.count(k) != 0) continue;
+        ++*recomputations_;
+        DynamicBitset eliminated = retrieved_;
+        eliminated.AndNot(ctx_.universe->DocsWithTerm(k));
+        DynamicBitset in_sel = eliminated;
+        in_sel &= selected;
+        double b = ctx_.universe->TotalWeight(in_sel);
+        if (b <= 0.0) continue;
+        if (KillsCluster(k)) continue;
+        DynamicBitset in_c = eliminated;
+        in_c &= ctx_.cluster;
+        DynamicBitset out_sel = eliminated;
+        out_sel &= ctx_.others;
+        out_sel.AndNot(selected);
+        double c = ctx_.universe->TotalWeight(in_c) +
+                   ctx_.universe->TotalWeight(out_sel);
+        double v = ValueOf(b, c);
+        if (v > best_value) {
+          best_value = v;
+          best = k;
+        }
+      }
+      if (best == kInvalidTermId) return;
+      const double before_weight = EliminatedWeight();
+      DynamicBitset before_retrieved = retrieved_;
+      ApplyKeyword(best);
+      if (SettleAroundTarget(target, before_weight, before_retrieved)) return;
+    }
+  }
+
+  void BuildRandomSingleResult(double target) {
+    if (EliminatedWeight() >= target) return;
+    // Results for which no candidate keyword works; never re-pick them.
+    DynamicBitset blocked = ctx_.universe->EmptySet();
+    for (;;) {
+      // Un-eliminated results of U that are not blocked.
+      DynamicBitset pool = retrieved_;
+      pool &= ctx_.others;
+      pool.AndNot(blocked);
+      if (pool.None()) return;
+      std::vector<size_t> members = pool.ToIndices();
+      size_t r = members[rng_.UniformInt(members.size())];
+      const doc::Document& rdoc =
+          ctx_.universe->corpus().Get(ctx_.universe->doc_at(r));
+      // Best benefit/cost keyword that eliminates r (i.e., r lacks k);
+      // ties go to the keyword eliminating fewest results.
+      TermId best = kInvalidTermId;
+      double best_value = -1.0;
+      size_t best_elim = 0;
+      for (TermId k : ctx_.candidates) {
+        if (in_query_.count(k) != 0) continue;
+        if (rdoc.Contains(k)) continue;  // cannot eliminate r
+        if (KillsCluster(k)) continue;
+        auto [b, c] = BenefitCost(k);
+        double v = ValueOf(b, c);
+        size_t elim = NumEliminatedBy(k);
+        if (v > best_value || (v == best_value && elim < best_elim)) {
+          best_value = v;
+          best = k;
+          best_elim = elim;
+        }
+      }
+      if (best == kInvalidTermId) {
+        blocked.Set(r);
+        continue;
+      }
+      const double before_weight = EliminatedWeight();
+      DynamicBitset before_retrieved = retrieved_;
+      ApplyKeyword(best);
+      if (SettleAroundTarget(target, before_weight, before_retrieved)) return;
+    }
+  }
+
+  const ExpansionContext& ctx_;
+  Rng& rng_;
+  size_t* recomputations_;
+  double total_u_weight_ = 0.0;
+  std::vector<TermId> query_;
+  DynamicBitset retrieved_;
+  std::unordered_set<TermId> in_query_;
+};
+
+}  // namespace
+
+PebcExpander::PebcExpander(PebcOptions options) : options_(options) {}
+
+ExpansionResult PebcExpander::Expand(const ExpansionContext& context) const {
+  return ExpandWithTrace(context, nullptr);
+}
+
+ExpansionResult PebcExpander::ExpandWithTrace(
+    const ExpansionContext& context, std::vector<PebcSample>* trace) const {
+  QEC_CHECK(context.universe != nullptr);
+  Rng rng(options_.seed);
+  size_t recomputations = 0;
+  SampleBuilder builder(context, rng, &recomputations);
+
+  const size_t nseg = std::max<size_t>(1, options_.num_segments);
+  double left = 0.0, right = 100.0;
+  PebcSample best;
+  best.f_measure = -1.0;
+  size_t samples_tested = 0;
+
+  for (size_t it = 0; it < options_.num_iterations; ++it) {
+    std::vector<PebcSample> round;
+    const double step = (right - left) / static_cast<double>(nseg);
+    for (size_t i = 0; i <= nseg; ++i) {
+      double x = left + step * static_cast<double>(i);
+      PebcSample s = builder.Build(x, options_.strategy);
+      ++samples_tested;
+      if (s.f_measure > best.f_measure) best = s;
+      if (trace != nullptr) trace->push_back(s);
+      round.push_back(std::move(s));
+    }
+    // Zoom into the adjacent pair with the highest average F-measure.
+    size_t best_pair = 0;
+    double best_avg = -1.0;
+    for (size_t i = 0; i + 1 < round.size(); ++i) {
+      double avg = (round[i].f_measure + round[i + 1].f_measure) / 2.0;
+      if (avg > best_avg) {
+        best_avg = avg;
+        best_pair = i;
+      }
+    }
+    left = round[best_pair].target_percent;
+    right = round[best_pair + 1].target_percent;
+  }
+
+  ExpansionResult result;
+  result.query = best.query.empty() ? context.user_query : best.query;
+  result.quality = EvaluateAgainstCluster(context, result.query);
+  result.iterations = samples_tested;
+  result.value_recomputations = recomputations;
+  return result;
+}
+
+}  // namespace qec::core

@@ -1,0 +1,72 @@
+#ifndef QEC_CORE_PEBC_H_
+#define QEC_CORE_PEBC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/expansion_context.h"
+
+namespace qec::core {
+
+/// How PEBC picks keywords when generating a sample query that eliminates
+/// ~x% of U (Sec. 4.1-4.3).
+enum class PebcStrategy {
+  /// Sec. 4.1: always take the globally best benefit/cost keyword. The
+  /// keyword order is fixed, so only prefixes of one sequence are
+  /// reachable — the paper shows this cannot hit most targets.
+  kFixedOrder,
+  /// Sec. 4.2: randomly select a subset of U totalling ~x% of its weight,
+  /// then greedily cover that subset (weighted-set-cover style).
+  kRandomSubset,
+  /// Sec. 4.3 (the paper's choice): repeatedly pick one random
+  /// un-eliminated result of U and the best benefit/cost keyword that
+  /// eliminates it, tie-breaking toward the keyword eliminating fewest
+  /// results.
+  kRandomSingleResult,
+};
+
+/// PEBC configuration. The paper empirically uses 3 sample points per
+/// iteration and 3 iterations (Appendix C); Algorithm 2's listing uses 5.
+struct PebcOptions {
+  /// Segments the current interval is split into; segments + 1 boundary
+  /// points are tested per iteration.
+  size_t num_segments = 2;
+  /// Zoom-in iterations.
+  size_t num_iterations = 3;
+  PebcStrategy strategy = PebcStrategy::kRandomSingleResult;
+  uint64_t seed = 42;
+};
+
+/// One tested sample point (for tracing / the ablation bench).
+struct PebcSample {
+  double target_percent = 0.0;    // x: requested elimination percentage
+  double achieved_percent = 0.0;  // actual eliminated weight fraction of U
+  double f_measure = 0.0;
+  std::vector<TermId> query;
+};
+
+/// Partial Elimination Based Convergence (Sec. 4, Algorithm 2).
+///
+/// Treats F-measure as an unknown function of the elimination percentage x,
+/// samples queries that eliminate ~x% of U while retrieving as much of C as
+/// possible, and zooms into the adjacent sample pair with the highest
+/// average F-measure. Returns the best sample query seen.
+class PebcExpander {
+ public:
+  explicit PebcExpander(PebcOptions options = {});
+
+  ExpansionResult Expand(const ExpansionContext& context) const;
+
+  /// Like Expand but also records every tested sample.
+  ExpansionResult ExpandWithTrace(const ExpansionContext& context,
+                                  std::vector<PebcSample>* trace) const;
+
+  const PebcOptions& options() const { return options_; }
+
+ private:
+  PebcOptions options_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_PEBC_H_

@@ -1,0 +1,208 @@
+#include "core/query_expander.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "cluster/hac.h"
+#include "core/expansion_context.h"
+#include "core/interleaved.h"
+#include "core/query_minimizer.h"
+
+namespace qec::core {
+
+std::string_view AlgorithmName(ExpansionAlgorithm algorithm) {
+  switch (algorithm) {
+    case ExpansionAlgorithm::kIskr:
+      return "ISKR";
+    case ExpansionAlgorithm::kPebc:
+      return "PEBC";
+    case ExpansionAlgorithm::kFMeasure:
+      return "F-measure";
+  }
+  return "?";
+}
+
+QueryExpander::QueryExpander(const index::InvertedIndex& index,
+                             QueryExpanderOptions options)
+    : index_(&index), options_(std::move(options)) {}
+
+Result<ExpansionOutcome> QueryExpander::ExpandText(
+    std::string_view user_query) const {
+  std::vector<TermId> terms =
+      index_->corpus().analyzer().AnalyzeReadOnly(user_query);
+  if (terms.empty()) {
+    return Status::InvalidArgument("query '" + std::string(user_query) +
+                                   "' contains no known terms");
+  }
+  std::vector<index::RankedResult> results;
+  switch (options_.retrieval) {
+    case RetrievalModel::kTfIdfAnd:
+      results = index_->Search(terms, options_.top_k_results);
+      break;
+    case RetrievalModel::kVsm:
+      results = index_->SearchVsm(terms, options_.top_k_results);
+      break;
+    case RetrievalModel::kBm25:
+      results = index_->SearchBm25(terms, options_.top_k_results);
+      break;
+  }
+  return Expand(terms, results);
+}
+
+Result<ExpansionOutcome> QueryExpander::Expand(
+    const std::vector<TermId>& user_terms,
+    const std::vector<index::RankedResult>& results) const {
+  if (results.empty()) {
+    return Status::NotFound("user query retrieved no results");
+  }
+  std::vector<index::RankedResult> used = results;
+  if (options_.top_k_results > 0 && used.size() > options_.top_k_results) {
+    used.resize(options_.top_k_results);
+  }
+  if (!options_.use_ranking_weights) {
+    for (auto& r : used) r.score = 1.0;
+  }
+
+  ResultUniverse universe(index_->corpus(), used);
+
+  Stopwatch cluster_watch;
+  std::vector<cluster::SparseVector> vectors;
+  vectors.reserve(universe.size());
+  for (size_t i = 0; i < universe.size(); ++i) {
+    vectors.push_back(cluster::SparseVector::FromDocument(
+        index_->corpus().Get(universe.doc_at(i))));
+  }
+  cluster::Clustering clustering;
+  switch (options_.clustering) {
+    case ClusteringAlgorithm::kKMeans: {
+      cluster::KMeansOptions kmeans_options = options_.kmeans;
+      kmeans_options.k = options_.max_clusters;
+      clustering = cluster::KMeans(kmeans_options).Cluster(vectors);
+      break;
+    }
+    case ClusteringAlgorithm::kHac: {
+      cluster::HacOptions hac_options;
+      hac_options.k = options_.max_clusters;
+      hac_options.auto_k = options_.kmeans.auto_k;
+      clustering = cluster::Hac(hac_options).Cluster(vectors);
+      break;
+    }
+    case ClusteringAlgorithm::kDynamic:
+      clustering = cluster::SelectBestClustering(
+          vectors, options_.max_clusters, options_.kmeans.seed);
+      break;
+  }
+  double clustering_seconds = cluster_watch.ElapsedSeconds();
+
+  ExpansionOutcome outcome =
+      ExpandClustered(user_terms, universe, clustering);
+  outcome.clustering_seconds = clustering_seconds;
+  return outcome;
+}
+
+ExpansionOutcome QueryExpander::ExpandClustered(
+    const std::vector<TermId>& user_terms, const ResultUniverse& universe,
+    const cluster::Clustering& clustering) const {
+  QEC_CHECK_EQ(clustering.assignment.size(), universe.size());
+  ExpansionOutcome outcome;
+  outcome.num_results_used = universe.size();
+
+  std::vector<TermId> candidates = SelectCandidates(
+      universe, *index_, user_terms, options_.candidates);
+  const auto& vocab = index_->corpus().analyzer().vocabulary();
+
+  Stopwatch watch;
+
+  auto assemble = [&](const cluster::Clustering& final_clustering,
+                      std::vector<ExpansionResult> results) {
+    const auto members = final_clustering.Members();
+    std::vector<QueryQuality> qualities;
+    for (size_t c = 0; c < results.size(); ++c) {
+      ExpandedQuery eq;
+      if (options_.minimize_queries) {
+        results[c].query =
+            MinimizeQuery(universe, results[c].query, user_terms.size());
+      }
+      eq.terms = std::move(results[c].query);
+      eq.keywords.reserve(eq.terms.size());
+      for (TermId t : eq.terms) eq.keywords.push_back(vocab.TermString(t));
+      eq.quality = results[c].quality;
+      eq.cluster_index = c;
+      eq.cluster_size = c < members.size() ? members[c].size() : 0;
+      eq.iterations = results[c].iterations;
+      eq.value_recomputations = results[c].value_recomputations;
+      qualities.push_back(eq.quality);
+      outcome.queries.push_back(std::move(eq));
+    }
+    outcome.num_clusters = final_clustering.num_clusters;
+    outcome.expansion_seconds = watch.ElapsedSeconds();
+    outcome.set_score = SetScore(qualities);
+  };
+
+  // Interleaved clustering/expansion path (Sec. 7 prototype; ISKR only —
+  // the reassignment loop is defined in terms of ISKR expansions).
+  if (options_.interleave_rounds > 0 &&
+      options_.algorithm == ExpansionAlgorithm::kIskr) {
+    InterleavedOptions interleaved_options;
+    interleaved_options.max_rounds = options_.interleave_rounds;
+    interleaved_options.iskr = options_.iskr;
+    InterleavedOutcome io = InterleavedExpander(interleaved_options)
+                                .Run(universe, user_terms, clustering,
+                                     candidates);
+    assemble(io.clustering, std::move(io.expansions));
+    return outcome;
+  }
+
+  const auto members = clustering.Members();
+  std::vector<ExpansionResult> results(members.size());
+  auto expand_one = [&](size_t c) {
+    DynamicBitset cluster_bits = universe.EmptySet();
+    for (size_t i : members[c]) cluster_bits.Set(i);
+    ExpansionContext context =
+        MakeContext(universe, user_terms, std::move(cluster_bits), candidates);
+    results[c] = RunAlgorithm(context);
+  };
+
+  const size_t threads =
+      std::min(options_.num_threads > 0 ? options_.num_threads : 1,
+               members.size());
+  if (threads <= 1) {
+    for (size_t c = 0; c < members.size(); ++c) expand_one(c);
+  } else {
+    // Clusters are expanded independently (Sec. 2), so a simple work-
+    // stealing counter suffices and results are identical to serial.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (size_t c = next.fetch_add(1); c < members.size();
+             c = next.fetch_add(1)) {
+          expand_one(c);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  assemble(clustering, std::move(results));
+  return outcome;
+}
+
+ExpansionResult QueryExpander::RunAlgorithm(
+    const ExpansionContext& context) const {
+  switch (options_.algorithm) {
+    case ExpansionAlgorithm::kIskr:
+      return IskrExpander(options_.iskr).Expand(context);
+    case ExpansionAlgorithm::kPebc:
+      return PebcExpander(options_.pebc).Expand(context);
+    case ExpansionAlgorithm::kFMeasure:
+      return FMeasureExpander(options_.fmeasure).Expand(context);
+  }
+  QEC_LOG(Fatal) << "unknown expansion algorithm";
+  return {};
+}
+
+}  // namespace qec::core

@@ -1,0 +1,37 @@
+#include "core/query_minimizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qec::core {
+
+std::vector<TermId> MinimizeQuery(const ResultUniverse& universe,
+                                  const std::vector<TermId>& query,
+                                  size_t protected_prefix) {
+  QEC_CHECK_LE(protected_prefix, query.size());
+  std::vector<TermId> current = query;
+  const DynamicBitset target = universe.Retrieve(query);
+
+  // Try dropping keywords from the back (later additions first): the
+  // earliest keywords are usually the load-bearing ones.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = current.size(); i-- > protected_prefix;) {
+      std::vector<TermId> without;
+      without.reserve(current.size() - 1);
+      for (size_t j = 0; j < current.size(); ++j) {
+        if (j != i) without.push_back(current[j]);
+      }
+      if (universe.Retrieve(without) == target) {
+        current = std::move(without);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace qec::core

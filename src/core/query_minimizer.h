@@ -1,0 +1,28 @@
+#ifndef QEC_CORE_QUERY_MINIMIZER_H_
+#define QEC_CORE_QUERY_MINIMIZER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/result_universe.h"
+
+namespace qec::core {
+
+/// Removes redundant keywords from a conjunctive query: any keyword whose
+/// removal leaves R(q) (within the universe) unchanged is dropped, longest
+/// queries first, protecting the first `protected_prefix` terms (the user
+/// query). The result retrieves exactly the same universe results with the
+/// fewest keywords — shorter suggestions read better and are cheaper to
+/// evaluate, without touching precision/recall.
+///
+/// Greedy single-pass: after each drop the remaining keywords are
+/// re-checked, so no removable keyword survives (the result is minimal,
+/// though not necessarily minimum — choosing the smallest equivalent
+/// subset is set-cover-hard).
+std::vector<TermId> MinimizeQuery(const ResultUniverse& universe,
+                                  const std::vector<TermId>& query,
+                                  size_t protected_prefix = 0);
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_QUERY_MINIMIZER_H_

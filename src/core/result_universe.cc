@@ -1,0 +1,87 @@
+#include "core/result_universe.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qec::core {
+
+namespace {
+constexpr double kMinWeight = 1e-9;
+}  // namespace
+
+ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
+                               const std::vector<index::RankedResult>& results)
+    : corpus_(&corpus) {
+  docs_.reserve(results.size());
+  weights_.reserve(results.size());
+  for (const auto& r : results) {
+    docs_.push_back(r.doc);
+    weights_.push_back(r.score > kMinWeight ? r.score : kMinWeight);
+  }
+  BuildTermMap();
+}
+
+ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
+                               const std::vector<DocId>& results)
+    : corpus_(&corpus) {
+  docs_ = results;
+  weights_.assign(results.size(), 1.0);
+  BuildTermMap();
+}
+
+void ResultUniverse::BuildTermMap() {
+  total_weight_ = 0.0;
+  for (double w : weights_) total_weight_ += w;
+  empty_ = DynamicBitset(docs_.size());
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    const doc::Document& d = corpus_->Get(docs_[i]);
+    for (TermId t : d.term_set()) {
+      auto [it, inserted] = term_docs_.try_emplace(t, docs_.size());
+      it->second.Set(i);
+      term_tf_[t] += d.TermFrequency(t);
+    }
+  }
+  distinct_terms_.reserve(term_docs_.size());
+  for (const auto& [t, bits] : term_docs_) distinct_terms_.push_back(t);
+  std::sort(distinct_terms_.begin(), distinct_terms_.end());
+}
+
+double ResultUniverse::TotalWeight(const DynamicBitset& set) const {
+  QEC_CHECK_EQ(set.size(), docs_.size());
+  double sum = 0.0;
+  set.ForEachSetBit([&](size_t i) { sum += weights_[i]; });
+  return sum;
+}
+
+const DynamicBitset& ResultUniverse::DocsWithTerm(TermId term) const {
+  auto it = term_docs_.find(term);
+  if (it == term_docs_.end()) return empty_;
+  return it->second;
+}
+
+DynamicBitset ResultUniverse::DocsWithoutTerm(TermId term) const {
+  DynamicBitset out = FullSet();
+  out.AndNot(DocsWithTerm(term));
+  return out;
+}
+
+DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
+  DynamicBitset out = FullSet();
+  for (TermId t : query) out &= DocsWithTerm(t);
+  return out;
+}
+
+DynamicBitset ResultUniverse::RetrieveOr(
+    const std::vector<TermId>& query) const {
+  DynamicBitset out = EmptySet();
+  for (TermId t : query) out |= DocsWithTerm(t);
+  return out;
+}
+
+int ResultUniverse::TotalTermFrequency(TermId term) const {
+  auto it = term_tf_.find(term);
+  return it == term_tf_.end() ? 0 : it->second;
+}
+
+}  // namespace qec::core

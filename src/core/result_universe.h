@@ -1,0 +1,88 @@
+#ifndef QEC_CORE_RESULT_UNIVERSE_H_
+#define QEC_CORE_RESULT_UNIVERSE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "common/types.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+
+namespace qec::core {
+
+/// The universe of results of the original user query, over which expanded
+/// queries are generated and evaluated. All expansion algorithms work
+/// relative to this fixed set (the paper expands based on the clustered
+/// results, typically the top-K of the original query).
+///
+/// Results get dense local ids 0..size()-1; set algebra uses DynamicBitset
+/// over local ids. Each result carries a ranking weight: the paper's S(.)
+/// is the sum of weights of a set of results (weight 1.0 when unranked).
+class ResultUniverse {
+ public:
+  /// Builds from ranked results of the user query. Weights are the ranking
+  /// scores; non-positive scores are clamped to a small epsilon so S(.)
+  /// stays a valid measure.
+  ResultUniverse(const doc::Corpus& corpus,
+                 const std::vector<index::RankedResult>& results);
+
+  /// Builds an unranked universe (all weights 1.0).
+  ResultUniverse(const doc::Corpus& corpus, const std::vector<DocId>& results);
+
+  size_t size() const { return docs_.size(); }
+
+  DocId doc_at(size_t local) const { return docs_[local]; }
+  double weight(size_t local) const { return weights_[local]; }
+
+  const doc::Corpus& corpus() const { return *corpus_; }
+
+  /// S(set): total ranking weight of the results in `set`.
+  double TotalWeight(const DynamicBitset& set) const;
+
+  /// S(universe).
+  double total_weight() const { return total_weight_; }
+
+  /// Bitset of results containing `term` (all-zero for unknown terms).
+  const DynamicBitset& DocsWithTerm(TermId term) const;
+
+  /// E(k): results NOT containing `term` — the results any query containing
+  /// `term` can never retrieve (Sec. 3).
+  DynamicBitset DocsWithoutTerm(TermId term) const;
+
+  /// R(q) within the universe under AND semantics: results containing every
+  /// term of `query`. The empty query retrieves the whole universe.
+  DynamicBitset Retrieve(const std::vector<TermId>& query) const;
+
+  /// R(q) within the universe under OR semantics: results containing at
+  /// least one term of `query`. The empty query retrieves nothing.
+  DynamicBitset RetrieveOr(const std::vector<TermId>& query) const;
+
+  /// All distinct terms that appear in at least one result.
+  const std::vector<TermId>& DistinctTerms() const { return distinct_terms_; }
+
+  /// Total term frequency of `term` across the universe's results.
+  int TotalTermFrequency(TermId term) const;
+
+  /// A bitset of the right size, all clear.
+  DynamicBitset EmptySet() const { return DynamicBitset(size()); }
+
+  /// A bitset of the right size, all set.
+  DynamicBitset FullSet() const { return DynamicBitset(size(), true); }
+
+ private:
+  void BuildTermMap();
+
+  const doc::Corpus* corpus_;
+  std::vector<DocId> docs_;
+  std::vector<double> weights_;
+  double total_weight_ = 0.0;
+  std::unordered_map<TermId, DynamicBitset> term_docs_;
+  std::unordered_map<TermId, int> term_tf_;
+  std::vector<TermId> distinct_terms_;
+  DynamicBitset empty_;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_RESULT_UNIVERSE_H_

@@ -1,0 +1,106 @@
+#include "datagen/publications.h"
+
+#include <string>
+
+#include "common/random.h"
+
+namespace qec::datagen {
+
+namespace {
+
+struct TopicSpec {
+  const char* name;
+  std::vector<const char*> title_words;
+  std::vector<const char*> venues;
+  /// Authors publishing in this topic; several appear in multiple topics
+  /// (the ambiguity the expansion has to untangle).
+  std::vector<const char*> authors;
+};
+
+std::vector<TopicSpec> TopicSpecs() {
+  return {
+      {"keyword-search",
+       {"keyword", "search", "ranked", "relational", "candidate", "network",
+        "effective", "semantics"},
+       {"vldb", "sigmod", "icde"},
+       {"chen", "wang", "hristidis", "papakonstantinou"}},
+      {"query-expansion",
+       {"query", "expansion", "feedback", "relevance", "terms", "pseudo",
+        "reformulation", "suggestion"},
+       {"sigir", "cikm", "vldb"},
+       {"chen", "croft", "robertson", "zhai"}},
+      {"clustering",
+       {"clustering", "partition", "density", "hierarchical", "centroid",
+        "spectral", "scalable", "streams"},
+       {"kdd", "icdm", "sigmod"},
+       {"wang", "han", "aggarwal", "kumar"}},
+      {"indexing",
+       {"index", "btree", "compression", "inverted", "cache", "disk",
+        "update", "workload"},
+       {"vldb", "sigmod", "icde"},
+       {"graefe", "lehman", "wang", "lomet"}},
+      {"ranking",
+       {"ranking", "learning", "pairwise", "features", "evaluation",
+        "listwise", "gradient", "judgments"},
+       {"sigir", "wsdm", "kdd"},
+       {"liu", "burges", "croft", "joachims"}},
+  };
+}
+
+}  // namespace
+
+PublicationsGenerator::PublicationsGenerator(PublicationsOptions options)
+    : options_(options) {}
+
+doc::Corpus PublicationsGenerator::Generate() const {
+  doc::Corpus corpus;
+  Rng rng(options_.seed);
+  int paper_id = 1;
+  for (const TopicSpec& topic : TopicSpecs()) {
+    for (const char* venue : topic.venues) {
+      for (size_t p = 0; p < options_.papers_per_cell; ++p) {
+        // Title: 4-6 topic words.
+        std::string title;
+        const size_t title_len = 4 + rng.UniformInt(3);
+        for (size_t w = 0; w < title_len; ++w) {
+          if (w > 0) title += ' ';
+          title += topic.title_words[rng.UniformInt(
+              topic.title_words.size())];
+        }
+        std::vector<doc::Feature> features;
+        features.push_back({"publication", "title", title});
+        features.push_back({"publication", "venue", venue});
+        features.push_back(
+            {"publication", "year",
+             std::to_string(1998 + rng.UniformInt(13))});
+        features.push_back({"publication", "topic", topic.name});
+        // 1-3 authors from the topic's pool.
+        const size_t num_authors = 1 + rng.UniformInt(3);
+        std::vector<size_t> picks =
+            rng.SampleWithoutReplacement(topic.authors.size(), num_authors);
+        for (size_t a : picks) {
+          features.push_back({"publication", "author", topic.authors[a]});
+        }
+        corpus.AddStructuredDocument(
+            "paper " + std::to_string(paper_id++) + " (" + venue + ")",
+            std::move(features));
+      }
+    }
+  }
+  return corpus;
+}
+
+std::vector<WorkloadQuery> PublicationQueries() {
+  return {
+      {"QP1", "chen"},        // keyword-search + query-expansion author
+      {"QP2", "wang"},        // three-topic author
+      {"QP3", "croft"},       // query-expansion + ranking author
+      {"QP4", "vldb"},        // venue spanning three topics
+      {"QP5", "sigmod"},      // venue spanning three topics
+      {"QP6", "sigir"},       // venue spanning two topics
+      {"QP7", "query"},       // title word
+      {"QP8", "publication"}, // everything: pure exploratory query
+  };
+}
+
+}  // namespace qec::datagen

@@ -1,0 +1,43 @@
+#ifndef QEC_DATAGEN_PUBLICATIONS_H_
+#define QEC_DATAGEN_PUBLICATIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/workload.h"
+#include "doc/corpus.h"
+
+namespace qec::datagen {
+
+/// Publications-corpus generator knobs.
+struct PublicationsOptions {
+  uint64_t seed = 23;
+  /// Papers generated per (topic, venue) cell.
+  size_t papers_per_cell = 6;
+};
+
+/// A third, structured-bibliographic dataset (DBLP-style) that is *not*
+/// part of the paper's evaluation — it exists to check that the expansion
+/// algorithms generalize beyond the two corpora they were tuned on.
+/// Each paper is a structured document with venue, year, author and topic
+/// features plus a generated title; ambiguity comes from authors who
+/// publish in several topics and from topic words shared across areas.
+class PublicationsGenerator {
+ public:
+  explicit PublicationsGenerator(PublicationsOptions options = {});
+
+  doc::Corpus Generate() const;
+
+  const PublicationsOptions& options() const { return options_; }
+
+ private:
+  PublicationsOptions options_;
+};
+
+/// Ambiguous queries over the publications corpus (author names spanning
+/// topics, topic words spanning venues), ids QP1..QP8.
+std::vector<WorkloadQuery> PublicationQueries();
+
+}  // namespace qec::datagen
+
+#endif  // QEC_DATAGEN_PUBLICATIONS_H_

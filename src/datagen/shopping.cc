@@ -1,0 +1,200 @@
+#include "datagen/shopping.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace qec::datagen {
+
+namespace {
+
+using doc::Feature;
+
+/// Category-specific attribute: name plus the pool of values one of which
+/// each product draws.
+struct AttributeSpec {
+  const char* attribute;
+  std::vector<const char*> values;
+};
+
+/// One (brand, category, name-family) product line.
+struct LineSpec {
+  const char* brand;          // "canon"
+  const char* category;       // "camera"
+  const char* entity;         // entity prefix, e.g. "canon products"
+  const char* family;         // name family, e.g. "powershot"
+  const char* extra_entity;   // optional second entity ("networking products")
+  std::vector<AttributeSpec> attributes;
+};
+
+std::vector<LineSpec> CatalogSpec() {
+  // Attribute pools reused across lines of a category.
+  const std::vector<AttributeSpec> camera_attrs = {
+      {"image resolution", {"4752 x 3168", "3648 x 2736", "4272 x 2848"}},
+      {"shutter speed", {"15 - 1/3200 sec.", "30 - 1/4000 sec."}},
+      {"optical zoom", {"4x", "10x", "12x"}},
+  };
+  const std::vector<AttributeSpec> camcorder_attrs = {
+      {"media format", {"flash card", "hard disk", "mini dv"}},
+      {"optical zoom", {"20x", "37x", "41x"}},
+  };
+  const std::vector<AttributeSpec> printer_attrs = {
+      {"print method", {"laser", "inkjet"}},
+      {"condition", {"new", "refurbished"}},
+      {"print resolution", {"4800 x 1200 dpi", "600 x 600 dpi"}},
+  };
+  const std::vector<AttributeSpec> tv_lcd_attrs = {
+      {"display type", {"lcd hdtv"}},
+      {"display area", {"26\"", "32\"", "37\""}},
+      {"resolution", {"1080p", "720p"}},
+  };
+  const std::vector<AttributeSpec> tv_plasma_attrs = {
+      {"display type", {"plasma hdtv"}},
+      {"display area", {"42\"", "50\""}},
+      {"resolution", {"1080p", "720p"}},
+  };
+  const std::vector<AttributeSpec> router_attrs = {
+      {"rj-45 ports", {"4", "8"}},
+      {"features", {"mac filtering", "wpa encryption", "qos"}},
+      {"wireless", {"802.11n", "802.11g"}},
+  };
+  const std::vector<AttributeSpec> firewall_attrs = {
+      {"vlans", {"portshield", "standard"}},
+      {"form factor", {"desktop", "rackmount"}},
+  };
+  const std::vector<AttributeSpec> switch_attrs = {
+      {"ports", {"8", "16", "24"}},
+      {"speed", {"gigabit", "fast ethernet"}},
+  };
+  const std::vector<AttributeSpec> harddrive_attrs = {
+      {"category", {"harddrive"}},
+      {"memory size", {"500gb", "750gb", "1tb"}},
+      {"type", {"internal", "external"}},
+  };
+  const std::vector<AttributeSpec> flash_attrs = {
+      {"category", {"flashmemory"}},
+      {"memory size", {"4gb", "8gb", "16gb"}},
+      {"type", {"internal", "portable"}},
+  };
+  const std::vector<AttributeSpec> ddr3_attrs = {
+      {"category", {"ddr3"}},
+      {"memory size", {"2gb", "4gb", "8gb"}},
+      {"speed", {"1333mhz", "1600mhz"}},
+  };
+  const std::vector<AttributeSpec> ddr2_attrs = {
+      {"category", {"ddr2"}},
+      {"memory size", {"1gb", "2gb", "4gb"}},
+      {"speed", {"667mhz", "800mhz"}},
+  };
+  const std::vector<AttributeSpec> battery_attrs = {
+      {"compatible models", {"pavilion dv6", "pavilion dv7", "elitebook"}},
+      {"capacity", {"4400mah", "5200mah"}},
+  };
+  const std::vector<AttributeSpec> laptop_attrs = {
+      {"screen size", {"14\"", "15.6\"", "17\""}},
+      {"processor", {"core i5", "core i7"}},
+  };
+
+  return {
+      // Canon (QS1): camcorders, printers, cameras.
+      {"canon", "camcorders", "canon products", "vixia", nullptr,
+       camcorder_attrs},
+      {"canon", "printer", "canon products", "pixma", nullptr, printer_attrs},
+      {"canon", "printer", "canon products", "imageclass", nullptr,
+       printer_attrs},
+      {"canon", "camera", "canon products", "powershot", nullptr,
+       camera_attrs},
+      {"canon", "camera", "canon products", "eos", nullptr, camera_attrs},
+      // Networking (QS2, QS3): routers, firewalls, switches.
+      {"cisco", "routers", "cisco products", "integr", "networking products",
+       router_attrs},
+      {"netgear", "routers", "netgear products", "rangemax",
+       "networking products", router_attrs},
+      {"linksys", "routers", "linksys products", "linksys",
+       "networking products", router_attrs},
+      {"d-link", "firewalls", "d-link products", "dir-130",
+       "networking products", firewall_attrs},
+      {"sonicwall", "firewalls", "sonicwall products", "tz-180",
+       "networking products", firewall_attrs},
+      {"d-link", "switches", "d-link products", "des-1008",
+       "networking products", switch_attrs},
+      {"netgear", "switches", "netgear products", "prosafe",
+       "networking products", switch_attrs},
+      // TVs (QS4, QS5).
+      {"toshiba", "tv", "toshiba products", "regza", nullptr, tv_lcd_attrs},
+      {"lg", "tv", "lg products", "42lg70", nullptr, tv_lcd_attrs},
+      {"samsung", "tv", "samsung products", "touch of color", nullptr,
+       tv_lcd_attrs},
+      {"panasonic", "tv", "panasonic products", "viera", nullptr,
+       tv_plasma_attrs},
+      {"samsung", "tv", "samsung products", "pnseries", nullptr,
+       tv_plasma_attrs},
+      {"lg", "tv", "lg products", "60pg30", nullptr, tv_plasma_attrs},
+      // HP (QS6): printer, battery, laptop.
+      {"hp", "printer", "hp products", "laserjet", nullptr, printer_attrs},
+      {"hp", "printer", "hp products", "deskjet", nullptr, printer_attrs},
+      {"hp", "battery", "hp products", "lithium-ion", nullptr, battery_attrs},
+      {"hp", "laptop", "hp products", "pavilion", nullptr, laptop_attrs},
+      {"hp", "laptop", "hp products", "elitebook", nullptr, laptop_attrs},
+      // Memory (QS7, QS8, QS9).
+      {"hitachi", "memory", "hitachi products", "deskstar", nullptr,
+       harddrive_attrs},
+      {"seagate", "memory", "seagate products", "barracuda", nullptr,
+       harddrive_attrs},
+      {"cavalry", "memory", "cavalry products", "cavalry", nullptr,
+       harddrive_attrs},
+      {"kingston", "memory", "kingston products", "datatraveler", nullptr,
+       flash_attrs},
+      {"transcend", "memory", "transcend products", "jetflash", nullptr,
+       flash_attrs},
+      {"corsair", "memory", "corsair products", "vengeance", nullptr,
+       ddr3_attrs},
+      {"kingston", "memory", "kingston products", "hyperx", nullptr,
+       ddr3_attrs},
+      {"corsair", "memory", "corsair products", "xms2", nullptr, ddr2_attrs},
+      // Epson printers so QS10 is not all Canon/HP.
+      {"epson", "printer", "epson products", "workforce", nullptr,
+       printer_attrs},
+  };
+}
+
+}  // namespace
+
+ShoppingGenerator::ShoppingGenerator(ShoppingOptions options)
+    : options_(options) {}
+
+doc::Corpus ShoppingGenerator::Generate() const {
+  doc::Corpus corpus;
+  Rng rng(options_.seed);
+  int model_counter = 100;
+  for (const LineSpec& line : CatalogSpec()) {
+    for (size_t i = 0; i < options_.products_per_family; ++i) {
+      std::string model =
+          std::string(line.family) + " " + std::to_string(model_counter++);
+      std::vector<Feature> features;
+      // Identity features shared by every product.
+      features.push_back(Feature{line.entity, "category", line.category});
+      if (line.extra_entity != nullptr) {
+        features.push_back(
+            Feature{line.extra_entity, "category", line.category});
+      }
+      features.push_back(Feature{line.category, "brand", line.brand});
+      features.push_back(Feature{line.category, "name", line.family});
+      features.push_back(Feature{line.category, "model", model});
+      // Category-specific attributes with randomly drawn values.
+      for (const AttributeSpec& attr : line.attributes) {
+        const char* value =
+            attr.values[rng.UniformInt(attr.values.size())];
+        features.push_back(Feature{line.category, attr.attribute, value});
+      }
+      std::string title = std::string(line.brand) + " " + model + " " +
+                          std::string(line.category);
+      corpus.AddStructuredDocument(std::move(title), std::move(features));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace qec::datagen

@@ -1,0 +1,41 @@
+#ifndef QEC_DATAGEN_SHOPPING_H_
+#define QEC_DATAGEN_SHOPPING_H_
+
+#include <cstdint>
+
+#include "doc/corpus.h"
+
+namespace qec::datagen {
+
+/// Shopping-catalog generator knobs.
+struct ShoppingOptions {
+  uint64_t seed = 7;
+  /// Products generated per (brand, category, name-family) cell.
+  size_t products_per_family = 5;
+};
+
+/// Synthetic stand-in for the paper's shopping dataset (electronics crawled
+/// from circuitcity.com): structured products with a title, category, brand
+/// and category-specific feature triplets.
+///
+/// The catalog is shaped so the paper's observations hold: products of
+/// different categories have (near-)disjoint feature vocabularies, so
+/// cluster-per-category expanded queries can reach perfect precision and
+/// recall (Sec. 5.2.2), and every Table 1 shopping query (QS1-QS10) has a
+/// multi-category result set to classify.
+class ShoppingGenerator {
+ public:
+  explicit ShoppingGenerator(ShoppingOptions options = {});
+
+  /// Builds the catalog corpus (structured documents only).
+  doc::Corpus Generate() const;
+
+  const ShoppingOptions& options() const { return options_; }
+
+ private:
+  ShoppingOptions options_;
+};
+
+}  // namespace qec::datagen
+
+#endif  // QEC_DATAGEN_SHOPPING_H_

@@ -1,0 +1,446 @@
+#include "datagen/wikipedia.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "xml/xml.h"
+
+namespace qec::datagen {
+
+namespace {
+
+/// One sense (interpretation) of an ambiguous topic.
+struct SenseSpec {
+  const char* name;
+  /// Appear in every article of the sense — the words a good expanded
+  /// query can use to cover the whole cluster.
+  std::vector<const char*> core_words;
+  /// Appear with probability ~0.4 per sentence.
+  std::vector<const char*> flavor_words;
+  /// Rank-dominance weight: scales article count and topic-word frequency.
+  double dominance;
+};
+
+struct TopicSpec {
+  const char* id;  // matches the workload id, e.g. "QW6"
+  std::vector<const char*> topic_words;
+  std::vector<SenseSpec> senses;
+};
+
+const std::vector<const char*>& FillerWords() {
+  static const std::vector<const char*> kFiller = {
+      "history",     "world",    "time",     "people",   "year",
+      "work",        "part",     "place",    "group",    "number",
+      "national",    "early",    "later",    "known",    "called",
+      "major",       "large",    "include",  "area",     "development",
+      "information", "site",     "source",   "century",  "local",
+      "public",      "term",     "common",   "form",     "found",
+      "region",      "several",  "important", "named",   "official",
+      "project",     "original", "first",    "second",   "main",
+      "became",      "within",   "along",    "community", "center",
+      "established", "service",  "event",    "article",  "reference",
+  };
+  return kFiller;
+}
+
+const std::vector<const char*>& BackgroundWords() {
+  static const std::vector<const char*> kBackground = {
+      "mountain", "railway",  "poetry",   "harvest",  "galaxy",
+      "opera",    "bridge",   "treaty",   "dynasty",  "festival",
+      "canal",    "cathedral", "glacier", "parliament", "violin",
+      "meadow",   "lantern",  "compass",  "voyage",   "harbor",
+      "castle",   "legend",   "market",   "temple",   "desert",
+      "forest",   "economy",  "election", "painting", "sculpture",
+      "physics",  "chemistry", "farming", "textile",  "currency",
+      "climate2", "plateau",  "lagoon",   "monastery", "archive",
+  };
+  return kBackground;
+}
+
+std::vector<TopicSpec> Topics() {
+  return {
+      {"QW1",
+       {"san", "jose"},
+       {{"city",
+         {"california", "city", "downtown"},
+         {"silicon", "valley", "county", "population", "location", "mission",
+          "neighborhood", "climate", "municipal", "mayor"},
+         1.0},
+        {"hockey",
+         {"player", "hockey", "team"},
+         {"sharks", "season", "league", "arena", "playoff", "coach", "game",
+          "score", "goal", "scorer"},
+         0.8},
+        {"arena-football",
+         {"player", "football", "sabercat"},
+         {"arena", "season", "kick", "touchdown", "quarterback", "league",
+          "roster", "game", "field"},
+         0.5}}},
+      {"QW2",
+       {"columbia"},
+       {{"university",
+         {"university", "college", "research"},
+         {"campus", "student", "professor", "faculty", "library", "graduate",
+          "school", "academic", "journalism", "manhattan"},
+         1.0},
+        {"records",
+         {"album", "record", "label"},
+         {"music", "artist", "release", "studio", "song", "singer", "band",
+          "produce", "track", "essential"},
+         0.8},
+        {"british-columbia",
+         {"british", "river", "mountain"},
+         {"canada", "vancouver", "province", "basin", "gorge", "salmon",
+          "pacific", "northwest", "territory", "highway"},
+         0.6}}},
+      {"QW3",
+       {"cvs"},
+       {{"pharmacy",
+         {"store", "retail", "household"},
+         {"pharmacy", "prescription", "drug", "shop", "prince", "caremark",
+          "chain", "customer", "location", "corporation"},
+         1.0},
+        {"version-control",
+         {"code", "repository", "community"},
+         {"software", "developer", "commit", "branch", "version", "module",
+          "open", "checkout", "merge", "concurrent"},
+         0.8},
+        {"place",
+         {"southwest", "settlement", "township"},
+         {"station", "indiana", "webster", "county", "village", "railroad",
+          "historic", "creek", "post"},
+         0.5}}},
+      {"QW4",
+       {"domino"},
+       {{"pizza",
+         {"pizza", "restaurant", "food"},
+         {"delivery", "franchise", "menu", "store", "chain", "order",
+          "cheese", "outlet", "brand"},
+         1.0},
+        {"music",
+         {"album", "vocal", "produce"},
+         {"record", "song", "single", "release", "band", "piano", "fats",
+          "studio", "billboard", "queen"},
+         0.8},
+        {"game",
+         {"game", "tile", "player"},
+         {"rule", "bone", "set", "play", "match", "point", "spinner",
+          "double", "hand", "page"},
+         0.6}}},
+      {"QW5",
+       {"eclipse"},
+       {{"software",
+         {"model", "software", "plugin"},
+         {"ide", "platform", "tool", "develop", "environment", "automate",
+          "core", "workspace", "framework", "release"},
+         1.0},
+        {"astronomy",
+         {"solar", "moon", "greek"},
+         {"lunar", "sun", "shadow", "ancient", "observe", "astronomer",
+          "total", "partial", "orbit", "athenian"},
+         0.8},
+        {"car",
+         {"mitsubishi", "car", "engine"},
+         {"coupe", "vehicle", "turbo", "drive", "speed", "motor", "march",
+          "model", "sport"},
+         0.5}}},
+      {"QW6",
+       {"java"},
+       {{"programming",
+         {"server", "code", "web"},
+         {"application", "program", "language", "class", "object", "virtual",
+          "machine", "software", "develop", "aspectj"},
+         1.0},
+        {"island",
+         {"island", "indonesia", "western"},
+         {"south", "volcano", "population", "sea", "rice", "province",
+          "capital", "jakarta", "strait", "dense"},
+         0.7},
+        {"coffee",
+         {"coffee", "bean", "roast"},
+         {"brew", "drink", "cup", "flavor", "blend", "espresso", "aroma",
+          "plantation", "trade"},
+         0.5}}},
+      {"QW7",
+       {"cell"},
+       {{"biology",
+         {"biological", "membrane", "organism"},
+         {"nucleus", "protein", "tissue", "dna", "mitosis", "biology",
+          "molecular", "gene", "multicellular", "kinase"},
+         1.0},
+        {"phone",
+         {"express", "data", "mobile"},
+         {"phone", "wireless", "network", "signal", "carrier", "tower",
+          "subscriber", "coverage", "plan"},
+         0.8},
+        {"battery",
+         {"battery", "voltage", "electrode"},
+         {"lithium", "charge", "energy", "power", "chemical", "anode",
+          "cathode", "capacity", "cycle"},
+         0.6}}},
+      {"QW8",
+       {"rockets"},
+       {{"space",
+         {"launch", "space", "orbit"},
+         {"nasa", "fuel", "engine", "satellite", "mission", "stage",
+          "propellant", "vehicle", "flight", "payload"},
+         1.0},
+        {"nba",
+         {"nba", "houston", "basketball"},
+         {"team", "season", "player", "coach", "playoff", "game", "score",
+          "maxwell", "draft"},
+         0.8},
+        {"model",
+         {"model", "hobby", "built"},
+         {"kit", "bottle", "amateur", "motor", "recovery", "parachute",
+          "altitude", "interior", "club"},
+         0.5}}},
+      {"QW9",
+       {"mouse"},
+       {{"computer",
+         {"technique", "wheel", "interface"},
+         {"button", "cursor", "click", "device", "optical", "scroll",
+          "pointer", "desktop", "usb"},
+         1.0},
+        {"animal",
+         {"scientific", "species", "rodent"},
+         {"laboratory", "gene", "fossil", "habitat", "tail", "mammal",
+          "wild", "birch", "hesperian"},
+         0.8},
+        {"cartoon",
+         {"cartoon", "television", "animation"},
+         {"character", "disney", "adventure", "show", "episode", "comic",
+          "studio", "mystery", "laugh"},
+         0.6}}},
+      {"QW10",
+       {"sportsman", "williams"},
+       {{"baseball",
+         {"baseball", "smith", "point"},
+         {"batter", "league", "season", "hitter", "average", "home", "run",
+          "pennant", "boston"},
+         1.0},
+        {"football",
+         {"football", "launch", "fire"},
+         {"quarterback", "touchdown", "league", "draft", "team", "field",
+          "yard", "tackle"},
+         0.8},
+        {"snooker",
+         {"club", "stuart", "championship"},
+         {"tournament", "title", "frame", "cue", "break", "ranking", "final",
+          "professional"},
+         0.6}}},
+  };
+}
+
+class ArticleWriter {
+ public:
+  ArticleWriter(const WikipediaOptions& options, Rng& rng)
+      : options_(options), rng_(rng) {}
+
+  /// Sets the topic-associated, sense-agnostic vocabulary for the current
+  /// topic. These words appear with high frequency in every sense, so they
+  /// top the TF-IDF-rank word list while being useless for classification
+  /// — the "too general" Data Clouds trap (Sec. 5.2.1).
+  void SetGenericWords(std::vector<std::string> words) {
+    generic_words_ = std::move(words);
+  }
+
+  /// Renders one article of `sense` (of `topic`) as XML.
+  std::string WriteArticle(const TopicSpec& topic, size_t sense_index,
+                           size_t article_index) {
+    const SenseSpec& sense = topic.senses[sense_index];
+    auto article = xml::XmlNode::Element("article");
+    article->SetAttribute("id", std::string(topic.id) + "-" +
+                                    sense.name + "-" +
+                                    std::to_string(article_index));
+    std::string title;
+    for (const char* w : topic.topic_words) {
+      title += w;
+      title += ' ';
+    }
+    title += sense.name;
+    title += " article ";
+    title += std::to_string(article_index);
+    article->AddElementWithText("title", title);
+
+    auto* body = article->AddChild(xml::XmlNode::Element("body"));
+    auto* sec = body->AddChild(xml::XmlNode::Element("sec"));
+    const size_t num_sentences = 4 + rng_.UniformInt(5);
+    for (size_t s = 0; s < num_sentences; ++s) {
+      sec->AddElementWithText("p", MakeSentence(topic, sense_index, s == 0));
+    }
+    if (rng_.UniformDouble() < options_.jargon_probability) {
+      // A document-specific technical term, heavily repeated: top-ranked by
+      // TF-IDF yet covering exactly one result.
+      std::string jargon = MakeJargonWord();
+      std::string sentence;
+      const size_t reps = 5 + rng_.UniformInt(5);
+      for (size_t r = 0; r < reps; ++r) {
+        if (r > 0) sentence += ' ';
+        sentence += jargon;
+      }
+      sentence += '.';
+      sec->AddElementWithText("p", sentence);
+    }
+    return xml::WriteNode(*article);
+  }
+
+ private:
+  std::string MakeJargonWord() {
+    static constexpr const char* kSyllables[] = {
+        "zor", "vex", "lud", "rix", "ket", "mab", "tha", "qui",
+        "pol", "dra", "fen", "gos", "hul", "jin", "wok", "yar",
+    };
+    std::string word;
+    const size_t syllables = 3 + rng_.UniformInt(2);
+    for (size_t s = 0; s < syllables; ++s) {
+      word += kSyllables[rng_.UniformInt(std::size(kSyllables))];
+    }
+    return word;
+  }
+
+  std::string MakeSentence(const TopicSpec& topic, size_t sense_index,
+                           bool lead_sentence) {
+    const SenseSpec& sense = topic.senses[sense_index];
+    std::vector<std::string> words;
+    // Topic words: every article must contain all of them (AND retrieval);
+    // dominant senses repeat them more (higher tf -> higher rank).
+    if (lead_sentence) {
+      size_t reps = 1 + static_cast<size_t>(sense.dominance * 3.0);
+      for (size_t r = 0; r < reps; ++r) {
+        for (const char* w : topic.topic_words) words.push_back(w);
+      }
+      // Core sense words present in most articles — but not all, so no
+      // single keyword retrieves the entire cluster.
+      for (const char* w : sense.core_words) {
+        if (rng_.UniformDouble() < options_.core_word_coverage) {
+          words.push_back(w);
+        }
+      }
+    }
+    const size_t len = 8 + rng_.UniformInt(7);
+    while (words.size() < len) {
+      double roll = rng_.UniformDouble();
+      if (roll < 0.35 && !sense.flavor_words.empty()) {
+        words.push_back(
+            sense.flavor_words[rng_.UniformInt(sense.flavor_words.size())]);
+      } else if (roll < 0.35 + options_.contamination &&
+                 topic.senses.size() > 1) {
+        // Cross-sense contamination: core and flavor words of other senses
+        // leak in, so precision-perfect queries are rare.
+        size_t other = rng_.UniformInt(topic.senses.size());
+        if (other != sense_index) {
+          const auto& o = topic.senses[other];
+          if (rng_.UniformDouble() < 0.4 && !o.core_words.empty()) {
+            words.push_back(o.core_words[rng_.UniformInt(o.core_words.size())]);
+          } else if (!o.flavor_words.empty()) {
+            words.push_back(
+                o.flavor_words[rng_.UniformInt(o.flavor_words.size())]);
+          }
+        }
+      } else if (roll < 0.45) {
+        words.push_back(sense.core_words[rng_.UniformInt(
+            sense.core_words.size())]);
+      } else if (roll < 0.70 && !generic_words_.empty()) {
+        words.push_back(
+            generic_words_[rng_.UniformInt(generic_words_.size())]);
+      } else {
+        words.push_back(
+            FillerWords()[rng_.UniformInt(FillerWords().size())]);
+      }
+    }
+    std::string sentence;
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (i > 0) sentence += ' ';
+      sentence += words[i];
+    }
+    sentence += '.';
+    return sentence;
+  }
+
+  const WikipediaOptions& options_;
+  Rng& rng_;
+  std::vector<std::string> generic_words_;
+};
+
+}  // namespace
+
+WikipediaGenerator::WikipediaGenerator(WikipediaOptions options)
+    : options_(options) {}
+
+std::vector<std::string> WikipediaGenerator::GenerateArticlesXml() const {
+  Rng rng(options_.seed);
+  ArticleWriter writer(options_, rng);
+  std::vector<std::string> articles;
+  for (const TopicSpec& topic : Topics()) {
+    // Four synthetic topic-generic pseudo-words (sense-agnostic jargon of
+    // the topic's domain, like "nabble"/"bit" in the paper's Fig. 8 Data
+    // Clouds output).
+    static constexpr const char* kSyllables[] = {
+        "bel", "cor", "dun", "fam", "gri", "hob", "lim", "nar",
+        "ost", "pra", "sil", "tur", "urm", "vin", "wel", "xan",
+    };
+    std::vector<std::string> generic;
+    for (int g = 0; g < 4; ++g) {
+      std::string w;
+      for (int s = 0; s < 3; ++s) {
+        w += kSyllables[rng.UniformInt(std::size(kSyllables))];
+      }
+      generic.push_back(std::move(w));
+    }
+    writer.SetGenericWords(std::move(generic));
+    for (size_t s = 0; s < topic.senses.size(); ++s) {
+      const size_t count = std::max<size_t>(
+          2, static_cast<size_t>(static_cast<double>(options_.docs_per_sense) *
+                                 topic.senses[s].dominance));
+      for (size_t a = 0; a < count; ++a) {
+        articles.push_back(writer.WriteArticle(topic, s, a));
+      }
+    }
+  }
+  // Background articles: filler + background vocabulary, no topic words.
+  for (size_t b = 0; b < options_.background_docs; ++b) {
+    auto article = xml::XmlNode::Element("article");
+    article->SetAttribute("id", "background-" + std::to_string(b));
+    article->AddElementWithText("title",
+                                "background article " + std::to_string(b));
+    auto* body = article->AddChild(xml::XmlNode::Element("body"));
+    auto* sec = body->AddChild(xml::XmlNode::Element("sec"));
+    const size_t num_sentences = 3 + rng.UniformInt(4);
+    for (size_t s = 0; s < num_sentences; ++s) {
+      std::string sentence;
+      const size_t len = 8 + rng.UniformInt(7);
+      for (size_t i = 0; i < len; ++i) {
+        if (i > 0) sentence += ' ';
+        if (rng.UniformDouble() < 0.4) {
+          sentence += BackgroundWords()[rng.UniformInt(
+              BackgroundWords().size())];
+        } else {
+          sentence += FillerWords()[rng.UniformInt(FillerWords().size())];
+        }
+      }
+      sentence += '.';
+      sec->AddElementWithText("p", sentence);
+    }
+    articles.push_back(xml::WriteNode(*article));
+  }
+  return articles;
+}
+
+doc::Corpus WikipediaGenerator::Generate() const {
+  doc::Corpus corpus;
+  for (const std::string& xml_text : GenerateArticlesXml()) {
+    Result<xml::XmlDocument> parsed = xml::Parse(xml_text);
+    QEC_CHECK(parsed.ok()) << parsed.status().ToString();
+    const xml::XmlNode& root = *parsed->root;
+    const xml::XmlNode* title = root.FindChild("title");
+    corpus.AddTextDocument(
+        title != nullptr ? title->InnerText() : std::string(root.Attribute("id")),
+        root.InnerText());
+  }
+  return corpus;
+}
+
+}  // namespace qec::datagen

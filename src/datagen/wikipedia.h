@@ -1,0 +1,61 @@
+#ifndef QEC_DATAGEN_WIKIPEDIA_H_
+#define QEC_DATAGEN_WIKIPEDIA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doc/corpus.h"
+
+namespace qec::datagen {
+
+/// Wikipedia-corpus generator knobs.
+struct WikipediaOptions {
+  uint64_t seed = 11;
+  /// Articles generated per sense of each ambiguous topic (scaled by the
+  /// sense's dominance weight, so senses are rank-imbalanced like the
+  /// paper's "apple" example).
+  size_t docs_per_sense = 12;
+  /// Unrelated background articles (vocabulary ballast for IDF).
+  size_t background_docs = 80;
+  /// Probability that a sense-specific word leaks into an article of a
+  /// different sense of the same topic (cross-contamination makes perfect
+  /// expansion impossible, as on the paper's Wikipedia data).
+  double contamination = 0.12;
+  /// Probability that each core sense word actually appears in an article
+  /// of its sense. Below 1.0, no single keyword covers a whole cluster, so
+  /// perfect recall is usually impossible — matching the paper's Wikipedia
+  /// scores staying below the shopping ones.
+  double core_word_coverage = 0.8;
+  /// Probability that an article carries a document-specific "jargon" word
+  /// repeated many times (like "multicellular" in the paper's QW7 example).
+  /// Such words have top TF-IDF-rank scores yet cover a single result —
+  /// the trap that makes Data Clouds / CS pick over-specific expansions.
+  double jargon_probability = 0.8;
+};
+
+/// Synthetic stand-in for the INEX 2009 document-centric Wikipedia XML
+/// collection: for each ambiguous Table 1 topic (QW1-QW10) it writes XML
+/// articles for every sense of the topic, with long sentence-like word
+/// mixtures over a shared filler vocabulary. Articles are rendered to XML,
+/// re-parsed with qec::xml (exercising the real ingestion path), and
+/// indexed as text documents.
+class WikipediaGenerator {
+ public:
+  explicit WikipediaGenerator(WikipediaOptions options = {});
+
+  /// Builds the corpus (parses every generated XML article).
+  doc::Corpus Generate() const;
+
+  /// The raw XML articles (same content Generate() indexes).
+  std::vector<std::string> GenerateArticlesXml() const;
+
+  const WikipediaOptions& options() const { return options_; }
+
+ private:
+  WikipediaOptions options_;
+};
+
+}  // namespace qec::datagen
+
+#endif  // QEC_DATAGEN_WIKIPEDIA_H_

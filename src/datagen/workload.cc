@@ -1,0 +1,125 @@
+#include "datagen/workload.h"
+
+namespace qec::datagen {
+
+std::vector<WorkloadQuery> ShoppingQueries() {
+  return {
+      {"QS1", "canon products"},
+      {"QS2", "networking products"},
+      {"QS3", "networking products routers"},
+      {"QS4", "tv"},
+      {"QS5", "tv plasma"},
+      {"QS6", "hp products"},
+      {"QS7", "memory"},
+      {"QS8", "memory 8gb"},
+      {"QS9", "memory internal"},
+      {"QS10", "printer"},
+  };
+}
+
+std::vector<WorkloadQuery> WikipediaQueries() {
+  return {
+      {"QW1", "san jose"},
+      {"QW2", "columbia"},
+      {"QW3", "cvs"},
+      {"QW4", "domino"},
+      {"QW5", "eclipse"},
+      {"QW6", "java"},
+      {"QW7", "cell"},
+      {"QW8", "rockets"},
+      {"QW9", "mouse"},
+      {"QW10", "sportsman williams"},
+  };
+}
+
+std::vector<baselines::QueryLogEntry> SyntheticQueryLog() {
+  // Counts model popularity in a skewed (approximately Zipfian) way.
+  // Roughly two thirds of the suggested extra words exist in the corpora
+  // (as the paper's Google suggestions mostly did); the rest (careers,
+  // sony, guide, dell...) are deliberately off-corpus — the paper's QS1
+  // observation that log-based suggestions can ignore the result corpus.
+  return {
+      // QW1 san jose
+      {"san jose california", 950},
+      {"san jose hockey", 720},
+      {"san jose costa rica", 510},
+      // QW2 columbia
+      {"columbia university", 980},
+      {"columbia river", 640},
+      {"columbia country", 505},
+      // QW3 cvs
+      {"cvs store", 890},
+      {"cvs caremark", 560},
+      {"cvs careers", 430},
+      // QW4 domino
+      {"domino game", 870},
+      {"domino pizza", 660},
+      {"domino movie", 480},
+      // QW5 eclipse
+      {"eclipse mitsubishi", 920},
+      {"eclipse solar", 700},
+      {"eclipse download", 690},
+      // QW6 java
+      {"java code", 990},
+      {"java coffee", 760},
+      {"java tutorials", 520},
+      // QW7 cell
+      {"cell biology", 830},
+      {"cell battery", 610},
+      {"cell theory", 450},
+      // QW8 rockets: every popular suggestion is about space/model rockets
+      // (the diversity failure the paper reports for Google: no NBA).
+      {"model rockets", 940},
+      {"space rockets", 880},
+      {"bottle rockets", 590},
+      // QW9 mouse
+      {"mouse cartoon", 810},
+      {"mouse species", 570},
+      {"mouse pictures", 410},
+      // QW10 sportsman williams
+      {"sportsman williams football", 640},
+      {"sportsman williams baseball", 520},
+      {"sportsman williams news", 330},
+      // QS1 canon products
+      {"canon products camera", 900},
+      {"canon products printer", 750},
+      {"sony products", 500},
+      // QS2 networking products
+      {"networking products routers", 860},
+      {"networking products switches", 650},
+      {"social networking products", 380},
+      // QS3 networking products routers
+      {"networking products routers linksys", 700},
+      {"networking products wireless routers", 540},
+      {"networking products routers wood", 300},
+      // QS4 tv
+      {"tv plasma", 820},
+      {"tv toshiba", 630},
+      {"tv guide", 360},
+      // QS5 tv plasma
+      {"tv plasma panasonic", 780},
+      {"tv plasma lcd", 600},
+      {"tv plasma bestbuy", 340},
+      // QS6 hp products
+      {"hp products printer", 840},
+      {"hp products laptop", 620},
+      {"hp products corporation", 470},
+      // QS7 memory
+      {"memory harddrive", 930},
+      {"memory ddr3", 740},
+      {"human memory", 490},
+      // QS8 memory 8gb
+      {"memory 8gb flashmemory", 710},
+      {"memory 8gb kingston", 550},
+      {"memory cards 8gb", 420},
+      // QS9 memory internal
+      {"memory internal harddrive", 680},
+      {"dell internal memory", 390},
+      // QS10 printer
+      {"printer canon", 910},
+      {"printer laser", 770},
+      {"printer reviews", 430},
+  };
+}
+
+}  // namespace qec::datagen

@@ -1,0 +1,32 @@
+#ifndef QEC_DATAGEN_WORKLOAD_H_
+#define QEC_DATAGEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/query_log.h"
+
+namespace qec::datagen {
+
+/// One Table 1 test query.
+struct WorkloadQuery {
+  std::string id;    // "QS1".."QS10" / "QW1".."QW10"
+  std::string text;  // the keyword query
+};
+
+/// The ten shopping queries of Table 1 (QS1-QS10).
+std::vector<WorkloadQuery> ShoppingQueries();
+
+/// The ten Wikipedia queries of Table 1 (QW1-QW10).
+std::vector<WorkloadQuery> WikipediaQueries();
+
+/// A synthetic search-engine query log covering the Table 1 queries —
+/// the substitution for the paper's Google baseline (suggestions mined from
+/// a real query log). Popularity is deliberately skewed: e.g. every popular
+/// "rockets" query is about space rockets (the paper's diversity failure),
+/// and some suggestions use off-corpus words ("sony products" for QS1).
+std::vector<baselines::QueryLogEntry> SyntheticQueryLog();
+
+}  // namespace qec::datagen
+
+#endif  // QEC_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,59 @@
+#include "doc/corpus.h"
+
+#include "common/logging.h"
+
+namespace qec::doc {
+
+Corpus::Corpus(text::AnalyzerOptions analyzer_options)
+    : analyzer_(std::make_unique<text::Analyzer>(analyzer_options)) {}
+
+DocId Corpus::AddTextDocument(std::string title, std::string_view body) {
+  DocId id = static_cast<DocId>(docs_.size());
+  std::vector<TermId> terms = analyzer_->Analyze(body);
+  docs_.emplace_back(id, DocumentKind::kText, std::move(title),
+                     std::move(terms), std::vector<Feature>{});
+  return id;
+}
+
+DocId Corpus::AddStructuredDocument(std::string title,
+                                    std::vector<Feature> features) {
+  DocId id = static_cast<DocId>(docs_.size());
+  std::vector<TermId> terms;
+  for (const Feature& f : features) {
+    terms.push_back(analyzer_->InternVerbatim(FeatureToken(f)));
+    for (TermId t : analyzer_->Analyze(f.entity)) terms.push_back(t);
+    for (TermId t : analyzer_->Analyze(f.attribute)) terms.push_back(t);
+    for (TermId t : analyzer_->Analyze(f.value)) terms.push_back(t);
+  }
+  docs_.emplace_back(id, DocumentKind::kStructured, std::move(title),
+                     std::move(terms), std::move(features));
+  return id;
+}
+
+DocId Corpus::RestoreDocument(DocumentKind kind, std::string title,
+                              std::vector<TermId> terms,
+                              std::vector<Feature> features) {
+  DocId id = static_cast<DocId>(docs_.size());
+  docs_.emplace_back(id, kind, std::move(title), std::move(terms),
+                     std::move(features));
+  return id;
+}
+
+const Document& Corpus::Get(DocId id) const {
+  QEC_CHECK_LT(id, docs_.size());
+  return docs_[id];
+}
+
+CorpusStats Corpus::Stats() const {
+  CorpusStats stats;
+  stats.num_docs = docs_.size();
+  stats.num_distinct_terms = analyzer_->vocabulary().size();
+  for (const auto& d : docs_) stats.total_term_occurrences += d.length();
+  stats.avg_doc_length =
+      docs_.empty() ? 0.0
+                    : static_cast<double>(stats.total_term_occurrences) /
+                          static_cast<double>(docs_.size());
+  return stats;
+}
+
+}  // namespace qec::doc

@@ -1,0 +1,227 @@
+#include "doc/corpus_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace qec::doc {
+
+namespace {
+
+constexpr char kMagic[8] = {'Q', 'E', 'C', 'C', 'O', 'R', 'P', '1'};
+
+/// Little-endian append-only writer.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader; every method reports truncation.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status U32(uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return Status::Ok();
+  }
+
+  Status Str(std::string& s) {
+    uint32_t len = 0;
+    QEC_RETURN_IF_ERROR(U32(len));
+    if (pos_ + len > data_.size()) return Truncated();
+    s.assign(data_.substr(pos_, len));
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Truncated() const {
+    return Status::Corruption("corpus blob truncated at byte " +
+                              std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeCorpus(const Corpus& corpus) {
+  Writer w;
+  for (char c : kMagic) w.U8(static_cast<uint8_t>(c));
+
+  // Analyzer options.
+  const text::AnalyzerOptions& a = corpus.analyzer().options();
+  w.U8(a.tokenizer.lowercase ? 1 : 0);
+  w.U8(a.tokenizer.keep_numbers ? 1 : 0);
+  w.U32(static_cast<uint32_t>(a.tokenizer.min_token_length));
+  w.Str(a.tokenizer.intra_token_chars);
+  w.U8(a.remove_stopwords ? 1 : 0);
+  w.U8(a.stem ? 1 : 0);
+
+  // Vocabulary, in id order so interning on load restores the same ids.
+  const text::Vocabulary& vocab = corpus.analyzer().vocabulary();
+  w.U32(static_cast<uint32_t>(vocab.size()));
+  for (TermId t = 0; t < vocab.size(); ++t) w.Str(vocab.TermString(t));
+
+  // Documents.
+  w.U32(static_cast<uint32_t>(corpus.NumDocs()));
+  for (DocId d = 0; d < corpus.NumDocs(); ++d) {
+    const Document& doc = corpus.Get(d);
+    w.U8(doc.kind() == DocumentKind::kStructured ? 1 : 0);
+    w.Str(doc.title());
+    w.U32(static_cast<uint32_t>(doc.terms().size()));
+    for (TermId t : doc.terms()) w.U32(t);
+    w.U32(static_cast<uint32_t>(doc.features().size()));
+    for (const Feature& f : doc.features()) {
+      w.Str(f.entity);
+      w.Str(f.attribute);
+      w.Str(f.value);
+    }
+  }
+  return w.Take();
+}
+
+Result<Corpus> DeserializeCorpus(std::string_view data) {
+  Reader r(data);
+  for (char expected : kMagic) {
+    uint8_t c = 0;
+    QEC_RETURN_IF_ERROR(r.U8(c));
+    if (static_cast<char>(c) != expected) {
+      return Status::Corruption("bad corpus magic");
+    }
+  }
+
+  text::AnalyzerOptions options;
+  uint8_t flag = 0;
+  uint32_t u = 0;
+  QEC_RETURN_IF_ERROR(r.U8(flag));
+  options.tokenizer.lowercase = flag != 0;
+  QEC_RETURN_IF_ERROR(r.U8(flag));
+  options.tokenizer.keep_numbers = flag != 0;
+  QEC_RETURN_IF_ERROR(r.U32(u));
+  options.tokenizer.min_token_length = u;
+  QEC_RETURN_IF_ERROR(r.Str(options.tokenizer.intra_token_chars));
+  QEC_RETURN_IF_ERROR(r.U8(flag));
+  options.remove_stopwords = flag != 0;
+  QEC_RETURN_IF_ERROR(r.U8(flag));
+  options.stem = flag != 0;
+
+  Corpus corpus(options);
+
+  uint32_t vocab_size = 0;
+  QEC_RETURN_IF_ERROR(r.U32(vocab_size));
+  for (uint32_t i = 0; i < vocab_size; ++i) {
+    std::string term;
+    QEC_RETURN_IF_ERROR(r.Str(term));
+    TermId id = corpus.analyzer().InternVerbatim(term);
+    if (id != i) {
+      return Status::Corruption("duplicate vocabulary entry '" + term + "'");
+    }
+  }
+
+  uint32_t num_docs = 0;
+  QEC_RETURN_IF_ERROR(r.U32(num_docs));
+  for (uint32_t d = 0; d < num_docs; ++d) {
+    uint8_t kind_flag = 0;
+    QEC_RETURN_IF_ERROR(r.U8(kind_flag));
+    std::string title;
+    QEC_RETURN_IF_ERROR(r.Str(title));
+    uint32_t num_terms = 0;
+    QEC_RETURN_IF_ERROR(r.U32(num_terms));
+    if (num_terms > data.size()) {
+      return Status::Corruption("implausible term count");
+    }
+    std::vector<TermId> terms;
+    terms.reserve(num_terms);
+    for (uint32_t i = 0; i < num_terms; ++i) {
+      uint32_t t = 0;
+      QEC_RETURN_IF_ERROR(r.U32(t));
+      if (t >= vocab_size) {
+        return Status::Corruption("term id " + std::to_string(t) +
+                                  " out of range");
+      }
+      terms.push_back(t);
+    }
+    uint32_t num_features = 0;
+    QEC_RETURN_IF_ERROR(r.U32(num_features));
+    if (num_features > data.size()) {
+      return Status::Corruption("implausible feature count");
+    }
+    std::vector<Feature> features;
+    features.reserve(num_features);
+    for (uint32_t i = 0; i < num_features; ++i) {
+      Feature f;
+      QEC_RETURN_IF_ERROR(r.Str(f.entity));
+      QEC_RETURN_IF_ERROR(r.Str(f.attribute));
+      QEC_RETURN_IF_ERROR(r.Str(f.value));
+      features.push_back(std::move(f));
+    }
+    corpus.RestoreDocument(kind_flag != 0 ? DocumentKind::kStructured
+                                          : DocumentKind::kText,
+                           std::move(title), std::move(terms),
+                           std::move(features));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after corpus");
+  }
+  return corpus;
+}
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::string blob = SerializeCorpus(corpus);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(blob.data(), 1, blob.size(), f.get()) != blob.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string blob;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    blob.append(buf, n);
+  }
+  return DeserializeCorpus(blob);
+}
+
+}  // namespace qec::doc

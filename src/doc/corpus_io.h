@@ -1,0 +1,30 @@
+#ifndef QEC_DOC_CORPUS_IO_H_
+#define QEC_DOC_CORPUS_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "doc/corpus.h"
+
+namespace qec::doc {
+
+/// Serializes `corpus` (analyzer options, vocabulary, documents with
+/// interned term ids and structured features) to a little-endian binary
+/// blob. The inverted index is not stored — it rebuilds in one pass on
+/// load.
+std::string SerializeCorpus(const Corpus& corpus);
+
+/// Parses a blob produced by SerializeCorpus. Returns Corruption on any
+/// malformed input (bad magic, truncation, out-of-range term ids).
+Result<Corpus> DeserializeCorpus(std::string_view data);
+
+/// Writes the serialized corpus to `path` (Internal on I/O failure).
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Reads and parses a corpus from `path` (NotFound / Corruption).
+Result<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace qec::doc
+
+#endif  // QEC_DOC_CORPUS_IO_H_

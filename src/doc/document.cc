@@ -1,0 +1,52 @@
+#include "doc/document.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace qec::doc {
+
+std::string FeatureToken(const Feature& feature) {
+  auto squash = [](std::string_view part) {
+    std::string out;
+    out.reserve(part.size());
+    for (char c : part) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+  };
+  return squash(feature.entity) + ":" + squash(feature.attribute) + ":" +
+         squash(feature.value);
+}
+
+Document::Document(DocId id, DocumentKind kind, std::string title,
+                   std::vector<TermId> terms, std::vector<Feature> features)
+    : id_(id),
+      kind_(kind),
+      title_(std::move(title)),
+      terms_(std::move(terms)),
+      features_(std::move(features)) {
+  term_set_ = terms_;
+  std::sort(term_set_.begin(), term_set_.end());
+  term_set_.erase(std::unique(term_set_.begin(), term_set_.end()),
+                  term_set_.end());
+  term_counts_.assign(term_set_.size(), 0);
+  for (TermId t : terms_) {
+    auto it = std::lower_bound(term_set_.begin(), term_set_.end(), t);
+    term_counts_[static_cast<size_t>(it - term_set_.begin())]++;
+  }
+}
+
+int Document::TermFrequency(TermId term) const {
+  auto it = std::lower_bound(term_set_.begin(), term_set_.end(), term);
+  if (it == term_set_.end() || *it != term) return 0;
+  return term_counts_[static_cast<size_t>(it - term_set_.begin())];
+}
+
+bool Document::Contains(TermId term) const {
+  return std::binary_search(term_set_.begin(), term_set_.end(), term);
+}
+
+}  // namespace qec::doc

@@ -1,0 +1,55 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace qec::eval {
+
+BootstrapInterval PairedBootstrap(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  double confidence, size_t resamples,
+                                  uint64_t seed) {
+  QEC_CHECK_EQ(a.size(), b.size());
+  QEC_CHECK_GE(a.size(), 2u);
+  const size_t n = a.size();
+
+  std::vector<double> diffs(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diffs[i] = a[i] - b[i];
+    mean += diffs[i];
+  }
+  mean /= static_cast<double>(n);
+
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += diffs[rng.UniformInt(n)];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  auto percentile = [&](double p) {
+    double idx = p * static_cast<double>(means.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, means.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return means[lo] * (1.0 - frac) + means[hi] * frac;
+  };
+
+  BootstrapInterval out;
+  out.mean_difference = mean;
+  out.low = percentile(alpha);
+  out.high = percentile(1.0 - alpha);
+  out.significant = out.low > 0.0 || out.high < 0.0;
+  return out;
+}
+
+}  // namespace qec::eval

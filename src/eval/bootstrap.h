@@ -1,0 +1,33 @@
+#ifndef QEC_EVAL_BOOTSTRAP_H_
+#define QEC_EVAL_BOOTSTRAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qec::eval {
+
+/// A bootstrap confidence interval for a mean difference.
+struct BootstrapInterval {
+  double mean_difference = 0.0;
+  double low = 0.0;   // lower CI bound
+  double high = 0.0;  // upper CI bound
+  /// True when the interval excludes zero — the paired difference is
+  /// distinguishable from noise at the chosen confidence level.
+  bool significant = false;
+};
+
+/// Paired bootstrap over per-query metric pairs (a[i] vs b[i], same query):
+/// resamples query indices with replacement `resamples` times and reports
+/// the percentile confidence interval of mean(a - b) at `confidence`
+/// (e.g. 0.95). Deterministic for a fixed seed. Requires a.size() ==
+/// b.size() and at least 2 pairs.
+BootstrapInterval PairedBootstrap(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  double confidence = 0.95,
+                                  size_t resamples = 2000,
+                                  uint64_t seed = 1234);
+
+}  // namespace qec::eval
+
+#endif  // QEC_EVAL_BOOTSTRAP_H_

@@ -1,0 +1,34 @@
+#ifndef QEC_EVAL_TABLE_PRINTER_H_
+#define QEC_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace qec::eval {
+
+/// Fixed-width ASCII table used by the bench binaries to print the paper's
+/// figures/tables as aligned rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// The rendered table, headers underlined, columns padded.
+  std::string ToString() const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`, creating parent directory "results" style
+  /// paths is the caller's job. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qec::eval
+
+#endif  // QEC_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,155 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/metrics.h"
+
+namespace qec::eval {
+
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Raters perceive the objective quality with Gaussian noise, then map it
+/// to a 1-5 score and a justification option via thresholds.
+UserStudySimulator::Assessment RatePanel(double objective_quality,
+                                         double option_hi, double option_lo,
+                                         const UserStudyOptions& options,
+                                         uint64_t item_seed) {
+  Rng rng(options.seed ^ item_seed * 0x9e3779b97f4a7c15ULL);
+  UserStudySimulator::Assessment a;
+  double score_sum = 0.0;
+  size_t hi = 0, mid = 0, lo = 0;
+  for (size_t r = 0; r < options.num_raters; ++r) {
+    double perceived =
+        Clamp01(objective_quality + rng.Gaussian(0.0, options.noise_stddev));
+    score_sum += 1.0 + 4.0 * perceived;
+    if (perceived >= option_hi) {
+      ++hi;
+    } else if (perceived >= option_lo) {
+      ++mid;
+    } else {
+      ++lo;
+    }
+  }
+  const double n = static_cast<double>(options.num_raters);
+  a.mean_score = score_sum / n;
+  // Individual study: option (A) is the favourable one; collective study
+  // labels (C) favourable. Callers map hi/mid/lo onto A/B/C as appropriate.
+  a.frac_a = static_cast<double>(hi) / n;
+  a.frac_b = static_cast<double>(mid) / n;
+  a.frac_c = static_cast<double>(lo) / n;
+  return a;
+}
+
+DynamicBitset RetrieveSuggestion(const core::ResultUniverse& universe,
+                                 const baselines::SuggestedQuery& query) {
+  // A suggestion with off-corpus keywords retrieves nothing: a document
+  // cannot contain a word absent from the corpus vocabulary.
+  if (query.terms.size() < query.keywords.size()) {
+    return universe.EmptySet();
+  }
+  return universe.Retrieve(query.terms);
+}
+
+}  // namespace
+
+double ObjectiveIndividualQuality(const core::ResultUniverse& universe,
+                                  const cluster::Clustering& clustering,
+                                  const baselines::SuggestedQuery& query) {
+  const double on_corpus =
+      query.keywords.empty()
+          ? 0.0
+          : static_cast<double>(query.terms.size()) /
+                static_cast<double>(query.keywords.size());
+  DynamicBitset retrieved = RetrieveSuggestion(universe, query);
+  const bool has_results = retrieved.Any();
+
+  // Best F-measure over the clusters: how well the query captures *some*
+  // coherent interpretation of the original query.
+  double best_f = 0.0;
+  const auto members = clustering.Members();
+  for (const auto& cluster_members : members) {
+    DynamicBitset bits = universe.EmptySet();
+    for (size_t i : cluster_members) bits.Set(i);
+    best_f = std::max(
+        best_f, core::EvaluateQuery(universe, retrieved, bits).f_measure);
+  }
+  const double corpus_quality = Clamp01(
+      0.10 * (has_results ? 1.0 : 0.0) + 0.75 * best_f + 0.15 * on_corpus);
+  // Popularity rescues suggestions with little corpus evidence: raters
+  // recognise a popular query as helpful even when it retrieves nothing in
+  // this collection (capped below a perfectly results-oriented query).
+  return std::max(corpus_quality, 0.8 * Clamp01(query.popularity));
+}
+
+double Comprehensiveness(const core::ResultUniverse& universe,
+                         const std::vector<baselines::SuggestedQuery>& set) {
+  if (set.empty()) return 0.0;
+  DynamicBitset covered = universe.EmptySet();
+  for (const auto& q : set) covered |= RetrieveSuggestion(universe, q);
+  const double total = universe.total_weight();
+  return total > 0.0 ? universe.TotalWeight(covered) / total : 0.0;
+}
+
+double Diversity(const core::ResultUniverse& universe,
+                 const std::vector<baselines::SuggestedQuery>& set) {
+  if (set.size() < 2) return set.empty() ? 0.0 : 1.0;
+  std::vector<DynamicBitset> retrieved;
+  retrieved.reserve(set.size());
+  for (const auto& q : set) retrieved.push_back(RetrieveSuggestion(universe, q));
+  double overlap_sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < retrieved.size(); ++i) {
+    for (size_t j = i + 1; j < retrieved.size(); ++j) {
+      DynamicBitset both = retrieved[i];
+      both &= retrieved[j];
+      const double wi = universe.TotalWeight(retrieved[i]);
+      const double wj = universe.TotalWeight(retrieved[j]);
+      const double denom = std::min(wi, wj);
+      // Two empty result sets are maximally non-diverse: the queries are
+      // dead weight.
+      overlap_sum += denom > 0.0 ? universe.TotalWeight(both) / denom : 1.0;
+      ++pairs;
+    }
+  }
+  return Clamp01(1.0 - overlap_sum / static_cast<double>(pairs));
+}
+
+UserStudySimulator::UserStudySimulator(UserStudyOptions options)
+    : options_(options) {}
+
+UserStudySimulator::Assessment UserStudySimulator::AssessIndividual(
+    const core::ResultUniverse& universe, const cluster::Clustering& clustering,
+    const baselines::SuggestedQuery& query) const {
+  double quality = ObjectiveIndividualQuality(universe, clustering, query);
+  uint64_t item_seed = 1;
+  for (const auto& k : query.keywords) {
+    for (char c : k) item_seed = item_seed * 131 + static_cast<uint64_t>(c);
+  }
+  // (A) highly related >= 0.6; (B) related but better exist; (C) < 0.3.
+  return RatePanel(quality, 0.6, 0.3, options_, item_seed);
+}
+
+UserStudySimulator::Assessment UserStudySimulator::AssessCollective(
+    const core::ResultUniverse& universe,
+    const std::vector<baselines::SuggestedQuery>& set) const {
+  const double comprehensiveness = Comprehensiveness(universe, set);
+  const double diversity = Diversity(universe, set);
+  const double quality = Clamp01(0.5 * comprehensiveness + 0.5 * diversity);
+  uint64_t item_seed = 2;
+  for (const auto& q : set) {
+    for (const auto& k : q.keywords) {
+      for (char c : k) item_seed = item_seed * 131 + static_cast<uint64_t>(c);
+    }
+  }
+  Assessment a = RatePanel(quality, 0.6, 0.3, options_, item_seed);
+  // Collective study: (C) comprehensive & diverse is the favourable bucket,
+  // (A) the unfavourable one — swap to match Fig. 4's labels.
+  std::swap(a.frac_a, a.frac_c);
+  return a;
+}
+
+}  // namespace qec::eval

@@ -1,0 +1,83 @@
+#ifndef QEC_EVAL_USER_STUDY_H_
+#define QEC_EVAL_USER_STUDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/suggestion.h"
+#include "cluster/kmeans.h"
+#include "core/result_universe.h"
+
+namespace qec::eval {
+
+/// Synthetic-rater panel configuration. The paper ran 45 Mechanical Turk
+/// raters (Sec. 5.2.1); we simulate a panel whose judgment model encodes
+/// exactly what the paper's Part 3 found users care about — queries should
+/// be result-oriented, and query *sets* comprehensive and diverse — plus
+/// per-rater noise.
+struct UserStudyOptions {
+  size_t num_raters = 45;
+  /// Stddev of each rater's Gaussian perception noise (on the 0-1 scale).
+  double noise_stddev = 0.08;
+  uint64_t seed = 13;
+};
+
+/// Objective individual quality of one expanded query in [0, 1]: a blend of
+/// whether it retrieves anything, how well its result set matches its best
+/// cluster (F-measure), and whether its keywords exist in the corpus at all
+/// (the paper: "users prefer the expanded queries to be results oriented").
+/// Suggestions carrying query-log popularity are credited
+/// max(corpus quality, 0.8 * popularity): raters recognise popular queries
+/// as helpful even without local corpus evidence.
+double ObjectiveIndividualQuality(const core::ResultUniverse& universe,
+                                  const cluster::Clustering& clustering,
+                                  const baselines::SuggestedQuery& query);
+
+/// Comprehensiveness of a query set in [0, 1]: weighted fraction of the
+/// original results retrieved by at least one expanded query.
+double Comprehensiveness(const core::ResultUniverse& universe,
+                         const std::vector<baselines::SuggestedQuery>& set);
+
+/// Diversity of a query set in [0, 1]: one minus the average pairwise
+/// overlap of the expanded queries' result sets.
+double Diversity(const core::ResultUniverse& universe,
+                 const std::vector<baselines::SuggestedQuery>& set);
+
+/// Simulated user-study outcomes (Figs. 1-4).
+class UserStudySimulator {
+ public:
+  /// Score distribution of one rated item.
+  struct Assessment {
+    /// Mean 1-5 score across raters.
+    double mean_score = 0.0;
+    /// Fraction of raters choosing each justification option.
+    double frac_a = 0.0;
+    double frac_b = 0.0;
+    double frac_c = 0.0;
+  };
+
+  explicit UserStudySimulator(UserStudyOptions options = {});
+
+  /// Part 1 (Figs. 1-2): raters score one expanded query 1-5 and justify
+  /// with (A) highly related & helpful / (B) related but better exist /
+  /// (C) not related.
+  Assessment AssessIndividual(const core::ResultUniverse& universe,
+                              const cluster::Clustering& clustering,
+                              const baselines::SuggestedQuery& query) const;
+
+  /// Part 2 (Figs. 3-4): raters score the whole query set 1-5 and justify
+  /// with (A) not comprehensive & not diverse / (B) either missing /
+  /// (C) comprehensive & diverse.
+  Assessment AssessCollective(
+      const core::ResultUniverse& universe,
+      const std::vector<baselines::SuggestedQuery>& set) const;
+
+  const UserStudyOptions& options() const { return options_; }
+
+ private:
+  UserStudyOptions options_;
+};
+
+}  // namespace qec::eval
+
+#endif  // QEC_EVAL_USER_STUDY_H_

@@ -1,0 +1,93 @@
+#include "index/index_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "index/posting_codec.h"
+
+namespace qec::index {
+
+namespace {
+constexpr char kMagic[8] = {'Q', 'E', 'C', 'I', 'N', 'D', 'X', '1'};
+}  // namespace
+
+std::string SerializeIndex(const InvertedIndex& index) {
+  std::string out(kMagic, sizeof(kMagic));
+  const size_t num_terms = index.corpus().analyzer().vocabulary().size();
+  AppendVarint(num_terms, out);
+  for (TermId t = 0; t < num_terms; ++t) {
+    std::string blob = EncodePostings(index.Postings(t));
+    AppendVarint(blob.size(), out);
+    out += blob;
+  }
+  return out;
+}
+
+Result<InvertedIndex> DeserializeIndex(const doc::Corpus& corpus,
+                                       std::string_view data) {
+  if (data.size() < sizeof(kMagic) ||
+      data.substr(0, sizeof(kMagic)) != std::string_view(kMagic,
+                                                         sizeof(kMagic))) {
+    return Status::Corruption("bad index magic");
+  }
+  size_t pos = sizeof(kMagic);
+  auto num_terms = ReadVarint(data, &pos);
+  if (!num_terms.ok()) return num_terms.status();
+  if (*num_terms != corpus.analyzer().vocabulary().size()) {
+    return Status::Corruption(
+        "index has " + std::to_string(*num_terms) +
+        " terms but the corpus vocabulary has " +
+        std::to_string(corpus.analyzer().vocabulary().size()));
+  }
+  std::vector<std::vector<Posting>> postings(*num_terms);
+  for (uint64_t t = 0; t < *num_terms; ++t) {
+    auto len = ReadVarint(data, &pos);
+    if (!len.ok()) return len.status();
+    if (pos + *len > data.size()) {
+      return Status::Corruption("posting blob truncated");
+    }
+    auto list = DecodePostings(data.substr(pos, *len));
+    if (!list.ok()) return list.status();
+    pos += *len;
+    for (const Posting& p : *list) {
+      if (p.doc >= corpus.NumDocs()) {
+        return Status::Corruption("posting references unknown document " +
+                                  std::to_string(p.doc));
+      }
+    }
+    postings[t] = std::move(*list);
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes after index");
+  }
+  return InvertedIndex::FromPostings(corpus, std::move(postings));
+}
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  std::string blob = SerializeIndex(index);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  if (std::fwrite(blob.data(), 1, blob.size(), f.get()) != blob.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<InvertedIndex> LoadIndex(const doc::Corpus& corpus,
+                                const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string blob;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    blob.append(buf, n);
+  }
+  return DeserializeIndex(corpus, blob);
+}
+
+}  // namespace qec::index

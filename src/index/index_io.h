@@ -1,0 +1,31 @@
+#ifndef QEC_INDEX_INDEX_IO_H_
+#define QEC_INDEX_INDEX_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+
+namespace qec::index {
+
+/// Serializes the index's posting lists (delta + varbyte compressed per
+/// term, see posting_codec.h). Pairs with corpus_io: persist the corpus
+/// once and the index blob beside it to skip the rebuild scan on load.
+std::string SerializeIndex(const InvertedIndex& index);
+
+/// Reconstructs an index over `corpus` from a blob produced by
+/// SerializeIndex. Validates the blob against the corpus: term count must
+/// match the vocabulary and every doc id must exist. The returned index
+/// behaves identically to `InvertedIndex(corpus)`.
+Result<InvertedIndex> DeserializeIndex(const doc::Corpus& corpus,
+                                       std::string_view data);
+
+/// File helpers (Internal / NotFound / Corruption on failure).
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+Result<InvertedIndex> LoadIndex(const doc::Corpus& corpus,
+                                const std::string& path);
+
+}  // namespace qec::index
+
+#endif  // QEC_INDEX_INDEX_IO_H_

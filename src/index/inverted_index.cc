@@ -1,0 +1,287 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace qec::index {
+
+InvertedIndex::InvertedIndex(const doc::Corpus& corpus) : corpus_(&corpus) {
+  Rebuild();
+}
+
+InvertedIndex::InvertedIndex(const doc::Corpus& corpus,
+                             std::vector<std::vector<Posting>> postings,
+                             AdoptPostingsTag)
+    : corpus_(&corpus), postings_(std::move(postings)) {
+  ComputeDocNorms();
+}
+
+InvertedIndex InvertedIndex::FromPostings(
+    const doc::Corpus& corpus, std::vector<std::vector<Posting>> postings) {
+  return InvertedIndex(corpus, std::move(postings), AdoptPostingsTag{});
+}
+
+void InvertedIndex::Rebuild() {
+  postings_.assign(corpus_->analyzer().vocabulary().size(), {});
+  for (DocId d = 0; d < corpus_->NumDocs(); ++d) {
+    const doc::Document& doc = corpus_->Get(d);
+    const auto& term_set = doc.term_set();
+    for (TermId t : term_set) {
+      postings_[t].push_back(Posting{d, doc.TermFrequency(t)});
+    }
+  }
+  ComputeDocNorms();
+}
+
+void InvertedIndex::RebuildParallel(size_t num_threads) {
+  const size_t n = corpus_->NumDocs();
+  const size_t threads = std::max<size_t>(1, std::min(num_threads, n));
+  if (threads <= 1) {
+    Rebuild();
+    return;
+  }
+  const size_t vocab_size = corpus_->analyzer().vocabulary().size();
+  // Each worker scans a contiguous DocId shard into its own partial index;
+  // shards are then concatenated per term. Shard s covers ids
+  // [s * n / threads, (s+1) * n / threads), ascending — so per-term
+  // concatenation in shard order preserves DocId order exactly.
+  std::vector<std::vector<std::vector<Posting>>> partials(
+      threads, std::vector<std::vector<Posting>>(vocab_size));
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t s = 0; s < threads; ++s) {
+    pool.emplace_back([&, s] {
+      const DocId begin = static_cast<DocId>(s * n / threads);
+      const DocId end = static_cast<DocId>((s + 1) * n / threads);
+      for (DocId d = begin; d < end; ++d) {
+        const doc::Document& doc = corpus_->Get(d);
+        for (TermId t : doc.term_set()) {
+          partials[s][t].push_back(Posting{d, doc.TermFrequency(t)});
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  postings_.assign(vocab_size, {});
+  for (TermId t = 0; t < vocab_size; ++t) {
+    size_t total = 0;
+    for (size_t s = 0; s < threads; ++s) total += partials[s][t].size();
+    postings_[t].reserve(total);
+    for (size_t s = 0; s < threads; ++s) {
+      postings_[t].insert(postings_[t].end(), partials[s][t].begin(),
+                          partials[s][t].end());
+    }
+  }
+  ComputeDocNorms();
+}
+
+void InvertedIndex::ComputeDocNorms() {
+  // TF-IDF document norms for VSM scoring (needs df, so a second pass).
+  doc_norms_.assign(corpus_->NumDocs(), 0.0);
+  for (DocId d = 0; d < corpus_->NumDocs(); ++d) {
+    const doc::Document& doc = corpus_->Get(d);
+    double sq = 0.0;
+    for (TermId t : doc.term_set()) {
+      double w = static_cast<double>(doc.TermFrequency(t)) * Idf(t);
+      sq += w * w;
+    }
+    doc_norms_[d] = std::sqrt(sq);
+  }
+}
+
+size_t InvertedIndex::DocumentFrequency(TermId term) const {
+  return Postings(term).size();
+}
+
+const std::vector<Posting>& InvertedIndex::Postings(TermId term) const {
+  if (term >= postings_.size()) return empty_;
+  return postings_[term];
+}
+
+double InvertedIndex::Idf(TermId term) const {
+  const double n = static_cast<double>(corpus_->NumDocs());
+  const size_t df = DocumentFrequency(term);
+  if (df == 0) return std::log(1.0 + n);
+  return std::log(1.0 + n / static_cast<double>(df));
+}
+
+std::vector<DocId> InvertedIndex::EvaluateAnd(
+    const std::vector<TermId>& terms) const {
+  if (terms.empty()) {
+    std::vector<DocId> all(corpus_->NumDocs());
+    for (DocId d = 0; d < all.size(); ++d) all[d] = d;
+    return all;
+  }
+  // Intersect starting from the rarest term for efficiency.
+  std::vector<TermId> sorted = terms;
+  std::sort(sorted.begin(), sorted.end(), [this](TermId a, TermId b) {
+    return DocumentFrequency(a) < DocumentFrequency(b);
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<DocId> current;
+  for (const Posting& p : Postings(sorted[0])) current.push_back(p.doc);
+  for (size_t i = 1; i < sorted.size() && !current.empty(); ++i) {
+    const auto& plist = Postings(sorted[i]);
+    std::vector<DocId> next;
+    next.reserve(std::min(current.size(), plist.size()));
+    size_t a = 0, b = 0;
+    while (a < current.size() && b < plist.size()) {
+      if (current[a] < plist[b].doc) {
+        ++a;
+      } else if (plist[b].doc < current[a]) {
+        ++b;
+      } else {
+        next.push_back(current[a]);
+        ++a;
+        ++b;
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+std::vector<DocId> InvertedIndex::EvaluateOr(
+    const std::vector<TermId>& terms) const {
+  std::vector<DocId> out;
+  for (TermId t : terms) {
+    for (const Posting& p : Postings(t)) out.push_back(p.doc);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double InvertedIndex::TfIdfScore(const std::vector<TermId>& terms,
+                                 DocId doc) const {
+  const doc::Document& d = corpus_->Get(doc);
+  double score = 0.0;
+  for (TermId t : terms) {
+    int tf = d.TermFrequency(t);
+    if (tf > 0) score += static_cast<double>(tf) * Idf(t);
+  }
+  return score;
+}
+
+std::vector<RankedResult> InvertedIndex::Search(
+    const std::vector<TermId>& terms, size_t top_k) const {
+  std::vector<DocId> docs = EvaluateAnd(terms);
+  std::vector<RankedResult> out;
+  out.reserve(docs.size());
+  for (DocId d : docs) out.push_back(RankedResult{d, TfIdfScore(terms, d)});
+  std::sort(out.begin(), out.end(), [](const RankedResult& a,
+                                       const RankedResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<RankedResult> InvertedIndex::SearchVsm(
+    const std::vector<TermId>& terms, size_t top_k) const {
+  // Query vector: idf weight per distinct term (tf within the query is
+  // almost always 1 for keyword queries; duplicates accumulate).
+  std::unordered_map<TermId, double> query_weights;
+  for (TermId t : terms) query_weights[t] += Idf(t);
+  double query_sq = 0.0;
+  for (const auto& [t, w] : query_weights) query_sq += w * w;
+  const double query_norm = std::sqrt(query_sq);
+  if (query_norm == 0.0) return {};
+
+  // Accumulate dot products by traversing each query term's postings.
+  std::unordered_map<DocId, double> dots;
+  for (const auto& [t, qw] : query_weights) {
+    const double idf = Idf(t);
+    for (const Posting& p : Postings(t)) {
+      dots[p.doc] += qw * static_cast<double>(p.tf) * idf;
+    }
+  }
+
+  std::vector<RankedResult> out;
+  out.reserve(dots.size());
+  for (const auto& [d, dot] : dots) {
+    const double norm = doc_norms_[d];
+    if (norm <= 0.0) continue;
+    out.push_back(RankedResult{d, dot / (norm * query_norm)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<RankedResult> InvertedIndex::SearchBm25(
+    const std::vector<TermId>& terms, size_t top_k,
+    const Bm25Params& params) const {
+  const double n = static_cast<double>(corpus_->NumDocs());
+  if (n == 0.0) return {};
+  const double avg_len = corpus_->Stats().avg_doc_length;
+
+  std::vector<TermId> unique = terms;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  std::unordered_map<DocId, double> scores;
+  for (TermId t : unique) {
+    const double df = static_cast<double>(DocumentFrequency(t));
+    if (df == 0.0) continue;
+    // BM25's idf with the +1 smoothing that keeps it positive.
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : Postings(t)) {
+      const double tf = static_cast<double>(p.tf);
+      const double len_norm =
+          avg_len > 0.0
+              ? 1.0 - params.b +
+                    params.b *
+                        static_cast<double>(corpus_->Get(p.doc).length()) /
+                        avg_len
+              : 1.0;
+      scores[p.doc] +=
+          idf * tf * (params.k1 + 1.0) / (tf + params.k1 * len_norm);
+    }
+  }
+
+  std::vector<RankedResult> out;
+  out.reserve(scores.size());
+  for (const auto& [d, s] : scores) out.push_back(RankedResult{d, s});
+  std::sort(out.begin(), out.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::vector<RankedResult> InvertedIndex::SearchText(std::string_view query,
+                                                    size_t top_k) const {
+  std::vector<TermId> terms = corpus_->analyzer().AnalyzeReadOnly(query);
+  // If analysis dropped unknown words, the AND result must be empty: a
+  // document cannot contain a term that is absent from the vocabulary.
+  std::vector<std::string> raw_tokens =
+      text::Tokenizer(corpus_->analyzer().options().tokenizer).Tokenize(query);
+  size_t known_non_stopword = terms.size();
+  // Count non-stopword tokens to detect unknown words.
+  text::StopwordList stopwords =
+      corpus_->analyzer().options().remove_stopwords
+          ? text::StopwordList::DefaultEnglish()
+          : text::StopwordList();
+  size_t expected = 0;
+  for (const auto& tok : raw_tokens) {
+    if (!stopwords.IsStopword(tok)) ++expected;
+  }
+  if (known_non_stopword < expected) return {};
+  return Search(terms, top_k);
+}
+
+}  // namespace qec::index

@@ -1,0 +1,130 @@
+#ifndef QEC_INDEX_INVERTED_INDEX_H_
+#define QEC_INDEX_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "doc/corpus.h"
+
+namespace qec::index {
+
+/// One posting: a document containing the term, with its term frequency.
+struct Posting {
+  DocId doc;
+  int tf;
+};
+
+/// A retrieved document with its ranking score.
+struct RankedResult {
+  DocId doc;
+  double score;
+
+  friend bool operator==(const RankedResult& a, const RankedResult& b) {
+    return a.doc == b.doc && a.score == b.score;
+  }
+};
+
+/// Inverted index over a corpus, with boolean (AND/OR) evaluation and
+/// TF-IDF ranked retrieval. The index holds a reference to the corpus,
+/// which must outlive it; call Rebuild() after appending documents.
+class InvertedIndex {
+ public:
+  /// Builds the index over all documents currently in `corpus`.
+  explicit InvertedIndex(const doc::Corpus& corpus);
+
+  /// Deserialization support (index_io.h): adopts prebuilt posting lists
+  /// instead of scanning the corpus. `postings` must be indexed by TermId,
+  /// each list sorted by DocId with ids < corpus.NumDocs() — index_io
+  /// validates this before calling.
+  static InvertedIndex FromPostings(const doc::Corpus& corpus,
+                                    std::vector<std::vector<Posting>> postings);
+
+  /// Rebuilds from scratch (e.g. after documents were appended).
+  void Rebuild();
+
+  /// Rebuild with `num_threads` workers: documents are scanned in disjoint
+  /// shards whose partial posting lists are merged in DocId order, so the
+  /// result is byte-identical to the serial Rebuild(). Worthwhile from a
+  /// few thousand documents up.
+  void RebuildParallel(size_t num_threads);
+
+  const doc::Corpus& corpus() const { return *corpus_; }
+
+  /// Number of documents containing `term`.
+  size_t DocumentFrequency(TermId term) const;
+
+  /// Posting list of `term`, sorted by DocId (empty when unknown).
+  const std::vector<Posting>& Postings(TermId term) const;
+
+  /// Smoothed inverse document frequency: log(1 + N / df). Terms absent
+  /// from the corpus get idf of log(1 + N).
+  double Idf(TermId term) const;
+
+  /// Documents containing ALL of `terms` (AND semantics, the paper's result
+  /// definition), sorted by DocId. An empty conjunction returns every
+  /// document (the algebraic identity; callers with user-facing empty
+  /// queries should special-case them).
+  std::vector<DocId> EvaluateAnd(const std::vector<TermId>& terms) const;
+
+  /// Documents containing AT LEAST ONE of `terms` (OR semantics), sorted by
+  /// DocId. Empty disjunction returns no documents.
+  std::vector<DocId> EvaluateOr(const std::vector<TermId>& terms) const;
+
+  /// TF-IDF score of `doc` for `terms`: sum over query terms of
+  /// tf(t, doc) * idf(t).
+  double TfIdfScore(const std::vector<TermId>& terms, DocId doc) const;
+
+  /// Ranked retrieval under AND semantics: evaluates the conjunction, scores
+  /// by TF-IDF, sorts descending by score (DocId ascending tiebreak), and
+  /// truncates to `top_k` (0 = no limit).
+  std::vector<RankedResult> Search(const std::vector<TermId>& terms,
+                                   size_t top_k = 0) const;
+
+  /// Analyzer-assisted search: analyzes `query` with the corpus analyzer
+  /// (read-only) and runs Search. Unknown words yield no results (a document
+  /// cannot contain a word absent from the corpus).
+  std::vector<RankedResult> SearchText(std::string_view query,
+                                       size_t top_k = 0) const;
+
+  /// Vector-space retrieval (the paper's Sec. 7 future work asks for VSM
+  /// support): documents containing at least one query term, ranked by
+  /// cosine similarity between TF-IDF vectors of query and document.
+  /// Scores are in (0, 1]; a document exactly matching the query's term
+  /// distribution scores 1.
+  std::vector<RankedResult> SearchVsm(const std::vector<TermId>& terms,
+                                      size_t top_k = 0) const;
+
+  /// Okapi BM25 parameters.
+  struct Bm25Params {
+    double k1 = 1.2;  // term-frequency saturation
+    double b = 0.75;  // document-length normalization
+  };
+
+  /// BM25 ranked retrieval over documents containing at least one query
+  /// term (the standard probabilistic ranking alternative to TF-IDF).
+  std::vector<RankedResult> SearchBm25(const std::vector<TermId>& terms,
+                                       size_t top_k, const Bm25Params& params)
+      const;
+  std::vector<RankedResult> SearchBm25(const std::vector<TermId>& terms,
+                                       size_t top_k = 0) const {
+    return SearchBm25(terms, top_k, Bm25Params{});
+  }
+
+ private:
+  struct AdoptPostingsTag {};
+  InvertedIndex(const doc::Corpus& corpus,
+                std::vector<std::vector<Posting>> postings, AdoptPostingsTag);
+
+  void ComputeDocNorms();
+
+  const doc::Corpus* corpus_;
+  std::vector<std::vector<Posting>> postings_;  // indexed by TermId
+  std::vector<double> doc_norms_;  // ||tf-idf vector|| per document
+  std::vector<Posting> empty_;
+};
+
+}  // namespace qec::index
+
+#endif  // QEC_INDEX_INVERTED_INDEX_H_

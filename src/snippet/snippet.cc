@@ -1,0 +1,141 @@
+#include "snippet/snippet.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qec::snippet {
+
+SnippetGenerator::SnippetGenerator(SnippetOptions options)
+    : options_(options) {}
+
+Snippet SnippetGenerator::Generate(const doc::Document& document,
+                                   const std::vector<TermId>& query_terms,
+                                   const text::Vocabulary& vocabulary) const {
+  if (document.kind() == doc::DocumentKind::kStructured) {
+    return GenerateStructured(document, query_terms, vocabulary);
+  }
+  return GenerateText(document, query_terms, vocabulary);
+}
+
+Snippet SnippetGenerator::GenerateText(
+    const doc::Document& document, const std::vector<TermId>& query_terms,
+    const text::Vocabulary& vocabulary) const {
+  const auto& terms = document.terms();
+  std::unordered_set<TermId> query_set(query_terms.begin(),
+                                       query_terms.end());
+  const size_t window =
+      std::min(std::max<size_t>(options_.window_size, 1), std::max<size_t>(
+          terms.size(), 1));
+
+  // Slide the window; count distinct query terms inside it.
+  size_t best_start = 0;
+  size_t best_covered = 0;
+  if (!terms.empty()) {
+    std::unordered_map<TermId, int> in_window;
+    size_t covered = 0;
+    auto add = [&](TermId t) {
+      if (query_set.count(t) != 0 && in_window[t]++ == 0) ++covered;
+    };
+    auto remove = [&](TermId t) {
+      if (query_set.count(t) != 0 && --in_window[t] == 0) --covered;
+    };
+    for (size_t i = 0; i < terms.size(); ++i) {
+      add(terms[i]);
+      if (i + 1 >= window) {
+        if (covered > best_covered) {
+          best_covered = covered;
+          best_start = i + 1 - window;
+        }
+        remove(terms[i + 1 - window]);
+      }
+    }
+    if (terms.size() < window && covered > best_covered) {
+      best_covered = covered;
+      best_start = 0;
+    }
+  }
+
+  Snippet out;
+  out.start_position = best_start;
+  out.query_terms_covered = best_covered;
+  const size_t end = std::min(best_start + window, terms.size());
+  for (size_t i = best_start; i < end; ++i) {
+    if (i > best_start) out.text += ' ';
+    const std::string& word = vocabulary.TermString(terms[i]);
+    if (options_.highlight && query_set.count(terms[i]) != 0) {
+      out.text += '[';
+      out.text += word;
+      out.text += ']';
+    } else {
+      out.text += word;
+    }
+  }
+  if (best_start > 0) out.text = "... " + out.text;
+  if (end < terms.size()) out.text += " ...";
+  return out;
+}
+
+Snippet SnippetGenerator::GenerateStructured(
+    const doc::Document& document, const std::vector<TermId>& query_terms,
+    const text::Vocabulary& vocabulary) const {
+  std::unordered_set<std::string> query_words;
+  for (TermId t : query_terms) query_words.insert(vocabulary.TermString(t));
+
+  // A feature "matches" when any of its parts, lowercased, is a query word
+  // or its canonical token is one.
+  auto matches = [&](const doc::Feature& f) {
+    if (query_words.count(doc::FeatureToken(f)) != 0) return true;
+    for (const std::string* part : {&f.entity, &f.attribute, &f.value}) {
+      std::string lowered;
+      for (char c : *part) {
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      }
+      // Whole-part match or word-level containment.
+      if (query_words.count(lowered) != 0) return true;
+      size_t pos = 0;
+      while (pos <= lowered.size()) {
+        size_t space = lowered.find(' ', pos);
+        std::string word = lowered.substr(
+            pos, space == std::string::npos ? std::string::npos : space - pos);
+        if (!word.empty() && query_words.count(word) != 0) return true;
+        if (space == std::string::npos) break;
+        pos = space + 1;
+      }
+    }
+    return false;
+  };
+
+  std::vector<const doc::Feature*> chosen;
+  for (const auto& f : document.features()) {
+    if (chosen.size() >= options_.max_features) break;
+    if (matches(f)) chosen.push_back(&f);
+  }
+  size_t matched = chosen.size();
+  for (const auto& f : document.features()) {
+    if (chosen.size() >= options_.max_features) break;
+    if (std::find(chosen.begin(), chosen.end(), &f) == chosen.end()) {
+      chosen.push_back(&f);
+    }
+  }
+
+  Snippet out;
+  out.query_terms_covered = matched;
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    if (i > 0) out.text += "; ";
+    const doc::Feature& f = *chosen[i];
+    std::string rendered = f.entity + ": " + f.attribute + ": " + f.value;
+    if (options_.highlight && i < matched) {
+      out.text += '[';
+      out.text += rendered;
+      out.text += ']';
+    } else {
+      out.text += rendered;
+    }
+  }
+  return out;
+}
+
+}  // namespace qec::snippet

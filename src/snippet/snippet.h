@@ -1,0 +1,60 @@
+#ifndef QEC_SNIPPET_SNIPPET_H_
+#define QEC_SNIPPET_SNIPPET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "doc/document.h"
+#include "text/vocabulary.h"
+
+namespace qec::snippet {
+
+/// Snippet generation knobs.
+struct SnippetOptions {
+  /// Window width in term positions for text documents.
+  size_t window_size = 12;
+  /// Wrap matched query terms in brackets ("[java]").
+  bool highlight = true;
+  /// Maximum features rendered for structured documents.
+  size_t max_features = 4;
+};
+
+/// A generated snippet with its coverage diagnostics.
+struct Snippet {
+  std::string text;
+  /// Number of distinct query terms the snippet contains.
+  size_t query_terms_covered = 0;
+  /// Window start position (text documents; 0 for structured).
+  size_t start_position = 0;
+};
+
+/// Query-biased snippet generation in the spirit of the paper's feature
+/// model source [13] (Huang, Liu, Chen — SIGMOD'08): for text documents,
+/// the term window covering the most distinct query terms (earliest on
+/// ties); for structured documents, the features whose tokens match the
+/// query first, then leading features up to the cap.
+class SnippetGenerator {
+ public:
+  explicit SnippetGenerator(SnippetOptions options = {});
+
+  Snippet Generate(const doc::Document& document,
+                   const std::vector<TermId>& query_terms,
+                   const text::Vocabulary& vocabulary) const;
+
+  const SnippetOptions& options() const { return options_; }
+
+ private:
+  Snippet GenerateText(const doc::Document& document,
+                       const std::vector<TermId>& query_terms,
+                       const text::Vocabulary& vocabulary) const;
+  Snippet GenerateStructured(const doc::Document& document,
+                             const std::vector<TermId>& query_terms,
+                             const text::Vocabulary& vocabulary) const;
+
+  SnippetOptions options_;
+};
+
+}  // namespace qec::snippet
+
+#endif  // QEC_SNIPPET_SNIPPET_H_

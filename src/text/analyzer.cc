@@ -1,0 +1,41 @@
+#include "text/analyzer.h"
+
+namespace qec::text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(std::move(options)),
+      tokenizer_(options_.tokenizer),
+      stopwords_(options_.remove_stopwords ? StopwordList::DefaultEnglish()
+                                           : StopwordList()) {}
+
+std::vector<std::string> Analyzer::Normalize(std::string_view input) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(input);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& tok : tokens) {
+    if (options_.remove_stopwords && stopwords_.IsStopword(tok)) continue;
+    out.push_back(options_.stem ? stemmer_.Stem(tok) : std::move(tok));
+  }
+  return out;
+}
+
+std::vector<TermId> Analyzer::Analyze(std::string_view input) {
+  std::vector<TermId> ids;
+  for (const auto& tok : Normalize(input)) ids.push_back(vocab_.Intern(tok));
+  return ids;
+}
+
+std::vector<TermId> Analyzer::AnalyzeReadOnly(std::string_view input) const {
+  std::vector<TermId> ids;
+  for (const auto& tok : Normalize(input)) {
+    TermId id = vocab_.Lookup(tok);
+    if (id != kInvalidTermId) ids.push_back(id);
+  }
+  return ids;
+}
+
+TermId Analyzer::InternVerbatim(std::string_view token) {
+  return vocab_.Intern(token);
+}
+
+}  // namespace qec::text

@@ -1,0 +1,63 @@
+#ifndef QEC_TEXT_ANALYZER_H_
+#define QEC_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace qec::text {
+
+/// Analyzer pipeline knobs.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  /// Drop stopwords (using the default English list unless replaced).
+  bool remove_stopwords = true;
+  /// Apply the Porter stemmer to word tokens.
+  bool stem = false;
+};
+
+/// Full text-analysis pipeline: tokenize -> stopword filter -> (stem) ->
+/// intern. Owns the vocabulary into which terms are interned.
+///
+/// The same analyzer instance must be used for documents and queries so that
+/// their TermIds agree.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Analyzes free text into interned term ids (duplicates preserved,
+  /// order preserved).
+  std::vector<TermId> Analyze(std::string_view input);
+
+  /// Analyzes free text without interning new terms; unknown terms are
+  /// dropped. Use for queries against an already-built corpus.
+  std::vector<TermId> AnalyzeReadOnly(std::string_view input) const;
+
+  /// Interns a single pre-formed token verbatim (no tokenization); used for
+  /// structured feature terms like "tv:brand:toshiba".
+  TermId InternVerbatim(std::string_view token);
+
+  Vocabulary& vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  std::vector<std::string> Normalize(std::string_view input) const;
+
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordList stopwords_;
+  PorterStemmer stemmer_;
+  Vocabulary vocab_;
+};
+
+}  // namespace qec::text
+
+#endif  // QEC_TEXT_ANALYZER_H_

@@ -1,0 +1,244 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace qec::text {
+
+namespace {
+
+// Working buffer view over the word being stemmed. `end` is the index one
+// past the last character of the current stem candidate.
+struct Buf {
+  std::string s;
+  size_t end;  // stem length under consideration
+
+  char at(size_t i) const { return s[i]; }
+};
+
+bool IsVowelAt(const Buf& b, size_t i) {
+  switch (b.at(i)) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return true;
+    case 'y':
+      // 'y' is a vowel if preceded by a consonant.
+      return i > 0 && !IsVowelAt(b, i - 1);
+    default:
+      return false;
+  }
+}
+
+// Measure m of the stem s[0..end): number of VC sequences.
+int Measure(const Buf& b, size_t end) {
+  int m = 0;
+  size_t i = 0;
+  // Skip initial consonants.
+  while (i < end && !IsVowelAt(b, i)) ++i;
+  while (i < end) {
+    // In vowel run.
+    while (i < end && IsVowelAt(b, i)) ++i;
+    if (i >= end) break;
+    ++m;  // saw VC
+    while (i < end && !IsVowelAt(b, i)) ++i;
+  }
+  return m;
+}
+
+bool EndsWith(const Buf& b, std::string_view suffix) {
+  if (b.end < suffix.size()) return false;
+  return std::string_view(b.s).substr(b.end - suffix.size(), suffix.size()) ==
+         suffix;
+}
+
+// Stem part preceding `suffix` (call only after EndsWith succeeded).
+size_t StemEnd(const Buf& b, std::string_view suffix) {
+  return b.end - suffix.size();
+}
+
+bool ContainsVowel(const Buf& b, size_t end) {
+  for (size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(b, i)) return true;
+  }
+  return false;
+}
+
+bool DoubleConsonant(const Buf& b, size_t end) {
+  if (end < 2) return false;
+  if (b.at(end - 1) != b.at(end - 2)) return false;
+  return !IsVowelAt(b, end - 1);
+}
+
+// *o: stem ends cvc where the final c is not w, x or y.
+bool CvcEnding(const Buf& b, size_t end) {
+  if (end < 3) return false;
+  if (IsVowelAt(b, end - 1) || !IsVowelAt(b, end - 2) || IsVowelAt(b, end - 3)) {
+    return false;
+  }
+  char c = b.at(end - 1);
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+void SetSuffix(Buf& b, size_t stem_end, std::string_view replacement) {
+  b.s.resize(stem_end);
+  b.s += replacement;
+  b.end = b.s.size();
+}
+
+// Step 1a: plurals.
+void Step1a(Buf& b) {
+  if (EndsWith(b, "sses")) {
+    SetSuffix(b, StemEnd(b, "sses"), "ss");
+  } else if (EndsWith(b, "ies")) {
+    SetSuffix(b, StemEnd(b, "ies"), "i");
+  } else if (EndsWith(b, "ss")) {
+    // no-op
+  } else if (EndsWith(b, "s")) {
+    SetSuffix(b, StemEnd(b, "s"), "");
+  }
+}
+
+// Step 1b: -ed / -ing.
+void Step1b(Buf& b) {
+  bool second = false;
+  if (EndsWith(b, "eed")) {
+    size_t stem = StemEnd(b, "eed");
+    if (Measure(b, stem) > 0) SetSuffix(b, stem, "ee");
+  } else if (EndsWith(b, "ed")) {
+    size_t stem = StemEnd(b, "ed");
+    if (ContainsVowel(b, stem)) {
+      SetSuffix(b, stem, "");
+      second = true;
+    }
+  } else if (EndsWith(b, "ing")) {
+    size_t stem = StemEnd(b, "ing");
+    if (ContainsVowel(b, stem)) {
+      SetSuffix(b, stem, "");
+      second = true;
+    }
+  }
+  if (second) {
+    if (EndsWith(b, "at")) {
+      SetSuffix(b, StemEnd(b, "at"), "ate");
+    } else if (EndsWith(b, "bl")) {
+      SetSuffix(b, StemEnd(b, "bl"), "ble");
+    } else if (EndsWith(b, "iz")) {
+      SetSuffix(b, StemEnd(b, "iz"), "ize");
+    } else if (DoubleConsonant(b, b.end)) {
+      char c = b.at(b.end - 1);
+      if (c != 'l' && c != 's' && c != 'z') {
+        SetSuffix(b, b.end - 1, "");
+      }
+    } else if (Measure(b, b.end) == 1 && CvcEnding(b, b.end)) {
+      SetSuffix(b, b.end, "e");
+    }
+  }
+}
+
+// Step 1c: y -> i when there is another vowel in the stem.
+void Step1c(Buf& b) {
+  if (EndsWith(b, "y") && ContainsVowel(b, b.end - 1)) {
+    SetSuffix(b, b.end - 1, "i");
+  }
+}
+
+struct Rule {
+  std::string_view suffix;
+  std::string_view replacement;
+};
+
+// Applies the first matching rule whose stem has measure > threshold.
+void ApplyRules(Buf& b, const Rule* rules, size_t n, int min_measure) {
+  for (size_t i = 0; i < n; ++i) {
+    if (EndsWith(b, rules[i].suffix)) {
+      size_t stem = StemEnd(b, rules[i].suffix);
+      if (Measure(b, stem) > min_measure) {
+        SetSuffix(b, stem, rules[i].replacement);
+      }
+      return;  // longest match semantics: only the first matching rule fires
+    }
+  }
+}
+
+void Step2(Buf& b) {
+  static constexpr Rule kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  ApplyRules(b, kRules, std::size(kRules), 0);
+}
+
+void Step3(Buf& b) {
+  static constexpr Rule kRules[] = {
+      {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+  };
+  ApplyRules(b, kRules, std::size(kRules), 0);
+}
+
+void Step4(Buf& b) {
+  static constexpr Rule kRules[] = {
+      {"al", ""},    {"ance", ""}, {"ence", ""}, {"er", ""},   {"ic", ""},
+      {"able", ""},  {"ible", ""}, {"ant", ""},  {"ement", ""}, {"ment", ""},
+      {"ent", ""},   {"ou", ""},   {"ism", ""},  {"ate", ""},  {"iti", ""},
+      {"ous", ""},   {"ive", ""},  {"ize", ""},
+  };
+  // -ion requires preceding s or t.
+  if (EndsWith(b, "ion")) {
+    size_t stem = StemEnd(b, "ion");
+    if (stem > 0 && (b.at(stem - 1) == 's' || b.at(stem - 1) == 't') &&
+        Measure(b, stem) > 1) {
+      SetSuffix(b, stem, "");
+    }
+    return;
+  }
+  // Match longest suffix first: sort by trying longer before shorter where
+  // they overlap ("ement" before "ment" before "ent").
+  ApplyRules(b, kRules, std::size(kRules), 1);
+}
+
+void Step5a(Buf& b) {
+  if (EndsWith(b, "e")) {
+    size_t stem = b.end - 1;
+    int m = Measure(b, stem);
+    if (m > 1 || (m == 1 && !CvcEnding(b, stem))) {
+      SetSuffix(b, stem, "");
+    }
+  }
+}
+
+void Step5b(Buf& b) {
+  if (b.end > 1 && b.at(b.end - 1) == 'l' && DoubleConsonant(b, b.end) &&
+      Measure(b, b.end) > 1) {
+    SetSuffix(b, b.end - 1, "");
+  }
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) return std::string(word);
+  }
+  Buf b{std::string(word), word.size()};
+  Step1a(b);
+  Step1b(b);
+  Step1c(b);
+  Step2(b);
+  Step3(b);
+  Step4(b);
+  Step5a(b);
+  Step5b(b);
+  b.s.resize(b.end);
+  return b.s;
+}
+
+}  // namespace qec::text

@@ -1,0 +1,21 @@
+#ifndef QEC_TEXT_PORTER_STEMMER_H_
+#define QEC_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace qec::text {
+
+/// Classic Porter (1980) suffix-stripping stemmer. Stateless; operates on
+/// lowercase ASCII words. Words containing non-alphabetic characters are
+/// returned unchanged (e.g. "8gb", "wp-dc26" — structured-data feature
+/// values should not be mangled).
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`.
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace qec::text
+
+#endif  // QEC_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,44 @@
+#include "text/stopwords.h"
+
+namespace qec::text {
+
+namespace {
+// Classic English function words. Kept intentionally compact: aggressive
+// stopword removal would delete legitimate expansion keywords.
+constexpr const char* kDefaultEnglish[] = {
+    "a",     "about", "above", "after",  "again",  "all",   "also",  "am",
+    "an",    "and",   "any",   "are",    "as",     "at",    "be",    "because",
+    "been",  "before", "being", "below", "between", "both", "but",   "by",
+    "can",   "could", "did",   "do",     "does",   "doing", "down",  "during",
+    "each",  "few",   "for",   "from",   "further", "had",  "has",   "have",
+    "having", "he",   "her",   "here",   "hers",   "him",   "his",   "how",
+    "i",     "if",    "in",    "into",   "is",     "it",    "its",   "itself",
+    "just",  "me",    "more",  "most",   "my",     "no",    "nor",   "not",
+    "now",   "of",    "off",   "on",     "once",   "only",  "or",    "other",
+    "our",   "ours",  "out",   "over",   "own",    "same",  "she",   "should",
+    "so",    "some",  "such",  "than",   "that",   "the",   "their", "theirs",
+    "them",  "then",  "there", "these",  "they",   "this",  "those", "through",
+    "to",    "too",   "under", "until",  "up",     "very",  "was",   "we",
+    "were",  "what",  "when",  "where",  "which",  "while", "who",   "whom",
+    "why",   "will",  "with",  "would",  "you",    "your",  "yours",
+};
+}  // namespace
+
+StopwordList::StopwordList(const std::vector<std::string>& words)
+    : words_(words.begin(), words.end()) {}
+
+StopwordList StopwordList::DefaultEnglish() {
+  StopwordList list;
+  for (const char* w : kDefaultEnglish) list.words_.insert(w);
+  return list;
+}
+
+bool StopwordList::IsStopword(std::string_view word) const {
+  return words_.find(std::string(word)) != words_.end();
+}
+
+void StopwordList::Add(std::string_view word) {
+  words_.insert(std::string(word));
+}
+
+}  // namespace qec::text

@@ -1,0 +1,36 @@
+#ifndef QEC_TEXT_STOPWORDS_H_
+#define QEC_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace qec::text {
+
+/// A set of words excluded from indexing and from expansion candidates.
+class StopwordList {
+ public:
+  /// Empty list (nothing is a stopword).
+  StopwordList() = default;
+
+  /// List containing exactly `words` (expected lowercase).
+  explicit StopwordList(const std::vector<std::string>& words);
+
+  /// The default English stopword list (a superset of the classic SMART
+  /// short list; lowercase).
+  static StopwordList DefaultEnglish();
+
+  bool IsStopword(std::string_view word) const;
+
+  size_t size() const { return words_.size(); }
+
+  void Add(std::string_view word);
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace qec::text
+
+#endif  // QEC_TEXT_STOPWORDS_H_

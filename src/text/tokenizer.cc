@@ -1,0 +1,56 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace qec::text {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
+
+bool Tokenizer::IsTokenChar(char c) const {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return options_.intra_token_chars.find(c) != std::string::npos;
+}
+
+void Tokenizer::Tokenize(std::string_view input,
+                         std::vector<std::string>& out) const {
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    while (i < n && !IsTokenChar(input[i])) ++i;
+    size_t start = i;
+    while (i < n && IsTokenChar(input[i])) ++i;
+    if (start == i) continue;
+    std::string_view raw = input.substr(start, i - start);
+    // Strip non-alphanumeric characters from the edges ("-foo-" -> "foo").
+    while (!raw.empty() &&
+           !std::isalnum(static_cast<unsigned char>(raw.front()))) {
+      raw.remove_prefix(1);
+    }
+    while (!raw.empty() &&
+           !std::isalnum(static_cast<unsigned char>(raw.back()))) {
+      raw.remove_suffix(1);
+    }
+    if (raw.size() < options_.min_token_length) continue;
+    if (!options_.keep_numbers) {
+      bool all_digits = true;
+      for (char c : raw) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) continue;
+    }
+    out.push_back(options_.lowercase ? AsciiLower(raw) : std::string(raw));
+  }
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> out;
+  Tokenize(input, out);
+  return out;
+}
+
+}  // namespace qec::text

@@ -1,0 +1,46 @@
+#ifndef QEC_TEXT_TOKENIZER_H_
+#define QEC_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qec::text {
+
+/// Tokenization knobs.
+struct TokenizerOptions {
+  /// Lowercase all tokens (ASCII).
+  bool lowercase = true;
+  /// Keep tokens made purely of digits ("8gb" is always kept since it mixes).
+  bool keep_numbers = true;
+  /// Minimum token length; shorter tokens are dropped.
+  size_t min_token_length = 1;
+  /// Characters (besides alphanumerics) allowed inside a token. Hyphen keeps
+  /// product names like "wp-dc26" together.
+  std::string intra_token_chars = "-";
+};
+
+/// Splits text into word tokens. A token is a maximal run of alphanumeric
+/// characters and `intra_token_chars`; leading/trailing intra-token chars
+/// are stripped ("-foo-" tokenizes to "foo").
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `input` and appends tokens to `out`.
+  void Tokenize(std::string_view input, std::vector<std::string>& out) const;
+
+  /// Convenience: returns the tokens of `input`.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsTokenChar(char c) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace qec::text
+
+#endif  // QEC_TEXT_TOKENIZER_H_

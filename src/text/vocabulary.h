@@ -1,0 +1,39 @@
+#ifndef QEC_TEXT_VOCABULARY_H_
+#define QEC_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qec::text {
+
+/// Bidirectional string interner: term string <-> dense TermId. All corpus
+/// processing works on TermIds; strings only reappear when presenting
+/// expanded queries to the user.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns `term`, returning its id (existing or fresh).
+  TermId Intern(std::string_view term);
+
+  /// Id of `term`, or kInvalidTermId if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  /// String of an interned id. `id` must be valid.
+  const std::string& TermString(TermId id) const;
+
+  /// Number of distinct interned terms.
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace qec::text
+
+#endif  // QEC_TEXT_VOCABULARY_H_

@@ -1,0 +1,433 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace qec::xml {
+
+std::unique_ptr<XmlNode> XmlNode::Element(std::string name) {
+  auto node = std::unique_ptr<XmlNode>(new XmlNode(Kind::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Text(std::string text) {
+  auto node = std::unique_ptr<XmlNode>(new XmlNode(Kind::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+std::string_view XmlNode::Attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+void XmlNode::SetAttribute(std::string name, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(name), std::move(value));
+}
+
+XmlNode* XmlNode::AddChild(std::unique_ptr<XmlNode> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+XmlNode* XmlNode::AddElementWithText(std::string name, std::string text) {
+  auto elem = Element(std::move(name));
+  elem->AddChild(Text(std::move(text)));
+  return AddChild(std::move(elem));
+}
+
+const XmlNode* XmlNode::FindChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::InnerText() const {
+  std::string out;
+  auto append = [&out](const std::string& t) {
+    if (t.empty()) return;
+    if (!out.empty()) out += ' ';
+    out += t;
+  };
+  if (is_text()) {
+    append(text_);
+    return out;
+  }
+  for (const auto& c : children_) {
+    std::string t = c->InnerText();
+    append(t);
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Status::Corruption("trailing content after root element at byte " +
+                                std::to_string(pos_));
+    }
+    XmlDocument doc;
+    doc.root = std::move(root).value();
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  bool SkipComment() {
+    if (!Match("<!--")) return false;
+    size_t end = input_.find("-->", pos_ + 4);
+    pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+    return true;
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Match("<?xml")) {
+      size_t end = input_.find("?>", pos_);
+      pos_ = (end == std::string_view::npos) ? input_.size() : end + 2;
+    }
+    SkipMisc();
+    // DOCTYPE (skipped wholesale; internal subsets not supported).
+    if (Match("<!DOCTYPE")) {
+      size_t end = input_.find('>', pos_);
+      pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (!SkipComment()) break;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) {
+      return Status::Corruption("expected name at byte " +
+                                std::to_string(pos_));
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Status::Corruption("expected quoted attribute value at byte " +
+                                std::to_string(pos_));
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Status::Corruption("unterminated attribute value");
+    std::string value = DecodeEntities(input_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        out += raw[i++];
+        continue;
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out += '&';
+      } else if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (!ent.empty() && ent[0] == '#') {
+        int code = 0;
+        bool ok = true;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          for (size_t j = 2; j < ent.size(); ++j) {
+            char c = ent[j];
+            int d = (c >= '0' && c <= '9')   ? c - '0'
+                    : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                    : (c >= 'A' && c <= 'F') ? c - 'A' + 10
+                                             : -1;
+            if (d < 0) {
+              ok = false;
+              break;
+            }
+            code = code * 16 + d;
+          }
+        } else {
+          for (size_t j = 1; j < ent.size(); ++j) {
+            if (!std::isdigit(static_cast<unsigned char>(ent[j]))) {
+              ok = false;
+              break;
+            }
+            code = code * 10 + (ent[j] - '0');
+          }
+        }
+        if (ok && code > 0 && code < 128) {
+          out += static_cast<char>(code);
+        }  // non-ASCII references are dropped (corpus is ASCII)
+      } else {
+        // Unknown entity: keep verbatim.
+        out += raw.substr(i, semi - i + 1);
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (AtEnd() || Peek() != '<') {
+      return Status::Corruption("expected '<' at byte " + std::to_string(pos_));
+    }
+    ++pos_;
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    auto elem = XmlNode::Element(std::move(name).value());
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Status::Corruption("unterminated start tag");
+      if (Peek() == '>' || Match("/>")) break;
+      auto attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') {
+        return Status::Corruption("expected '=' after attribute name");
+      }
+      ++pos_;
+      SkipWhitespace();
+      auto value = ParseAttributeValue();
+      if (!value.ok()) return value.status();
+      elem->SetAttribute(std::move(attr_name).value(), std::move(value).value());
+    }
+
+    if (Match("/>")) {
+      pos_ += 2;
+      return elem;
+    }
+    ++pos_;  // '>'
+
+    // Content.
+    for (;;) {
+      if (AtEnd()) {
+        return Status::Corruption("unterminated element <" + elem->name() +
+                                  ">");
+      }
+      if (Match("</")) {
+        pos_ += 2;
+        auto close = ParseName();
+        if (!close.ok()) return close.status();
+        if (close.value() != elem->name()) {
+          return Status::Corruption("mismatched close tag </" + close.value() +
+                                    "> for <" + elem->name() + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') {
+          return Status::Corruption("malformed close tag");
+        }
+        ++pos_;
+        return elem;
+      }
+      if (SkipComment()) continue;
+      if (Match("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Status::Corruption("unterminated CDATA section");
+        }
+        elem->AddChild(
+            XmlNode::Text(std::string(input_.substr(pos_ + 9, end - pos_ - 9))));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        elem->AddChild(std::move(child).value());
+        continue;
+      }
+      // Text run.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      std::string text = DecodeEntities(input_.substr(start, pos_ - start));
+      // Collapse pure-whitespace runs between elements.
+      bool all_space = true;
+      for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!all_space) elem->AddChild(XmlNode::Text(std::move(text)));
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void WriteStartTag(const XmlNode& node, std::string& out) {
+  out += '<';
+  out += node.name();
+  for (const auto& [k, v] : node.attributes()) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += EscapeText(v);
+    out += '"';
+  }
+}
+
+// Serializes without any added whitespace — required inside mixed content,
+// where pretty-printing would alter the text nodes.
+void WriteNodeInline(const XmlNode& node, std::string& out) {
+  if (node.is_text()) {
+    out += EscapeText(node.text());
+    return;
+  }
+  WriteStartTag(node, out);
+  if (node.children().empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  for (const auto& c : node.children()) WriteNodeInline(*c, out);
+  out += "</";
+  out += node.name();
+  out += '>';
+}
+
+bool HasTextChild(const XmlNode& node) {
+  for (const auto& c : node.children()) {
+    if (c->is_text()) return true;
+  }
+  return false;
+}
+
+void WriteNodeImpl(const XmlNode& node, int depth, std::string& out) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  // Mixed content (any text child) must round-trip byte-exactly: no
+  // pretty-printing inside it.
+  if (node.is_text() || HasTextChild(node)) {
+    out += indent;
+    WriteNodeInline(node, out);
+    out += '\n';
+    return;
+  }
+  out += indent;
+  WriteStartTag(node, out);
+  if (node.children().empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">\n";
+  for (const auto& c : node.children()) {
+    WriteNodeImpl(*c, depth + 1, out);
+  }
+  out += indent;
+  out += "</";
+  out += node.name();
+  out += ">\n";
+}
+
+}  // namespace
+
+Result<XmlDocument> Parse(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string WriteNode(const XmlNode& node) {
+  std::string out;
+  WriteNodeImpl(node, 0, out);
+  return out;
+}
+
+std::string Write(const XmlDocument& document) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (document.root != nullptr) out += WriteNode(*document.root);
+  return out;
+}
+
+}  // namespace qec::xml

@@ -1,0 +1,96 @@
+#ifndef QEC_XML_XML_H_
+#define QEC_XML_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qec::xml {
+
+/// A node in a parsed XML document: either an element (name, attributes,
+/// children) or a text node (text only).
+class XmlNode {
+ public:
+  enum class Kind { kElement, kText };
+
+  /// Creates an element node.
+  static std::unique_ptr<XmlNode> Element(std::string name);
+
+  /// Creates a text node.
+  static std::unique_ptr<XmlNode> Text(std::string text);
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Element name (empty for text nodes).
+  const std::string& name() const { return name_; }
+
+  /// Raw text of a text node (empty for elements).
+  const std::string& text() const { return text_; }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  /// Attribute value, or empty string_view when absent.
+  std::string_view Attribute(std::string_view name) const;
+
+  void SetAttribute(std::string name, std::string value);
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child, returning a borrowed pointer to it.
+  XmlNode* AddChild(std::unique_ptr<XmlNode> child);
+
+  /// Convenience: appends <name>text</name>.
+  XmlNode* AddElementWithText(std::string name, std::string text);
+
+  /// First child element with the given name, or nullptr.
+  const XmlNode* FindChild(std::string_view name) const;
+
+  /// All child elements with the given name.
+  std::vector<const XmlNode*> FindChildren(std::string_view name) const;
+
+  /// Concatenation of all text in this subtree, depth-first, with single
+  /// spaces between adjacent text nodes.
+  std::string InnerText() const;
+
+ private:
+  explicit XmlNode(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// A parsed XML document (single root element).
+struct XmlDocument {
+  std::unique_ptr<XmlNode> root;
+};
+
+/// Parses `input` into a document. Supports elements, attributes
+/// (single/double quoted), self-closing tags, text with the five standard
+/// entities, numeric character references (ASCII range), comments, CDATA
+/// sections, and a leading XML declaration. Returns Corruption on
+/// malformed input.
+Result<XmlDocument> Parse(std::string_view input);
+
+/// Serializes a document (or subtree) back to XML with 2-space indentation.
+std::string Write(const XmlDocument& document);
+std::string WriteNode(const XmlNode& node);
+
+/// Escapes the five standard XML entities in `text`.
+std::string EscapeText(std::string_view text);
+
+}  // namespace qec::xml
+
+#endif  // QEC_XML_XML_H_

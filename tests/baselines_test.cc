@@ -1,0 +1,226 @@
+// Tests for the comparison methods: Data Clouds, Cluster Summarization,
+// and the query-log ("Google") suggester.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/cluster_summarization.h"
+#include "baselines/data_clouds.h"
+#include "baselines/query_log.h"
+#include "cluster/kmeans.h"
+#include "core/metrics.h"
+#include "core/result_universe.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+
+namespace qec::baselines {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() {
+    // Results of "apple": 3 about stores, 2 about fruit. "rare" appears
+    // with huge tf in one doc only (the CS trap: high tf, low coverage).
+    ids_.push_back(corpus_.AddTextDocument(
+        "0", "apple store iphone retail rare rare rare rare rare"));
+    ids_.push_back(corpus_.AddTextDocument("1", "apple store retail launch"));
+    ids_.push_back(corpus_.AddTextDocument("2", "apple store iphone event"));
+    ids_.push_back(corpus_.AddTextDocument("3", "apple fruit orchard"));
+    ids_.push_back(corpus_.AddTextDocument("4", "apple fruit cider"));
+    index_ = std::make_unique<index::InvertedIndex>(corpus_);
+    universe_ = std::make_unique<core::ResultUniverse>(corpus_, ids_);
+    // Fixed clustering: {0,1,2} and {3,4}.
+    clustering_.assignment = {0, 0, 0, 1, 1};
+    clustering_.num_clusters = 2;
+  }
+
+  TermId T(const std::string& w) const {
+    return corpus_.analyzer().vocabulary().Lookup(w);
+  }
+
+  doc::Corpus corpus_;
+  std::vector<DocId> ids_;
+  std::unique_ptr<index::InvertedIndex> index_;
+  std::unique_ptr<core::ResultUniverse> universe_;
+  cluster::Clustering clustering_;
+};
+
+// ------------------------------------------------------------ DataClouds
+
+TEST_F(BaselineFixture, DataCloudsReturnsTopWordsAsQueries) {
+  DataCloudsOptions options;
+  options.num_queries = 3;
+  DataClouds clouds(options);
+  auto suggestions = clouds.Suggest(*universe_, *index_, {T("apple")});
+  ASSERT_EQ(suggestions.size(), 3u);
+  for (const auto& s : suggestions) {
+    // Each suggestion = user query + exactly one word.
+    ASSERT_EQ(s.terms.size(), 2u);
+    EXPECT_EQ(s.terms[0], T("apple"));
+    EXPECT_EQ(s.keywords.size(), 2u);
+    EXPECT_EQ(s.keywords[0], "apple");
+  }
+}
+
+TEST_F(BaselineFixture, DataCloudsExcludesQueryTerms) {
+  DataClouds clouds;
+  auto suggestions = clouds.Suggest(*universe_, *index_, {T("apple")});
+  for (const auto& s : suggestions) {
+    for (size_t i = 1; i < s.terms.size(); ++i) {
+      EXPECT_NE(s.terms[i], T("apple"));
+    }
+  }
+}
+
+TEST_F(BaselineFixture, DataCloudsRankingBias) {
+  // With strong rank skew toward store docs, fruit words drop out of the
+  // top words — the paper's core criticism of result-summarization
+  // expansion (Sec. 1, the "apple" ranking-bias example).
+  std::vector<index::RankedResult> ranked = {{ids_[0], 10.0},
+                                             {ids_[1], 9.0},
+                                             {ids_[2], 8.0},
+                                             {ids_[3], 0.1},
+                                             {ids_[4], 0.1}};
+  core::ResultUniverse skewed(corpus_, ranked);
+  DataCloudsOptions options;
+  options.num_queries = 2;
+  auto suggestions = DataClouds(options).Suggest(skewed, *index_,
+                                                 {T("apple")});
+  ASSERT_EQ(suggestions.size(), 2u);
+  for (const auto& s : suggestions) {
+    EXPECT_NE(s.keywords[1], "fruit");
+    EXPECT_NE(s.keywords[1], "orchard");
+    EXPECT_NE(s.keywords[1], "cider");
+  }
+}
+
+TEST_F(BaselineFixture, DataCloudsFewerWordsThanRequested) {
+  DataCloudsOptions options;
+  options.num_queries = 100;
+  auto suggestions =
+      DataClouds(options).Suggest(*universe_, *index_, {T("apple")});
+  // Bounded by the number of distinct non-query terms.
+  EXPECT_LT(suggestions.size(), 100u);
+  EXPECT_GT(suggestions.size(), 0u);
+}
+
+// ------------------------------------------------- ClusterSummarization
+
+TEST_F(BaselineFixture, CsLabelsEveryCluster) {
+  ClusterSummarization cs;
+  auto suggestions =
+      cs.Suggest(*universe_, *index_, {T("apple")}, clustering_);
+  ASSERT_EQ(suggestions.size(), 2u);
+  for (const auto& s : suggestions) {
+    EXPECT_EQ(s.terms[0], T("apple"));
+    EXPECT_LE(s.terms.size(), 1u + 3u);  // user query + label_size
+    EXPECT_GT(s.terms.size(), 1u);
+  }
+}
+
+TEST_F(BaselineFixture, CsPrefersHighTfIcfWords) {
+  // "rare" has tf 5 inside cluster 0 and appears in no other cluster: the
+  // TFICF label must pick it even though it covers only one result — the
+  // documented CS failure mode.
+  ClusterSummarizationOptions options;
+  options.label_size = 1;
+  ClusterSummarization cs(options);
+  auto suggestions =
+      cs.Suggest(*universe_, *index_, {T("apple")}, clustering_);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].keywords[1], "rare");
+}
+
+TEST_F(BaselineFixture, CsEvaluateMeasuresLowRecallTrap) {
+  ClusterSummarizationOptions options;
+  options.label_size = 1;
+  ClusterSummarization cs(options);
+  auto suggestions =
+      cs.Suggest(*universe_, *index_, {T("apple")}, clustering_);
+  auto qualities = cs.Evaluate(*universe_, suggestions, clustering_);
+  ASSERT_EQ(qualities.size(), 2u);
+  // Cluster 0's label "rare" retrieves only 1 of 3 results: recall 1/3.
+  EXPECT_NEAR(qualities[0].recall, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(qualities[0].precision, 1.0);
+}
+
+TEST_F(BaselineFixture, CsIcfDiscountsSharedWords) {
+  // "retail" (cluster 0 only) must outscore nothing shared; craft a word in
+  // both clusters and check it is not chosen over cluster-exclusive words.
+  ids_.push_back(corpus_.AddTextDocument("5", "apple fruit retail"));
+  index_->Rebuild();
+  core::ResultUniverse u(corpus_, ids_);
+  cluster::Clustering c;
+  c.assignment = {0, 0, 0, 1, 1, 1};
+  c.num_clusters = 2;
+  ClusterSummarizationOptions options;
+  options.label_size = 2;
+  auto suggestions = ClusterSummarization(options).Suggest(
+      u, *index_, {T("apple")}, c);
+  // Cluster 1 label should favour "fruit" (in all 3 docs, exclusive now
+  // that doc5 has it too... fruit is cluster-1-only) over "retail" (shared
+  // with cluster 0).
+  const auto& kw = suggestions[1].keywords;
+  EXPECT_EQ(kw[1], "fruit");
+}
+
+// -------------------------------------------------------- QueryLog
+
+TEST(QueryLogTest, SuggestsPopularExtensions) {
+  QueryLogSuggester log({{"java tutorials", 900},
+                         {"java games", 700},
+                         {"java island", 100},
+                         {"python tutorials", 950}});
+  text::Analyzer analyzer;
+  analyzer.Analyze("java island tutorials");
+  auto suggestions = log.Suggest("java", analyzer, 2);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].keywords,
+            (std::vector<std::string>{"java", "tutorials"}));
+  EXPECT_EQ(suggestions[1].keywords,
+            (std::vector<std::string>{"java", "games"}));
+}
+
+TEST(QueryLogTest, RequiresAllUserWords) {
+  QueryLogSuggester log({{"san jose attractions", 500},
+                         {"san francisco hotels", 900}});
+  text::Analyzer analyzer;
+  auto suggestions = log.Suggest("san jose", analyzer, 5);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].keywords[2], "attractions");
+}
+
+TEST(QueryLogTest, OffCorpusWordsHaveNoTerms) {
+  QueryLogSuggester log({{"java tutorials", 900}});
+  text::Analyzer analyzer;
+  analyzer.Analyze("java island");  // "tutorials" not in corpus
+  auto suggestions = log.Suggest("java", analyzer, 1);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].keywords.size(), 2u);
+  EXPECT_EQ(suggestions[0].terms.size(), 1u);  // only "java" resolves
+}
+
+TEST(QueryLogTest, ExactUserQueryIsNotASuggestion) {
+  QueryLogSuggester log({{"java", 9999}, {"java games", 10}});
+  text::Analyzer analyzer;
+  auto suggestions = log.Suggest("java", analyzer, 5);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].keywords[1], "games");
+}
+
+TEST(QueryLogTest, DeduplicatesNormalizedQueries) {
+  QueryLogSuggester log({{"Java Games", 700}, {"java games", 600}});
+  text::Analyzer analyzer;
+  auto suggestions = log.Suggest("java", analyzer, 5);
+  EXPECT_EQ(suggestions.size(), 1u);
+}
+
+TEST(QueryLogTest, EmptyLogGivesNothing) {
+  QueryLogSuggester log({});
+  text::Analyzer analyzer;
+  EXPECT_TRUE(log.Suggest("java", analyzer, 3).empty());
+}
+
+}  // namespace
+}  // namespace qec::baselines

@@ -1,0 +1,324 @@
+// Unit tests for qec_common: Status/Result, Rng, string utilities, and the
+// DynamicBitset result-set algebra the expansion algorithms rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/dynamic_bitset.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace qec {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailsThenPropagates(bool fail) {
+  QEC_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(17), 17u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleLargerThanPopulationReturnsAll) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+// ---------------------------------------------------------- string_util --
+
+TEST(StringUtilTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("HeLLo WoRld"), "hello world");
+  EXPECT_EQ(AsciiLower(""), "");
+  EXPECT_EQ(AsciiLower("123-ABC"), "123-abc");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x y  "), "x y");
+  EXPECT_EQ(TrimWhitespace("\t\n abc\r "), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("bar", "foobar"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+// --------------------------------------------------------- DynamicBitset --
+
+TEST(DynamicBitsetTest, StartsAllClear) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(DynamicBitsetTest, ConstructAllSetTrimsTail) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_TRUE(b.Test(69));
+}
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_EQ(b.Count(), 4u);
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, AndOrXorAndNot) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  a.Set(3);
+  b.Set(2);
+  b.Set(3);
+  b.Set(4);
+
+  DynamicBitset c = a & b;
+  EXPECT_EQ(c.ToIndices(), (std::vector<size_t>{2, 3}));
+
+  DynamicBitset d = a | b;
+  EXPECT_EQ(d.ToIndices(), (std::vector<size_t>{1, 2, 3, 4}));
+
+  DynamicBitset e = a;
+  e ^= b;
+  EXPECT_EQ(e.ToIndices(), (std::vector<size_t>{1, 4}));
+
+  DynamicBitset f = a;
+  f.AndNot(b);
+  EXPECT_EQ(f.ToIndices(), (std::vector<size_t>{1}));
+}
+
+TEST(DynamicBitsetTest, AndCountMatchesMaterializedAnd) {
+  DynamicBitset a(200), b(200);
+  for (size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (size_t i = 0; i < 200; i += 5) b.Set(i);
+  EXPECT_EQ(a.AndCount(b), (a & b).Count());
+}
+
+TEST(DynamicBitsetTest, IntersectsAndSubset) {
+  DynamicBitset a(66), b(66), c(66);
+  a.Set(65);
+  b.Set(65);
+  b.Set(1);
+  c.Set(2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  DynamicBitset empty(66);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(DynamicBitsetTest, SetAllResetAll) {
+  DynamicBitset b(129);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 129u);
+  b.ResetAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitAscending) {
+  DynamicBitset b(300);
+  std::vector<size_t> expected{0, 64, 128, 200, 299};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitsetTest, EqualityAndEmptyEdge) {
+  DynamicBitset a(0), b(0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Count(), 0u);
+  DynamicBitset c(5), d(5);
+  c.Set(3);
+  d.Set(3);
+  EXPECT_EQ(c, d);
+  d.Set(4);
+  EXPECT_FALSE(c == d);
+}
+
+}  // namespace
+}  // namespace qec

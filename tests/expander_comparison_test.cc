@@ -1,0 +1,221 @@
+// Tests for the F-measure variant, the exact solver, and cross-algorithm
+// properties: the exact optimum bounds every heuristic from above, and the
+// F-measure variant never performs worse per-step than random choices.
+// Includes randomized property sweeps over small instances.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/exact.h"
+#include "core/expansion_context.h"
+#include "core/fmeasure_expander.h"
+#include "core/iskr.h"
+#include "core/pebc.h"
+#include "core/result_universe.h"
+#include "doc/corpus.h"
+
+namespace qec::core {
+namespace {
+
+/// A randomly generated small expansion instance.
+struct RandomInstance {
+  std::unique_ptr<doc::Corpus> corpus;
+  std::vector<DocId> ids;
+  std::unique_ptr<ResultUniverse> universe;
+  std::unique_ptr<ExpansionContext> context;
+};
+
+RandomInstance MakeRandomInstance(uint64_t seed, size_t num_docs,
+                                  size_t num_keywords, size_t cluster_size) {
+  Rng rng(seed);
+  RandomInstance inst;
+  inst.corpus = std::make_unique<doc::Corpus>();
+  std::vector<std::string> keywords;
+  for (size_t k = 0; k < num_keywords; ++k) {
+    keywords.push_back("kw" + std::to_string(k));
+  }
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::string body = "q";
+    for (const auto& kw : keywords) {
+      if (rng.Bernoulli(0.5)) body += " " + kw;
+    }
+    inst.ids.push_back(
+        inst.corpus->AddTextDocument(std::to_string(d), body));
+  }
+  inst.universe = std::make_unique<ResultUniverse>(*inst.corpus, inst.ids);
+  DynamicBitset cluster(num_docs);
+  for (size_t i = 0; i < cluster_size && i < num_docs; ++i) cluster.Set(i);
+  std::vector<TermId> cand;
+  for (const auto& kw : keywords) {
+    TermId t = inst.corpus->analyzer().vocabulary().Lookup(kw);
+    if (t != kInvalidTermId) cand.push_back(t);
+  }
+  inst.context = std::make_unique<ExpansionContext>(
+      MakeContext(*inst.universe,
+                  {inst.corpus->analyzer().vocabulary().Lookup("q")},
+                  cluster, cand));
+  return inst;
+}
+
+// ------------------------------------------------------------ FMeasure --
+
+TEST(FMeasureExpanderTest, FindsPerfectSeparator) {
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  ids.push_back(corpus.AddTextDocument("0", "q cat"));
+  ids.push_back(corpus.AddTextDocument("1", "q cat"));
+  ids.push_back(corpus.AddTextDocument("2", "q dog"));
+  ResultUniverse universe(corpus, ids);
+  DynamicBitset cluster(3);
+  cluster.Set(0);
+  cluster.Set(1);
+  auto T = [&](const char* w) {
+    return corpus.analyzer().vocabulary().Lookup(w);
+  };
+  ExpansionContext ctx =
+      MakeContext(universe, {T("q")}, cluster, {T("cat"), T("dog")});
+  ExpansionResult r = FMeasureExpander().Expand(ctx);
+  EXPECT_DOUBLE_EQ(r.quality.f_measure, 1.0);
+}
+
+TEST(FMeasureExpanderTest, MonotoneFMeasureSteps) {
+  // Every accepted step strictly improves F, so the final F is at least
+  // the F of the bare user query.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomInstance inst = MakeRandomInstance(seed, 12, 5, 5);
+    double base_f =
+        EvaluateAgainstCluster(*inst.context, inst.context->user_query)
+            .f_measure;
+    ExpansionResult r = FMeasureExpander().Expand(*inst.context);
+    EXPECT_GE(r.quality.f_measure, base_f - 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(FMeasureExpanderTest, RecomputesEveryKeywordEachIteration) {
+  RandomInstance inst = MakeRandomInstance(3, 12, 6, 5);
+  const size_t num_candidates = inst.context->candidates.size();
+  ExpansionResult r = FMeasureExpander().Expand(*inst.context);
+  // The F-measure method's documented cost: every round re-evaluates every
+  // candidate not yet in the query (plus removals). Even the weakest bound
+  // — candidates not in the final query, once per round including the
+  // terminating round — must hold.
+  EXPECT_GE(r.value_recomputations,
+            (num_candidates - r.iterations) * (r.iterations + 1));
+  // (No per-instance comparison with ISKR: each F-measure recomputation is
+  // a full query evaluation, so the method is slower per unit even when
+  // its count is similar — Fig. 6 measures the end-to-end effect.)
+}
+
+// --------------------------------------------------------------- Exact --
+
+TEST(ExactExpanderTest, FindsKnownOptimum) {
+  // NOTE: single-letter words would be eaten by the stopword list ("a").
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  ids.push_back(corpus.AddTextDocument("0", "q alpha beta"));
+  ids.push_back(corpus.AddTextDocument("1", "q alpha"));
+  ids.push_back(corpus.AddTextDocument("2", "q beta"));
+  ids.push_back(corpus.AddTextDocument("3", "q gamma"));
+  ResultUniverse universe(corpus, ids);
+  DynamicBitset cluster(4);
+  cluster.Set(0);  // C = {doc0} = the only doc with both alpha and beta
+  auto T = [&](const char* w) {
+    return corpus.analyzer().vocabulary().Lookup(w);
+  };
+  ExpansionContext ctx = MakeContext(universe, {T("q")}, cluster,
+                                     {T("alpha"), T("beta"), T("gamma")});
+  ExpansionResult r = ExactExpander().Expand(ctx);
+  EXPECT_DOUBLE_EQ(r.quality.f_measure, 1.0);
+  std::set<TermId> q(r.query.begin(), r.query.end());
+  EXPECT_TRUE(q.count(T("alpha")) == 1 && q.count(T("beta")) == 1);
+  EXPECT_EQ(q.count(T("gamma")), 0u);
+  // 2^3 subsets evaluated (plus the empty one counted once).
+  EXPECT_EQ(r.iterations, 8u);
+}
+
+TEST(ExactExpanderTest, EmptyCandidatesReturnsUserQuery) {
+  RandomInstance inst = MakeRandomInstance(5, 6, 4, 3);
+  ExpansionContext ctx = *inst.context;
+  ctx.candidates.clear();
+  ExpansionResult r = ExactExpander().Expand(ctx);
+  EXPECT_EQ(r.query, ctx.user_query);
+}
+
+// --------------------------------------------- heuristics vs the optimum --
+
+class HeuristicVsExact : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeuristicVsExact, ExactUpperBoundsHeuristics) {
+  RandomInstance inst = MakeRandomInstance(GetParam(), 14, 8, 6);
+  double exact_f = ExactExpander().Expand(*inst.context).quality.f_measure;
+  double iskr_f = IskrExpander().Expand(*inst.context).quality.f_measure;
+  double fmeasure_f =
+      FMeasureExpander().Expand(*inst.context).quality.f_measure;
+  PebcOptions pebc_options;
+  pebc_options.num_segments = 4;
+  double pebc_f =
+      PebcExpander(pebc_options).Expand(*inst.context).quality.f_measure;
+
+  EXPECT_LE(iskr_f, exact_f + 1e-9);
+  EXPECT_LE(fmeasure_f, exact_f + 1e-9);
+  EXPECT_LE(pebc_f, exact_f + 1e-9);
+  // All heuristics at least match the unexpanded query (they only accept
+  // improvements or return the best sample).
+  double base_f =
+      EvaluateAgainstCluster(*inst.context, inst.context->user_query)
+          .f_measure;
+  EXPECT_GE(fmeasure_f, base_f - 1e-12);
+  EXPECT_GE(pebc_f, base_f - 1e-12);
+}
+
+TEST_P(HeuristicVsExact, HeuristicsGetReasonablyClose) {
+  // Not a guarantee of the algorithms, but on these small random instances
+  // the heuristics should reach a large fraction of the optimum; a big gap
+  // indicates an implementation bug rather than heuristic weakness.
+  RandomInstance inst = MakeRandomInstance(GetParam() + 1000, 14, 8, 6);
+  double exact_f = ExactExpander().Expand(*inst.context).quality.f_measure;
+  double iskr_f = IskrExpander().Expand(*inst.context).quality.f_measure;
+  if (exact_f > 0.0) {
+    EXPECT_GE(iskr_f, 0.5 * exact_f)
+        << "ISKR reached less than half the optimal F-measure";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, HeuristicVsExact,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ------------------------------------------------- query-shape invariants
+
+class QueryShapeInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryShapeInvariants, AllAlgorithmsKeepUserQueryAndUniqueness) {
+  RandomInstance inst = MakeRandomInstance(GetParam() + 500, 10, 6, 4);
+  std::vector<ExpansionResult> results;
+  results.push_back(IskrExpander().Expand(*inst.context));
+  results.push_back(FMeasureExpander().Expand(*inst.context));
+  results.push_back(PebcExpander().Expand(*inst.context));
+  results.push_back(ExactExpander().Expand(*inst.context));
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.query.empty());
+    EXPECT_EQ(r.query[0], inst.context->user_query[0]);
+    std::set<TermId> unique(r.query.begin(), r.query.end());
+    EXPECT_EQ(unique.size(), r.query.size());
+    EXPECT_GE(r.quality.f_measure, 0.0);
+    EXPECT_LE(r.quality.f_measure, 1.0);
+    EXPECT_GE(r.quality.precision, 0.0);
+    EXPECT_LE(r.quality.precision, 1.0);
+    EXPECT_GE(r.quality.recall, 0.0);
+    EXPECT_LE(r.quality.recall, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, QueryShapeInvariants,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace qec::core

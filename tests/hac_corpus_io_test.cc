@@ -1,0 +1,259 @@
+// Tests for HAC clustering + the dynamic method selector, and for corpus
+// serialization (save / load / corruption handling).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/hac.h"
+#include "doc/corpus_io.h"
+#include "index/inverted_index.h"
+
+namespace qec {
+namespace {
+
+using cluster::Clustering;
+using cluster::ClusteringMethod;
+using cluster::Hac;
+using cluster::HacOptions;
+using cluster::SparseVector;
+
+SparseVector V(std::vector<std::pair<TermId, double>> entries) {
+  return SparseVector(std::move(entries));
+}
+
+std::vector<SparseVector> ThreeGroups() {
+  std::vector<SparseVector> points;
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 4; ++i) {
+      TermId base = static_cast<TermId>(g * 10);
+      points.push_back(V({{base, 3.0 + 0.1 * i}, {base + 1, 2.0}}));
+    }
+  }
+  return points;
+}
+
+// --------------------------------------------------------------------- HAC
+
+TEST(HacTest, SeparatesObviousGroups) {
+  HacOptions options;
+  options.k = 3;
+  Clustering c = Hac(options).Cluster(ThreeGroups());
+  EXPECT_EQ(c.num_clusters, 3u);
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 1; i < 4; ++i) {
+      EXPECT_EQ(c.assignment[g * 4 + i], c.assignment[g * 4]);
+    }
+  }
+}
+
+TEST(HacTest, CutAtOneMergesEverything) {
+  HacOptions options;
+  options.k = 1;
+  Clustering c = Hac(options).Cluster(ThreeGroups());
+  EXPECT_EQ(c.num_clusters, 1u);
+}
+
+TEST(HacTest, AutoKFindsNaturalCount) {
+  HacOptions options;
+  options.k = 5;
+  options.auto_k = true;
+  Clustering c = Hac(options).Cluster(ThreeGroups());
+  EXPECT_EQ(c.num_clusters, 3u);
+}
+
+TEST(HacTest, EmptyAndSingleton) {
+  EXPECT_EQ(Hac().Cluster({}).num_clusters, 0u);
+  Clustering one = Hac().Cluster({V({{1, 1.0}})});
+  EXPECT_EQ(one.num_clusters, 1u);
+}
+
+TEST(HacTest, DeterministicNoSeedNeeded) {
+  auto points = ThreeGroups();
+  HacOptions options;
+  options.k = 3;
+  Clustering a = Hac(options).Cluster(points);
+  Clustering b = Hac(options).Cluster(points);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(HacTest, LabelsDenseAndPartitioning) {
+  HacOptions options;
+  options.k = 4;
+  auto points = ThreeGroups();
+  Clustering c = Hac(options).Cluster(points);
+  EXPECT_EQ(c.assignment.size(), points.size());
+  auto members = c.Members();
+  size_t total = 0;
+  for (const auto& m : members) {
+    EXPECT_FALSE(m.empty());
+    total += m.size();
+  }
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(SelectBestClusteringTest, PicksAMethodAndSeparates) {
+  ClusteringMethod chosen;
+  Clustering c = cluster::SelectBestClustering(ThreeGroups(), 5, 42, &chosen);
+  EXPECT_EQ(c.num_clusters, 3u);
+  // Either method is acceptable; the call must report which won.
+  EXPECT_TRUE(chosen == ClusteringMethod::kKMeans ||
+              chosen == ClusteringMethod::kHac);
+}
+
+TEST(SelectBestClusteringTest, SilhouetteOfSelectedAtLeastEachMethod) {
+  auto points = ThreeGroups();
+  Clustering best = cluster::SelectBestClustering(points, 5, 42);
+  cluster::KMeansOptions kopts;
+  kopts.k = 5;
+  kopts.auto_k = true;
+  Clustering km = cluster::KMeans(kopts).Cluster(points);
+  HacOptions hopts;
+  hopts.k = 5;
+  hopts.auto_k = true;
+  Clustering hc = Hac(hopts).Cluster(points);
+  double best_s = cluster::MeanSilhouette(points, best);
+  EXPECT_GE(best_s, cluster::MeanSilhouette(points, km) - 1e-12);
+  EXPECT_GE(best_s, cluster::MeanSilhouette(points, hc) - 1e-12);
+}
+
+// --------------------------------------------------------------- corpus IO
+
+doc::Corpus MakeMixedCorpus() {
+  doc::Corpus corpus;
+  corpus.AddTextDocument("t0", "apple store iphone apple");
+  corpus.AddTextDocument("t1", "apple fruit orchard");
+  corpus.AddStructuredDocument(
+      "p0", {{"Canon products", "category", "camera"},
+             {"camera", "shutter speed", "15 - 1/3200 sec."}});
+  return corpus;
+}
+
+TEST(CorpusIoTest, RoundTripPreservesEverything) {
+  doc::Corpus original = MakeMixedCorpus();
+  std::string blob = doc::SerializeCorpus(original);
+  auto loaded = doc::DeserializeCorpus(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->NumDocs(), original.NumDocs());
+  EXPECT_EQ(loaded->analyzer().vocabulary().size(),
+            original.analyzer().vocabulary().size());
+  for (DocId d = 0; d < original.NumDocs(); ++d) {
+    const auto& a = original.Get(d);
+    const auto& b = loaded->Get(d);
+    EXPECT_EQ(a.title(), b.title());
+    EXPECT_EQ(a.kind(), b.kind());
+    EXPECT_EQ(a.terms(), b.terms());
+    EXPECT_EQ(a.features(), b.features());
+  }
+  // Term strings survive with identical ids.
+  TermId apple = original.analyzer().vocabulary().Lookup("apple");
+  EXPECT_EQ(loaded->analyzer().vocabulary().TermString(apple), "apple");
+}
+
+TEST(CorpusIoTest, LoadedCorpusIndexesIdentically) {
+  doc::Corpus original = MakeMixedCorpus();
+  auto loaded = doc::DeserializeCorpus(doc::SerializeCorpus(original));
+  ASSERT_TRUE(loaded.ok());
+  index::InvertedIndex idx_a(original);
+  index::InvertedIndex idx_b(*loaded);
+  auto ra = idx_a.SearchText("apple");
+  auto rb = idx_b.SearchText("apple");
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].doc, rb[i].doc);
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+  }
+}
+
+TEST(CorpusIoTest, AnalyzerOptionsSurvive) {
+  text::AnalyzerOptions options;
+  options.stem = true;
+  options.remove_stopwords = false;
+  options.tokenizer.min_token_length = 2;
+  doc::Corpus original(options);
+  original.AddTextDocument("t", "the running dogs");
+  auto loaded = doc::DeserializeCorpus(doc::SerializeCorpus(original));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->analyzer().options().stem);
+  EXPECT_FALSE(loaded->analyzer().options().remove_stopwords);
+  EXPECT_EQ(loaded->analyzer().options().tokenizer.min_token_length, 2u);
+  // New analysis behaves identically: "jumping" stems to "jump".
+  auto ids = loaded->analyzer().AnalyzeReadOnly("running");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(loaded->analyzer().vocabulary().TermString(ids[0]), "run");
+}
+
+TEST(CorpusIoTest, BadMagicIsCorruption) {
+  std::string blob = doc::SerializeCorpus(MakeMixedCorpus());
+  blob[0] = 'X';
+  auto loaded = doc::DeserializeCorpus(blob);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CorpusIoTest, TruncationIsCorruption) {
+  std::string blob = doc::SerializeCorpus(MakeMixedCorpus());
+  for (size_t cut : {blob.size() - 1, blob.size() / 2, size_t{9}}) {
+    auto loaded = doc::DeserializeCorpus(blob.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(CorpusIoTest, TrailingBytesAreCorruption) {
+  std::string blob = doc::SerializeCorpus(MakeMixedCorpus());
+  blob += "junk";
+  EXPECT_FALSE(doc::DeserializeCorpus(blob).ok());
+}
+
+TEST(CorpusIoTest, OutOfRangeTermIdIsCorruption) {
+  // Empty corpus with one doc referencing term 7 — hand-build a blob by
+  // serializing a real corpus and bumping a term id byte is brittle, so
+  // serialize a 1-term corpus and a doc referencing it, then corrupt the
+  // term id.
+  doc::Corpus corpus;
+  corpus.AddTextDocument("t", "apple");
+  std::string blob = doc::SerializeCorpus(corpus);
+  // The last u32 before features-count holds the term id 0; flip the
+  // 8 bytes from the end region: locate by brute force — corrupt each
+  // trailing byte and require either Corruption or a still-valid parse.
+  bool saw_corruption = false;
+  for (size_t i = blob.size() - 12; i < blob.size(); ++i) {
+    std::string copy = blob;
+    copy[i] = static_cast<char>(0x7f);
+    auto loaded = doc::DeserializeCorpus(copy);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST(CorpusIoTest, SaveLoadFile) {
+  const std::string path = "/tmp/qec_corpus_io_test.bin";
+  doc::Corpus original = MakeMixedCorpus();
+  ASSERT_TRUE(doc::SaveCorpus(original, path).ok());
+  auto loaded = doc::LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumDocs(), original.NumDocs());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, LoadMissingFileIsNotFound) {
+  auto loaded = doc::LoadCorpus("/tmp/qec_no_such_file_12345.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CorpusIoTest, EmptyCorpusRoundTrips) {
+  doc::Corpus empty;
+  auto loaded = doc::DeserializeCorpus(doc::SerializeCorpus(empty));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumDocs(), 0u);
+}
+
+}  // namespace
+}  // namespace qec

@@ -1,0 +1,236 @@
+// Tests for the posting-list codec (delta + varbyte) and index
+// serialization, including randomized round-trip properties and corruption
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "datagen/shopping.h"
+#include "index/index_io.h"
+#include "index/posting_codec.h"
+
+namespace qec::index {
+namespace {
+
+// ------------------------------------------------------------------ varint
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                     ~0ULL >> 1, ~0ULL}) {
+    std::string buf;
+    AppendVarint(v, buf);
+    size_t pos = 0;
+    auto decoded = ReadVarint(buf, &pos);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncationIsCorruption) {
+  std::string buf;
+  AppendVarint(1ULL << 40, buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    auto decoded = ReadVarint(std::string_view(buf).substr(0, cut), &pos);
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+TEST(VarintTest, OverlongIsCorruption) {
+  std::string buf(11, static_cast<char>(0x80));
+  size_t pos = 0;
+  EXPECT_FALSE(ReadVarint(buf, &pos).ok());
+}
+
+// ----------------------------------------------------------------- codec
+
+TEST(PostingCodecTest, EmptyList) {
+  auto decoded = DecodePostings(EncodePostings({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PostingCodecTest, RoundTripsKnownList) {
+  std::vector<Posting> list = {{0, 3}, {1, 1}, {7, 12}, {1000, 2}};
+  auto decoded = DecodePostings(EncodePostings(list));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].doc, list[i].doc);
+    EXPECT_EQ((*decoded)[i].tf, list[i].tf);
+  }
+}
+
+TEST(PostingCodecTest, DeltaCodingShrinksDenseLists) {
+  std::vector<Posting> dense;
+  for (DocId d = 1000; d < 2000; ++d) dense.push_back({d, 1});
+  std::string blob = EncodePostings(dense);
+  // 1000 adjacent postings: ~2 bytes each (gap 0 + tf 1) + header.
+  EXPECT_LT(blob.size(), 2100u);
+}
+
+TEST(PostingCodecTest, TrailingBytesAreCorruption) {
+  std::string blob = EncodePostings({{3, 1}});
+  blob += '\0';
+  EXPECT_FALSE(DecodePostings(blob).ok());
+}
+
+TEST(PostingCodecTest, ZeroTfIsCorruption) {
+  // Hand-build: count 1, gap 5, tf 0.
+  std::string blob;
+  AppendVarint(1, blob);
+  AppendVarint(5, blob);
+  AppendVarint(0, blob);
+  auto decoded = DecodePostings(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+class PostingCodecProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostingCodecProperty, RandomRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<Posting> list;
+  DocId doc = 0;
+  const size_t n = rng.UniformInt(200);
+  for (size_t i = 0; i < n; ++i) {
+    doc += 1 + static_cast<DocId>(rng.UniformInt(1000));
+    list.push_back({doc, 1 + static_cast<int>(rng.UniformInt(50))});
+  }
+  auto decoded = DecodePostings(EncodePostings(list));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].doc, list[i].doc);
+    EXPECT_EQ((*decoded)[i].tf, list[i].tf);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingCodecProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --------------------------------------------------------------- index IO
+
+class IndexIoFixture : public ::testing::Test {
+ protected:
+  IndexIoFixture()
+      : corpus_(datagen::ShoppingGenerator().Generate()), index_(corpus_) {}
+
+  doc::Corpus corpus_;
+  InvertedIndex index_;
+};
+
+TEST_F(IndexIoFixture, RoundTripMatchesRebuild) {
+  auto loaded = DeserializeIndex(corpus_, SerializeIndex(index_));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& vocab = corpus_.analyzer().vocabulary();
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    const auto& a = index_.Postings(t);
+    const auto& b = loaded->Postings(t);
+    ASSERT_EQ(a.size(), b.size()) << vocab.TermString(t);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_EQ(a[i].tf, b[i].tf);
+    }
+  }
+}
+
+TEST_F(IndexIoFixture, LoadedIndexSearchesIdentically) {
+  auto loaded = DeserializeIndex(corpus_, SerializeIndex(index_));
+  ASSERT_TRUE(loaded.ok());
+  for (const char* q : {"canon products", "memory 8gb", "tv plasma"}) {
+    auto a = index_.SearchText(q);
+    auto b = loaded->SearchText(q);
+    ASSERT_EQ(a.size(), b.size()) << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+  // VSM relies on the recomputed document norms.
+  auto terms = corpus_.analyzer().AnalyzeReadOnly("memory");
+  auto va = index_.SearchVsm(terms, 5);
+  auto vb = loaded->SearchVsm(terms, 5);
+  ASSERT_EQ(va.size(), vb.size());
+  for (size_t i = 0; i < va.size(); ++i) {
+    EXPECT_EQ(va[i].doc, vb[i].doc);
+    EXPECT_DOUBLE_EQ(va[i].score, vb[i].score);
+  }
+}
+
+TEST_F(IndexIoFixture, VocabularyMismatchIsCorruption) {
+  std::string blob = SerializeIndex(index_);
+  doc::Corpus other;
+  other.AddTextDocument("t", "different vocabulary entirely");
+  auto loaded = DeserializeIndex(other, blob);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(IndexIoFixture, BadMagicAndTruncation) {
+  std::string blob = SerializeIndex(index_);
+  std::string bad = blob;
+  bad[0] = 'Z';
+  EXPECT_FALSE(DeserializeIndex(corpus_, bad).ok());
+  EXPECT_FALSE(DeserializeIndex(corpus_, blob.substr(0, 4)).ok());
+  EXPECT_FALSE(
+      DeserializeIndex(corpus_, blob.substr(0, blob.size() / 2)).ok());
+  EXPECT_FALSE(DeserializeIndex(corpus_, blob + "x").ok());
+}
+
+TEST_F(IndexIoFixture, SaveLoadFile) {
+  const std::string path = "/tmp/qec_index_io_test.bin";
+  ASSERT_TRUE(SaveIndex(index_, path).ok());
+  auto loaded = LoadIndex(corpus_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->DocumentFrequency(
+                corpus_.analyzer().vocabulary().Lookup("canon")),
+            index_.DocumentFrequency(
+                corpus_.analyzer().vocabulary().Lookup("canon")));
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexIoFixture, MissingFileIsNotFound) {
+  auto loaded = LoadIndex(corpus_, "/tmp/qec_missing_index_98765.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IndexIoFixture, CompressionIsEffective) {
+  std::string blob = SerializeIndex(index_);
+  // Raw postings would be 8 bytes each; the catalog has tens of thousands
+  // of postings. The varbyte blob must be markedly smaller.
+  size_t raw = 0;
+  const auto& vocab = corpus_.analyzer().vocabulary();
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    raw += index_.Postings(t).size() * 8;
+  }
+  EXPECT_LT(blob.size(), raw / 2);
+}
+
+TEST(IndexIoFuzzTest, RandomMutationsNeverCrash) {
+  doc::Corpus corpus;
+  corpus.AddTextDocument("a", "one two three");
+  corpus.AddTextDocument("b", "two three four");
+  InvertedIndex index(corpus);
+  std::string blob = SerializeIndex(index);
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = blob;
+    const size_t flips = 1 + rng.UniformInt(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.UniformInt(mutated.size())] =
+          static_cast<char>(rng.UniformInt(256));
+    }
+    auto loaded = DeserializeIndex(corpus, mutated);  // must not crash
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qec::index

@@ -1,0 +1,158 @@
+// End-to-end integration tests: the full pipeline on both generated
+// datasets, asserting the *shape* of the paper's findings — ISKR/PEBC
+// produce high Eq. 1 scores, shopping is near-perfectly separable, CS
+// trails on Wikipedia, and expanded-query sets are comprehensive/diverse.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "eval/harness.h"
+#include "eval/user_study.h"
+
+namespace qec::eval {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static const DatasetBundle& Shopping() {
+    static DatasetBundle* bundle = new DatasetBundle(MakeShoppingBundle());
+    return *bundle;
+  }
+  static const DatasetBundle& Wikipedia() {
+    static DatasetBundle* bundle = [] {
+      datagen::WikipediaOptions options;
+      options.docs_per_sense = 10;
+      options.background_docs = 40;
+      return new DatasetBundle(MakeWikipediaBundle(options));
+    }();
+    return *bundle;
+  }
+
+  static double AverageScore(const DatasetBundle& bundle, Method method) {
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto& wq : bundle.queries) {
+      auto qc = PrepareQueryCase(bundle, wq.text);
+      if (!qc.ok()) continue;
+      MethodRun run = RunMethod(bundle, *qc, method, nullptr, wq.text);
+      sum += run.set_score;
+      ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+};
+
+TEST_F(IntegrationFixture, EveryWorkloadQueryPreparesSuccessfully) {
+  for (const auto& wq : Shopping().queries) {
+    EXPECT_TRUE(PrepareQueryCase(Shopping(), wq.text).ok()) << wq.id;
+  }
+  for (const auto& wq : Wikipedia().queries) {
+    EXPECT_TRUE(PrepareQueryCase(Wikipedia(), wq.text).ok()) << wq.id;
+  }
+}
+
+TEST_F(IntegrationFixture, IskrScoresHighOnShopping) {
+  // Sec. 5.2.2: "On the shopping data, both algorithms achieve perfect
+  // score for many queries" — categories have disjoint features.
+  double avg = AverageScore(Shopping(), Method::kIskr);
+  EXPECT_GT(avg, 0.8) << "ISKR average Eq.1 score on shopping";
+}
+
+TEST_F(IntegrationFixture, PebcScoresHighOnShopping) {
+  double avg = AverageScore(Shopping(), Method::kPebc);
+  EXPECT_GT(avg, 0.7) << "PEBC average Eq.1 score on shopping";
+}
+
+TEST_F(IntegrationFixture, IskrAndPebcBeatCsOnWikipedia) {
+  // Fig. 5(b): CS usually has a poor score on the Wikipedia data because
+  // its high-TFICF keywords rarely co-occur.
+  double iskr = AverageScore(Wikipedia(), Method::kIskr);
+  double pebc = AverageScore(Wikipedia(), Method::kPebc);
+  double cs = AverageScore(Wikipedia(), Method::kCs);
+  EXPECT_GT(iskr, cs);
+  EXPECT_GT(pebc, cs);
+}
+
+TEST_F(IntegrationFixture, FMeasureComparableToIskr) {
+  // Sec. 5.2.2: the F-measure variant has "the same or slightly better"
+  // quality; allow a small tolerance either way.
+  double iskr = AverageScore(Shopping(), Method::kIskr);
+  double fm = AverageScore(Shopping(), Method::kFMeasure);
+  EXPECT_NEAR(iskr, fm, 0.15);
+}
+
+TEST_F(IntegrationFixture, IskrSetsAreComprehensiveAndDiverse) {
+  UserStudySimulator sim;
+  double total_comp = 0.0, total_div = 0.0;
+  size_t n = 0;
+  for (const auto& wq : Shopping().queries) {
+    auto qc = PrepareQueryCase(Shopping(), wq.text);
+    ASSERT_TRUE(qc.ok());
+    MethodRun run = RunMethod(Shopping(), *qc, Method::kIskr, nullptr, wq.text);
+    total_comp += Comprehensiveness(*qc->universe, run.suggestions);
+    total_div += Diversity(*qc->universe, run.suggestions);
+    ++n;
+  }
+  EXPECT_GT(total_comp / n, 0.85);
+  EXPECT_GT(total_div / n, 0.7);
+}
+
+TEST_F(IntegrationFixture, UserStudyOrderingMatchesFig1) {
+  // Fig. 1's shape: ISKR and PEBC beat Data Clouds on mean individual
+  // score. (Google sits between; CS varies by dataset.)
+  baselines::QueryLogSuggester log(datagen::SyntheticQueryLog());
+  UserStudySimulator sim;
+  auto mean_for = [&](Method m) {
+    double sum = 0.0;
+    size_t n = 0;
+    for (const auto& wq : Wikipedia().queries) {
+      auto qc = PrepareQueryCase(Wikipedia(), wq.text);
+      if (!qc.ok()) continue;
+      MethodRun run = RunMethod(Wikipedia(), *qc, m, &log, wq.text);
+      for (const auto& s : run.suggestions) {
+        sum += sim.AssessIndividual(*qc->universe, qc->clustering, s)
+                   .mean_score;
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+  double iskr = mean_for(Method::kIskr);
+  double pebc = mean_for(Method::kPebc);
+  double clouds = mean_for(Method::kDataClouds);
+  EXPECT_GT(iskr, clouds);
+  EXPECT_GT(pebc, clouds);
+}
+
+TEST_F(IntegrationFixture, ExpansionsContainOriginalQuery) {
+  for (const auto& wq : Wikipedia().queries) {
+    auto qc = PrepareQueryCase(Wikipedia(), wq.text);
+    ASSERT_TRUE(qc.ok());
+    MethodRun run =
+        RunMethod(Wikipedia(), *qc, Method::kIskr, nullptr, wq.text);
+    for (const auto& s : run.suggestions) {
+      ASSERT_GE(s.terms.size(), qc->user_terms.size());
+      for (size_t i = 0; i < qc->user_terms.size(); ++i) {
+        EXPECT_EQ(s.terms[i], qc->user_terms[i]) << wq.id;
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, ScalabilityUniverseGrowsLinearly) {
+  // Fig. 7 setup: QW2 "columbia" with growing result counts must prepare
+  // successfully at every size.
+  datagen::WikipediaOptions options;
+  options.docs_per_sense = 50;
+  options.background_docs = 20;
+  auto bundle = MakeWikipediaBundle(options);
+  for (size_t top_k : {50, 100, 120}) {
+    auto qc = PrepareQueryCase(bundle, "columbia", top_k);
+    ASSERT_TRUE(qc.ok());
+    EXPECT_EQ(qc->universe->size(), top_k);
+  }
+}
+
+}  // namespace
+}  // namespace qec::eval

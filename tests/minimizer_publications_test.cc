@@ -1,0 +1,234 @@
+// Tests for query minimization, the publications extension dataset, and
+// metamorphic invariants of the expansion pipeline.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/iskr.h"
+#include "core/query_expander.h"
+#include "core/query_minimizer.h"
+#include "datagen/publications.h"
+#include "index/inverted_index.h"
+
+namespace qec {
+namespace {
+
+// -------------------------------------------------------- query minimizer
+
+class MinimizerFixture : public ::testing::Test {
+ protected:
+  MinimizerFixture() {
+    ids_.push_back(corpus_.AddTextDocument("0", "q alpha beta gamma"));
+    ids_.push_back(corpus_.AddTextDocument("1", "q alpha beta"));
+    ids_.push_back(corpus_.AddTextDocument("2", "q delta"));
+    universe_ = std::make_unique<core::ResultUniverse>(corpus_, ids_);
+  }
+
+  TermId T(const std::string& w) const {
+    return corpus_.analyzer().vocabulary().Lookup(w);
+  }
+
+  doc::Corpus corpus_;
+  std::vector<DocId> ids_;
+  std::unique_ptr<core::ResultUniverse> universe_;
+};
+
+TEST_F(MinimizerFixture, DropsRedundantKeyword) {
+  // beta retrieves exactly what alpha does: one of them is redundant.
+  std::vector<TermId> q = {T("q"), T("alpha"), T("beta")};
+  auto minimized = core::MinimizeQuery(*universe_, q, 1);
+  ASSERT_EQ(minimized.size(), 2u);
+  EXPECT_EQ(minimized[0], T("q"));
+  EXPECT_EQ(universe_->Retrieve(minimized).Count(), 2u);
+}
+
+TEST_F(MinimizerFixture, KeepsLoadBearingKeywords) {
+  std::vector<TermId> q = {T("q"), T("gamma")};
+  auto minimized = core::MinimizeQuery(*universe_, q, 1);
+  EXPECT_EQ(minimized, q);
+}
+
+TEST_F(MinimizerFixture, ProtectedPrefixSurvivesEvenWhenRedundant) {
+  // "q" appears everywhere — it is redundant for retrieval, but it is the
+  // user's query and must stay.
+  std::vector<TermId> q = {T("q"), T("gamma")};
+  auto minimized = core::MinimizeQuery(*universe_, q, 1);
+  EXPECT_EQ(minimized[0], T("q"));
+  // Without protection, the universal term goes away.
+  auto fully = core::MinimizeQuery(*universe_, q, 0);
+  EXPECT_EQ(fully, (std::vector<TermId>{T("gamma")}));
+}
+
+TEST_F(MinimizerFixture, ResultSetAlwaysPreserved) {
+  Rng rng(3);
+  std::vector<TermId> pool = {T("q"), T("alpha"), T("beta"), T("gamma"),
+                              T("delta")};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TermId> q;
+    for (TermId t : pool) {
+      if (rng.Bernoulli(0.5)) q.push_back(t);
+    }
+    auto minimized = core::MinimizeQuery(*universe_, q, 0);
+    EXPECT_EQ(universe_->Retrieve(minimized), universe_->Retrieve(q));
+    EXPECT_LE(minimized.size(), q.size());
+    // Minimality: no keyword in the minimized query can be dropped.
+    const DynamicBitset target = universe_->Retrieve(minimized);
+    for (size_t i = 0; i < minimized.size(); ++i) {
+      std::vector<TermId> without;
+      for (size_t j = 0; j < minimized.size(); ++j) {
+        if (j != i) without.push_back(minimized[j]);
+      }
+      EXPECT_FALSE(universe_->Retrieve(without) == target)
+          << "keyword " << i << " was removable";
+    }
+  }
+}
+
+TEST_F(MinimizerFixture, EngineOptionShortensQueries) {
+  index::InvertedIndex index(corpus_);
+  core::QueryExpanderOptions plain;
+  plain.candidates.fraction = 1.0;
+  core::QueryExpanderOptions minimized = plain;
+  minimized.minimize_queries = true;
+  auto a = core::QueryExpander(index, plain).ExpandText("q");
+  auto b = core::QueryExpander(index, minimized).ExpandText("q");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->queries.size(), b->queries.size());
+  EXPECT_DOUBLE_EQ(a->set_score, b->set_score);  // same result sets
+  for (size_t i = 0; i < a->queries.size(); ++i) {
+    EXPECT_LE(b->queries[i].terms.size(), a->queries[i].terms.size());
+  }
+}
+
+// ----------------------------------------------------------- publications
+
+class PublicationsFixture : public ::testing::Test {
+ protected:
+  PublicationsFixture()
+      : corpus_(datagen::PublicationsGenerator().Generate()),
+        index_(corpus_) {}
+
+  doc::Corpus corpus_;
+  index::InvertedIndex index_;
+};
+
+TEST_F(PublicationsFixture, GeneratesStructuredPapers) {
+  EXPECT_GT(corpus_.NumDocs(), 50u);
+  for (DocId d = 0; d < corpus_.NumDocs(); ++d) {
+    const auto& doc = corpus_.Get(d);
+    EXPECT_EQ(doc.kind(), doc::DocumentKind::kStructured);
+    bool has_venue = false, has_author = false, has_topic = false;
+    for (const auto& f : doc.features()) {
+      has_venue |= f.attribute == "venue";
+      has_author |= f.attribute == "author";
+      has_topic |= f.attribute == "topic";
+    }
+    EXPECT_TRUE(has_venue && has_author && has_topic) << doc.title();
+  }
+}
+
+TEST_F(PublicationsFixture, DeterministicForFixedSeed) {
+  doc::Corpus again = datagen::PublicationsGenerator().Generate();
+  ASSERT_EQ(again.NumDocs(), corpus_.NumDocs());
+  for (DocId d = 0; d < corpus_.NumDocs(); ++d) {
+    EXPECT_EQ(again.Get(d).terms(), corpus_.Get(d).terms());
+  }
+}
+
+TEST_F(PublicationsFixture, EveryWorkloadQueryHasResults) {
+  for (const auto& wq : datagen::PublicationQueries()) {
+    EXPECT_FALSE(index_.SearchText(wq.text).empty()) << wq.id;
+  }
+}
+
+TEST_F(PublicationsFixture, AmbiguousAuthorSpansTopics) {
+  auto results = index_.SearchText("chen");
+  std::set<std::string> topics;
+  for (const auto& r : results) {
+    for (const auto& f : corpus_.Get(r.doc).features()) {
+      if (f.attribute == "topic") topics.insert(f.value);
+    }
+  }
+  EXPECT_GE(topics.size(), 2u);
+}
+
+TEST_F(PublicationsFixture, ExpansionSeparatesAuthorTopics) {
+  core::QueryExpanderOptions options;
+  options.top_k_results = 0;
+  core::QueryExpander expander(index_, options);
+  auto outcome = expander.ExpandText("chen");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->num_clusters, 2u);
+  EXPECT_GT(outcome->set_score, 0.5);
+}
+
+// -------------------------------------------------- metamorphic pipeline
+
+TEST(MetamorphicTest, TermRenamingPreservesExpansionQuality) {
+  // Building the same corpus with documents inserted in a different order
+  // permutes TermIds; F-measures must not change.
+  auto build = [](bool reversed) {
+    auto corpus = std::make_unique<doc::Corpus>();
+    std::vector<std::string> bodies = {
+        "q cat tail whisker", "q cat paw whisker", "q dog bone bark",
+        "q dog tail bark",    "q bird wing song",  "q bird nest song"};
+    if (reversed) std::reverse(bodies.begin(), bodies.end());
+    for (size_t i = 0; i < bodies.size(); ++i) {
+      corpus->AddTextDocument(std::to_string(i), bodies[i]);
+    }
+    return corpus;
+  };
+  auto run = [](const doc::Corpus& corpus) {
+    index::InvertedIndex index(corpus);
+    core::QueryExpanderOptions options;
+    options.candidates.fraction = 1.0;
+    options.max_clusters = 3;
+    auto outcome = core::QueryExpander(index, options).ExpandText("q");
+    return outcome.ok() ? outcome->set_score : -1.0;
+  };
+  auto a = build(false);
+  auto b = build(true);
+  EXPECT_NEAR(run(*a), run(*b), 1e-9);
+}
+
+TEST(MetamorphicTest, DuplicatingCorpusPreservesUnweightedQuality) {
+  // Two copies of every document double all counts; with unranked weights
+  // precision/recall of the analogous clustering are unchanged.
+  doc::Corpus corpus;
+  std::vector<DocId> once, twice;
+  std::vector<std::string> bodies = {"q cat", "q cat", "q dog", "q dog"};
+  for (size_t rep = 0; rep < 2; ++rep) {
+    for (size_t i = 0; i < bodies.size(); ++i) {
+      DocId d = corpus.AddTextDocument(
+          std::to_string(rep * bodies.size() + i), bodies[i]);
+      if (rep == 0) once.push_back(d);
+      twice.push_back(d);
+    }
+  }
+  auto T = [&](const char* w) {
+    return corpus.analyzer().vocabulary().Lookup(w);
+  };
+  auto f_for = [&](const std::vector<DocId>& ids, size_t csize) {
+    core::ResultUniverse universe(corpus, ids);
+    DynamicBitset cluster(universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      // cats form the cluster (bodies alternate cat,cat,dog,dog per rep).
+      if (corpus.Get(universe.doc_at(i)).Contains(T("cat"))) cluster.Set(i);
+    }
+    (void)csize;
+    auto ctx = core::MakeContext(universe, {T("q")}, cluster,
+                                 {T("cat"), T("dog")});
+    return core::IskrExpander().Expand(ctx).quality;
+  };
+  auto small = f_for(once, 2);
+  auto big = f_for(twice, 4);
+  EXPECT_DOUBLE_EQ(small.precision, big.precision);
+  EXPECT_DOUBLE_EQ(small.recall, big.recall);
+  EXPECT_DOUBLE_EQ(small.f_measure, big.f_measure);
+}
+
+}  // namespace
+}  // namespace qec

@@ -1,0 +1,208 @@
+// Tests for OR-semantics expansion (the paper's appendix: the identical
+// problem with the roles of keyword addition/removal dualized).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "core/exact.h"
+#include "core/expansion_context.h"
+#include "core/or_expander.h"
+#include "core/result_universe.h"
+#include "doc/corpus.h"
+
+namespace qec::core {
+namespace {
+
+class OrFixture : public ::testing::Test {
+ protected:
+  void Build(const std::vector<std::string>& bodies, size_t cluster_size,
+             const std::vector<std::string>& candidates) {
+    for (size_t i = 0; i < bodies.size(); ++i) {
+      ids_.push_back(corpus_.AddTextDocument(std::to_string(i), bodies[i]));
+    }
+    universe_ = std::make_unique<ResultUniverse>(corpus_, ids_);
+    DynamicBitset cluster(universe_->size());
+    for (size_t i = 0; i < cluster_size; ++i) cluster.Set(i);
+    std::vector<TermId> cand_ids;
+    for (const auto& c : candidates) {
+      TermId t = corpus_.analyzer().vocabulary().Lookup(c);
+      ASSERT_NE(t, kInvalidTermId) << c;
+      cand_ids.push_back(t);
+    }
+    context_ = std::make_unique<ExpansionContext>(
+        MakeContext(*universe_, {corpus_.analyzer().vocabulary().Lookup("q")},
+                    cluster, cand_ids));
+  }
+
+  std::set<std::string> Words(const ExpansionResult& r) const {
+    std::set<std::string> out;
+    for (TermId t : r.query) {
+      out.insert(corpus_.analyzer().vocabulary().TermString(t));
+    }
+    return out;
+  }
+
+  doc::Corpus corpus_;
+  std::vector<DocId> ids_;
+  std::unique_ptr<ResultUniverse> universe_;
+  std::unique_ptr<ExpansionContext> context_;
+};
+
+TEST_F(OrFixture, RetrieveOrIsUnion) {
+  Build({"q cat", "q dog", "q bird"}, 2, {"cat", "dog", "bird"});
+  auto T = [&](const char* w) {
+    return corpus_.analyzer().vocabulary().Lookup(w);
+  };
+  EXPECT_EQ(universe_->RetrieveOr({T("cat"), T("dog")}).Count(), 2u);
+  EXPECT_EQ(universe_->RetrieveOr({}).Count(), 0u);
+  EXPECT_EQ(universe_->RetrieveOr({T("cat"), T("cat")}).Count(), 1u);
+}
+
+TEST_F(OrFixture, CoversClusterWithDisjunction) {
+  // Cluster = {cat-doc, dog-doc}; no single keyword covers both, but the
+  // disjunction {cat, dog} does, and excludes the bird doc.
+  Build({"q cat", "q dog", "q bird"}, 2, {"cat", "dog", "bird"});
+  ExpansionResult r = OrIskrExpander().Expand(*context_);
+  EXPECT_EQ(Words(r), (std::set<std::string>{"cat", "dog"}));
+  EXPECT_DOUBLE_EQ(r.quality.f_measure, 1.0);
+}
+
+TEST_F(OrFixture, QueryExcludesUserQueryTerms) {
+  // Under OR semantics the user query term would retrieve everything.
+  Build({"q cat", "q dog"}, 1, {"cat", "dog"});
+  ExpansionResult r = OrIskrExpander().Expand(*context_);
+  for (TermId t : r.query) {
+    EXPECT_NE(corpus_.analyzer().vocabulary().TermString(t), "q");
+  }
+}
+
+TEST_F(OrFixture, StopsWhenCostMatchesBenefit) {
+  // "mixed" covers one C doc and one U doc (value exactly 1): not taken.
+  Build({"q mixed", "q plain", "q mixed noise", "q noise"}, 2, {"mixed"});
+  ExpansionResult r = OrIskrExpander().Expand(*context_);
+  EXPECT_TRUE(r.query.empty());
+  EXPECT_DOUBLE_EQ(r.quality.f_measure, 0.0);  // empty OR query: no results
+}
+
+TEST_F(OrFixture, CleanKeywordsPreferredOverBroadDirtyOnes) {
+  // "broad" covers both cluster docs but drags in a U doc (value 2);
+  // "k0"/"k1" each cover one cluster doc for free (value ∞), so greedy
+  // takes them first and "broad" then adds nothing but cost.
+  Build({"q broad k0", "q broad k1", "q broad u", "q other"}, 2,
+        {"broad", "k0", "k1"});
+  ExpansionResult r = OrIskrExpander().Expand(*context_);
+  EXPECT_EQ(Words(r), (std::set<std::string>{"k0", "k1"}));
+  EXPECT_DOUBLE_EQ(r.quality.f_measure, 1.0);
+}
+
+TEST_F(OrFixture, RemovalOptionNeverHurts) {
+  // Whatever the instance, disabling removal can only tie or lose: the
+  // removal step fires only on strict value > 1 (a net precision win).
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    doc::Corpus corpus;
+    std::vector<DocId> ids;
+    const size_t docs = 6 + rng.UniformInt(8);
+    for (size_t d = 0; d < docs; ++d) {
+      std::string body = "q";
+      for (int k = 0; k < 5; ++k) {
+        if (rng.Bernoulli(0.4)) body += " kw" + std::to_string(k);
+      }
+      ids.push_back(corpus.AddTextDocument(std::to_string(d), body));
+    }
+    ResultUniverse universe(corpus, ids);
+    DynamicBitset cluster(universe.size());
+    for (size_t i = 0; i < docs / 2; ++i) cluster.Set(i);
+    std::vector<TermId> cand;
+    for (int k = 0; k < 5; ++k) {
+      TermId t =
+          corpus.analyzer().vocabulary().Lookup("kw" + std::to_string(k));
+      if (t != kInvalidTermId) cand.push_back(t);
+    }
+    ExpansionContext ctx = MakeContext(
+        universe, {corpus.analyzer().vocabulary().Lookup("q")}, cluster,
+        cand);
+    double with = OrIskrExpander().Expand(ctx).quality.f_measure;
+    OrIskrOptions no_removal;
+    no_removal.allow_removal = false;
+    double without =
+        OrIskrExpander(no_removal).Expand(ctx).quality.f_measure;
+    EXPECT_GE(with, without - 1e-12);
+  }
+}
+
+TEST_F(OrFixture, WeightedCoverPrefersHeavyResults) {
+  std::vector<std::string> bodies = {"q heavy", "q light", "q noise"};
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    ids_.push_back(corpus_.AddTextDocument(std::to_string(i), bodies[i]));
+  }
+  std::vector<index::RankedResult> ranked = {
+      {ids_[0], 10.0}, {ids_[1], 1.0}, {ids_[2], 4.0}};
+  universe_ = std::make_unique<ResultUniverse>(corpus_, ranked);
+  DynamicBitset cluster(3);
+  cluster.Set(0);
+  cluster.Set(1);
+  auto T = [&](const char* w) {
+    return corpus_.analyzer().vocabulary().Lookup(w);
+  };
+  ExpansionContext ctx = MakeContext(*universe_, {T("q")}, cluster,
+                                     {T("heavy"), T("light")});
+  ExpansionResult r = OrIskrExpander().Expand(ctx);
+  // Both are free (cost 0), so both are added; the heavy one first.
+  ASSERT_FALSE(r.query.empty());
+  EXPECT_EQ(corpus_.analyzer().vocabulary().TermString(r.query[0]), "heavy");
+}
+
+class OrInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrInvariants, BoundedQualityAndNoDuplicates) {
+  Rng rng(GetParam());
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  const size_t docs = 8 + rng.UniformInt(8);
+  const size_t keywords = 4 + rng.UniformInt(4);
+  for (size_t d = 0; d < docs; ++d) {
+    std::string body = "q";
+    for (size_t k = 0; k < keywords; ++k) {
+      if (rng.Bernoulli(0.5)) body += " kw" + std::to_string(k);
+    }
+    ids.push_back(corpus.AddTextDocument(std::to_string(d), body));
+  }
+  ResultUniverse universe(corpus, ids);
+  DynamicBitset cluster(universe.size());
+  for (size_t i = 0; i < docs / 2; ++i) cluster.Set(i);
+  std::vector<TermId> cand;
+  for (size_t k = 0; k < keywords; ++k) {
+    TermId t = corpus.analyzer().vocabulary().Lookup("kw" + std::to_string(k));
+    if (t != kInvalidTermId) cand.push_back(t);
+  }
+  ExpansionContext ctx = MakeContext(
+      universe, {corpus.analyzer().vocabulary().Lookup("q")}, cluster, cand);
+  ExpansionResult r = OrIskrExpander().Expand(ctx);
+  EXPECT_GE(r.quality.f_measure, 0.0);
+  EXPECT_LE(r.quality.f_measure, 1.0);
+  std::set<TermId> unique(r.query.begin(), r.query.end());
+  EXPECT_EQ(unique.size(), r.query.size());
+  // Exhaustive OR optimum upper-bounds the greedy result.
+  double best = 0.0;
+  const size_t n = cand.size();
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<TermId> q;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) q.push_back(cand[i]);
+    }
+    DynamicBitset retrieved = universe.RetrieveOr(q);
+    best = std::max(best,
+                    EvaluateQuery(universe, retrieved, cluster).f_measure);
+  }
+  EXPECT_LE(r.quality.f_measure, best + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, OrInvariants,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace qec::core

@@ -1,0 +1,276 @@
+// Property-based suites: randomized invariants checked across seeds with
+// parameterized gtest. Each property pins down a contract the rest of the
+// library silently relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "common/random.h"
+#include "core/metrics.h"
+#include "core/result_universe.h"
+#include "doc/corpus.h"
+#include "text/tokenizer.h"
+#include "xml/xml.h"
+
+namespace qec {
+namespace {
+
+// ----------------------------------------------------------------- bitset
+
+/// DynamicBitset against a std::vector<bool> reference model.
+class BitsetModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsetModelProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const size_t size = 1 + rng.UniformInt(300);
+  DynamicBitset a(size), b(size);
+  std::vector<bool> ma(size, false), mb(size, false);
+  for (int op = 0; op < 200; ++op) {
+    size_t i = rng.UniformInt(size);
+    switch (rng.UniformInt(6)) {
+      case 0:
+        a.Set(i);
+        ma[i] = true;
+        break;
+      case 1:
+        a.Reset(i);
+        ma[i] = false;
+        break;
+      case 2:
+        b.Set(i);
+        mb[i] = true;
+        break;
+      case 3: {
+        DynamicBitset c = a;
+        c &= b;
+        size_t expect = 0;
+        for (size_t j = 0; j < size; ++j) expect += (ma[j] && mb[j]) ? 1 : 0;
+        ASSERT_EQ(c.Count(), expect);
+        ASSERT_EQ(a.AndCount(b), expect);
+        break;
+      }
+      case 4: {
+        DynamicBitset c = a;
+        c |= b;
+        size_t expect = 0;
+        for (size_t j = 0; j < size; ++j) expect += (ma[j] || mb[j]) ? 1 : 0;
+        ASSERT_EQ(c.Count(), expect);
+        break;
+      }
+      case 5: {
+        DynamicBitset c = a;
+        c.AndNot(b);
+        size_t expect = 0;
+        for (size_t j = 0; j < size; ++j) expect += (ma[j] && !mb[j]) ? 1 : 0;
+        ASSERT_EQ(c.Count(), expect);
+        break;
+      }
+    }
+  }
+  // Final full comparison.
+  for (size_t j = 0; j < size; ++j) {
+    ASSERT_EQ(a.Test(j), ma[j]) << j;
+    ASSERT_EQ(b.Test(j), mb[j]) << j;
+  }
+  // Subset/intersect consistency.
+  DynamicBitset inter = a;
+  inter &= b;
+  EXPECT_EQ(a.Intersects(b), inter.Any());
+  EXPECT_EQ(inter.IsSubsetOf(a), true);
+  EXPECT_EQ(inter.IsSubsetOf(b), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetModelProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// ---------------------------------------------------------------- metrics
+
+class MetricsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsProperty, FMeasureBetweenMinAndMaxOfPrecisionRecall) {
+  Rng rng(GetParam());
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  const size_t docs = 4 + rng.UniformInt(12);
+  for (size_t d = 0; d < docs; ++d) {
+    std::string body = "q";
+    if (rng.Bernoulli(0.5)) body += " red";
+    if (rng.Bernoulli(0.5)) body += " blue";
+    ids.push_back(corpus.AddTextDocument(std::to_string(d), body));
+  }
+  core::ResultUniverse universe(corpus, ids);
+  DynamicBitset cluster(docs);
+  for (size_t i = 0; i < docs; ++i) {
+    if (rng.Bernoulli(0.5)) cluster.Set(i);
+  }
+  DynamicBitset retrieved(docs);
+  for (size_t i = 0; i < docs; ++i) {
+    if (rng.Bernoulli(0.5)) retrieved.Set(i);
+  }
+  core::QueryQuality q = core::EvaluateQuery(universe, retrieved, cluster);
+  EXPECT_GE(q.precision, 0.0);
+  EXPECT_LE(q.precision, 1.0);
+  EXPECT_GE(q.recall, 0.0);
+  EXPECT_LE(q.recall, 1.0);
+  if (q.precision > 0.0 && q.recall > 0.0) {
+    EXPECT_GE(q.f_measure, std::min(q.precision, q.recall) - 1e-12);
+    EXPECT_LE(q.f_measure, std::max(q.precision, q.recall) + 1e-12);
+  } else {
+    EXPECT_DOUBLE_EQ(q.f_measure, 0.0);
+  }
+}
+
+TEST_P(MetricsProperty, WeightScaleInvariance) {
+  // Multiplying every ranking score by a constant cannot change P/R/F.
+  Rng rng(GetParam() + 100);
+  doc::Corpus corpus;
+  std::vector<index::RankedResult> r1, r2;
+  const size_t docs = 4 + rng.UniformInt(10);
+  const double scale = 0.5 + rng.UniformDouble() * 9.5;
+  for (size_t d = 0; d < docs; ++d) {
+    std::string body = "q";
+    if (rng.Bernoulli(0.6)) body += " red";
+    DocId id = corpus.AddTextDocument(std::to_string(d), body);
+    double w = 0.1 + rng.UniformDouble() * 5.0;
+    r1.push_back({id, w});
+    r2.push_back({id, w * scale});
+  }
+  core::ResultUniverse u1(corpus, r1), u2(corpus, r2);
+  DynamicBitset cluster(docs);
+  for (size_t i = 0; i < docs; ++i) {
+    if (rng.Bernoulli(0.5)) cluster.Set(i);
+  }
+  TermId red = corpus.analyzer().vocabulary().Lookup("red");
+  DynamicBitset retrieved1 = u1.Retrieve({red});
+  DynamicBitset retrieved2 = u2.Retrieve({red});
+  core::QueryQuality a = core::EvaluateQuery(u1, retrieved1, cluster);
+  core::QueryQuality b = core::EvaluateQuery(u2, retrieved2, cluster);
+  EXPECT_NEAR(a.precision, b.precision, 1e-9);
+  EXPECT_NEAR(a.recall, b.recall, 1e-9);
+  EXPECT_NEAR(a.f_measure, b.f_measure, 1e-9);
+}
+
+TEST_P(MetricsProperty, AndRetrievalIsAntitone) {
+  // Adding a keyword never grows the AND result set; dually for OR.
+  Rng rng(GetParam() + 200);
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  const size_t docs = 5 + rng.UniformInt(10);
+  for (size_t d = 0; d < docs; ++d) {
+    std::string body = "q";
+    for (const char* w : {"red", "blue", "green"}) {
+      if (rng.Bernoulli(0.5)) body += std::string(" ") + w;
+    }
+    ids.push_back(corpus.AddTextDocument(std::to_string(d), body));
+  }
+  core::ResultUniverse universe(corpus, ids);
+  auto T = [&](const char* w) {
+    return corpus.analyzer().vocabulary().Lookup(w);
+  };
+  std::vector<TermId> q = {T("q")};
+  DynamicBitset prev = universe.Retrieve(q);
+  for (const char* w : {"red", "blue", "green"}) {
+    TermId t = T(w);
+    if (t == kInvalidTermId) continue;
+    q.push_back(t);
+    DynamicBitset next = universe.Retrieve(q);
+    EXPECT_TRUE(next.IsSubsetOf(prev));
+    prev = next;
+  }
+  std::vector<TermId> oq;
+  DynamicBitset oprev = universe.RetrieveOr(oq);
+  for (const char* w : {"red", "blue", "green"}) {
+    TermId t = T(w);
+    if (t == kInvalidTermId) continue;
+    oq.push_back(t);
+    DynamicBitset onext = universe.RetrieveOr(oq);
+    EXPECT_TRUE(oprev.IsSubsetOf(onext));
+    oprev = onext;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// -------------------------------------------------------------- tokenizer
+
+class TokenizerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerProperty, TokenizingJoinedTokensIsIdempotent) {
+  Rng rng(GetParam());
+  // Random printable soup.
+  std::string soup;
+  const size_t len = 5 + rng.UniformInt(200);
+  const std::string alphabet =
+      "abcXYZ019 .,;!-_#()[]{}\t\n\"'/\\@$%^&*";
+  for (size_t i = 0; i < len; ++i) {
+    soup += alphabet[rng.UniformInt(alphabet.size())];
+  }
+  text::Tokenizer tokenizer;
+  std::vector<std::string> once = tokenizer.Tokenize(soup);
+  std::string joined;
+  for (const auto& t : once) joined += t + " ";
+  std::vector<std::string> twice = tokenizer.Tokenize(joined);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// -------------------------------------------------------------------- XML
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::unique_ptr<xml::XmlNode> RandomTree(Rng& rng, int depth) {
+  auto node = xml::XmlNode::Element("n" + std::to_string(rng.UniformInt(5)));
+  if (rng.Bernoulli(0.5)) {
+    node->SetAttribute("a" + std::to_string(rng.UniformInt(3)),
+                       "v<&\"'" + std::to_string(rng.UniformInt(100)));
+  }
+  const size_t children = depth > 0 ? rng.UniformInt(4) : 0;
+  bool last_was_text = false;  // adjacent text nodes coalesce on reparse
+  for (size_t c = 0; c < children; ++c) {
+    if (!last_was_text && rng.Bernoulli(0.4)) {
+      node->AddChild(xml::XmlNode::Text(
+          "text & <stuff> #" + std::to_string(rng.UniformInt(100))));
+      last_was_text = true;
+    } else {
+      node->AddChild(RandomTree(rng, depth - 1));
+      last_was_text = false;
+    }
+  }
+  return node;
+}
+
+void ExpectSameTree(const xml::XmlNode& a, const xml::XmlNode& b) {
+  ASSERT_EQ(a.kind(), b.kind());
+  if (a.is_text()) {
+    EXPECT_EQ(a.text(), b.text());
+    return;
+  }
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.attributes(), b.attributes());
+  ASSERT_EQ(a.children().size(), b.children().size());
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    ExpectSameTree(*a.children()[i], *b.children()[i]);
+  }
+}
+
+TEST_P(XmlRoundTripProperty, WriteParseRoundTrip) {
+  Rng rng(GetParam());
+  auto tree = RandomTree(rng, 4);
+  std::string serialized = xml::WriteNode(*tree);
+  auto parsed = xml::Parse(serialized);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << serialized;
+  ExpectSameTree(*tree, *parsed->root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace qec

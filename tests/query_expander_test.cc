@@ -1,0 +1,207 @@
+// Tests for candidate selection and the end-to-end QueryExpander engine.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/candidates.h"
+#include "core/query_expander.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+
+namespace qec::core {
+namespace {
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture() {
+    // Two clear senses of "apple" plus one outlier.
+    corpus_.AddTextDocument("s0", "apple store iphone retail apple");
+    corpus_.AddTextDocument("s1", "apple store retail launch apple");
+    corpus_.AddTextDocument("s2", "apple store iphone keynote apple");
+    corpus_.AddTextDocument("f0", "apple fruit orchard harvest");
+    corpus_.AddTextDocument("f1", "apple fruit cider orchard");
+    corpus_.AddTextDocument("x0", "banana bread recipe");
+    index_ = std::make_unique<index::InvertedIndex>(corpus_);
+  }
+
+  TermId T(const std::string& w) const {
+    return corpus_.analyzer().vocabulary().Lookup(w);
+  }
+
+  doc::Corpus corpus_;
+  std::unique_ptr<index::InvertedIndex> index_;
+};
+
+// ------------------------------------------------------ SelectCandidates
+
+TEST_F(EngineFixture, CandidatesExcludeUserQueryTerms) {
+  auto results = index_->Search({T("apple")});
+  ResultUniverse universe(corpus_, results);
+  CandidateOptions options;
+  options.fraction = 1.0;
+  auto candidates =
+      SelectCandidates(universe, *index_, {T("apple")}, options);
+  for (TermId c : candidates) EXPECT_NE(c, T("apple"));
+  EXPECT_FALSE(candidates.empty());
+}
+
+TEST_F(EngineFixture, CandidatesDropUniversalTerms) {
+  // "apple" appears in every result but is the query term anyway; craft a
+  // term in all results: every apple doc also has... none. So instead check
+  // that a term present in all universe docs is dropped when flagged.
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  ids.push_back(corpus.AddTextDocument("0", "q omni red"));
+  ids.push_back(corpus.AddTextDocument("1", "q omni blue"));
+  index::InvertedIndex idx(corpus);
+  ResultUniverse universe(corpus, ids);
+  CandidateOptions options;
+  options.fraction = 1.0;
+  auto vocab = [&](const char* w) {
+    return corpus.analyzer().vocabulary().Lookup(w);
+  };
+  auto candidates = SelectCandidates(universe, idx, {vocab("q")}, options);
+  std::set<TermId> set(candidates.begin(), candidates.end());
+  EXPECT_EQ(set.count(vocab("omni")), 0u);
+  EXPECT_EQ(set.count(vocab("red")), 1u);
+  options.drop_universal_terms = false;
+  candidates = SelectCandidates(universe, idx, {vocab("q")}, options);
+  set = std::set<TermId>(candidates.begin(), candidates.end());
+  EXPECT_EQ(set.count(vocab("omni")), 1u);
+}
+
+TEST_F(EngineFixture, CandidateFractionLimitsCount) {
+  auto results = index_->Search({T("apple")});
+  ResultUniverse universe(corpus_, results);
+  CandidateOptions all;
+  all.fraction = 1.0;
+  CandidateOptions fifth;
+  fifth.fraction = 0.2;
+  auto full = SelectCandidates(universe, *index_, {T("apple")}, all);
+  auto top = SelectCandidates(universe, *index_, {T("apple")}, fifth);
+  EXPECT_LT(top.size(), full.size());
+  EXPECT_GE(top.size(), 1u);
+  // The top-20% list is a prefix of the full TF-IDF ordering.
+  for (size_t i = 0; i < top.size(); ++i) EXPECT_EQ(top[i], full[i]);
+}
+
+TEST_F(EngineFixture, MaxCandidatesCap) {
+  auto results = index_->Search({T("apple")});
+  ResultUniverse universe(corpus_, results);
+  CandidateOptions options;
+  options.fraction = 1.0;
+  options.max_candidates = 2;
+  auto candidates =
+      SelectCandidates(universe, *index_, {T("apple")}, options);
+  EXPECT_EQ(candidates.size(), 2u);
+}
+
+// --------------------------------------------------------- QueryExpander
+
+TEST_F(EngineFixture, ExpandTextFullPipeline) {
+  QueryExpanderOptions options;
+  options.max_clusters = 2;
+  options.candidates.fraction = 1.0;
+  QueryExpander expander(*index_, options);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->num_results_used, 5u);
+  EXPECT_GE(outcome->num_clusters, 1u);
+  EXPECT_LE(outcome->num_clusters, 2u);
+  EXPECT_EQ(outcome->queries.size(), outcome->num_clusters);
+  EXPECT_GT(outcome->set_score, 0.0);
+  EXPECT_LE(outcome->set_score, 1.0);
+  for (const auto& eq : outcome->queries) {
+    EXPECT_EQ(eq.keywords[0], "apple");
+    EXPECT_EQ(eq.keywords.size(), eq.terms.size());
+  }
+}
+
+TEST_F(EngineFixture, SeparatesSensesPerfectly) {
+  QueryExpanderOptions options;
+  options.max_clusters = 2;
+  options.candidates.fraction = 1.0;
+  QueryExpander expander(*index_, options);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok());
+  // "store" docs vs "fruit" docs are fully separable.
+  EXPECT_DOUBLE_EQ(outcome->set_score, 1.0);
+}
+
+TEST_F(EngineFixture, UnknownQueryIsInvalidArgument) {
+  QueryExpander expander(*index_);
+  auto outcome = expander.ExpandText("zzzunknown");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineFixture, NoResultsIsNotFound) {
+  QueryExpander expander(*index_);
+  // Both words known, but no document contains both.
+  auto outcome = expander.ExpandText("banana iphone");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineFixture, TopKLimitsUniverse) {
+  QueryExpanderOptions options;
+  options.top_k_results = 3;
+  options.max_clusters = 2;
+  QueryExpander expander(*index_, options);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->num_results_used, 3u);
+}
+
+TEST_F(EngineFixture, AllAlgorithmsRunThroughEngine) {
+  for (auto algorithm :
+       {ExpansionAlgorithm::kIskr, ExpansionAlgorithm::kPebc,
+        ExpansionAlgorithm::kFMeasure}) {
+    QueryExpanderOptions options;
+    options.algorithm = algorithm;
+    options.max_clusters = 2;
+    options.candidates.fraction = 1.0;
+    QueryExpander expander(*index_, options);
+    auto outcome = expander.ExpandText("apple");
+    ASSERT_TRUE(outcome.ok()) << AlgorithmName(algorithm);
+    EXPECT_FALSE(outcome->queries.empty());
+  }
+}
+
+TEST_F(EngineFixture, UnrankedWeightsOption) {
+  QueryExpanderOptions options;
+  options.use_ranking_weights = false;
+  options.max_clusters = 2;
+  options.candidates.fraction = 1.0;
+  QueryExpander expander(*index_, options);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->set_score, 0.0);
+}
+
+TEST_F(EngineFixture, MaxClustersBoundsQueries) {
+  QueryExpanderOptions options;
+  options.max_clusters = 5;
+  QueryExpander expander(*index_, options);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome->queries.size(), 5u);
+}
+
+TEST_F(EngineFixture, TimingFieldsPopulated) {
+  QueryExpander expander(*index_);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->clustering_seconds, 0.0);
+  EXPECT_GE(outcome->expansion_seconds, 0.0);
+}
+
+TEST(AlgorithmNameTest, AllNamesDistinct) {
+  EXPECT_EQ(AlgorithmName(ExpansionAlgorithm::kIskr), "ISKR");
+  EXPECT_EQ(AlgorithmName(ExpansionAlgorithm::kPebc), "PEBC");
+  EXPECT_EQ(AlgorithmName(ExpansionAlgorithm::kFMeasure), "F-measure");
+}
+
+}  // namespace
+}  // namespace qec::core

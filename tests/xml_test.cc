@@ -1,0 +1,159 @@
+// Unit tests for the qec_xml parser/writer substrate.
+
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace qec::xml {
+namespace {
+
+TEST(XmlParseTest, SimpleElementWithText) {
+  auto doc = Parse("<a>hello</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name(), "a");
+  ASSERT_EQ(doc->root->children().size(), 1u);
+  EXPECT_EQ(doc->root->children()[0]->text(), "hello");
+}
+
+TEST(XmlParseTest, NestedElements) {
+  auto doc = Parse("<a><b><c>x</c></b><b>y</b></a>");
+  ASSERT_TRUE(doc.ok());
+  auto bs = doc->root->FindChildren("b");
+  ASSERT_EQ(bs.size(), 2u);
+  ASSERT_NE(bs[0]->FindChild("c"), nullptr);
+  EXPECT_EQ(bs[0]->FindChild("c")->InnerText(), "x");
+  EXPECT_EQ(bs[1]->InnerText(), "y");
+}
+
+TEST(XmlParseTest, Attributes) {
+  auto doc = Parse(R"(<article id="a-1" lang='en'>t</article>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->Attribute("id"), "a-1");
+  EXPECT_EQ(doc->root->Attribute("lang"), "en");
+  EXPECT_EQ(doc->root->Attribute("missing"), "");
+}
+
+TEST(XmlParseTest, SelfClosingTag) {
+  auto doc = Parse("<a><br/><hr /></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->children().size(), 2u);
+  EXPECT_EQ(doc->root->children()[0]->name(), "br");
+  EXPECT_TRUE(doc->root->children()[0]->children().empty());
+}
+
+TEST(XmlParseTest, DeclarationAndComments) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\"?>\n<!-- top comment -->\n"
+      "<a><!-- inner -->text</a>\n<!-- trailing -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "text");
+}
+
+TEST(XmlParseTest, Doctype) {
+  auto doc = Parse("<?xml version=\"1.0\"?><!DOCTYPE article><a>x</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name(), "a");
+}
+
+TEST(XmlParseTest, StandardEntities) {
+  auto doc = Parse("<a>&lt;tag&gt; &amp; &quot;quoted&quot; &apos;s</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "<tag> & \"quoted\" 's");
+}
+
+TEST(XmlParseTest, NumericCharacterReferences) {
+  auto doc = Parse("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "AB");
+}
+
+TEST(XmlParseTest, UnknownEntityKeptVerbatim) {
+  auto doc = Parse("<a>&nbsp;x</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "&nbsp;x");
+}
+
+TEST(XmlParseTest, Cdata) {
+  auto doc = Parse("<a><![CDATA[<raw> & text]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "<raw> & text");
+}
+
+TEST(XmlParseTest, WhitespaceBetweenElementsDropped) {
+  auto doc = Parse("<a>\n  <b>x</b>\n  <b>y</b>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->children().size(), 2u);
+}
+
+TEST(XmlParseTest, InnerTextJoinsWithSpaces) {
+  auto doc = Parse("<a><t>java</t><body><p>island</p><p>sea</p></body></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->InnerText(), "java island sea");
+}
+
+// ------------------------------------------------------------ error cases
+
+TEST(XmlParseTest, MismatchedCloseTagIsCorruption) {
+  auto doc = Parse("<a><b>x</a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kCorruption);
+}
+
+TEST(XmlParseTest, UnterminatedElementIsCorruption) {
+  EXPECT_FALSE(Parse("<a><b>x</b>").ok());
+}
+
+TEST(XmlParseTest, TrailingContentIsCorruption) {
+  EXPECT_FALSE(Parse("<a>x</a><b>y</b>").ok());
+}
+
+TEST(XmlParseTest, MissingAttributeValueIsCorruption) {
+  EXPECT_FALSE(Parse("<a id=>x</a>").ok());
+  EXPECT_FALSE(Parse("<a id=unquoted>x</a>").ok());
+}
+
+TEST(XmlParseTest, GarbageIsCorruption) {
+  EXPECT_FALSE(Parse("just text").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+// ---------------------------------------------------------------- writing
+
+TEST(XmlWriteTest, RoundTripsStructure) {
+  auto article = XmlNode::Element("article");
+  article->SetAttribute("id", "x-1");
+  article->AddElementWithText("title", "java island");
+  auto* body = article->AddChild(XmlNode::Element("body"));
+  body->AddElementWithText("p", "volcano & sea");
+
+  std::string serialized = WriteNode(*article);
+  auto reparsed = Parse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->root->Attribute("id"), "x-1");
+  EXPECT_EQ(reparsed->root->FindChild("title")->InnerText(), "java island");
+  EXPECT_EQ(reparsed->root->FindChild("body")->InnerText(), "volcano & sea");
+}
+
+TEST(XmlWriteTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("<a> & \"b\" 'c'"),
+            "&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;");
+}
+
+TEST(XmlWriteTest, DocumentIncludesDeclaration) {
+  XmlDocument doc;
+  doc.root = XmlNode::Element("root");
+  std::string out = Write(doc);
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find("<root/>"), std::string::npos);
+}
+
+TEST(XmlWriteTest, SetAttributeOverwrites) {
+  auto node = XmlNode::Element("n");
+  node->SetAttribute("k", "1");
+  node->SetAttribute("k", "2");
+  EXPECT_EQ(node->Attribute("k"), "2");
+  EXPECT_EQ(node->attributes().size(), 1u);
+}
+
+}  // namespace
+}  // namespace qec::xml
