@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iskr.dir/bench_ablation_iskr.cc.o"
+  "CMakeFiles/bench_ablation_iskr.dir/bench_ablation_iskr.cc.o.d"
+  "bench_ablation_iskr"
+  "bench_ablation_iskr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iskr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

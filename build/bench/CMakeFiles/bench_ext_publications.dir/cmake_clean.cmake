@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_publications.dir/bench_ext_publications.cc.o"
+  "CMakeFiles/bench_ext_publications.dir/bench_ext_publications.cc.o.d"
+  "bench_ext_publications"
+  "bench_ext_publications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_publications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_tuner.dir/expansion_tuner.cc.o"
+  "CMakeFiles/expansion_tuner.dir/expansion_tuner.cc.o.d"
+  "expansion_tuner"
+  "expansion_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

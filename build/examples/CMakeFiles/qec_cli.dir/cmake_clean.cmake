@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_cli.dir/qec_cli.cc.o"
+  "CMakeFiles/qec_cli.dir/qec_cli.cc.o.d"
+  "qec_cli"
+  "qec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shopping_facets.dir/shopping_facets.cc.o"
+  "CMakeFiles/shopping_facets.dir/shopping_facets.cc.o.d"
+  "shopping_facets"
+  "shopping_facets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shopping_facets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

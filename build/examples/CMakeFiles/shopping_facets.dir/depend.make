@@ -1,0 +1,2 @@
+# Empty dependencies file for shopping_facets.
+# This may be replaced when dependencies are built.

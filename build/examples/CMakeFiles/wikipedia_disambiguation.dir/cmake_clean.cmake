@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikipedia_disambiguation.dir/wikipedia_disambiguation.cc.o"
+  "CMakeFiles/wikipedia_disambiguation.dir/wikipedia_disambiguation.cc.o.d"
+  "wikipedia_disambiguation"
+  "wikipedia_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikipedia_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cluster_summarization.cc" "src/baselines/CMakeFiles/qec_baselines.dir/cluster_summarization.cc.o" "gcc" "src/baselines/CMakeFiles/qec_baselines.dir/cluster_summarization.cc.o.d"
+  "/root/repo/src/baselines/data_clouds.cc" "src/baselines/CMakeFiles/qec_baselines.dir/data_clouds.cc.o" "gcc" "src/baselines/CMakeFiles/qec_baselines.dir/data_clouds.cc.o.d"
+  "/root/repo/src/baselines/faceted.cc" "src/baselines/CMakeFiles/qec_baselines.dir/faceted.cc.o" "gcc" "src/baselines/CMakeFiles/qec_baselines.dir/faceted.cc.o.d"
+  "/root/repo/src/baselines/query_log.cc" "src/baselines/CMakeFiles/qec_baselines.dir/query_log.cc.o" "gcc" "src/baselines/CMakeFiles/qec_baselines.dir/query_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qec_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/qec_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

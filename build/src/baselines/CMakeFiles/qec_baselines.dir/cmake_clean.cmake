@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_baselines.dir/cluster_summarization.cc.o"
+  "CMakeFiles/qec_baselines.dir/cluster_summarization.cc.o.d"
+  "CMakeFiles/qec_baselines.dir/data_clouds.cc.o"
+  "CMakeFiles/qec_baselines.dir/data_clouds.cc.o.d"
+  "CMakeFiles/qec_baselines.dir/faceted.cc.o"
+  "CMakeFiles/qec_baselines.dir/faceted.cc.o.d"
+  "CMakeFiles/qec_baselines.dir/query_log.cc.o"
+  "CMakeFiles/qec_baselines.dir/query_log.cc.o.d"
+  "libqec_baselines.a"
+  "libqec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

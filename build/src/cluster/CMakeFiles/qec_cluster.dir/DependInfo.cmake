@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/hac.cc" "src/cluster/CMakeFiles/qec_cluster.dir/hac.cc.o" "gcc" "src/cluster/CMakeFiles/qec_cluster.dir/hac.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/qec_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/qec_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/sparse_vector.cc" "src/cluster/CMakeFiles/qec_cluster.dir/sparse_vector.cc.o" "gcc" "src/cluster/CMakeFiles/qec_cluster.dir/sparse_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/qec_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_cluster.dir/hac.cc.o"
+  "CMakeFiles/qec_cluster.dir/hac.cc.o.d"
+  "CMakeFiles/qec_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/qec_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/qec_cluster.dir/sparse_vector.cc.o"
+  "CMakeFiles/qec_cluster.dir/sparse_vector.cc.o.d"
+  "libqec_cluster.a"
+  "libqec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_common.dir/dynamic_bitset.cc.o"
+  "CMakeFiles/qec_common.dir/dynamic_bitset.cc.o.d"
+  "CMakeFiles/qec_common.dir/logging.cc.o"
+  "CMakeFiles/qec_common.dir/logging.cc.o.d"
+  "CMakeFiles/qec_common.dir/random.cc.o"
+  "CMakeFiles/qec_common.dir/random.cc.o.d"
+  "CMakeFiles/qec_common.dir/status.cc.o"
+  "CMakeFiles/qec_common.dir/status.cc.o.d"
+  "CMakeFiles/qec_common.dir/string_util.cc.o"
+  "CMakeFiles/qec_common.dir/string_util.cc.o.d"
+  "libqec_common.a"
+  "libqec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/qec_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/exact.cc" "src/core/CMakeFiles/qec_core.dir/exact.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/exact.cc.o.d"
+  "/root/repo/src/core/expansion_context.cc" "src/core/CMakeFiles/qec_core.dir/expansion_context.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/expansion_context.cc.o.d"
+  "/root/repo/src/core/fmeasure_expander.cc" "src/core/CMakeFiles/qec_core.dir/fmeasure_expander.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/fmeasure_expander.cc.o.d"
+  "/root/repo/src/core/interleaved.cc" "src/core/CMakeFiles/qec_core.dir/interleaved.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/interleaved.cc.o.d"
+  "/root/repo/src/core/iskr.cc" "src/core/CMakeFiles/qec_core.dir/iskr.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/iskr.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/qec_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/or_expander.cc" "src/core/CMakeFiles/qec_core.dir/or_expander.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/or_expander.cc.o.d"
+  "/root/repo/src/core/pebc.cc" "src/core/CMakeFiles/qec_core.dir/pebc.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/pebc.cc.o.d"
+  "/root/repo/src/core/query_expander.cc" "src/core/CMakeFiles/qec_core.dir/query_expander.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/query_expander.cc.o.d"
+  "/root/repo/src/core/query_minimizer.cc" "src/core/CMakeFiles/qec_core.dir/query_minimizer.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/query_minimizer.cc.o.d"
+  "/root/repo/src/core/result_universe.cc" "src/core/CMakeFiles/qec_core.dir/result_universe.cc.o" "gcc" "src/core/CMakeFiles/qec_core.dir/result_universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/qec_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qec_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_core.dir/candidates.cc.o"
+  "CMakeFiles/qec_core.dir/candidates.cc.o.d"
+  "CMakeFiles/qec_core.dir/exact.cc.o"
+  "CMakeFiles/qec_core.dir/exact.cc.o.d"
+  "CMakeFiles/qec_core.dir/expansion_context.cc.o"
+  "CMakeFiles/qec_core.dir/expansion_context.cc.o.d"
+  "CMakeFiles/qec_core.dir/fmeasure_expander.cc.o"
+  "CMakeFiles/qec_core.dir/fmeasure_expander.cc.o.d"
+  "CMakeFiles/qec_core.dir/interleaved.cc.o"
+  "CMakeFiles/qec_core.dir/interleaved.cc.o.d"
+  "CMakeFiles/qec_core.dir/iskr.cc.o"
+  "CMakeFiles/qec_core.dir/iskr.cc.o.d"
+  "CMakeFiles/qec_core.dir/metrics.cc.o"
+  "CMakeFiles/qec_core.dir/metrics.cc.o.d"
+  "CMakeFiles/qec_core.dir/or_expander.cc.o"
+  "CMakeFiles/qec_core.dir/or_expander.cc.o.d"
+  "CMakeFiles/qec_core.dir/pebc.cc.o"
+  "CMakeFiles/qec_core.dir/pebc.cc.o.d"
+  "CMakeFiles/qec_core.dir/query_expander.cc.o"
+  "CMakeFiles/qec_core.dir/query_expander.cc.o.d"
+  "CMakeFiles/qec_core.dir/query_minimizer.cc.o"
+  "CMakeFiles/qec_core.dir/query_minimizer.cc.o.d"
+  "CMakeFiles/qec_core.dir/result_universe.cc.o"
+  "CMakeFiles/qec_core.dir/result_universe.cc.o.d"
+  "libqec_core.a"
+  "libqec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/publications.cc" "src/datagen/CMakeFiles/qec_datagen.dir/publications.cc.o" "gcc" "src/datagen/CMakeFiles/qec_datagen.dir/publications.cc.o.d"
+  "/root/repo/src/datagen/shopping.cc" "src/datagen/CMakeFiles/qec_datagen.dir/shopping.cc.o" "gcc" "src/datagen/CMakeFiles/qec_datagen.dir/shopping.cc.o.d"
+  "/root/repo/src/datagen/wikipedia.cc" "src/datagen/CMakeFiles/qec_datagen.dir/wikipedia.cc.o" "gcc" "src/datagen/CMakeFiles/qec_datagen.dir/wikipedia.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/datagen/CMakeFiles/qec_datagen.dir/workload.cc.o" "gcc" "src/datagen/CMakeFiles/qec_datagen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/qec_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/qec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/qec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qec_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

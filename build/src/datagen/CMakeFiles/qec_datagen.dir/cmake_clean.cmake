@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_datagen.dir/publications.cc.o"
+  "CMakeFiles/qec_datagen.dir/publications.cc.o.d"
+  "CMakeFiles/qec_datagen.dir/shopping.cc.o"
+  "CMakeFiles/qec_datagen.dir/shopping.cc.o.d"
+  "CMakeFiles/qec_datagen.dir/wikipedia.cc.o"
+  "CMakeFiles/qec_datagen.dir/wikipedia.cc.o.d"
+  "CMakeFiles/qec_datagen.dir/workload.cc.o"
+  "CMakeFiles/qec_datagen.dir/workload.cc.o.d"
+  "libqec_datagen.a"
+  "libqec_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqec_datagen.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/corpus.cc" "src/doc/CMakeFiles/qec_doc.dir/corpus.cc.o" "gcc" "src/doc/CMakeFiles/qec_doc.dir/corpus.cc.o.d"
+  "/root/repo/src/doc/corpus_io.cc" "src/doc/CMakeFiles/qec_doc.dir/corpus_io.cc.o" "gcc" "src/doc/CMakeFiles/qec_doc.dir/corpus_io.cc.o.d"
+  "/root/repo/src/doc/document.cc" "src/doc/CMakeFiles/qec_doc.dir/document.cc.o" "gcc" "src/doc/CMakeFiles/qec_doc.dir/document.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

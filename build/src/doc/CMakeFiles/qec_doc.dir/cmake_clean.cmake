@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_doc.dir/corpus.cc.o"
+  "CMakeFiles/qec_doc.dir/corpus.cc.o.d"
+  "CMakeFiles/qec_doc.dir/corpus_io.cc.o"
+  "CMakeFiles/qec_doc.dir/corpus_io.cc.o.d"
+  "CMakeFiles/qec_doc.dir/document.cc.o"
+  "CMakeFiles/qec_doc.dir/document.cc.o.d"
+  "libqec_doc.a"
+  "libqec_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_eval.dir/bootstrap.cc.o"
+  "CMakeFiles/qec_eval.dir/bootstrap.cc.o.d"
+  "CMakeFiles/qec_eval.dir/harness.cc.o"
+  "CMakeFiles/qec_eval.dir/harness.cc.o.d"
+  "CMakeFiles/qec_eval.dir/table_printer.cc.o"
+  "CMakeFiles/qec_eval.dir/table_printer.cc.o.d"
+  "CMakeFiles/qec_eval.dir/user_study.cc.o"
+  "CMakeFiles/qec_eval.dir/user_study.cc.o.d"
+  "libqec_eval.a"
+  "libqec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

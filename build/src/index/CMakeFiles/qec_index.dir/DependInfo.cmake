@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_io.cc" "src/index/CMakeFiles/qec_index.dir/index_io.cc.o" "gcc" "src/index/CMakeFiles/qec_index.dir/index_io.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/qec_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/qec_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/posting_codec.cc" "src/index/CMakeFiles/qec_index.dir/posting_codec.cc.o" "gcc" "src/index/CMakeFiles/qec_index.dir/posting_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/qec_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

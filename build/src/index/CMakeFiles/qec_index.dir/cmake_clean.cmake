@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_index.dir/index_io.cc.o"
+  "CMakeFiles/qec_index.dir/index_io.cc.o.d"
+  "CMakeFiles/qec_index.dir/inverted_index.cc.o"
+  "CMakeFiles/qec_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/qec_index.dir/posting_codec.cc.o"
+  "CMakeFiles/qec_index.dir/posting_codec.cc.o.d"
+  "libqec_index.a"
+  "libqec_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_snippet.dir/snippet.cc.o"
+  "CMakeFiles/qec_snippet.dir/snippet.cc.o.d"
+  "libqec_snippet.a"
+  "libqec_snippet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_snippet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

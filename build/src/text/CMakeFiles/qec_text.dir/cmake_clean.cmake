@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_text.dir/analyzer.cc.o"
+  "CMakeFiles/qec_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/qec_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/qec_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/qec_text.dir/stopwords.cc.o"
+  "CMakeFiles/qec_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/qec_text.dir/tokenizer.cc.o"
+  "CMakeFiles/qec_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/qec_text.dir/vocabulary.cc.o"
+  "CMakeFiles/qec_text.dir/vocabulary.cc.o.d"
+  "libqec_text.a"
+  "libqec_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

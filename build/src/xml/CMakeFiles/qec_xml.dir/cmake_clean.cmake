@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_xml.dir/xml.cc.o"
+  "CMakeFiles/qec_xml.dir/xml.cc.o.d"
+  "libqec_xml.a"
+  "libqec_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_comparison_test.dir/expander_comparison_test.cc.o"
+  "CMakeFiles/expander_comparison_test.dir/expander_comparison_test.cc.o.d"
+  "expander_comparison_test"
+  "expander_comparison_test.pdb"
+  "expander_comparison_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hac_corpus_io_test.dir/hac_corpus_io_test.cc.o"
+  "CMakeFiles/hac_corpus_io_test.dir/hac_corpus_io_test.cc.o.d"
+  "hac_corpus_io_test"
+  "hac_corpus_io_test.pdb"
+  "hac_corpus_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hac_corpus_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

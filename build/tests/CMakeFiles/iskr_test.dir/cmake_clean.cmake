@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iskr_test.dir/iskr_test.cc.o"
+  "CMakeFiles/iskr_test.dir/iskr_test.cc.o.d"
+  "iskr_test"
+  "iskr_test.pdb"
+  "iskr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iskr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minimizer_publications_test.cc" "tests/CMakeFiles/minimizer_publications_test.dir/minimizer_publications_test.cc.o" "gcc" "tests/CMakeFiles/minimizer_publications_test.dir/minimizer_publications_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/qec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/qec_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/qec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/qec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qec_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/snippet/CMakeFiles/qec_snippet.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/qec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/qec_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimizer_publications_test.dir/minimizer_publications_test.cc.o"
+  "CMakeFiles/minimizer_publications_test.dir/minimizer_publications_test.cc.o.d"
+  "minimizer_publications_test"
+  "minimizer_publications_test.pdb"
+  "minimizer_publications_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimizer_publications_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

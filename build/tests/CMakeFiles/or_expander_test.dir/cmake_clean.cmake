@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/or_expander_test.dir/or_expander_test.cc.o"
+  "CMakeFiles/or_expander_test.dir/or_expander_test.cc.o.d"
+  "or_expander_test"
+  "or_expander_test.pdb"
+  "or_expander_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/or_expander_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

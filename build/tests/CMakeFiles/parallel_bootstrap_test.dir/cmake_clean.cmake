@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_bootstrap_test.dir/parallel_bootstrap_test.cc.o"
+  "CMakeFiles/parallel_bootstrap_test.dir/parallel_bootstrap_test.cc.o.d"
+  "parallel_bootstrap_test"
+  "parallel_bootstrap_test.pdb"
+  "parallel_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebc_test.dir/pebc_test.cc.o"
+  "CMakeFiles/pebc_test.dir/pebc_test.cc.o.d"
+  "pebc_test"
+  "pebc_test.pdb"
+  "pebc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

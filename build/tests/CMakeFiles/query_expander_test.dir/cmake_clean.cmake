@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_expander_test.dir/query_expander_test.cc.o"
+  "CMakeFiles/query_expander_test.dir/query_expander_test.cc.o.d"
+  "query_expander_test"
+  "query_expander_test.pdb"
+  "query_expander_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_expander_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

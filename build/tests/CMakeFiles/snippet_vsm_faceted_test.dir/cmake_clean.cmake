@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snippet_vsm_faceted_test.dir/snippet_vsm_faceted_test.cc.o"
+  "CMakeFiles/snippet_vsm_faceted_test.dir/snippet_vsm_faceted_test.cc.o.d"
+  "snippet_vsm_faceted_test"
+  "snippet_vsm_faceted_test.pdb"
+  "snippet_vsm_faceted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snippet_vsm_faceted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

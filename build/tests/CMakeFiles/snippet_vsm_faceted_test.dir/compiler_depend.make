@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snippet_vsm_faceted_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/doc_index_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/core_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/iskr_test[1]_include.cmake")
+include("/root/repo/build/tests/pebc_test[1]_include.cmake")
+include("/root/repo/build/tests/expander_comparison_test[1]_include.cmake")
+include("/root/repo/build/tests/query_expander_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/or_expander_test[1]_include.cmake")
+include("/root/repo/build/tests/hac_corpus_io_test[1]_include.cmake")
+include("/root/repo/build/tests/interleaved_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/snippet_vsm_faceted_test[1]_include.cmake")
+include("/root/repo/build/tests/index_io_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_options_test[1]_include.cmake")
+include("/root/repo/build/tests/minimizer_publications_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_bootstrap_test[1]_include.cmake")
