@@ -19,6 +19,7 @@
 #include "common/string_util.h"
 #include "common/stopwatch.h"
 #include "eval/harness.h"
+#include "eval/obs_report.h"
 #include "eval/table_printer.h"
 
 namespace {
@@ -74,7 +75,8 @@ void RunDataset(const qec::eval::DatasetBundle& bundle, size_t top_k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_flags = qec::eval::ParseObsFlags(argc, argv);
   std::printf("=== Figure 6: Query Expansion Time ===\n\n");
   // A catalog sized like the paper's (hundreds of results per query).
   qec::datagen::ShoppingOptions shopping_options;
@@ -83,5 +85,5 @@ int main() {
   RunDataset(shopping, /*top_k=*/0, "a: shopping, all results");
   auto wikipedia = qec::eval::MakeWikipediaBundle();
   RunDataset(wikipedia, /*top_k=*/30, "b: wikipedia, top-30");
-  return 0;
+  return qec::eval::EmitObsOutputs(obs_flags) ? 0 : 1;
 }

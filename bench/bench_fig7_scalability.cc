@@ -7,9 +7,11 @@
 
 #include "common/string_util.h"
 #include "eval/harness.h"
+#include "eval/obs_report.h"
 #include "eval/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto obs_flags = qec::eval::ParseObsFlags(argc, argv);
   std::printf("=== Figure 7: Scalability over Number of Results ===\n\n");
   // A Wikipedia corpus big enough that "columbia" has 500+ results:
   // docs_per_sense scales each sense by its dominance (1.0/0.8/0.6).
@@ -53,5 +55,5 @@ int main() {
   std::printf(
       "\n(the paper reports linear growth for both algorithms, including "
       "clustering time)\n");
-  return 0;
+  return qec::eval::EmitObsOutputs(obs_flags) ? 0 : 1;
 }

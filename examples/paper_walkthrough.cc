@@ -11,6 +11,7 @@
 
 #include "core/expansion_context.h"
 #include "core/iskr.h"
+#include "core/pebc.h"
 #include "core/result_universe.h"
 #include "doc/corpus.h"
 
@@ -102,5 +103,21 @@ int main() {
       "\nThe paper's walkthrough: add job (8/6), add store, add location, "
       "then REMOVE job\n(Example 3.2) — removal regains R6 for free. "
       "Final query: {apple, store, location}.\n");
+
+  // The per-run accounting surfaced on ExpansionResult (mirrors the
+  // iskr/* and pebc/* counters in the global metrics registry).
+  const auto& is = result.iskr_stats;
+  std::printf(
+      "\nISKR stats: %zu steps (%zu additions, %zu removals), "
+      "%zu benefit/cost evaluations\n",
+      is.steps, is.additions, is.removals, is.candidates_evaluated);
+
+  auto pebc_result = qec::core::PebcExpander().Expand(ctx);
+  const auto& ps = pebc_result.pebc_stats;
+  std::printf(
+      "PEBC stats: %zu samples over %zu rounds (%zu zooms), "
+      "%zu benefit/cost evaluations, best target %.1f%% of U\n",
+      ps.samples_drawn, ps.rounds, ps.intervals_zoomed,
+      ps.candidates_evaluated, ps.best_target_percent);
   return 0;
 }

@@ -6,6 +6,13 @@
 //   qec_cli stats  <corpus.qec>                          corpus statistics
 //   qec_cli search <corpus.qec> <query words>...         top-10 search
 //   qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] <query>...
+//   qec_cli quickstart                                   in-memory demo
+//
+// Global flags (any command; `quickstart` is the default when only flags
+// are given): --metrics-out=FILE writes a metrics JSON snapshot on exit,
+// --trace records spans and prints a flat profile, --trace-out=FILE writes
+// chrome://tracing JSON, --log-level=debug|info|warning|error sets the log
+// threshold (QEC_LOG_LEVEL env works too).
 //
 // Text files are indexed as one document each; XML files must have a root
 // element (the whole subtree's text is indexed, title = <title> child or
@@ -21,6 +28,7 @@
 #include "datagen/shopping.h"
 #include "datagen/wikipedia.h"
 #include "doc/corpus_io.h"
+#include "eval/obs_report.h"
 #include "index/inverted_index.h"
 #include "snippet/snippet.h"
 #include "xml/xml.h"
@@ -36,7 +44,10 @@ int Usage() {
       "  qec_cli stats  <corpus.qec>\n"
       "  qec_cli search <corpus.qec> <query words>...\n"
       "  qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] "
-      "<query words>...\n");
+      "<query words>...\n"
+      "  qec_cli quickstart\n"
+      "global flags: --metrics-out=FILE --trace --trace-out=FILE "
+      "--log-level=LEVEL\n");
   return 2;
 }
 
@@ -207,16 +218,109 @@ int CmdExpand(const std::vector<std::string>& args) {
   return 0;
 }
 
+// The quickstart corpus: the ranking-bias "apple" situation from the
+// paper's introduction (same documents as examples/quickstart.cc).
+qec::doc::Corpus QuickstartCorpus() {
+  qec::doc::Corpus corpus;
+  corpus.AddTextDocument(
+      "apple inc store",
+      "apple store opens downtown with iphone laptop displays and genius bar "
+      "apple apple retail launch");
+  corpus.AddTextDocument(
+      "apple quarterly results",
+      "apple reports record revenue as iphone and laptop sales grow apple "
+      "apple earnings investors");
+  corpus.AddTextDocument(
+      "apple job cuts",
+      "apple announces job changes in retail division apple store staffing "
+      "apple location plans");
+  corpus.AddTextDocument(
+      "apple keynote",
+      "apple keynote reveals new iphone laptop and software apple apple "
+      "developers cheer");
+  corpus.AddTextDocument(
+      "apple store location",
+      "new apple store location announced apple mall opening apple retail");
+  corpus.AddTextDocument(
+      "apple orchard guide",
+      "apple orchard harvest fruit trees ripen sweet apple cider pressing "
+      "fruit growers celebrate autumn apple");
+  return corpus;
+}
+
+/// Runs every expansion algorithm once over the quickstart corpus — the
+/// smallest end-to-end exercise of index, clustering, ISKR, and PEBC, so a
+/// --metrics-out snapshot from it covers every subsystem's counters.
+int CmdQuickstart(const std::vector<std::string>& args) {
+  if (!args.empty()) return Usage();
+  qec::doc::Corpus corpus = QuickstartCorpus();
+  qec::index::InvertedIndex index(corpus);
+  qec::core::QueryExpanderOptions options;
+  options.max_clusters = 3;
+  options.candidates.fraction = 1.0;  // tiny corpus: consider all keywords
+  for (auto algorithm : {qec::core::ExpansionAlgorithm::kIskr,
+                         qec::core::ExpansionAlgorithm::kPebc,
+                         qec::core::ExpansionAlgorithm::kFMeasure}) {
+    options.algorithm = algorithm;
+    qec::core::QueryExpander expander(index, options);
+    auto outcome = expander.ExpandText("apple");
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "expansion failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s expanded queries for \"apple\" (set score %.3f):\n",
+                std::string(qec::core::AlgorithmName(algorithm)).c_str(),
+                outcome->set_score);
+    for (const auto& eq : outcome->queries) {
+      std::printf("  cluster %zu (%zu results): \"", eq.cluster_index,
+                  eq.cluster_size);
+      for (size_t i = 0; i < eq.keywords.size(); ++i) {
+        std::printf("%s%s", i > 0 ? ", " : "", eq.keywords[i].c_str());
+      }
+      std::printf("\"  P=%.2f R=%.2f F=%.2f\n", eq.quality.precision,
+                  eq.quality.recall, eq.quality.f_measure);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::vector<std::string> args(argv + 2, argv + argc);
-  const std::string cmd = argv[1];
-  if (cmd == "index") return CmdIndex(args);
-  if (cmd == "gen") return CmdGen(args);
-  if (cmd == "stats") return CmdStats(args);
-  if (cmd == "search") return CmdSearch(args);
-  if (cmd == "expand") return CmdExpand(args);
-  return Usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  qec::eval::ObsFlags obs_flags = qec::eval::ConsumeObsFlags(args);
+
+  int rc;
+  if (args.empty()) {
+    // Bare flags (e.g. `qec_cli --metrics-out=m.json`) run the quickstart
+    // demo so there is always something to measure; no arguments at all is
+    // still a usage error.
+    if (obs_flags.metrics_out.empty() && obs_flags.trace_out.empty() &&
+        !obs_flags.trace) {
+      return Usage();
+    }
+    rc = CmdQuickstart({});
+  } else {
+    const std::string cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "index") {
+      rc = CmdIndex(rest);
+    } else if (cmd == "gen") {
+      rc = CmdGen(rest);
+    } else if (cmd == "stats") {
+      rc = CmdStats(rest);
+    } else if (cmd == "search") {
+      rc = CmdSearch(rest);
+    } else if (cmd == "expand") {
+      rc = CmdExpand(rest);
+    } else if (cmd == "quickstart") {
+      rc = CmdQuickstart(rest);
+    } else {
+      return Usage();
+    }
+  }
+  if (!qec::eval::EmitObsOutputs(obs_flags)) rc = rc == 0 ? 1 : rc;
+  return rc;
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qec::cluster {
 
@@ -41,6 +43,7 @@ class Agglomerator {
   /// clusters remain.
   bool MergeClosest() {
     if (active_count_ < 2) return false;
+    QEC_COUNTER_INC("cluster/hac_merges");
     size_t best_a = 0, best_b = 0;
     double best_d = std::numeric_limits<double>::infinity();
     for (size_t a = 0; a < n_; ++a) {
@@ -114,6 +117,8 @@ Clustering Hac::CutAt(const std::vector<SparseVector>& points,
 }
 
 Clustering Hac::Cluster(const std::vector<SparseVector>& points) const {
+  QEC_TRACE_SPAN("cluster/hac");
+  QEC_COUNTER_INC("cluster/hac_runs");
   const size_t n = points.size();
   const size_t k_max = std::min(options_.k == 0 ? size_t{1} : options_.k,
                                 std::max<size_t>(n, 1));

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qec::cluster {
 
@@ -66,6 +68,8 @@ std::vector<size_t> SeedPlusPlus(const std::vector<SparseVector>& points,
 }  // namespace
 
 Clustering KMeans::Cluster(const std::vector<SparseVector>& points) const {
+  QEC_TRACE_SPAN("cluster/kmeans");
+  QEC_COUNTER_INC("cluster/kmeans_runs");
   const size_t n = points.size();
   const size_t k_max = std::min(options_.k == 0 ? size_t{1} : options_.k, n);
   if (!options_.auto_k || n <= 2 || k_max <= 1) {
@@ -117,6 +121,7 @@ Clustering KMeans::ClusterWithK(const std::vector<SparseVector>& points,
 
   std::vector<int> assignment(n, -1);
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    QEC_COUNTER_INC("cluster/kmeans_iterations");
     bool changed = false;
     // Assignment step.
     for (size_t i = 0; i < n; ++i) {

@@ -1,13 +1,27 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace qec {
 
 namespace {
-std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+/// kInfo unless QEC_LOG_LEVEL overrides it (evaluated once at startup).
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("QEC_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr, "[W logging] unknown QEC_LOG_LEVEL '%s' ignored\n",
+                 env);
+  }
+  return level;
+}
+
+std::atomic<LogLevel> g_min_level{InitialLogLevel()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -28,6 +42,29 @@ const char* LevelTag(LogLevel level) {
 
 void SetMinLogLevel(LogLevel level) { g_min_level.store(level); }
 LogLevel MinLogLevel() { return g_min_level.load(); }
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal_logging {
 

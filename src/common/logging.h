@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace qec {
 
@@ -32,9 +33,15 @@ class LogMessage {
 
 }  // namespace internal_logging
 
-/// Minimum level that is actually printed (default: kInfo).
+/// Minimum level that is actually printed. Defaults to kInfo, or to the
+/// QEC_LOG_LEVEL environment variable ("debug|info|warning|error|fatal",
+/// case-insensitive) when it is set at process start.
 void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
+
+/// Parses a level name as accepted by QEC_LOG_LEVEL ("warn" == "warning").
+/// Returns false (leaving `level` untouched) on unknown names.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
 
 }  // namespace qec
 

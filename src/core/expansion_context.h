@@ -32,6 +32,33 @@ ExpansionContext MakeContext(const ResultUniverse& universe,
                              DynamicBitset cluster,
                              std::vector<TermId> candidates);
 
+/// Per-run ISKR accounting (Sec. 3): what the incremental maintenance
+/// actually did. Mirrors the "iskr/*" counters in the global
+/// obs::MetricsRegistry; this copy is scoped to one Expand() call.
+struct IskrStats {
+  /// Refinement steps applied (additions + removals).
+  size_t steps = 0;
+  size_t additions = 0;
+  size_t removals = 0;
+  /// Benefit/cost entry (re)computations, including the initial pass over
+  /// all candidates — the maintenance cost Sec. 5.3's speed claim hinges on.
+  size_t candidates_evaluated = 0;
+};
+
+/// Per-run PEBC accounting (Sec. 4). Mirrors the "pebc/*" counters.
+struct PebcStats {
+  /// Sample queries built and evaluated.
+  size_t samples_drawn = 0;
+  /// Zoom-in rounds executed.
+  size_t rounds = 0;
+  /// Interval halvings (the zoom into the best adjacent sample pair).
+  size_t intervals_zoomed = 0;
+  /// Keyword benefit/cost evaluations across all samples.
+  size_t candidates_evaluated = 0;
+  /// Elimination target (percent of U's weight) of the winning sample.
+  double best_target_percent = 0.0;
+};
+
 /// Output of a per-cluster expansion algorithm.
 struct ExpansionResult {
   /// The expanded query: the user query terms plus any added keywords.
@@ -43,6 +70,10 @@ struct ExpansionResult {
   /// Number of keyword benefit/cost (or delta-F) recomputations — the
   /// maintenance cost the paper's efficiency comparison hinges on.
   size_t value_recomputations = 0;
+  /// Filled by IskrExpander runs; zero otherwise.
+  IskrStats iskr_stats;
+  /// Filled by PebcExpander runs; zero otherwise.
+  PebcStats pebc_stats;
 };
 
 /// Evaluates an arbitrary query against the context's cluster.

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qec::core {
 
@@ -44,6 +46,7 @@ class IskrState {
 
   ExpansionResult Run() {
     while (iterations_ < options_.max_iterations) {
+      QEC_TRACE_SPAN("iskr/refine_step");
       auto [term, is_removal, value] = BestMove();
       if (value <= 1.0) break;
       ++iterations_;
@@ -56,8 +59,10 @@ class IskrState {
       step.benefit = entry.benefit;
       step.cost = entry.cost;
       if (is_removal) {
+        ++removals_;
         ApplyRemoval(term);
       } else {
+        ++additions_;
         ApplyAddition(term);
       }
       if (trace_ != nullptr) {
@@ -71,6 +76,15 @@ class IskrState {
     result.quality = EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster);
     result.iterations = iterations_;
     result.value_recomputations = recomputations_;
+    result.iskr_stats.steps = iterations_;
+    result.iskr_stats.additions = additions_;
+    result.iskr_stats.removals = removals_;
+    result.iskr_stats.candidates_evaluated = recomputations_;
+    QEC_COUNTER_INC("iskr/runs");
+    QEC_COUNTER_ADD("iskr/steps", iterations_);
+    QEC_COUNTER_ADD("iskr/additions", additions_);
+    QEC_COUNTER_ADD("iskr/removals", removals_);
+    QEC_COUNTER_ADD("iskr/benefit_cost_evals", recomputations_);
     return result;
   }
 
@@ -192,6 +206,8 @@ class IskrState {
   std::unordered_map<TermId, Entry> remove_entries_;
   size_t iterations_ = 0;
   size_t recomputations_ = 0;
+  size_t additions_ = 0;
+  size_t removals_ = 0;
 };
 
 }  // namespace
@@ -205,6 +221,7 @@ ExpansionResult IskrExpander::Expand(const ExpansionContext& context) const {
 ExpansionResult IskrExpander::ExpandWithTrace(
     const ExpansionContext& context, std::vector<IskrStep>* trace) const {
   QEC_CHECK(context.universe != nullptr);
+  QEC_TRACE_SPAN("iskr/expand");
   IskrState state(context, options_, trace);
   return state.Run();
 }

@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qec::core {
 
@@ -30,6 +32,7 @@ class SampleBuilder {
   /// Generates a query eliminating roughly `target_percent`% of U's weight
   /// while maximizing retained C, using `strategy`.
   PebcSample Build(double target_percent, PebcStrategy strategy) {
+    QEC_TRACE_SPAN("pebc/build_sample");
     query_ = ctx_.user_query;
     in_query_.clear();
     in_query_.insert(query_.begin(), query_.end());
@@ -269,6 +272,7 @@ ExpansionResult PebcExpander::Expand(const ExpansionContext& context) const {
 ExpansionResult PebcExpander::ExpandWithTrace(
     const ExpansionContext& context, std::vector<PebcSample>* trace) const {
   QEC_CHECK(context.universe != nullptr);
+  QEC_TRACE_SPAN("pebc/expand");
   Rng rng(options_.seed);
   size_t recomputations = 0;
   SampleBuilder builder(context, rng, &recomputations);
@@ -278,8 +282,11 @@ ExpansionResult PebcExpander::ExpandWithTrace(
   PebcSample best;
   best.f_measure = -1.0;
   size_t samples_tested = 0;
+  size_t rounds = 0;
+  size_t zooms = 0;
 
   for (size_t it = 0; it < options_.num_iterations; ++it) {
+    ++rounds;
     std::vector<PebcSample> round;
     const double step = (right - left) / static_cast<double>(nseg);
     for (size_t i = 0; i <= nseg; ++i) {
@@ -302,6 +309,7 @@ ExpansionResult PebcExpander::ExpandWithTrace(
     }
     left = round[best_pair].target_percent;
     right = round[best_pair + 1].target_percent;
+    ++zooms;
   }
 
   ExpansionResult result;
@@ -309,6 +317,16 @@ ExpansionResult PebcExpander::ExpandWithTrace(
   result.quality = EvaluateAgainstCluster(context, result.query);
   result.iterations = samples_tested;
   result.value_recomputations = recomputations;
+  result.pebc_stats.samples_drawn = samples_tested;
+  result.pebc_stats.rounds = rounds;
+  result.pebc_stats.intervals_zoomed = zooms;
+  result.pebc_stats.candidates_evaluated = recomputations;
+  result.pebc_stats.best_target_percent = best.target_percent;
+  QEC_COUNTER_INC("pebc/runs");
+  QEC_COUNTER_ADD("pebc/samples_drawn", samples_tested);
+  QEC_COUNTER_ADD("pebc/rounds", rounds);
+  QEC_COUNTER_ADD("pebc/intervals_zoomed", zooms);
+  QEC_COUNTER_ADD("pebc/benefit_cost_evals", recomputations);
   return result;
 }
 

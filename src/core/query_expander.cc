@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "cluster/hac.h"
 #include "core/expansion_context.h"
 #include "core/interleaved.h"
@@ -69,31 +71,34 @@ Result<ExpansionOutcome> QueryExpander::Expand(
   ResultUniverse universe(index_->corpus(), used);
 
   Stopwatch cluster_watch;
-  std::vector<cluster::SparseVector> vectors;
-  vectors.reserve(universe.size());
-  for (size_t i = 0; i < universe.size(); ++i) {
-    vectors.push_back(cluster::SparseVector::FromDocument(
-        index_->corpus().Get(universe.doc_at(i))));
-  }
   cluster::Clustering clustering;
-  switch (options_.clustering) {
-    case ClusteringAlgorithm::kKMeans: {
-      cluster::KMeansOptions kmeans_options = options_.kmeans;
-      kmeans_options.k = options_.max_clusters;
-      clustering = cluster::KMeans(kmeans_options).Cluster(vectors);
-      break;
+  {
+    QEC_TRACE_SPAN("engine/cluster");
+    std::vector<cluster::SparseVector> vectors;
+    vectors.reserve(universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      vectors.push_back(cluster::SparseVector::FromDocument(
+          index_->corpus().Get(universe.doc_at(i))));
     }
-    case ClusteringAlgorithm::kHac: {
-      cluster::HacOptions hac_options;
-      hac_options.k = options_.max_clusters;
-      hac_options.auto_k = options_.kmeans.auto_k;
-      clustering = cluster::Hac(hac_options).Cluster(vectors);
-      break;
+    switch (options_.clustering) {
+      case ClusteringAlgorithm::kKMeans: {
+        cluster::KMeansOptions kmeans_options = options_.kmeans;
+        kmeans_options.k = options_.max_clusters;
+        clustering = cluster::KMeans(kmeans_options).Cluster(vectors);
+        break;
+      }
+      case ClusteringAlgorithm::kHac: {
+        cluster::HacOptions hac_options;
+        hac_options.k = options_.max_clusters;
+        hac_options.auto_k = options_.kmeans.auto_k;
+        clustering = cluster::Hac(hac_options).Cluster(vectors);
+        break;
+      }
+      case ClusteringAlgorithm::kDynamic:
+        clustering = cluster::SelectBestClustering(
+            vectors, options_.max_clusters, options_.kmeans.seed);
+        break;
     }
-    case ClusteringAlgorithm::kDynamic:
-      clustering = cluster::SelectBestClustering(
-          vectors, options_.max_clusters, options_.kmeans.seed);
-      break;
   }
   double clustering_seconds = cluster_watch.ElapsedSeconds();
 
@@ -107,6 +112,8 @@ ExpansionOutcome QueryExpander::ExpandClustered(
     const std::vector<TermId>& user_terms, const ResultUniverse& universe,
     const cluster::Clustering& clustering) const {
   QEC_CHECK_EQ(clustering.assignment.size(), universe.size());
+  QEC_TRACE_SPAN("engine/expand");
+  QEC_COUNTER_INC("engine/expansions");
   ExpansionOutcome outcome;
   outcome.num_results_used = universe.size();
 

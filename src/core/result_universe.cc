@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qec::core {
 
@@ -31,6 +33,8 @@ ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
 }
 
 void ResultUniverse::BuildTermMap() {
+  QEC_TRACE_SPAN("universe/build");
+  QEC_COUNTER_INC("universe/builds");
   total_weight_ = 0.0;
   for (double w : weights_) total_weight_ += w;
   empty_ = DynamicBitset(docs_.size());
@@ -47,6 +51,9 @@ void ResultUniverse::BuildTermMap() {
   std::sort(distinct_terms_.begin(), distinct_terms_.end());
 }
 
+// Deliberately uncounted: TotalWeight runs once per benefit/cost
+// evaluation and a per-call counter here costs as much as the sum itself
+// (the expanders' */benefit_cost_evals counters cover the call count).
 double ResultUniverse::TotalWeight(const DynamicBitset& set) const {
   QEC_CHECK_EQ(set.size(), docs_.size());
   double sum = 0.0;
@@ -54,28 +61,38 @@ double ResultUniverse::TotalWeight(const DynamicBitset& set) const {
   return sum;
 }
 
-const DynamicBitset& ResultUniverse::DocsWithTerm(TermId term) const {
+const DynamicBitset& ResultUniverse::FindDocs(TermId term) const {
   auto it = term_docs_.find(term);
   if (it == term_docs_.end()) return empty_;
   return it->second;
 }
 
+const DynamicBitset& ResultUniverse::DocsWithTerm(TermId term) const {
+  QEC_COUNTER_INC("universe/term_lookups");
+  return FindDocs(term);
+}
+
 DynamicBitset ResultUniverse::DocsWithoutTerm(TermId term) const {
+  QEC_COUNTER_INC("universe/term_lookups");
   DynamicBitset out = FullSet();
-  out.AndNot(DocsWithTerm(term));
+  out.AndNot(FindDocs(term));
   return out;
 }
 
 DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
+  // One batched add per call: Retrieve sits inside every benefit/cost
+  // evaluation, so per-term counting here would dominate the work itself.
+  QEC_COUNTER_ADD("universe/term_intersections", query.size());
   DynamicBitset out = FullSet();
-  for (TermId t : query) out &= DocsWithTerm(t);
+  for (TermId t : query) out &= FindDocs(t);
   return out;
 }
 
 DynamicBitset ResultUniverse::RetrieveOr(
     const std::vector<TermId>& query) const {
+  QEC_COUNTER_ADD("universe/term_intersections", query.size());
   DynamicBitset out = EmptySet();
-  for (TermId t : query) out |= DocsWithTerm(t);
+  for (TermId t : query) out |= FindDocs(t);
   return out;
 }
 

@@ -73,6 +73,10 @@ class ResultUniverse {
  private:
   void BuildTermMap();
 
+  /// DocsWithTerm without the universe/term_lookups counter, for internal
+  /// callers whose own batched counters already account for the lookup.
+  const DynamicBitset& FindDocs(TermId term) const;
+
   const doc::Corpus* corpus_;
   std::vector<DocId> docs_;
   std::vector<double> weights_;

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/metrics.h"
+#include "obs/trace.h"
 
 #include <sys/stat.h>
 
@@ -66,6 +67,7 @@ Result<QueryCase> PrepareQueryCase(const DatasetBundle& bundle,
                                    std::string_view query_text, size_t top_k,
                                    size_t max_clusters, uint64_t seed,
                                    bool auto_k) {
+  QEC_TRACE_SPAN("eval/prepare_query_case");
   QueryCase qc;
   qc.user_terms = bundle.corpus.analyzer().AnalyzeReadOnly(query_text);
   if (qc.user_terms.empty()) {
@@ -125,6 +127,7 @@ MethodRun RunMethod(const DatasetBundle& bundle, const QueryCase& qc,
                     Method method,
                     const baselines::QueryLogSuggester* query_log,
                     std::string_view raw_query_text) {
+  QEC_TRACE_SPAN("eval/run_method");
   switch (method) {
     case Method::kIskr:
       return RunClusterAlgorithm(bundle, qc, core::ExpansionAlgorithm::kIskr);

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qec::index {
 
@@ -26,6 +28,7 @@ InvertedIndex InvertedIndex::FromPostings(
 }
 
 void InvertedIndex::Rebuild() {
+  QEC_TRACE_SPAN("index/rebuild");
   postings_.assign(corpus_->analyzer().vocabulary().size(), {});
   for (DocId d = 0; d < corpus_->NumDocs(); ++d) {
     const doc::Document& doc = corpus_->Get(d);
@@ -124,14 +127,17 @@ std::vector<DocId> InvertedIndex::EvaluateAnd(
   });
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
+  size_t scanned = 0;
   std::vector<DocId> current;
   for (const Posting& p : Postings(sorted[0])) current.push_back(p.doc);
+  scanned += current.size();
   for (size_t i = 1; i < sorted.size() && !current.empty(); ++i) {
     const auto& plist = Postings(sorted[i]);
     std::vector<DocId> next;
     next.reserve(std::min(current.size(), plist.size()));
     size_t a = 0, b = 0;
     while (a < current.size() && b < plist.size()) {
+      ++scanned;
       if (current[a] < plist[b].doc) {
         ++a;
       } else if (plist[b].doc < current[a]) {
@@ -144,6 +150,8 @@ std::vector<DocId> InvertedIndex::EvaluateAnd(
     }
     current = std::move(next);
   }
+  QEC_COUNTER_INC("index/and_queries");
+  QEC_COUNTER_ADD("index/postings_scanned", scanned);
   return current;
 }
 
@@ -153,6 +161,8 @@ std::vector<DocId> InvertedIndex::EvaluateOr(
   for (TermId t : terms) {
     for (const Posting& p : Postings(t)) out.push_back(p.doc);
   }
+  QEC_COUNTER_INC("index/or_queries");
+  QEC_COUNTER_ADD("index/postings_scanned", out.size());
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -171,6 +181,8 @@ double InvertedIndex::TfIdfScore(const std::vector<TermId>& terms,
 
 std::vector<RankedResult> InvertedIndex::Search(
     const std::vector<TermId>& terms, size_t top_k) const {
+  QEC_TRACE_SPAN("index/search");
+  QEC_COUNTER_INC("index/searches");
   std::vector<DocId> docs = EvaluateAnd(terms);
   std::vector<RankedResult> out;
   out.reserve(docs.size());
@@ -196,13 +208,18 @@ std::vector<RankedResult> InvertedIndex::SearchVsm(
   if (query_norm == 0.0) return {};
 
   // Accumulate dot products by traversing each query term's postings.
+  QEC_TRACE_SPAN("index/search_vsm");
+  QEC_COUNTER_INC("index/searches");
+  size_t scanned = 0;
   std::unordered_map<DocId, double> dots;
   for (const auto& [t, qw] : query_weights) {
     const double idf = Idf(t);
+    scanned += Postings(t).size();
     for (const Posting& p : Postings(t)) {
       dots[p.doc] += qw * static_cast<double>(p.tf) * idf;
     }
   }
+  QEC_COUNTER_ADD("index/postings_scanned", scanned);
 
   std::vector<RankedResult> out;
   out.reserve(dots.size());
@@ -231,10 +248,14 @@ std::vector<RankedResult> InvertedIndex::SearchBm25(
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
 
+  QEC_TRACE_SPAN("index/search_bm25");
+  QEC_COUNTER_INC("index/searches");
+  size_t scanned = 0;
   std::unordered_map<DocId, double> scores;
   for (TermId t : unique) {
     const double df = static_cast<double>(DocumentFrequency(t));
     if (df == 0.0) continue;
+    scanned += Postings(t).size();
     // BM25's idf with the +1 smoothing that keeps it positive.
     const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     for (const Posting& p : Postings(t)) {
@@ -251,6 +272,7 @@ std::vector<RankedResult> InvertedIndex::SearchBm25(
     }
   }
 
+  QEC_COUNTER_ADD("index/postings_scanned", scanned);
   std::vector<RankedResult> out;
   out.reserve(scores.size());
   for (const auto& [d, s] : scores) out.push_back(RankedResult{d, s});

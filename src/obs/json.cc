@@ -1,0 +1,301 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qec::obs::json {
+
+const Value* Value::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string NumberToString(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers (the common case: counters, nanosecond totals) print exactly.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    Value v;
+    QEC_RETURN_IF_ERROR(ParseValue(&v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(Where("trailing characters"));
+    }
+    return v;
+  }
+
+ private:
+  std::string Where(const char* what) const {
+    return std::string("json: ") + what + " at offset " +
+           std::to_string(pos_);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out) {
+    if (++depth_ > kMaxDepth) return Status::InvalidArgument("json: too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument(Where("unexpected end of input"));
+    }
+    Status s;
+    switch (text_[pos_]) {
+      case '{':
+        s = ParseObject(out);
+        break;
+      case '[':
+        s = ParseArray(out);
+        break;
+      case '"':
+        out->type = Value::Type::kString;
+        s = ParseString(&out->string);
+        break;
+      case 't':
+        if (!ConsumeLiteral("true")) return Status::InvalidArgument(Where("bad literal"));
+        out->type = Value::Type::kBool;
+        out->boolean = true;
+        break;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Status::InvalidArgument(Where("bad literal"));
+        out->type = Value::Type::kBool;
+        out->boolean = false;
+        break;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Status::InvalidArgument(Where("bad literal"));
+        out->type = Value::Type::kNull;
+        break;
+      default:
+        s = ParseNumber(out);
+    }
+    --depth_;
+    return s;
+  }
+
+  Status ParseObject(Value* out) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::InvalidArgument(Where("expected object key"));
+      }
+      std::string key;
+      QEC_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Status::InvalidArgument(Where("expected ':'"));
+      Value v;
+      QEC_RETURN_IF_ERROR(ParseValue(&v));
+      out->object.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Status::InvalidArgument(Where("expected ','"));
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      Value v;
+      QEC_RETURN_IF_ERROR(ParseValue(&v));
+      out->array.push_back(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Status::InvalidArgument(Where("expected ','"));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument(Where("truncated \\u escape"));
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument(Where("bad \\u escape"));
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // metric names are ASCII).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument(Where("bad escape"));
+      }
+    }
+    return Status::InvalidArgument(Where("unterminated string"));
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument(Where("expected value"));
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(Where("bad number"));
+    }
+    out->type = Value::Type::kNumber;
+    out->number = v;
+    return Status::Ok();
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace qec::obs::json

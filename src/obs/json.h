@@ -1,0 +1,48 @@
+#ifndef QEC_OBS_JSON_H_
+#define QEC_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qec::obs::json {
+
+/// Minimal JSON document model: enough for metrics snapshots and trace
+/// dumps (objects, arrays, strings, doubles, bools, null). Object members
+/// preserve insertion order; duplicate keys keep the first occurrence on
+/// lookup.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+Result<Value> Parse(std::string_view text);
+
+/// `s` as a quoted JSON string literal with the mandatory escapes applied.
+std::string Quote(std::string_view s);
+
+/// Shortest round-trippable rendering of a double ("1e99"-style for
+/// non-finite inputs is invalid JSON, so they render as null).
+std::string NumberToString(double v);
+
+}  // namespace qec::obs::json
+
+#endif  // QEC_OBS_JSON_H_

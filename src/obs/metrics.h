@@ -1,0 +1,194 @@
+#ifndef QEC_OBS_METRICS_H_
+#define QEC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qec::obs {
+
+/// Monotonic event counter. All operations are lock-free relaxed atomics:
+/// safe to increment from any thread inside hot loops.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double gauge (Add uses a CAS loop).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (typically
+/// nanoseconds). Buckets are base-2 exponential: bucket 0 holds the value
+/// 0 and bucket i (i >= 1) holds [2^(i-1), 2^i - 1], so Record() is a
+/// bit_width plus two relaxed increments. Percentiles interpolate linearly
+/// inside the containing bucket.
+class Histogram {
+ public:
+  /// bit_width(uint64) ranges over [0, 64].
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i.
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Estimated q-th percentile (q in [0, 100]); 0 when empty.
+  double Percentile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// (inclusive upper bound, count) for non-empty buckets only.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+/// Aggregated timings of one span name (see trace.h).
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  /// Time not attributed to nested child spans.
+  uint64_t self_ns = 0;
+};
+
+/// Point-in-time copy of every metric, exportable to JSON. Span stats are
+/// filled by CaptureMetrics() in trace.h; MetricsRegistry::Snapshot() alone
+/// leaves them empty.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<SpanStats> spans;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "spans": {...}} — see docs/OBSERVABILITY.md for the schema.
+  std::string ToJson() const;
+};
+
+/// Process-wide registry of named metrics. Lookup takes a mutex — resolve
+/// handles once (the QEC_COUNTER_ADD family caches them in function-local
+/// statics) and use the returned pointer in hot code. Handles stay valid
+/// for the process lifetime; ResetAll() zeroes values without invalidating
+/// them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Counters/gauges/histograms sorted by name. Spans are not included
+  /// here (use CaptureMetrics() from trace.h for the full picture).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (handles remain valid). Intended for tests and
+  /// for benches isolating a measured region.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace qec::obs
+
+#define QEC_OBS_CONCAT_IMPL_(a, b) a##b
+#define QEC_OBS_CONCAT_(a, b) QEC_OBS_CONCAT_IMPL_(a, b)
+
+// Hot-path instrumentation macros. `name` must be a per-call-site constant:
+// the registry handle is resolved once and cached in a function-local
+// static. Define QEC_DISABLE_METRICS (or QEC_DISABLE_TRACING, which implies
+// it) to compile them out entirely.
+#if !defined(QEC_DISABLE_METRICS) && !defined(QEC_DISABLE_TRACING)
+
+#define QEC_COUNTER_ADD(name, delta)                            \
+  do {                                                          \
+    static ::qec::obs::Counter* const qec_obs_counter_ =        \
+        ::qec::obs::MetricsRegistry::Global().GetCounter(name); \
+    qec_obs_counter_->Add(delta);                               \
+  } while (0)
+
+#define QEC_GAUGE_SET(name, v)                                \
+  do {                                                        \
+    static ::qec::obs::Gauge* const qec_obs_gauge_ =          \
+        ::qec::obs::MetricsRegistry::Global().GetGauge(name); \
+    qec_obs_gauge_->Set(v);                                   \
+  } while (0)
+
+#define QEC_HISTOGRAM_RECORD(name, v)                             \
+  do {                                                            \
+    static ::qec::obs::Histogram* const qec_obs_hist_ =           \
+        ::qec::obs::MetricsRegistry::Global().GetHistogram(name); \
+    qec_obs_hist_->Record(v);                                     \
+  } while (0)
+
+#else
+
+// (void)sizeof keeps the argument "used" without evaluating it, so call
+// sites compile warning-free with instrumentation disabled.
+#define QEC_COUNTER_ADD(name, delta) \
+  do {                               \
+    (void)sizeof(delta);             \
+  } while (0)
+#define QEC_GAUGE_SET(name, v) \
+  do {                         \
+    (void)sizeof(v);           \
+  } while (0)
+#define QEC_HISTOGRAM_RECORD(name, v) \
+  do {                                \
+    (void)sizeof(v);                  \
+  } while (0)
+
+#endif  // QEC_DISABLE_METRICS / QEC_DISABLE_TRACING
+
+#define QEC_COUNTER_INC(name) QEC_COUNTER_ADD(name, 1)
+
+#endif  // QEC_OBS_METRICS_H_
