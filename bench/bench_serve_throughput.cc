@@ -1,0 +1,176 @@
+// Serving-layer throughput on a repeated-query workload.
+//
+// Real keyword-search traffic is heavily head-skewed (the query-log
+// studies behind the paper's log-based baselines), so the qec_server
+// expansion cache should amortize almost all of the clustering +
+// generation work. This bench replays a Zipf-skewed stream drawn from the
+// Table 1 shopping workload (src/datagen/workload.cc) against a QecServer
+// twice — caches disabled, then enabled — and reports the speedup. The
+// acceptance bar for the serving layer is >= 2x with caches on.
+//
+// Flags: --requests=N (default 400), --threads=N (default 0 = auto),
+// --queue=N (default 256), --no-cache (run only the uncached config),
+// plus the shared observability flags (--metrics-out=FILE writes the
+// metrics JSON, including server/cache_* counters, the queue-depth
+// gauges, and the server/request_latency_ns histogram).
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "datagen/shopping.h"
+#include "datagen/workload.h"
+#include "eval/obs_report.h"
+#include "eval/table_printer.h"
+#include "index/inverted_index.h"
+#include "server/server.h"
+
+namespace {
+
+/// A Zipf-skewed request stream over the Table 1 shopping queries:
+/// query at popularity rank r is drawn with weight 1/(r+1).
+std::vector<std::string> MakeWorkload(size_t num_requests, uint64_t seed) {
+  const auto queries = qec::datagen::ShoppingQueries();
+  std::vector<double> cumulative;
+  double total = 0.0;
+  for (size_t r = 0; r < queries.size(); ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cumulative.push_back(total);
+  }
+  qec::Rng rng(seed);
+  std::vector<std::string> workload;
+  workload.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    const double x = rng.UniformDouble() * total;
+    size_t pick = 0;
+    while (pick + 1 < cumulative.size() && cumulative[pick] < x) ++pick;
+    workload.push_back(queries[pick].text);
+  }
+  return workload;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  size_t ok = 0;
+  size_t errors = 0;
+  qec::server::ServerStats stats;
+};
+
+RunResult RunWorkload(const qec::index::InvertedIndex& index,
+                      const std::vector<std::string>& workload, bool caches,
+                      size_t threads, size_t queue_capacity) {
+  qec::server::ServerOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = queue_capacity;
+  options.enable_expansion_cache = caches;
+  options.enable_set_algebra_cache = caches;
+  options.expander.candidates.fraction = 1.0;
+  qec::server::QecServer server(index, options);
+
+  // Submit with backpressure: keep fewer requests outstanding than the
+  // admission queue holds, so nothing sheds and every request completes.
+  const size_t window =
+      queue_capacity > 16 ? queue_capacity - 16 : queue_capacity;
+  RunResult result;
+  std::deque<std::future<qec::server::ServeResponse>> outstanding;
+  auto drain_one = [&] {
+    qec::server::ServeResponse response = outstanding.front().get();
+    outstanding.pop_front();
+    if (response.status.ok()) {
+      ++result.ok;
+    } else {
+      ++result.errors;
+      std::fprintf(stderr, "request failed: %s\n",
+                   response.status.ToString().c_str());
+    }
+  };
+
+  qec::Stopwatch watch;
+  for (const std::string& query : workload) {
+    qec::server::ServeRequest request;
+    request.query = query;
+    while (outstanding.size() >= window) drain_one();
+    outstanding.push_back(server.Submit(std::move(request)));
+  }
+  while (!outstanding.empty()) drain_one();
+  result.seconds = watch.ElapsedSeconds();
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(workload.size()) / result.seconds
+                   : 0.0;
+  result.stats = server.stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto obs_flags = qec::eval::ParseObsFlags(argc, argv);
+  size_t num_requests = 400;
+  size_t threads = 0;
+  size_t queue_capacity = 256;
+  bool cached_config = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (qec::StartsWith(arg, "--requests=")) {
+      num_requests = std::stoul(arg.substr(strlen("--requests=")));
+    } else if (qec::StartsWith(arg, "--threads=")) {
+      threads = std::stoul(arg.substr(strlen("--threads=")));
+    } else if (qec::StartsWith(arg, "--queue=")) {
+      queue_capacity = std::stoul(arg.substr(strlen("--queue=")));
+    } else if (arg == "--no-cache") {
+      cached_config = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("=== Serving Throughput: Repeated-Query Workload ===\n\n");
+  qec::doc::Corpus corpus = qec::datagen::ShoppingGenerator().Generate();
+  qec::index::InvertedIndex index(corpus);
+  const std::vector<std::string> workload = MakeWorkload(num_requests, 42);
+  std::printf(
+      "corpus: %zu docs; %zu requests over %zu distinct queries "
+      "(Zipf-skewed)\n\n",
+      corpus.NumDocs(), workload.size(),
+      qec::datagen::ShoppingQueries().size());
+
+  qec::eval::TablePrinter table({"config", "seconds", "qps", "cache hits",
+                                 "cache misses", "errors"});
+  auto add_row = [&](const char* name, const RunResult& r) {
+    table.AddRow({name, qec::FormatDouble(r.seconds, 3),
+                  qec::FormatDouble(r.qps, 1),
+                  std::to_string(r.stats.expansion_cache.hits),
+                  std::to_string(r.stats.expansion_cache.misses),
+                  std::to_string(r.errors)});
+  };
+
+  // Uncached first so the cached run's server/cache_* counters are the
+  // last written into the metrics snapshot.
+  RunResult uncached =
+      RunWorkload(index, workload, false, threads, queue_capacity);
+  add_row("no-cache", uncached);
+  int rc = 0;
+  if (cached_config) {
+    RunResult cached =
+        RunWorkload(index, workload, true, threads, queue_capacity);
+    add_row("cached", cached);
+    std::printf("%s\n", table.ToString().c_str());
+    const double speedup =
+        uncached.qps > 0.0 ? cached.qps / uncached.qps : 0.0;
+    std::printf("speedup (cached vs no-cache): %.2fx %s\n", speedup,
+                speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: FAIL)");
+    if (speedup < 2.0 || cached.errors > 0) rc = 1;
+  } else {
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  if (uncached.errors > 0) rc = 1;
+  return qec::eval::EmitObsOutputs(obs_flags) ? rc : 1;
+}

@@ -6,6 +6,9 @@
 //   qec_cli stats  <corpus.qec>                          corpus statistics
 //   qec_cli search <corpus.qec> <query words>...         top-10 search
 //   qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] <query>...
+//   qec_cli serve  <corpus.qec|shopping|wikipedia> [--threads=N] [--queue=N]
+//                  [--deadline-ms=N] [--no-cache] [--cache-size=N]
+//                                                        line-protocol server
 //   qec_cli quickstart                                   in-memory demo
 //
 // Global flags (any command; `quickstart` is the default when only flags
@@ -20,11 +23,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "core/query_expander.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "datagen/shopping.h"
 #include "datagen/wikipedia.h"
 #include "doc/corpus_io.h"
@@ -45,6 +52,8 @@ int Usage() {
       "  qec_cli search <corpus.qec> <query words>...\n"
       "  qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] "
       "<query words>...\n"
+      "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--threads=N] "
+      "[--queue=N] [--deadline-ms=N] [--no-cache] [--cache-size=N]\n"
       "  qec_cli quickstart\n"
       "global flags: --metrics-out=FILE --trace --trace-out=FILE "
       "--log-level=LEVEL\n");
@@ -218,6 +227,94 @@ int CmdExpand(const std::vector<std::string>& args) {
   return 0;
 }
 
+// serve: the line-protocol serving layer (docs/SERVING.md) driven by
+// stdin/stdout — one request line in, one JSON response line out. The
+// corpus argument is a .qec file, or the literal "shopping"/"wikipedia"
+// to serve a generated demo corpus.
+int CmdServe(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  qec::server::ServerOptions options;
+  std::string corpus_arg;
+  for (const std::string& arg : args) {
+    if (qec::StartsWith(arg, "--threads=")) {
+      options.num_threads =
+          static_cast<size_t>(std::stoul(arg.substr(strlen("--threads="))));
+    } else if (qec::StartsWith(arg, "--queue=")) {
+      options.queue_capacity =
+          static_cast<size_t>(std::stoul(arg.substr(strlen("--queue="))));
+    } else if (qec::StartsWith(arg, "--deadline-ms=")) {
+      options.default_deadline_ms =
+          std::stoull(arg.substr(strlen("--deadline-ms=")));
+    } else if (arg == "--no-cache") {
+      options.enable_expansion_cache = false;
+      options.enable_set_algebra_cache = false;
+    } else if (qec::StartsWith(arg, "--cache-size=")) {
+      options.expansion_cache_capacity =
+          static_cast<size_t>(std::stoul(arg.substr(strlen("--cache-size="))));
+    } else if (qec::StartsWith(arg, "--")) {
+      return Usage();
+    } else if (corpus_arg.empty()) {
+      corpus_arg = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (corpus_arg.empty()) return Usage();
+
+  qec::doc::Corpus corpus;
+  if (corpus_arg == "shopping") {
+    corpus = qec::datagen::ShoppingGenerator().Generate();
+  } else if (corpus_arg == "wikipedia") {
+    corpus = qec::datagen::WikipediaGenerator().Generate();
+  } else {
+    auto loaded = qec::doc::LoadCorpus(corpus_arg);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(loaded).value();
+  }
+  qec::index::InvertedIndex index(corpus);
+  qec::server::QecServer server(index, options);
+  std::fprintf(stderr,
+               "serving %zu documents with %zu workers (queue %zu, cache "
+               "%s); one request per line: EXPAND [k=N] [algo=A] [--] "
+               "<query> | PING | STATS\n",
+               corpus.NumDocs(), server.num_workers(),
+               options.queue_capacity,
+               options.enable_expansion_cache ? "on" : "off");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (qec::TrimWhitespace(line).empty()) continue;
+    auto request = qec::server::ParseRequestLine(line);
+    if (!request.ok()) {
+      qec::server::ServeResponse bad;
+      bad.status = request.status();
+      std::printf("%s\n", qec::server::ResponseToJsonLine(bad).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    std::string out;
+    switch (request->verb) {
+      case qec::server::ServeRequest::Verb::kPing:
+        out = "{\"status\":\"ok\",\"pong\":true}";
+        break;
+      case qec::server::ServeRequest::Verb::kStats:
+        out = server.StatsJsonLine();
+        break;
+      case qec::server::ServeRequest::Verb::kExpand: {
+        auto future = server.Submit(*std::move(request));
+        out = qec::server::ResponseToJsonLine(future.get());
+        break;
+      }
+    }
+    std::printf("%s\n", out.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 // The quickstart corpus: the ranking-bias "apple" situation from the
 // paper's introduction (same documents as examples/quickstart.cc).
 qec::doc::Corpus QuickstartCorpus() {
@@ -315,6 +412,8 @@ int main(int argc, char** argv) {
       rc = CmdSearch(rest);
     } else if (cmd == "expand") {
       rc = CmdExpand(rest);
+    } else if (cmd == "serve") {
+      rc = CmdServe(rest);
     } else if (cmd == "quickstart") {
       rc = CmdQuickstart(rest);
     } else {

@@ -48,8 +48,15 @@ uint64_t Rng::UniformInt(uint64_t bound) {
 
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
   QEC_CHECK_LE(lo, hi);
-  return lo + static_cast<int64_t>(
-                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  // Span computed in uint64: `hi - lo` in int64 overflows (UB) whenever the
+  // range covers >= 2^63 values (e.g. lo = INT64_MIN, hi >= 0).
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == UINT64_MAX) {
+    // Full 64-bit range: span + 1 would wrap to 0; every value is valid.
+    return static_cast<int64_t>(Next());
+  }
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                              UniformInt(span + 1));
 }
 
 double Rng::UniformDouble() {

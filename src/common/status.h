@@ -19,6 +19,14 @@ enum class StatusCode {
   kInternal,
   kCorruption,
   kUnimplemented,
+  /// The service cannot take the request right now (e.g. the admission
+  /// queue is full or the server is shutting down); retrying later is
+  /// reasonable.
+  kUnavailable,
+  /// The request's deadline passed before it finished executing.
+  kDeadlineExceeded,
+  /// The caller cancelled the request before it executed.
+  kCancelled,
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -56,6 +64,15 @@ class Status {
   }
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

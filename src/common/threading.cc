@@ -1,0 +1,19 @@
+#include "common/threading.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace qec {
+
+size_t ResolveThreadCount(size_t requested, size_t max_useful) {
+  size_t n = requested;
+  if (n == 0) {
+    // hardware_concurrency() may return 0 when the value is not computable.
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  n = std::min(n, std::max<size_t>(max_useful, 1));
+  return n;
+}
+
+}  // namespace qec

@@ -1,0 +1,19 @@
+#ifndef QEC_COMMON_THREADING_H_
+#define QEC_COMMON_THREADING_H_
+
+#include <cstddef>
+
+namespace qec {
+
+/// Resolves a user-facing thread-count knob to an actual worker count.
+/// `requested == 0` means "auto": std::thread::hardware_concurrency(),
+/// guarding its unspecified 0 return. The result is clamped to
+/// `max_useful` (the number of independent work items, e.g. clusters to
+/// expand or pool slots) and is always at least 1. Shared by the
+/// QueryExpander per-cluster pool and the qec_server request executor so
+/// both interpret the knob identically.
+size_t ResolveThreadCount(size_t requested, size_t max_useful);
+
+}  // namespace qec
+
+#endif  // QEC_COMMON_THREADING_H_

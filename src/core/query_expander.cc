@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/threading.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "cluster/hac.h"
@@ -69,6 +70,7 @@ Result<ExpansionOutcome> QueryExpander::Expand(
   }
 
   ResultUniverse universe(index_->corpus(), used);
+  if (options_.memoize_set_algebra) universe.EnableSetAlgebraCache();
 
   Stopwatch cluster_watch;
   cluster::Clustering clustering;
@@ -174,8 +176,7 @@ ExpansionOutcome QueryExpander::ExpandClustered(
   };
 
   const size_t threads =
-      std::min(options_.num_threads > 0 ? options_.num_threads : 1,
-               members.size());
+      ResolveThreadCount(options_.num_threads, members.size());
   if (threads <= 1) {
     for (size_t c = 0; c < members.size(); ++c) expand_one(c);
   } else {

@@ -61,8 +61,16 @@ struct QueryExpanderOptions {
   size_t interleave_rounds = 0;
   /// Threads used to expand clusters concurrently (clusters are
   /// independent — Sec. 2 notes each query can be generated independently).
-  /// 1 = serial; results are identical either way.
+  /// 1 = serial, 0 = auto (hardware concurrency); explicit values are
+  /// clamped to the cluster count. Results are byte-identical regardless
+  /// (see ResolveThreadCount in common/threading.h for the shared
+  /// semantics with the qec_server pool).
   size_t num_threads = 1;
+  /// Memoize DocsWithoutTerm complements and small-arity Retrieve
+  /// conjunctions on the per-request universe
+  /// (ResultUniverse::EnableSetAlgebraCache). Identical results; the
+  /// serving layer enables it by default.
+  bool memoize_set_algebra = false;
   /// Drop keywords whose removal leaves the expanded query's result set
   /// unchanged (query_minimizer.h): same precision/recall, shorter
   /// suggestion.

@@ -1,6 +1,11 @@
 #include "core/result_universe.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -10,7 +15,38 @@ namespace qec::core {
 
 namespace {
 constexpr double kMinWeight = 1e-9;
+
+/// Order-independent memo key for an AND conjunction: the sorted TermIds
+/// packed little-endian-of-host into a string.
+std::string ConjunctionKey(const std::vector<TermId>& query) {
+  std::vector<TermId> sorted = query;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(sorted.size() * sizeof(TermId), '\0');
+  std::memcpy(key.data(), sorted.data(), key.size());
+  return key;
+}
 }  // namespace
+
+struct ResultUniverse::SetAlgebraCache {
+  std::shared_mutex mu;
+  std::unordered_map<TermId, DynamicBitset> complements;
+  std::unordered_map<std::string, DynamicBitset> conjunctions;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
+void ResultUniverse::EnableSetAlgebraCache() {
+  if (set_cache_ == nullptr) set_cache_ = std::make_shared<SetAlgebraCache>();
+}
+
+SetAlgebraCacheStats ResultUniverse::set_algebra_cache_stats() const {
+  SetAlgebraCacheStats stats;
+  if (set_cache_ != nullptr) {
+    stats.hits = set_cache_->hits.load(std::memory_order_relaxed);
+    stats.misses = set_cache_->misses.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
 
 ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
                                const std::vector<index::RankedResult>& results)
@@ -74,12 +110,51 @@ const DynamicBitset& ResultUniverse::DocsWithTerm(TermId term) const {
 
 DynamicBitset ResultUniverse::DocsWithoutTerm(TermId term) const {
   QEC_COUNTER_INC("universe/term_lookups");
+  if (set_cache_ != nullptr) {
+    {
+      std::shared_lock lock(set_cache_->mu);
+      auto it = set_cache_->complements.find(term);
+      if (it != set_cache_->complements.end()) {
+        set_cache_->hits.fetch_add(1, std::memory_order_relaxed);
+        QEC_COUNTER_INC("universe/set_cache_hits");
+        return it->second;
+      }
+    }
+    DynamicBitset out = FullSet();
+    out.AndNot(FindDocs(term));
+    set_cache_->misses.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("universe/set_cache_misses");
+    std::unique_lock lock(set_cache_->mu);
+    return set_cache_->complements.try_emplace(term, std::move(out))
+        .first->second;
+  }
   DynamicBitset out = FullSet();
   out.AndNot(FindDocs(term));
   return out;
 }
 
 DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
+  if (set_cache_ != nullptr && query.size() >= 2 &&
+      query.size() <= kMaxMemoArity) {
+    const std::string key = ConjunctionKey(query);
+    {
+      std::shared_lock lock(set_cache_->mu);
+      auto it = set_cache_->conjunctions.find(key);
+      if (it != set_cache_->conjunctions.end()) {
+        set_cache_->hits.fetch_add(1, std::memory_order_relaxed);
+        QEC_COUNTER_INC("universe/set_cache_hits");
+        return it->second;
+      }
+    }
+    QEC_COUNTER_ADD("universe/term_intersections", query.size());
+    DynamicBitset out = FullSet();
+    for (TermId t : query) out &= FindDocs(t);
+    set_cache_->misses.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("universe/set_cache_misses");
+    std::unique_lock lock(set_cache_->mu);
+    return set_cache_->conjunctions.try_emplace(key, std::move(out))
+        .first->second;
+  }
   // One batched add per call: Retrieve sits inside every benefit/cost
   // evaluation, so per-term counting here would dominate the work itself.
   QEC_COUNTER_ADD("universe/term_intersections", query.size());

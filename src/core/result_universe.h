@@ -1,6 +1,8 @@
 #ifndef QEC_CORE_RESULT_UNIVERSE_H_
 #define QEC_CORE_RESULT_UNIVERSE_H_
 
+#include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +12,12 @@
 #include "index/inverted_index.h"
 
 namespace qec::core {
+
+/// Hit/miss totals of the opt-in set-algebra memo (EnableSetAlgebraCache).
+struct SetAlgebraCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
 
 /// The universe of results of the original user query, over which expanded
 /// queries are generated and evaluated. All expansion algorithms work
@@ -70,6 +78,22 @@ class ResultUniverse {
   /// A bitset of the right size, all set.
   DynamicBitset FullSet() const { return DynamicBitset(size(), true); }
 
+  /// Turns on memoization of DocsWithoutTerm complements and small-arity
+  /// Retrieve conjunctions (up to kMaxMemoArity terms). Memoized calls
+  /// return bit-identical results; repeated calls copy the cached bitset
+  /// instead of re-running the AND/AND-NOT loops ISKR's and PEBC's
+  /// benefit/cost inner loops otherwise pay per evaluation. Thread-safe:
+  /// concurrent per-cluster expansion threads share the memo. The memo is
+  /// bounded by the universe's distinct terms / distinct queries evaluated,
+  /// both small for a per-request universe.
+  void EnableSetAlgebraCache();
+  bool set_algebra_cache_enabled() const { return set_cache_ != nullptr; }
+  SetAlgebraCacheStats set_algebra_cache_stats() const;
+
+  /// Conjunctions of more than this many terms bypass the memo (the key
+  /// grows and hit rates drop with arity; small queries dominate).
+  static constexpr size_t kMaxMemoArity = 4;
+
  private:
   void BuildTermMap();
 
@@ -85,6 +109,10 @@ class ResultUniverse {
   std::unordered_map<TermId, int> term_tf_;
   std::vector<TermId> distinct_terms_;
   DynamicBitset empty_;
+  /// shared_ptr keeps the universe copyable; copies share the memo, which
+  /// stays correct because they also share identical term/doc contents.
+  struct SetAlgebraCache;
+  std::shared_ptr<SetAlgebraCache> set_cache_;
 };
 
 }  // namespace qec::core

@@ -47,7 +47,10 @@ Result<std::vector<Posting>> DecodePostings(std::string_view data) {
   size_t pos = 0;
   auto count = ReadVarint(data, &pos);
   if (!count.ok()) return count.status();
-  if (*count > data.size()) {
+  // Every posting encodes to at least 2 bytes (gap varint + tf varint), so
+  // any count above half the remaining payload is corrupt. Rejecting here
+  // keeps a corrupt header from over-reserving the output vector.
+  if (*count > (data.size() - pos) / 2) {
     return Status::Corruption("implausible posting count");
   }
   std::vector<Posting> out;

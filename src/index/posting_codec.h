@@ -16,7 +16,9 @@ namespace qec::index {
 std::string EncodePostings(const std::vector<Posting>& postings);
 
 /// Decodes a blob produced by EncodePostings. Returns Corruption on
-/// truncated varbytes, non-monotonic doc ids, or zero term frequencies.
+/// truncated varbytes, non-monotonic doc ids, zero term frequencies,
+/// posting counts the payload cannot possibly hold (each posting costs at
+/// least 2 bytes), or trailing bytes after the last posting.
 Result<std::vector<Posting>> DecodePostings(std::string_view data);
 
 /// Appends `value` to `out` as a varbyte integer (7 bits per byte, high

@@ -1,0 +1,144 @@
+#ifndef QEC_SERVER_LRU_CACHE_H_
+#define QEC_SERVER_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qec::server {
+
+/// Aggregated cache statistics across all shards.
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// Bounded LRU cache sharded by key hash: each shard holds its own mutex,
+/// recency list, and map, so concurrent server workers contend only when
+/// they touch the same shard. Values are returned by copy — entries may be
+/// evicted at any moment, so references would not be safe to hand out.
+///
+/// No single-flight de-duplication: two concurrent misses on one key both
+/// compute and the second Put wins. For the expansion workloads this is a
+/// deliberate simplification (results are deterministic, so the duplicate
+/// work is wasted but harmless).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry bound, split evenly across
+  /// `num_shards`; each shard holds at least one entry.
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
+    QEC_CHECK_GT(capacity, 0u);
+    QEC_CHECK_GT(num_shards, 0u);
+    if (num_shards > capacity) num_shards = capacity;
+    const size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Returns a copy of the cached value and marks it most-recently-used,
+  /// or nullopt on miss.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting the shard's least-recently-used
+  /// entry when the shard is at capacity.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+      shard.map.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.map[key] = shard.lru.begin();
+  }
+
+  /// Drops every entry (stats are kept).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->map.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      n += shard->lru.size();
+    }
+    return n;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  LruCacheStats stats() const {
+    LruCacheStats s;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      s.hits += shard->hits;
+      s.misses += shard->misses;
+      s.evictions += shard->evictions;
+      s.entries += shard->lru.size();
+    }
+    return s;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t capacity) : capacity(capacity) {}
+
+    const size_t capacity;
+    mutable std::mutex mu;
+    /// front = most recently used.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[hash_(key) % shards_.size()];
+  }
+
+  Hash hash_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qec::server
+
+#endif  // QEC_SERVER_LRU_CACHE_H_

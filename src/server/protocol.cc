@@ -1,0 +1,253 @@
+#include "server/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/json.h"
+
+namespace qec::server {
+
+namespace {
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseSize(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "0" || text == "false") {
+    *out = false;
+    return true;
+  }
+  if (text == "1" || text == "true") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+Status BadOption(const std::string& token) {
+  return Status::InvalidArgument("malformed option '" + token + "'");
+}
+
+// FNV-1a, folding raw bytes of each field.
+struct Fingerprinter {
+  uint64_t h = 1469598103934665603ULL;
+
+  void Bytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void D(double v) { Bytes(&v, sizeof(v)); }
+  void B(bool v) { U64(v ? 1 : 0); }
+};
+
+}  // namespace
+
+Result<ServeRequest> ParseRequestLine(std::string_view line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return Status::InvalidArgument("empty request line");
+
+  ServeRequest request;
+  const std::string verb = AsciiLower(tokens[0]);
+  if (verb == "ping") {
+    request.verb = ServeRequest::Verb::kPing;
+    return request;
+  }
+  if (verb == "stats") {
+    request.verb = ServeRequest::Verb::kStats;
+    return request;
+  }
+  if (verb != "expand") {
+    return Status::InvalidArgument("unknown verb '" + tokens[0] + "'");
+  }
+  request.verb = ServeRequest::Verb::kExpand;
+
+  std::vector<std::string> query_words;
+  bool in_options = true;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (in_options && token == "--") {
+      in_options = false;
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (!in_options || eq == std::string::npos || eq == 0) {
+      in_options = false;  // First query word ends option parsing for good.
+      query_words.push_back(token);
+      continue;
+    }
+    const std::string key = AsciiLower(token.substr(0, eq));
+    const std::string value = token.substr(eq + 1);
+    uint64_t n = 0;
+    bool b = false;
+    if (key == "k") {
+      if (!ParseSize(value, &n) || n == 0) return BadOption(token);
+      request.max_clusters = static_cast<size_t>(n);
+    } else if (key == "algo") {
+      if (value == "iskr") {
+        request.algorithm = core::ExpansionAlgorithm::kIskr;
+      } else if (value == "pebc") {
+        request.algorithm = core::ExpansionAlgorithm::kPebc;
+      } else if (value == "fmeasure") {
+        request.algorithm = core::ExpansionAlgorithm::kFMeasure;
+      } else {
+        return BadOption(token);
+      }
+    } else if (key == "topk") {
+      if (!ParseSize(value, &n)) return BadOption(token);
+      request.top_k_results = static_cast<size_t>(n);
+    } else if (key == "minimize") {
+      if (!ParseBool(value, &b)) return BadOption(token);
+      request.minimize_queries = b;
+    } else if (key == "weights") {
+      if (!ParseBool(value, &b)) return BadOption(token);
+      request.use_ranking_weights = b;
+    } else if (key == "threads") {
+      if (!ParseSize(value, &n)) return BadOption(token);
+      request.num_threads = static_cast<size_t>(n);
+    } else if (key == "deadline_ms") {
+      if (!ParseSize(value, &n)) return BadOption(token);
+      request.deadline_ms = n;
+    } else {
+      return Status::InvalidArgument("unknown option '" + key + "'");
+    }
+  }
+  if (query_words.empty()) {
+    return Status::InvalidArgument("EXPAND needs query words");
+  }
+  request.query = Join(query_words, " ");
+  return request;
+}
+
+std::string NormalizeQuery(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  bool pending_space = false;
+  for (char c : query) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+uint64_t OptionsFingerprint(const core::QueryExpanderOptions& options) {
+  Fingerprinter fp;
+  fp.U64(options.top_k_results);
+  fp.U64(options.max_clusters);
+  fp.B(options.use_ranking_weights);
+  fp.U64(static_cast<uint64_t>(options.algorithm));
+  fp.U64(static_cast<uint64_t>(options.retrieval));
+  fp.U64(static_cast<uint64_t>(options.clustering));
+  fp.U64(options.interleave_rounds);
+  fp.B(options.minimize_queries);
+  // num_threads and memoize_set_algebra are deliberately excluded: both
+  // change how an expansion is computed, never what it returns.
+  fp.D(options.candidates.fraction);
+  fp.U64(options.candidates.max_candidates);
+  fp.B(options.candidates.drop_universal_terms);
+  fp.U64(options.iskr.max_iterations);
+  fp.B(options.iskr.allow_removal);
+  fp.U64(options.pebc.num_segments);
+  fp.U64(options.pebc.num_iterations);
+  fp.U64(static_cast<uint64_t>(options.pebc.strategy));
+  fp.U64(options.pebc.seed);
+  fp.U64(options.fmeasure.max_iterations);
+  fp.B(options.fmeasure.allow_removal);
+  fp.U64(options.kmeans.k);
+  fp.U64(options.kmeans.max_iterations);
+  fp.U64(options.kmeans.seed);
+  fp.B(options.kmeans.auto_k);
+  return fp.h;
+}
+
+std::string ExpansionCacheKey(std::string_view normalized_query,
+                              size_t max_clusters,
+                              core::ExpansionAlgorithm algorithm,
+                              uint64_t options_fingerprint) {
+  std::string key(normalized_query);
+  key.push_back('\x1f');  // Unit separator: cannot appear in a token.
+  key += std::to_string(max_clusters);
+  key.push_back('\x1f');
+  key += std::to_string(static_cast<int>(algorithm));
+  key.push_back('\x1f');
+  key += std::to_string(options_fingerprint);
+  return key;
+}
+
+std::string ResponseToJsonLine(const ServeResponse& response) {
+  using obs::json::NumberToString;
+  using obs::json::Quote;
+  std::string out = "{";
+  if (!response.status.ok()) {
+    out += "\"status\":\"error\",\"code\":";
+    out += Quote(StatusCodeName(response.status.code()));
+    out += ",\"message\":";
+    out += Quote(response.status.message());
+    out += "}";
+    return out;
+  }
+  const core::ExpansionOutcome& o = response.outcome;
+  out += "\"status\":\"ok\",\"cached\":";
+  out += response.from_cache ? "true" : "false";
+  out += ",\"clusters\":" + std::to_string(o.num_clusters);
+  out += ",\"results_used\":" + std::to_string(o.num_results_used);
+  out += ",\"set_score\":" + NumberToString(o.set_score);
+  out += ",\"queue_ms\":" + NumberToString(response.queue_seconds * 1e3);
+  out += ",\"total_ms\":" + NumberToString(response.total_seconds * 1e3);
+  out += ",\"queries\":[";
+  for (size_t i = 0; i < o.queries.size(); ++i) {
+    const core::ExpandedQuery& q = o.queries[i];
+    if (i > 0) out += ",";
+    out += "{\"keywords\":[";
+    for (size_t k = 0; k < q.keywords.size(); ++k) {
+      if (k > 0) out += ",";
+      out += Quote(q.keywords[k]);
+    }
+    out += "],\"cluster_size\":" + std::to_string(q.cluster_size);
+    out += ",\"precision\":" + NumberToString(q.quality.precision);
+    out += ",\"recall\":" + NumberToString(q.quality.recall);
+    out += ",\"f_measure\":" + NumberToString(q.quality.f_measure);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace qec::server

@@ -1,0 +1,95 @@
+#ifndef QEC_SERVER_PROTOCOL_H_
+#define QEC_SERVER_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/query_expander.h"
+
+namespace qec::server {
+
+/// One parsed request of the line protocol (docs/SERVING.md). A request is
+/// a single line:
+///
+///   EXPAND [key=value ...] [--] <query words>
+///   PING
+///   STATS
+///
+/// Recognized EXPAND options: k=N (max clusters), algo=iskr|pebc|fmeasure,
+/// topk=N (results used), minimize=0|1, weights=0|1, threads=N (per-request
+/// expansion threads; 0 = auto), deadline_ms=N. A literal `--` token ends
+/// option parsing so query words containing '=' stay query words.
+struct ServeRequest {
+  enum class Verb { kExpand, kPing, kStats };
+
+  Verb verb = Verb::kExpand;
+  std::string query;
+
+  /// Per-request overrides of the server's base expander options; unset
+  /// fields inherit the server configuration.
+  std::optional<size_t> max_clusters;
+  std::optional<core::ExpansionAlgorithm> algorithm;
+  std::optional<size_t> top_k_results;
+  std::optional<bool> minimize_queries;
+  std::optional<bool> use_ranking_weights;
+  std::optional<size_t> num_threads;
+
+  /// Request deadline in milliseconds from submission; 0 = use the server
+  /// default (which may itself be "none").
+  uint64_t deadline_ms = 0;
+
+  /// Optional cooperative cancellation flag: set it to true and the server
+  /// drops the request (Status Cancelled) if it has not started executing.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+/// Parses one request line. InvalidArgument on unknown verbs, malformed
+/// options, or an EXPAND with no query words.
+Result<ServeRequest> ParseRequestLine(std::string_view line);
+
+/// Canonical cache form of a query string: ASCII-lowercased with
+/// whitespace runs collapsed to single spaces and ends trimmed, so
+/// "Apple  Store" and "apple store" share a cache entry. (Full analyzer
+/// normalization — stemming, stopwords — happens inside the expander; two
+/// queries that differ only there miss the cache but still return
+/// identical results.)
+std::string NormalizeQuery(std::string_view query);
+
+/// 64-bit FNV-1a fingerprint over every expander option that can change an
+/// expansion result. Two server/request configurations with equal
+/// fingerprints produce interchangeable cached responses.
+uint64_t OptionsFingerprint(const core::QueryExpanderOptions& options);
+
+/// The expansion-cache key: normalized query + max clusters + algorithm +
+/// options fingerprint, joined unambiguously.
+std::string ExpansionCacheKey(std::string_view normalized_query,
+                              size_t max_clusters,
+                              core::ExpansionAlgorithm algorithm,
+                              uint64_t options_fingerprint);
+
+/// Outcome of one served request.
+struct ServeResponse {
+  Status status;
+  /// Valid when status.ok(). A cached response carries the outcome (and
+  /// its timing fields) of the original computation.
+  core::ExpansionOutcome outcome;
+  bool from_cache = false;
+  /// Time spent queued before a worker picked the request up.
+  double queue_seconds = 0.0;
+  /// Submission-to-completion wall time.
+  double total_seconds = 0.0;
+};
+
+/// Renders a response as the protocol's single-line JSON:
+///   {"status":"ok","cached":false,"clusters":2,"set_score":0.91,...}
+///   {"status":"error","code":"Unavailable","message":"..."}
+std::string ResponseToJsonLine(const ServeResponse& response);
+
+}  // namespace qec::server
+
+#endif  // QEC_SERVER_PROTOCOL_H_

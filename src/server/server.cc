@@ -1,0 +1,272 @@
+#include "server/server.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/threading.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qec::server {
+
+namespace {
+
+uint64_t ToNanos(std::chrono::steady_clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+double ToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+QecServer::QecServer(const index::InvertedIndex& index, ServerOptions options)
+    : index_(&index), options_(std::move(options)) {
+  pool_size_ = ResolveThreadCount(options_.num_threads,
+                                  std::numeric_limits<size_t>::max());
+  if (options_.enable_expansion_cache) {
+    cache_ = std::make_unique<ShardedLruCache<std::string, ServeResponse>>(
+        options_.expansion_cache_capacity, options_.expansion_cache_shards);
+  }
+  if (options_.start_workers) Start();
+}
+
+QecServer::~QecServer() { Shutdown(); }
+
+void QecServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_ || !workers_.empty()) return;
+  workers_.reserve(pool_size_);
+  for (size_t i = 0; i < pool_size_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void QecServer::Shutdown() {
+  std::vector<std::thread> to_join;
+  std::deque<Pending> to_reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    to_join.swap(workers_);
+    if (to_join.empty()) {
+      // Pool never ran (or already joined): nobody will drain the queue,
+      // so reject whatever is still waiting.
+      to_reject.swap(queue_);
+      UpdateQueueDepthLocked();
+    }
+  }
+  cv_.notify_all();
+  for (auto& pending : to_reject) {
+    ServeResponse response;
+    response.status = Status::Unavailable("server shutting down");
+    response.total_seconds = ToSeconds(Clock::now() - pending.submit_time);
+    pending.promise.set_value(std::move(response));
+  }
+  for (auto& worker : to_join) worker.join();
+}
+
+std::future<ServeResponse> QecServer::Submit(ServeRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  QEC_COUNTER_INC("server/requests");
+
+  Pending pending;
+  pending.submit_time = Clock::now();
+  const uint64_t deadline_ms = request.deadline_ms != 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+  pending.deadline = deadline_ms != 0
+                         ? pending.submit_time +
+                               std::chrono::milliseconds(deadline_ms)
+                         : Clock::time_point::max();
+  pending.request = std::move(request);
+  std::future<ServeResponse> future = pending.promise.get_future();
+
+  auto reject = [&](Status status, std::atomic<uint64_t>* counter) {
+    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+    ServeResponse response;
+    response.status = std::move(status);
+    pending.promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  if (pending.request.verb != ServeRequest::Verb::kExpand) {
+    return reject(
+        Status::InvalidArgument("only EXPAND goes through the request queue"),
+        nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return reject(Status::Unavailable("server shutting down"), nullptr);
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      QEC_COUNTER_INC("server/shed_queue_full");
+      return reject(Status::Unavailable("admission queue full"),
+                    &shed_queue_full_);
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("server/admitted");
+    queue_.push_back(std::move(pending));
+    UpdateQueueDepthLocked();
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void QecServer::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      UpdateQueueDepthLocked();
+    }
+    Process(std::move(pending));
+  }
+}
+
+void QecServer::Process(Pending pending) {
+  const Clock::time_point dequeue_time = Clock::now();
+  QEC_HISTOGRAM_RECORD("server/queue_wait_ns",
+                       ToNanos(dequeue_time - pending.submit_time));
+
+  ServeResponse response;
+  const ServeRequest& request = pending.request;
+  if (request.cancel != nullptr &&
+      request.cancel->load(std::memory_order_relaxed)) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("server/cancelled");
+    response.status = Status::Cancelled("request cancelled before execution");
+  } else if (dequeue_time > pending.deadline) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("server/shed_deadline");
+    response.status =
+        Status::DeadlineExceeded("deadline passed while request was queued");
+  } else {
+    response = Execute(request);
+  }
+
+  const Clock::time_point done = Clock::now();
+  response.queue_seconds = ToSeconds(dequeue_time - pending.submit_time);
+  response.total_seconds = ToSeconds(done - pending.submit_time);
+  QEC_HISTOGRAM_RECORD("server/request_latency_ns",
+                       ToNanos(done - pending.submit_time));
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  QEC_COUNTER_INC("server/completed");
+  pending.promise.set_value(std::move(response));
+}
+
+ServeResponse QecServer::Execute(const ServeRequest& request) {
+  QEC_TRACE_SPAN("server/execute");
+  ServeResponse response;
+  if (request.verb != ServeRequest::Verb::kExpand) {
+    response.status =
+        Status::InvalidArgument("only EXPAND requests are executable");
+    return response;
+  }
+
+  const core::QueryExpanderOptions effective = EffectiveOptions(request);
+  std::string key;
+  if (cache_ != nullptr) {
+    key = ExpansionCacheKey(NormalizeQuery(request.query),
+                            effective.max_clusters, effective.algorithm,
+                            OptionsFingerprint(effective));
+    std::optional<ServeResponse> hit = cache_->Get(key);
+    if (hit.has_value()) {
+      QEC_COUNTER_INC("server/cache_hits");
+      hit->from_cache = true;
+      return *std::move(hit);
+    }
+    QEC_COUNTER_INC("server/cache_misses");
+  }
+
+  core::QueryExpander expander(*index_, effective);
+  Result<core::ExpansionOutcome> outcome = expander.ExpandText(request.query);
+  if (!outcome.ok()) {
+    response.status = outcome.status();
+    return response;
+  }
+  response.outcome = *std::move(outcome);
+  if (cache_ != nullptr) {
+    // Only successful expansions are cached (no negative caching): errors
+    // are either caller mistakes or transient, and both should re-resolve.
+    cache_->Put(key, response);
+  }
+  return response;
+}
+
+core::QueryExpanderOptions QecServer::EffectiveOptions(
+    const ServeRequest& r) const {
+  core::QueryExpanderOptions o = options_.expander;
+  if (r.max_clusters.has_value()) o.max_clusters = *r.max_clusters;
+  if (r.algorithm.has_value()) o.algorithm = *r.algorithm;
+  if (r.top_k_results.has_value()) o.top_k_results = *r.top_k_results;
+  if (r.minimize_queries.has_value()) o.minimize_queries = *r.minimize_queries;
+  if (r.use_ranking_weights.has_value()) {
+    o.use_ranking_weights = *r.use_ranking_weights;
+  }
+  if (r.num_threads.has_value()) o.num_threads = *r.num_threads;
+  o.memoize_set_algebra = options_.enable_set_algebra_cache;
+  return o;
+}
+
+void QecServer::UpdateQueueDepthLocked() {
+  const size_t depth = queue_.size();
+  QEC_GAUGE_SET("server/queue_depth", static_cast<double>(depth));
+  if (depth > peak_queue_depth_) {
+    peak_queue_depth_ = depth;
+    QEC_GAUGE_SET("server/queue_depth_peak", static_cast<double>(depth));
+  }
+}
+
+size_t QecServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t QecServer::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+ServerStats QecServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) s.expansion_cache = cache_->stats();
+  return s;
+}
+
+std::string QecServer::StatsJsonLine() const {
+  const ServerStats s = stats();
+  std::string out = "{\"status\":\"ok\"";
+  out += ",\"queue_depth\":" + std::to_string(queue_depth());
+  out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
+  out += ",\"workers\":" + std::to_string(num_workers());
+  out += ",\"submitted\":" + std::to_string(s.submitted);
+  out += ",\"admitted\":" + std::to_string(s.admitted);
+  out += ",\"completed\":" + std::to_string(s.completed);
+  out += ",\"shed_queue_full\":" + std::to_string(s.shed_queue_full);
+  out += ",\"shed_deadline\":" + std::to_string(s.shed_deadline);
+  out += ",\"cancelled\":" + std::to_string(s.cancelled);
+  out += ",\"cache\":{\"enabled\":";
+  out += cache_ != nullptr ? "true" : "false";
+  out += ",\"hits\":" + std::to_string(s.expansion_cache.hits);
+  out += ",\"misses\":" + std::to_string(s.expansion_cache.misses);
+  out += ",\"evictions\":" + std::to_string(s.expansion_cache.evictions);
+  out += ",\"entries\":" + std::to_string(s.expansion_cache.entries);
+  out += "}}";
+  return out;
+}
+
+}  // namespace qec::server

@@ -1,0 +1,156 @@
+#ifndef QEC_SERVER_SERVER_H_
+#define QEC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_expander.h"
+#include "index/inverted_index.h"
+#include "server/lru_cache.h"
+#include "server/protocol.h"
+
+namespace qec::server {
+
+/// Configuration of a QecServer.
+struct ServerOptions {
+  /// Worker threads executing requests. 0 = auto (hardware concurrency);
+  /// same knob semantics as QueryExpanderOptions::num_threads, via
+  /// ResolveThreadCount.
+  size_t num_threads = 0;
+  /// Bounded admission queue: Submit sheds with Status Unavailable once
+  /// this many requests are waiting, instead of queueing unboundedly.
+  size_t queue_capacity = 128;
+  /// Default per-request deadline in milliseconds (0 = none). A request
+  /// whose deadline passes while it is still queued is shed with
+  /// DeadlineExceeded; execution itself is never interrupted mid-run.
+  uint64_t default_deadline_ms = 0;
+  /// Full-response sharded LRU cache keyed by (normalized query, k,
+  /// algorithm, options fingerprint) — see docs/SERVING.md.
+  bool enable_expansion_cache = true;
+  size_t expansion_cache_capacity = 1024;
+  size_t expansion_cache_shards = 8;
+  /// Enable the per-request ResultUniverse set-algebra memo
+  /// (QueryExpanderOptions::memoize_set_algebra) on cache misses.
+  bool enable_set_algebra_cache = true;
+  /// Spawn the worker pool in the constructor. Tests set this to false so
+  /// they can fill the admission queue deterministically, then call
+  /// Start().
+  bool start_workers = true;
+  /// Base expander configuration; per-request ServeRequest fields overlay
+  /// it. Note num_threads here is the *per-expansion* cluster parallelism;
+  /// the server's own parallelism comes from its worker pool, so the
+  /// default of 1 avoids thread multiplication under load.
+  core::QueryExpanderOptions expander;
+};
+
+/// Monotonic totals since construction (ResetAll on the global metrics
+/// registry does not affect these).
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t cancelled = 0;
+  LruCacheStats expansion_cache;
+};
+
+/// Concurrent serving layer over one immutable InvertedIndex: a worker
+/// pool fed by a bounded admission queue, with graceful shedding, per-
+/// request deadlines/cancellation, and an expansion-result LRU cache. The
+/// index (and its corpus) must outlive the server; because they are
+/// immutable for the server's lifetime, cached responses never need
+/// invalidation — rebuild the index and restart the server to pick up new
+/// documents.
+///
+/// Everything is instrumented through qec_obs: server/queue_depth (+peak)
+/// gauges, server/{admitted,shed_queue_full,shed_deadline,cancelled}
+/// counters, server/cache_{hits,misses} counters, and
+/// server/{queue_wait_ns,request_latency_ns} histograms.
+class QecServer {
+ public:
+  explicit QecServer(const index::InvertedIndex& index,
+                     ServerOptions options = {});
+  ~QecServer();
+
+  QecServer(const QecServer&) = delete;
+  QecServer& operator=(const QecServer&) = delete;
+
+  /// Enqueues an EXPAND request. The future resolves with the response —
+  /// possibly an error Status: Unavailable (queue full / shutting down),
+  /// DeadlineExceeded, Cancelled, or whatever the expander returned.
+  /// Non-EXPAND verbs resolve immediately with InvalidArgument (PING and
+  /// STATS are answered by the driver, not the pool).
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Runs a request synchronously on the calling thread, bypassing the
+  /// queue (still uses — and fills — the expansion cache). The worker pool
+  /// calls this internally.
+  ServeResponse Execute(const ServeRequest& request);
+
+  /// Spawns the worker pool if it is not already running.
+  void Start();
+
+  /// Stops accepting new requests, lets the workers drain the queue, and
+  /// joins them. If the pool never started, queued requests are rejected
+  /// with Unavailable. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  size_t queue_depth() const;
+  size_t num_workers() const;
+  const ServerOptions& options() const { return options_; }
+  ServerStats stats() const;
+
+  /// One-line JSON for the STATS verb: queue state, totals, cache stats.
+  std::string StatsJsonLine() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    Clock::time_point submit_time;
+    Clock::time_point deadline;  // Clock::time_point::max() when none.
+  };
+
+  void WorkerLoop();
+  /// Processes one dequeued request end to end and fulfills its promise.
+  void Process(Pending pending);
+  /// Effective expander options for one request: base + overlays.
+  core::QueryExpanderOptions EffectiveOptions(const ServeRequest& r) const;
+  void UpdateQueueDepthLocked();
+
+  const index::InvertedIndex* index_;
+  ServerOptions options_;
+  size_t pool_size_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  size_t peak_queue_depth_ = 0;
+
+  std::unique_ptr<ShardedLruCache<std::string, ServeResponse>> cache_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> cancelled_{0};
+};
+
+}  // namespace qec::server
+
+#endif  // QEC_SERVER_SERVER_H_

@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/threading.h"
 
 namespace qec {
 namespace {
@@ -125,6 +126,56 @@ TEST(RngTest, UniformRangeInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRangeSinglePoint) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformRange(42, 42), 42);
+  EXPECT_EQ(rng.UniformRange(INT64_MIN, INT64_MIN), INT64_MIN);
+  EXPECT_EQ(rng.UniformRange(INT64_MAX, INT64_MAX), INT64_MAX);
+}
+
+TEST(RngTest, UniformRangeHugeSpansStayInBounds) {
+  // Regression: spans >= 2^63 used to overflow the signed `hi - lo + 1`
+  // width computation (UB). The full-int64 span in particular must not
+  // wrap to a width of 0.
+  Rng rng(11);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t full = rng.UniformRange(INT64_MIN, INT64_MAX);
+    saw_negative |= full < 0;
+    saw_positive |= full > 0;
+    const int64_t lower_half = rng.UniformRange(INT64_MIN, 0);
+    EXPECT_LE(lower_half, 0);
+    const int64_t upper_half = rng.UniformRange(-1, INT64_MAX);
+    EXPECT_GE(upper_half, -1);
+  }
+  // 200 draws from the full range land on both signs with overwhelming
+  // probability; a wrapped width would pin the result.
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+// --------------------------------------------------------------- threads --
+
+TEST(ThreadingTest, ResolveThreadCountExplicitRequest) {
+  EXPECT_EQ(ResolveThreadCount(4, 16), 4u);
+  EXPECT_EQ(ResolveThreadCount(1, 16), 1u);
+}
+
+TEST(ThreadingTest, ResolveThreadCountClampsToUsefulWork) {
+  EXPECT_EQ(ResolveThreadCount(8, 3), 3u);
+  EXPECT_EQ(ResolveThreadCount(8, 1), 1u);
+  // Zero useful units still yields one worker rather than zero.
+  EXPECT_EQ(ResolveThreadCount(8, 0), 1u);
+}
+
+TEST(ThreadingTest, ResolveThreadCountAutoDetects) {
+  const size_t n = ResolveThreadCount(0, 1000);
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 1000u);
+  // Auto mode is clamped by available work too.
+  EXPECT_EQ(ResolveThreadCount(0, 1), 1u);
 }
 
 TEST(RngTest, GaussianRoughMoments) {

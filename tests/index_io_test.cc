@@ -78,6 +78,33 @@ TEST(PostingCodecTest, TrailingBytesAreCorruption) {
   EXPECT_FALSE(DecodePostings(blob).ok());
 }
 
+TEST(PostingCodecTest, ImplausibleCountIsCorruption) {
+  // Header claims 5 postings but only 4 payload bytes follow; each posting
+  // is at least 2 bytes, so the count is provably wrong. The old guard
+  // (count > blob size) admitted this and failed later with a less precise
+  // error after over-reserving.
+  std::string blob;
+  AppendVarint(5, blob);
+  AppendVarint(1, blob);  // gap
+  AppendVarint(1, blob);  // tf
+  AppendVarint(1, blob);  // gap
+  AppendVarint(1, blob);  // tf
+  auto decoded = DecodePostings(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PostingCodecTest, HugeCountIsCorruptionNotAlloc) {
+  // A count near uint64 max must be rejected up front rather than fed to
+  // vector::reserve.
+  std::string blob;
+  AppendVarint(UINT64_MAX / 2, blob);
+  AppendVarint(1, blob);
+  auto decoded = DecodePostings(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
 TEST(PostingCodecTest, ZeroTfIsCorruption) {
   // Hand-build: count 1, gap 5, tf 0.
   std::string blob;

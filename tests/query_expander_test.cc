@@ -6,6 +6,7 @@
 
 #include "core/candidates.h"
 #include "core/query_expander.h"
+#include "datagen/shopping.h"
 #include "doc/corpus.h"
 #include "index/inverted_index.h"
 
@@ -196,6 +197,77 @@ TEST_F(EngineFixture, TimingFieldsPopulated) {
   EXPECT_GE(outcome->clustering_seconds, 0.0);
   EXPECT_GE(outcome->expansion_seconds, 0.0);
 }
+
+// ---------------------------------------------------------- determinism
+
+// Threaded per-cluster expansion and the opt-in set-algebra memo are pure
+// execution strategies: they must produce byte-identical outcomes to the
+// serial, uncached pipeline for every algorithm.
+void ExpectIdenticalOutcomes(const ExpansionOutcome& a,
+                             const ExpansionOutcome& b) {
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.num_results_used, b.num_results_used);
+  EXPECT_EQ(a.set_score, b.set_score);  // exact, not approximate
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].terms, b.queries[i].terms);
+    EXPECT_EQ(a.queries[i].keywords, b.queries[i].keywords);
+    EXPECT_EQ(a.queries[i].cluster_index, b.queries[i].cluster_index);
+    EXPECT_EQ(a.queries[i].cluster_size, b.queries[i].cluster_size);
+    EXPECT_EQ(a.queries[i].quality.precision, b.queries[i].quality.precision);
+    EXPECT_EQ(a.queries[i].quality.recall, b.queries[i].quality.recall);
+    EXPECT_EQ(a.queries[i].quality.f_measure, b.queries[i].quality.f_measure);
+  }
+}
+
+class DeterminismFixture
+    : public ::testing::TestWithParam<ExpansionAlgorithm> {
+ protected:
+  DeterminismFixture()
+      : corpus_(datagen::ShoppingGenerator().Generate()), index_(corpus_) {}
+
+  ExpansionOutcome Run(size_t num_threads, bool memoize) const {
+    QueryExpanderOptions options;
+    options.algorithm = GetParam();
+    options.candidates.fraction = 1.0;
+    options.num_threads = num_threads;
+    options.memoize_set_algebra = memoize;
+    QueryExpander expander(index_, options);
+    auto outcome = expander.ExpandText("canon products");
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  }
+
+  doc::Corpus corpus_;
+  index::InvertedIndex index_;
+};
+
+TEST_P(DeterminismFixture, ThreadedMatchesSerial) {
+  const ExpansionOutcome serial = Run(1, false);
+  EXPECT_GT(serial.num_clusters, 1u);  // threading must have real work
+  for (size_t threads : {size_t{2}, size_t{8}, size_t{0}}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(threads));
+    ExpectIdenticalOutcomes(serial, Run(threads, false));
+  }
+}
+
+TEST_P(DeterminismFixture, MemoizedSetAlgebraMatchesUncached) {
+  const ExpansionOutcome plain = Run(1, false);
+  ExpectIdenticalOutcomes(plain, Run(1, true));
+  // Memo + threads together (the server's configuration).
+  ExpectIdenticalOutcomes(plain, Run(8, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismFixture,
+                         ::testing::Values(ExpansionAlgorithm::kIskr,
+                                           ExpansionAlgorithm::kPebc,
+                                           ExpansionAlgorithm::kFMeasure),
+                         [](const auto& info) {
+                           return std::string(AlgorithmName(info.param)) ==
+                                          "F-measure"
+                                      ? "FMeasure"
+                                      : std::string(AlgorithmName(info.param));
+                         });
 
 TEST(AlgorithmNameTest, AllNamesDistinct) {
   EXPECT_EQ(AlgorithmName(ExpansionAlgorithm::kIskr), "ISKR");

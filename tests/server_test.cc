@@ -1,0 +1,426 @@
+// Tests for the qec_server serving layer: the line protocol, the sharded
+// LRU cache, admission-queue shedding, deadlines/cancellation, and the
+// correctness guarantee that cached responses are identical to uncached
+// ones.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/shopping.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+#include "obs/json.h"
+#include "server/lru_cache.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace qec::server {
+namespace {
+
+// ------------------------------------------------------------- protocol --
+
+TEST(ProtocolTest, ParsesPlainExpand) {
+  auto r = ParseRequestLine("EXPAND apple store");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->verb, ServeRequest::Verb::kExpand);
+  EXPECT_EQ(r->query, "apple store");
+  EXPECT_FALSE(r->max_clusters.has_value());
+  EXPECT_FALSE(r->algorithm.has_value());
+}
+
+TEST(ProtocolTest, ParsesOptions) {
+  auto r = ParseRequestLine(
+      "expand k=3 algo=pebc topk=20 minimize=1 weights=0 threads=2 "
+      "deadline_ms=500 canon products");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->query, "canon products");
+  EXPECT_EQ(*r->max_clusters, 3u);
+  EXPECT_EQ(*r->algorithm, core::ExpansionAlgorithm::kPebc);
+  EXPECT_EQ(*r->top_k_results, 20u);
+  EXPECT_TRUE(*r->minimize_queries);
+  EXPECT_FALSE(*r->use_ranking_weights);
+  EXPECT_EQ(*r->num_threads, 2u);
+  EXPECT_EQ(r->deadline_ms, 500u);
+}
+
+TEST(ProtocolTest, DoubleDashEndsOptions) {
+  auto r = ParseRequestLine("EXPAND k=2 -- k=v is a query word");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->max_clusters, 2u);
+  EXPECT_EQ(r->query, "k=v is a query word");
+}
+
+TEST(ProtocolTest, FirstQueryWordEndsOptions) {
+  auto r = ParseRequestLine("EXPAND apple k=2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->query, "apple k=2");
+  EXPECT_FALSE(r->max_clusters.has_value());
+}
+
+TEST(ProtocolTest, ParsesPingAndStats) {
+  auto ping = ParseRequestLine("PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->verb, ServeRequest::Verb::kPing);
+  auto stats = ParseRequestLine("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->verb, ServeRequest::Verb::kStats);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("   ").ok());
+  EXPECT_FALSE(ParseRequestLine("FROBNICATE x").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND").ok());            // no query
+  EXPECT_FALSE(ParseRequestLine("EXPAND k=0 apple").ok());  // bad value
+  EXPECT_FALSE(ParseRequestLine("EXPAND k=abc apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND algo=nope apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND minimize=2 apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND bogus=1 apple").ok());
+  for (const char* line : {"", "FROBNICATE x", "EXPAND"}) {
+    EXPECT_EQ(ParseRequestLine(line).status().code(),
+              StatusCode::kInvalidArgument)
+        << line;
+  }
+}
+
+TEST(ProtocolTest, NormalizeQueryCanonicalizes) {
+  EXPECT_EQ(NormalizeQuery("  Apple   STORE\t"), "apple store");
+  EXPECT_EQ(NormalizeQuery("apple store"), "apple store");
+  EXPECT_EQ(NormalizeQuery(""), "");
+}
+
+TEST(ProtocolTest, CacheKeySeparatesDimensions) {
+  core::QueryExpanderOptions options;
+  const uint64_t fp = OptionsFingerprint(options);
+  const std::string base =
+      ExpansionCacheKey("apple", 5, core::ExpansionAlgorithm::kIskr, fp);
+  EXPECT_NE(base,
+            ExpansionCacheKey("apples", 5, core::ExpansionAlgorithm::kIskr, fp));
+  EXPECT_NE(base,
+            ExpansionCacheKey("apple", 4, core::ExpansionAlgorithm::kIskr, fp));
+  EXPECT_NE(base,
+            ExpansionCacheKey("apple", 5, core::ExpansionAlgorithm::kPebc, fp));
+  EXPECT_NE(base, ExpansionCacheKey("apple", 5,
+                                    core::ExpansionAlgorithm::kIskr, fp + 1));
+  EXPECT_EQ(base,
+            ExpansionCacheKey("apple", 5, core::ExpansionAlgorithm::kIskr, fp));
+}
+
+TEST(ProtocolTest, FingerprintTracksResultAffectingOptions) {
+  core::QueryExpanderOptions a;
+  core::QueryExpanderOptions b = a;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.iskr.allow_removal = !b.iskr.allow_removal;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  // Execution knobs that cannot change results do not split the cache.
+  core::QueryExpanderOptions c = a;
+  c.num_threads = 8;
+  c.memoize_set_algebra = true;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(c));
+}
+
+TEST(ProtocolTest, ErrorResponseJson) {
+  ServeResponse response;
+  response.status = Status::Unavailable("admission queue full");
+  const std::string line = ResponseToJsonLine(response);
+  auto parsed = obs::json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->Find("status")->string, "error");
+  EXPECT_EQ(parsed->Find("code")->string, "Unavailable");
+}
+
+// ------------------------------------------------------------ LRU cache --
+
+TEST(ShardedLruCacheTest, PutGetAndMiss) {
+  ShardedLruCache<std::string, int> cache(8, 2);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_EQ(*cache.Get("b"), 2);
+  cache.Put("a", 3);  // refresh updates in place
+  EXPECT_EQ(*cache.Get("a"), 3);
+  EXPECT_EQ(cache.size(), 2u);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard of capacity 2 makes eviction order fully observable.
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(*cache.Get(1), 10);  // 1 is now most recent
+  cache.Put(3, 30);              // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_EQ(*cache.Get(1), 10);
+  EXPECT_EQ(*cache.Get(3), 30);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntries) {
+  ShardedLruCache<int, int> cache(16);
+  for (int i = 0; i < 10; ++i) cache.Put(i, i);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(3).has_value());
+}
+
+TEST(ShardedLruCacheTest, MoreShardsThanCapacityClamps) {
+  ShardedLruCache<int, int> cache(2, 64);
+  EXPECT_LE(cache.num_shards(), 2u);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  EXPECT_TRUE(cache.Get(1).has_value() || cache.Get(2).has_value());
+}
+
+TEST(ShardedLruCacheTest, ConcurrentAccessIsSafe) {
+  ShardedLruCache<int, int> cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int key = (t * 31 + i) % 100;
+        cache.Put(key, key * 2);
+        auto v = cache.Get(key);
+        if (v.has_value()) EXPECT_EQ(*v, key * 2);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+// --------------------------------------------------------------- server --
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture()
+      : corpus_(datagen::ShoppingGenerator().Generate()), index_(corpus_) {}
+
+  static ServeRequest Expand(const std::string& query) {
+    ServeRequest r;
+    r.query = query;
+    return r;
+  }
+
+  doc::Corpus corpus_;
+  index::InvertedIndex index_;
+};
+
+void ExpectSameOutcome(const core::ExpansionOutcome& a,
+                       const core::ExpansionOutcome& b) {
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.num_results_used, b.num_results_used);
+  EXPECT_DOUBLE_EQ(a.set_score, b.set_score);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].terms, b.queries[i].terms);
+    EXPECT_EQ(a.queries[i].keywords, b.queries[i].keywords);
+    EXPECT_DOUBLE_EQ(a.queries[i].quality.f_measure,
+                     b.queries[i].quality.f_measure);
+    EXPECT_EQ(a.queries[i].cluster_size, b.queries[i].cluster_size);
+  }
+}
+
+TEST_F(ServerFixture, ServesExpandRequests) {
+  QecServer server(index_);
+  auto response = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GT(response.outcome.num_clusters, 0u);
+  EXPECT_FALSE(response.outcome.queries.empty());
+  EXPECT_FALSE(response.from_cache);
+  EXPECT_GE(response.total_seconds, response.queue_seconds);
+}
+
+TEST_F(ServerFixture, SecondIdenticalRequestHitsCache) {
+  QecServer server(index_);
+  auto first = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.from_cache);
+  auto second = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.from_cache);
+  ExpectSameOutcome(first.outcome, second.outcome);
+  // Normalization: case/whitespace variants share the entry.
+  auto third = server.Submit(Expand("  CANON   Products ")).get();
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.from_cache);
+  ExpectSameOutcome(first.outcome, third.outcome);
+  EXPECT_GE(server.stats().expansion_cache.hits, 2u);
+}
+
+TEST_F(ServerFixture, CachedAndUncachedServersAgree) {
+  ServerOptions cached_options;
+  ServerOptions uncached_options;
+  uncached_options.enable_expansion_cache = false;
+  uncached_options.enable_set_algebra_cache = false;
+  QecServer cached(index_, cached_options);
+  QecServer uncached(index_, uncached_options);
+  for (const char* query :
+       {"canon products", "tv plasma", "memory 8gb", "printer"}) {
+    auto a = cached.Submit(Expand(query)).get();
+    auto b = cached.Submit(Expand(query)).get();  // cache hit
+    auto c = uncached.Submit(Expand(query)).get();
+    ASSERT_TRUE(a.status.ok()) << query;
+    ASSERT_TRUE(b.status.ok()) << query;
+    ASSERT_TRUE(c.status.ok()) << query;
+    EXPECT_TRUE(b.from_cache) << query;
+    EXPECT_FALSE(c.from_cache) << query;
+    ExpectSameOutcome(a.outcome, b.outcome);
+    ExpectSameOutcome(a.outcome, c.outcome);
+  }
+  EXPECT_EQ(uncached.stats().expansion_cache.hits, 0u);
+}
+
+TEST_F(ServerFixture, DifferentOptionsMissTheCache) {
+  QecServer server(index_);
+  auto iskr = server.Submit(Expand("canon products")).get();
+  ServeRequest pebc_request = Expand("canon products");
+  pebc_request.algorithm = core::ExpansionAlgorithm::kPebc;
+  auto pebc = server.Submit(std::move(pebc_request)).get();
+  ASSERT_TRUE(iskr.status.ok());
+  ASSERT_TRUE(pebc.status.ok());
+  EXPECT_FALSE(pebc.from_cache);
+}
+
+TEST_F(ServerFixture, ExpanderErrorsPropagate) {
+  QecServer server(index_);
+  auto response = server.Submit(Expand("zzzzunknownwordzzzz")).get();
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerFixture, NonExpandVerbsAreRejected) {
+  QecServer server(index_);
+  ServeRequest ping;
+  ping.verb = ServeRequest::Verb::kPing;
+  auto response = server.Submit(std::move(ping)).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerFixture, FullQueueShedsWithUnavailable) {
+  ServerOptions options;
+  options.start_workers = false;  // nothing drains until Start()
+  options.queue_capacity = 2;
+  QecServer server(index_, options);
+  auto f1 = server.Submit(Expand("canon products"));
+  auto f2 = server.Submit(Expand("tv plasma"));
+  auto f3 = server.Submit(Expand("printer"));  // queue full: shed now
+  auto shed = f3.get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.stats().shed_queue_full, 1u);
+  EXPECT_EQ(server.queue_depth(), 2u);
+  server.Start();
+  auto r1 = f1.get();
+  auto r2 = f2.get();
+  EXPECT_TRUE(r1.status.ok()) << r1.status.ToString();
+  EXPECT_TRUE(r2.status.ok()) << r2.status.ToString();
+}
+
+TEST_F(ServerFixture, ExpiredDeadlineIsShedWhenDequeued) {
+  ServerOptions options;
+  options.start_workers = false;
+  QecServer server(index_, options);
+  ServeRequest request = Expand("canon products");
+  request.deadline_ms = 1;
+  auto future = server.Submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Start();
+  auto response = future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().shed_deadline, 1u);
+}
+
+TEST_F(ServerFixture, CancelledRequestIsDropped) {
+  ServerOptions options;
+  options.start_workers = false;
+  QecServer server(index_, options);
+  ServeRequest request = Expand("canon products");
+  request.cancel = std::make_shared<std::atomic<bool>>(false);
+  auto cancel = request.cancel;
+  auto future = server.Submit(std::move(request));
+  cancel->store(true);
+  server.Start();
+  auto response = future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST_F(ServerFixture, ShutdownRejectsQueuedWhenPoolNeverRan) {
+  ServerOptions options;
+  options.start_workers = false;
+  QecServer server(index_, options);
+  auto future = server.Submit(Expand("canon products"));
+  server.Shutdown();
+  EXPECT_EQ(future.get().status.code(), StatusCode::kUnavailable);
+  // After shutdown nothing is accepted.
+  EXPECT_EQ(server.Submit(Expand("tv")).get().status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ServerFixture, ConcurrentLoadCompletesAndAgrees) {
+  ServerOptions options;
+  options.num_threads = 4;
+  QecServer server(index_, options);
+  const std::vector<std::string> queries = {"canon products", "tv plasma",
+                                            "memory 8gb", "printer"};
+  std::vector<std::future<ServeResponse>> futures;
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& q : queries) futures.push_back(server.Submit(Expand(q)));
+  }
+  std::vector<ServeResponse> first(queries.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServeResponse r = futures[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    const size_t which = i % queries.size();
+    if (i < queries.size()) {
+      first[which] = std::move(r);
+    } else {
+      ExpectSameOutcome(first[which].outcome, r.outcome);
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, 40u);
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_GE(stats.expansion_cache.hits, 40u - 2 * queries.size());
+}
+
+TEST_F(ServerFixture, StatsJsonIsWellFormed) {
+  QecServer server(index_);
+  server.Submit(Expand("canon products")).get();
+  server.Submit(Expand("canon products")).get();
+  auto parsed = obs::json::Parse(server.StatsJsonLine());
+  ASSERT_TRUE(parsed.ok()) << server.StatsJsonLine();
+  EXPECT_EQ(parsed->Find("status")->string, "ok");
+  EXPECT_EQ(parsed->Find("submitted")->number, 2.0);
+  EXPECT_EQ(parsed->Find("completed")->number, 2.0);
+  const obs::json::Value* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("hits")->number, 1.0);
+  EXPECT_EQ(cache->Find("misses")->number, 1.0);
+}
+
+TEST_F(ServerFixture, ResponseJsonRoundTrips) {
+  QecServer server(index_);
+  auto response = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(response.status.ok());
+  auto parsed = obs::json::Parse(ResponseToJsonLine(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("status")->string, "ok");
+  EXPECT_EQ(parsed->Find("clusters")->number,
+            static_cast<double>(response.outcome.num_clusters));
+  ASSERT_TRUE(parsed->Find("queries")->is_array());
+  EXPECT_EQ(parsed->Find("queries")->array.size(),
+            response.outcome.queries.size());
+}
+
+}  // namespace
+}  // namespace qec::server
