@@ -77,7 +77,7 @@ void RunDataset(const qec::eval::DatasetBundle& bundle, Sums& sums) {
     std::vector<qec::cluster::SparseVector> vectors;
     for (size_t i = 0; i < universe.size(); ++i) {
       vectors.push_back(qec::cluster::SparseVector::FromDocument(
-          bundle.corpus.Get(universe.doc_at(i))));
+          bundle.corpus->Get(universe.doc_at(i))));
     }
 
     // (1) clustering methods.
@@ -120,11 +120,11 @@ void RunDataset(const qec::eval::DatasetBundle& bundle, Sums& sums) {
     // (5) VSM-ranked universe: same pipeline, cosine retrieval.
     {
       auto vsm_results = bundle.index->SearchVsm(qc->user_terms, 30);
-      qec::core::ResultUniverse vsm_universe(bundle.corpus, vsm_results);
+      qec::core::ResultUniverse vsm_universe(*bundle.corpus, vsm_results);
       std::vector<qec::cluster::SparseVector> vsm_vectors;
       for (size_t i = 0; i < vsm_universe.size(); ++i) {
         vsm_vectors.push_back(qec::cluster::SparseVector::FromDocument(
-            bundle.corpus.Get(vsm_universe.doc_at(i))));
+            bundle.corpus->Get(vsm_universe.doc_at(i))));
       }
       qec::cluster::KMeansOptions kopts;
       kopts.k = 5;

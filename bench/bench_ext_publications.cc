@@ -16,11 +16,12 @@ int main() {
   std::printf("=== Extension: publications dataset (generalization) ===\n\n");
   qec::eval::DatasetBundle bundle;
   bundle.name = "publications";
-  bundle.corpus = qec::datagen::PublicationsGenerator().Generate();
-  bundle.index = std::make_unique<qec::index::InvertedIndex>(bundle.corpus);
+  bundle.corpus = std::make_unique<qec::doc::Corpus>(
+      qec::datagen::PublicationsGenerator().Generate());
+  bundle.index = std::make_unique<qec::index::InvertedIndex>(*bundle.corpus);
   bundle.queries = qec::datagen::PublicationQueries();
 
-  auto stats = bundle.corpus.Stats();
+  auto stats = bundle.corpus->Stats();
   std::printf("corpus: %zu papers, %zu distinct terms\n\n", stats.num_docs,
               stats.num_distinct_terms);
 

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   auto all = bundle.index->SearchText("columbia");
   std::printf("corpus: %zu docs; \"columbia\" retrieves %zu results\n\n",
-              bundle.corpus.NumDocs(), all.size());
+              bundle.corpus->NumDocs(), all.size());
 
   qec::eval::TablePrinter table(
       {"#results", "clustering (ms)", "ISKR (ms)", "PEBC (ms)",

@@ -44,7 +44,7 @@ BENCHMARK(BM_IndexBuild);
 
 void BM_SearchTopK(benchmark::State& state) {
   const auto& bundle = WikiBundle();
-  auto terms = bundle.corpus.analyzer().AnalyzeReadOnly("java");
+  auto terms = bundle.corpus->analyzer().AnalyzeReadOnly("java");
   for (auto _ : state) {
     auto results = bundle.index->Search(terms, 30);
     benchmark::DoNotOptimize(results);
@@ -55,12 +55,12 @@ BENCHMARK(BM_SearchTopK);
 void BM_KMeansCluster(benchmark::State& state) {
   const auto& bundle = WikiBundle();
   auto results =
-      bundle.index->Search(bundle.corpus.analyzer().AnalyzeReadOnly("java"),
+      bundle.index->Search(bundle.corpus->analyzer().AnalyzeReadOnly("java"),
                            static_cast<size_t>(state.range(0)));
   std::vector<qec::cluster::SparseVector> vectors;
   for (const auto& r : results) {
     vectors.push_back(
-        qec::cluster::SparseVector::FromDocument(bundle.corpus.Get(r.doc)));
+        qec::cluster::SparseVector::FromDocument(bundle.corpus->Get(r.doc)));
   }
   qec::cluster::KMeansOptions options;
   options.k = 5;
@@ -74,9 +74,9 @@ BENCHMARK(BM_KMeansCluster)->Arg(10)->Arg(30);
 void BM_UniverseBuild(benchmark::State& state) {
   const auto& bundle = WikiBundle();
   auto results = bundle.index->Search(
-      bundle.corpus.analyzer().AnalyzeReadOnly("java"), 30);
+      bundle.corpus->analyzer().AnalyzeReadOnly("java"), 30);
   for (auto _ : state) {
-    qec::core::ResultUniverse universe(bundle.corpus, results);
+    qec::core::ResultUniverse universe(*bundle.corpus, results);
     benchmark::DoNotOptimize(universe.size());
   }
 }

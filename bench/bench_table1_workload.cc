@@ -10,13 +10,13 @@
 namespace {
 
 void PrintDataset(const qec::eval::DatasetBundle& bundle) {
-  const auto stats = bundle.corpus.Stats();
+  const auto stats = bundle.corpus->Stats();
   std::printf("dataset: %s — %zu documents, %zu distinct terms, avg length %.1f\n",
               bundle.name.c_str(), stats.num_docs, stats.num_distinct_terms,
               stats.avg_doc_length);
   qec::eval::TablePrinter table({"id", "query", "#results", "top-30 used"});
   for (const auto& wq : bundle.queries) {
-    auto terms = bundle.corpus.analyzer().AnalyzeReadOnly(wq.text);
+    auto terms = bundle.corpus->analyzer().AnalyzeReadOnly(wq.text);
     auto all = bundle.index->Search(terms, 0);
     auto used = std::min<size_t>(all.size(), 30);
     table.AddRow({wq.id, wq.text, std::to_string(all.size()),

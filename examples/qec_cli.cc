@@ -3,13 +3,24 @@
 //
 //   qec_cli index  <corpus.qec> <file.xml|file.txt>...   build + save corpus
 //   qec_cli gen    <corpus.qec> [shopping|wikipedia]     save a demo corpus
-//   qec_cli stats  <corpus.qec>                          corpus statistics
-//   qec_cli search <corpus.qec> <query words>...         top-10 search
-//   qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] <query>...
-//   qec_cli serve  <corpus.qec|shopping|wikipedia> [--threads=N] [--queue=N]
-//                  [--deadline-ms=N] [--no-cache] [--cache-size=N]
-//                                                        line-protocol server
-//   qec_cli quickstart                                   in-memory demo
+//   qec_cli index-build   <snap.qsnap> <file...|shopping|wikipedia>
+//                  build corpus + inverted index, write one checksummed
+//                  snapshot (docs/FORMATS.md) that serves without a rebuild
+//   qec_cli index-inspect <snap.qsnap>   print version, section TOC, CRCs,
+//                  and corpus statistics (reads only the STAT section)
+//   qec_cli stats  <corpus.qec|snap.qsnap>               corpus statistics
+//   qec_cli search <corpus.qec|snap.qsnap> <query words>...  top-10 search
+//   qec_cli expand <corpus.qec|snap.qsnap> [-a iskr|pebc|fmeasure] [-k N]
+//                  <query>...
+//   qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE]
+//                  [--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache]
+//                  [--cache-size=N]                      line-protocol server
+//   qec_cli quickstart [--snapshot=FILE [--query=Q]]     in-memory demo
+//
+// Commands taking <corpus.qec> sniff the file magic, so a snapshot works
+// anywhere a corpus blob does (and skips the index rebuild). `serve
+// --snapshot=FILE` starts from the snapshot alone — no XML parsing, no
+// index build.
 //
 // Global flags (any command; `quickstart` is the default when only flags
 // are given): --metrics-out=FILE writes a metrics JSON snapshot on exit,
@@ -38,6 +49,7 @@
 #include "eval/obs_report.h"
 #include "index/inverted_index.h"
 #include "snippet/snippet.h"
+#include "storage/snapshot.h"
 #include "xml/xml.h"
 
 namespace {
@@ -48,13 +60,16 @@ int Usage() {
       "usage:\n"
       "  qec_cli index  <corpus.qec> <file.xml|file.txt>...\n"
       "  qec_cli gen    <corpus.qec> [shopping|wikipedia]\n"
-      "  qec_cli stats  <corpus.qec>\n"
-      "  qec_cli search <corpus.qec> <query words>...\n"
-      "  qec_cli expand <corpus.qec> [-a iskr|pebc|fmeasure] [-k N] "
-      "<query words>...\n"
-      "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--threads=N] "
-      "[--queue=N] [--deadline-ms=N] [--no-cache] [--cache-size=N]\n"
-      "  qec_cli quickstart\n"
+      "  qec_cli index-build   <snap.qsnap> <file...|shopping|wikipedia>\n"
+      "  qec_cli index-inspect <snap.qsnap>\n"
+      "  qec_cli stats  <corpus.qec|snap.qsnap>\n"
+      "  qec_cli search <corpus.qec|snap.qsnap> <query words>...\n"
+      "  qec_cli expand <corpus.qec|snap.qsnap> [-a iskr|pebc|fmeasure] "
+      "[-k N] <query words>...\n"
+      "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE] "
+      "[--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache] "
+      "[--cache-size=N]\n"
+      "  qec_cli quickstart [--snapshot=FILE [--query=Q]]\n"
       "global flags: --metrics-out=FILE --trace --trace-out=FILE "
       "--log-level=LEVEL\n");
   return 2;
@@ -76,38 +91,148 @@ bool EndsWith(const std::string& s, const char* suffix) {
   return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
 }
 
-int CmdIndex(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Usage();
+/// Builds a corpus from XML/text files ("shopping"/"wikipedia" generate the
+/// demo catalogs instead). Shared by `index` and `index-build`.
+qec::Result<qec::doc::Corpus> BuildCorpus(const std::vector<std::string>& inputs) {
+  if (inputs.size() == 1 && inputs[0] == "shopping") {
+    return qec::datagen::ShoppingGenerator().Generate();
+  }
+  if (inputs.size() == 1 && inputs[0] == "wikipedia") {
+    return qec::datagen::WikipediaGenerator().Generate();
+  }
   qec::doc::Corpus corpus;
-  for (size_t i = 1; i < args.size(); ++i) {
-    auto content = ReadFile(args[i]);
-    if (!content.ok()) {
-      std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
-      return 1;
-    }
-    if (EndsWith(args[i], ".xml")) {
+  for (const std::string& input : inputs) {
+    auto content = ReadFile(input);
+    if (!content.ok()) return content.status();
+    if (EndsWith(input, ".xml")) {
       auto parsed = qec::xml::Parse(*content);
       if (!parsed.ok()) {
-        std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
-                     parsed.status().ToString().c_str());
-        return 1;
+        return qec::Status(parsed.status().code(),
+                           input + ": " + parsed.status().message());
       }
       const qec::xml::XmlNode* title = parsed->root->FindChild("title");
-      corpus.AddTextDocument(
-          title != nullptr ? title->InnerText() : args[i],
-          parsed->root->InnerText());
+      corpus.AddTextDocument(title != nullptr ? title->InnerText() : input,
+                             parsed->root->InnerText());
     } else {
-      corpus.AddTextDocument(args[i], *content);
+      corpus.AddTextDocument(input, *content);
     }
   }
-  qec::Status s = qec::doc::SaveCorpus(corpus, args[0]);
+  return corpus;
+}
+
+/// A corpus + index loaded from a CLI argument: a generator name, a corpus
+/// blob (index rebuilt in one pass), or a snapshot (index loaded as-is —
+/// the zero-rebuild path).
+struct LoadedData {
+  std::unique_ptr<qec::doc::Corpus> corpus;
+  std::unique_ptr<qec::index::InvertedIndex> index;
+  bool from_snapshot = false;
+};
+
+qec::Result<LoadedData> LoadCorpusAndIndex(const std::string& arg) {
+  LoadedData data;
+  if (arg == "shopping" || arg == "wikipedia") {
+    data.corpus = std::make_unique<qec::doc::Corpus>(
+        arg == "shopping" ? qec::datagen::ShoppingGenerator().Generate()
+                          : qec::datagen::WikipediaGenerator().Generate());
+    data.index =
+        std::make_unique<qec::index::InvertedIndex>(*data.corpus);
+    return data;
+  }
+  auto blob = ReadFile(arg);
+  if (!blob.ok()) return blob.status();
+  if (qec::storage::LooksLikeSnapshot(*blob)) {
+    auto snapshot = qec::storage::DeserializeSnapshot(*blob);
+    if (!snapshot.ok()) return snapshot.status();
+    data.corpus = std::move(snapshot->corpus);
+    data.index = std::move(snapshot->index);
+    data.from_snapshot = true;
+    return data;
+  }
+  auto corpus = qec::doc::DeserializeCorpus(*blob);
+  if (!corpus.ok()) return corpus.status();
+  data.corpus = std::make_unique<qec::doc::Corpus>(std::move(*corpus));
+  data.index = std::make_unique<qec::index::InvertedIndex>(*data.corpus);
+  return data;
+}
+
+int CmdIndex(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto corpus =
+      BuildCorpus(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  qec::Status s = qec::doc::SaveCorpus(*corpus, args[0]);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu documents into %s\n", corpus.NumDocs(),
+  std::printf("indexed %zu documents into %s\n", corpus->NumDocs(),
               args[0].c_str());
   return 0;
+}
+
+int CmdIndexBuild(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto corpus =
+      BuildCorpus(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  qec::index::InvertedIndex index(*corpus);
+  qec::Status s = qec::storage::WriteSnapshot(index, args[0]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto stats = corpus->Stats();
+  std::printf(
+      "wrote snapshot %s: %zu documents, %zu terms, format v%u\n",
+      args[0].c_str(), stats.num_docs, stats.num_distinct_terms,
+      qec::storage::kSnapshotFormatVersion);
+  return 0;
+}
+
+int CmdIndexInspect(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  auto blob = qec::storage::ReadSnapshotBlob(args[0]);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "%s\n", blob.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = qec::storage::SnapshotReader::Open(*blob);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot %s: %zu bytes, format v%u, %zu sections\n",
+              args[0].c_str(), blob->size(), reader->version(),
+              reader->sections().size());
+  int rc = 0;
+  for (const auto& section : reader->sections()) {
+    auto payload = reader->Section(section.id);
+    std::printf("  %-4s  offset=%-10llu length=%-10llu crc32=%08x  %s\n",
+                section.id.c_str(),
+                static_cast<unsigned long long>(section.offset),
+                static_cast<unsigned long long>(section.length),
+                section.crc32, payload.ok() ? "ok" : "CORRUPT");
+    if (!payload.ok()) rc = 1;
+  }
+  // Statistics come from the STAT section alone — documents and postings
+  // stay untouched (the lazy-load path).
+  auto stats = reader->ReadStats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("documents:        %zu\n", stats->num_docs);
+  std::printf("distinct terms:   %zu\n", stats->num_distinct_terms);
+  std::printf("term occurrences: %zu\n", stats->total_term_occurrences);
+  std::printf("avg doc length:   %.1f\n", stats->avg_doc_length);
+  return rc;
 }
 
 int CmdGen(const std::vector<std::string>& args) {
@@ -128,12 +253,34 @@ int CmdGen(const std::vector<std::string>& args) {
 
 int CmdStats(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
-  auto corpus = qec::doc::LoadCorpus(args[0]);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+  auto blob = ReadFile(args[0]);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "%s\n", blob.status().ToString().c_str());
     return 1;
   }
-  auto stats = corpus->Stats();
+  qec::doc::CorpusStats stats;
+  if (qec::storage::LooksLikeSnapshot(*blob)) {
+    // Snapshot: statistics live in their own section, so no documents or
+    // postings are decoded.
+    auto reader = qec::storage::SnapshotReader::Open(*blob);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+      return 1;
+    }
+    auto loaded = reader->ReadStats();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    stats = *loaded;
+  } else {
+    auto corpus = qec::doc::DeserializeCorpus(*blob);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    stats = corpus->Stats();
+  }
   std::printf("documents:        %zu\n", stats.num_docs);
   std::printf("distinct terms:   %zu\n", stats.num_distinct_terms);
   std::printf("term occurrences: %zu\n", stats.total_term_occurrences);
@@ -152,12 +299,13 @@ std::string JoinFrom(const std::vector<std::string>& args, size_t from) {
 
 int CmdSearch(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  auto corpus = qec::doc::LoadCorpus(args[0]);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+  auto data = LoadCorpusAndIndex(args[0]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  qec::index::InvertedIndex index(*corpus);
+  const auto& corpus = data->corpus;
+  const auto& index = *data->index;
   std::string query = JoinFrom(args, 1);
   auto results = index.SearchText(query, 10);
   auto query_terms = corpus->analyzer().AnalyzeReadOnly(query);
@@ -198,13 +346,12 @@ int CmdExpand(const std::vector<std::string>& args) {
   }
   if (i >= args.size()) return Usage();
 
-  auto corpus = qec::doc::LoadCorpus(args[0]);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+  auto data = LoadCorpusAndIndex(args[0]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  qec::index::InvertedIndex index(*corpus);
-  qec::core::QueryExpander expander(index, options);
+  qec::core::QueryExpander expander(*data->index, options);
   std::string query = JoinFrom(args, i);
   auto outcome = expander.ExpandText(query);
   if (!outcome.ok()) {
@@ -230,13 +377,17 @@ int CmdExpand(const std::vector<std::string>& args) {
 // serve: the line-protocol serving layer (docs/SERVING.md) driven by
 // stdin/stdout — one request line in, one JSON response line out. The
 // corpus argument is a .qec file, or the literal "shopping"/"wikipedia"
-// to serve a generated demo corpus.
+// to serve a generated demo corpus; `--snapshot=FILE` starts from a
+// checksummed snapshot instead — no XML parsing, no index rebuild.
 int CmdServe(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   qec::server::ServerOptions options;
   std::string corpus_arg;
+  std::string snapshot_path;
   for (const std::string& arg : args) {
-    if (qec::StartsWith(arg, "--threads=")) {
+    if (qec::StartsWith(arg, "--snapshot=")) {
+      snapshot_path = arg.substr(strlen("--snapshot="));
+    } else if (qec::StartsWith(arg, "--threads=")) {
       options.num_threads =
           static_cast<size_t>(std::stoul(arg.substr(strlen("--threads="))));
     } else if (qec::StartsWith(arg, "--queue=")) {
@@ -259,29 +410,30 @@ int CmdServe(const std::vector<std::string>& args) {
       return Usage();
     }
   }
-  if (corpus_arg.empty()) return Usage();
+  if (corpus_arg.empty() == snapshot_path.empty()) return Usage();
 
-  qec::doc::Corpus corpus;
-  if (corpus_arg == "shopping") {
-    corpus = qec::datagen::ShoppingGenerator().Generate();
-  } else if (corpus_arg == "wikipedia") {
-    corpus = qec::datagen::WikipediaGenerator().Generate();
-  } else {
-    auto loaded = qec::doc::LoadCorpus(corpus_arg);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-      return 1;
-    }
-    corpus = std::move(loaded).value();
+  // LoadCorpusAndIndex sniffs the magic, so both the positional argument
+  // and --snapshot accept either format; the flag spelling documents intent
+  // and rejects non-snapshot files.
+  auto data = LoadCorpusAndIndex(snapshot_path.empty() ? corpus_arg
+                                                       : snapshot_path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
   }
-  qec::index::InvertedIndex index(corpus);
-  qec::server::QecServer server(index, options);
+  if (!snapshot_path.empty() && !data->from_snapshot) {
+    std::fprintf(stderr, "--snapshot=%s: not a snapshot file\n",
+                 snapshot_path.c_str());
+    return 1;
+  }
+  qec::server::QecServer server(*data->index, options);
   std::fprintf(stderr,
-               "serving %zu documents with %zu workers (queue %zu, cache "
+               "serving %zu documents%s with %zu workers (queue %zu, cache "
                "%s); one request per line: EXPAND [k=N] [algo=A] [--] "
                "<query> | PING | STATS\n",
-               corpus.NumDocs(), server.num_workers(),
-               options.queue_capacity,
+               data->corpus->NumDocs(),
+               data->from_snapshot ? " from snapshot" : "",
+               server.num_workers(), options.queue_capacity,
                options.enable_expansion_cache ? "on" : "off");
 
   std::string line;
@@ -348,10 +500,32 @@ qec::doc::Corpus QuickstartCorpus() {
 /// Runs every expansion algorithm once over the quickstart corpus — the
 /// smallest end-to-end exercise of index, clustering, ISKR, and PEBC, so a
 /// --metrics-out snapshot from it covers every subsystem's counters.
+/// `--snapshot=FILE` swaps in a prebuilt snapshot (with `--query=Q` to pick
+/// a query that exists in that corpus).
 int CmdQuickstart(const std::vector<std::string>& args) {
-  if (!args.empty()) return Usage();
-  qec::doc::Corpus corpus = QuickstartCorpus();
-  qec::index::InvertedIndex index(corpus);
+  std::string snapshot_path;
+  std::string query = "apple";
+  for (const std::string& arg : args) {
+    if (qec::StartsWith(arg, "--snapshot=")) {
+      snapshot_path = arg.substr(strlen("--snapshot="));
+    } else if (qec::StartsWith(arg, "--query=")) {
+      query = arg.substr(strlen("--query="));
+    } else {
+      return Usage();
+    }
+  }
+  LoadedData data;
+  if (snapshot_path.empty()) {
+    data.corpus = std::make_unique<qec::doc::Corpus>(QuickstartCorpus());
+    data.index = std::make_unique<qec::index::InvertedIndex>(*data.corpus);
+  } else {
+    auto loaded = LoadCorpusAndIndex(snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(*loaded);
+  }
   qec::core::QueryExpanderOptions options;
   options.max_clusters = 3;
   options.candidates.fraction = 1.0;  // tiny corpus: consider all keywords
@@ -359,16 +533,16 @@ int CmdQuickstart(const std::vector<std::string>& args) {
                          qec::core::ExpansionAlgorithm::kPebc,
                          qec::core::ExpansionAlgorithm::kFMeasure}) {
     options.algorithm = algorithm;
-    qec::core::QueryExpander expander(index, options);
-    auto outcome = expander.ExpandText("apple");
+    qec::core::QueryExpander expander(*data.index, options);
+    auto outcome = expander.ExpandText(query);
     if (!outcome.ok()) {
       std::fprintf(stderr, "expansion failed: %s\n",
                    outcome.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s expanded queries for \"apple\" (set score %.3f):\n",
+    std::printf("%s expanded queries for \"%s\" (set score %.3f):\n",
                 std::string(qec::core::AlgorithmName(algorithm)).c_str(),
-                outcome->set_score);
+                query.c_str(), outcome->set_score);
     for (const auto& eq : outcome->queries) {
       std::printf("  cluster %zu (%zu results): \"", eq.cluster_index,
                   eq.cluster_size);
@@ -404,6 +578,10 @@ int main(int argc, char** argv) {
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (cmd == "index") {
       rc = CmdIndex(rest);
+    } else if (cmd == "index-build") {
+      rc = CmdIndexBuild(rest);
+    } else if (cmd == "index-inspect") {
+      rc = CmdIndexInspect(rest);
     } else if (cmd == "gen") {
       rc = CmdGen(rest);
     } else if (cmd == "stats") {

@@ -1,0 +1,63 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+
+namespace qec {
+
+void BinaryWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+Status BinaryReader::U8(uint8_t& v) {
+  if (pos_ + 1 > data_.size()) return Truncated();
+  v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::Ok();
+}
+
+Status BinaryReader::U32(uint32_t& v) {
+  if (pos_ + 4 > data_.size()) return Truncated();
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return Status::Ok();
+}
+
+Status BinaryReader::U64(uint64_t& v) {
+  if (pos_ + 8 > data_.size()) return Truncated();
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return Status::Ok();
+}
+
+Status BinaryReader::F64(double& v) {
+  uint64_t bits = 0;
+  QEC_RETURN_IF_ERROR(U64(bits));
+  std::memcpy(&v, &bits, sizeof(v));
+  return Status::Ok();
+}
+
+Status BinaryReader::Str(std::string& s) {
+  uint32_t len = 0;
+  QEC_RETURN_IF_ERROR(U32(len));
+  if (pos_ + len > data_.size()) return Truncated();
+  s.assign(data_.substr(pos_, len));
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status BinaryReader::Truncated() const {
+  return Status::Corruption(std::string(what_) + " truncated at byte " +
+                            std::to_string(pos_));
+}
+
+}  // namespace qec

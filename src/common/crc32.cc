@@ -1,0 +1,58 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace qec {
+
+namespace {
+
+/// Slice-by-4 lookup tables, built once. Table 0 is the classic byte-at-a-
+/// time table; tables 1..3 fold in the next three bytes so the hot loop
+/// processes four bytes per iteration.
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  const auto& t = Tables().t;
+  crc = ~crc;
+  size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<uint32_t>(static_cast<uint8_t>(data[i])) |
+           (static_cast<uint32_t>(static_cast<uint8_t>(data[i + 1])) << 8) |
+           (static_cast<uint32_t>(static_cast<uint8_t>(data[i + 2])) << 16) |
+           (static_cast<uint32_t>(static_cast<uint8_t>(data[i + 3])) << 24);
+    crc = t[3][crc & 0xffu] ^ t[2][(crc >> 8) & 0xffu] ^
+          t[1][(crc >> 16) & 0xffu] ^ t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ t[0][(crc ^ static_cast<uint8_t>(data[i])) & 0xffu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+}  // namespace qec

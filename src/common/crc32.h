@@ -1,0 +1,21 @@
+#ifndef QEC_COMMON_CRC32_H_
+#define QEC_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace qec {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// used by zlib/gzip/PNG. Guards the persistent snapshot sections
+/// (src/storage/) against bit rot and truncation; see docs/FORMATS.md.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed the previous return value back as `crc` to
+/// checksum data arriving in chunks. Start from 0; the final value equals
+/// Crc32() over the concatenation.
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+}  // namespace qec
+
+#endif  // QEC_COMMON_CRC32_H_

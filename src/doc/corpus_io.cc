@@ -4,78 +4,18 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/binary_io.h"
+
 namespace qec::doc {
 
 namespace {
 
 constexpr char kMagic[8] = {'Q', 'E', 'C', 'C', 'O', 'R', 'P', '1'};
 
-/// Little-endian append-only writer.
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void Str(std::string_view s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out_.append(s);
-  }
-  std::string Take() { return std::move(out_); }
-
- private:
-  std::string out_;
-};
-
-/// Bounds-checked little-endian reader; every method reports truncation.
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  Status U8(uint8_t& v) {
-    if (pos_ + 1 > data_.size()) return Truncated();
-    v = static_cast<uint8_t>(data_[pos_++]);
-    return Status::Ok();
-  }
-
-  Status U32(uint32_t& v) {
-    if (pos_ + 4 > data_.size()) return Truncated();
-    v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return Status::Ok();
-  }
-
-  Status Str(std::string& s) {
-    uint32_t len = 0;
-    QEC_RETURN_IF_ERROR(U32(len));
-    if (pos_ + len > data_.size()) return Truncated();
-    s.assign(data_.substr(pos_, len));
-    pos_ += len;
-    return Status::Ok();
-  }
-
-  bool AtEnd() const { return pos_ == data_.size(); }
-
- private:
-  Status Truncated() const {
-    return Status::Corruption("corpus blob truncated at byte " +
-                              std::to_string(pos_));
-  }
-
-  std::string_view data_;
-  size_t pos_ = 0;
-};
-
 }  // namespace
 
 std::string SerializeCorpus(const Corpus& corpus) {
-  Writer w;
+  BinaryWriter w;
   for (char c : kMagic) w.U8(static_cast<uint8_t>(c));
 
   // Analyzer options.
@@ -111,7 +51,7 @@ std::string SerializeCorpus(const Corpus& corpus) {
 }
 
 Result<Corpus> DeserializeCorpus(std::string_view data) {
-  Reader r(data);
+  BinaryReader r(data, "corpus blob");
   for (char expected : kMagic) {
     uint8_t c = 0;
     QEC_RETURN_IF_ERROR(r.U8(c));

@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "core/metrics.h"
 #include "obs/trace.h"
+#include "storage/snapshot.h"
 
 #include <sys/stat.h>
 
@@ -16,8 +17,9 @@ namespace qec::eval {
 DatasetBundle MakeShoppingBundle(datagen::ShoppingOptions options) {
   DatasetBundle bundle;
   bundle.name = "shopping";
-  bundle.corpus = datagen::ShoppingGenerator(options).Generate();
-  bundle.index = std::make_unique<index::InvertedIndex>(bundle.corpus);
+  bundle.corpus = std::make_unique<doc::Corpus>(
+      datagen::ShoppingGenerator(options).Generate());
+  bundle.index = std::make_unique<index::InvertedIndex>(*bundle.corpus);
   bundle.queries = datagen::ShoppingQueries();
   return bundle;
 }
@@ -25,9 +27,37 @@ DatasetBundle MakeShoppingBundle(datagen::ShoppingOptions options) {
 DatasetBundle MakeWikipediaBundle(datagen::WikipediaOptions options) {
   DatasetBundle bundle;
   bundle.name = "wikipedia";
-  bundle.corpus = datagen::WikipediaGenerator(options).Generate();
-  bundle.index = std::make_unique<index::InvertedIndex>(bundle.corpus);
+  bundle.corpus = std::make_unique<doc::Corpus>(
+      datagen::WikipediaGenerator(options).Generate());
+  bundle.index = std::make_unique<index::InvertedIndex>(*bundle.corpus);
   bundle.queries = datagen::WikipediaQueries();
+  return bundle;
+}
+
+Result<DatasetBundle> MakeSnapshotBundle(const std::string& path,
+                                         std::string_view workload) {
+  auto blob = storage::ReadSnapshotBlob(path);
+  if (!blob.ok()) return blob.status();
+  auto reader = storage::SnapshotReader::Open(*blob);
+  if (!reader.ok()) return reader.status();
+  auto corpus = reader->LoadCorpus();
+  if (!corpus.ok()) return corpus.status();
+
+  DatasetBundle bundle;
+  bundle.name = "snapshot:" + path;
+  bundle.corpus = std::make_unique<doc::Corpus>(std::move(*corpus));
+  auto loaded_index = reader->LoadIndex(*bundle.corpus);
+  if (!loaded_index.ok()) return loaded_index.status();
+  bundle.index =
+      std::make_unique<index::InvertedIndex>(std::move(*loaded_index));
+  if (workload == "shopping") {
+    bundle.queries = datagen::ShoppingQueries();
+  } else if (workload == "wikipedia") {
+    bundle.queries = datagen::WikipediaQueries();
+  } else if (!workload.empty()) {
+    return Status::InvalidArgument("unknown workload '" +
+                                   std::string(workload) + "'");
+  }
   return bundle;
 }
 
@@ -69,7 +99,7 @@ Result<QueryCase> PrepareQueryCase(const DatasetBundle& bundle,
                                    bool auto_k) {
   QEC_TRACE_SPAN("eval/prepare_query_case");
   QueryCase qc;
-  qc.user_terms = bundle.corpus.analyzer().AnalyzeReadOnly(query_text);
+  qc.user_terms = bundle.corpus->analyzer().AnalyzeReadOnly(query_text);
   if (qc.user_terms.empty()) {
     return Status::InvalidArgument("query '" + std::string(query_text) +
                                    "' has no known terms");
@@ -81,14 +111,14 @@ Result<QueryCase> PrepareQueryCase(const DatasetBundle& bundle,
                             "' retrieved no results");
   }
   qc.universe =
-      std::make_unique<core::ResultUniverse>(bundle.corpus, results);
+      std::make_unique<core::ResultUniverse>(*bundle.corpus, results);
 
   Stopwatch watch;
   std::vector<cluster::SparseVector> vectors;
   vectors.reserve(qc.universe->size());
   for (size_t i = 0; i < qc.universe->size(); ++i) {
     vectors.push_back(cluster::SparseVector::FromDocument(
-        bundle.corpus.Get(qc.universe->doc_at(i))));
+        bundle.corpus->Get(qc.universe->doc_at(i))));
   }
   cluster::KMeansOptions kopts;
   kopts.k = max_clusters;
@@ -164,7 +194,7 @@ MethodRun RunMethod(const DatasetBundle& bundle, const QueryCase& qc,
       Stopwatch watch;
       MethodRun run;
       run.suggestions =
-          query_log->Suggest(raw_query_text, bundle.corpus.analyzer(),
+          query_log->Suggest(raw_query_text, bundle.corpus->analyzer(),
                              qc.clustering.num_clusters);
       run.seconds = watch.ElapsedSeconds();
       return run;

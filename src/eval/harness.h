@@ -20,10 +20,12 @@
 
 namespace qec::eval {
 
-/// A dataset with its index and Table 1 query workload.
+/// A dataset with its index and Table 1 query workload. Corpus and index
+/// are heap-held so the bundle can move (e.g. through a Result<>) without
+/// invalidating the index's corpus pointer.
 struct DatasetBundle {
   std::string name;
-  doc::Corpus corpus;
+  std::unique_ptr<doc::Corpus> corpus;
   std::unique_ptr<index::InvertedIndex> index;
   std::vector<datagen::WorkloadQuery> queries;
 };
@@ -33,6 +35,12 @@ DatasetBundle MakeShoppingBundle(datagen::ShoppingOptions options = {});
 
 /// Generates + indexes the Wikipedia dataset with its QW1-QW10 workload.
 DatasetBundle MakeWikipediaBundle(datagen::WikipediaOptions options = {});
+
+/// Loads a prebuilt snapshot (storage/snapshot.h) as a bundle — no XML
+/// parsing, no index rebuild. `workload` picks the Table 1 queries:
+/// "shopping", "wikipedia", or "" for none.
+Result<DatasetBundle> MakeSnapshotBundle(const std::string& path,
+                                         std::string_view workload = "");
 
 /// The five compared expansion methods of Sec. 5 plus the F-measure
 /// variant.

@@ -250,6 +250,7 @@ ServerStats QecServer::stats() const {
 std::string QecServer::StatsJsonLine() const {
   const ServerStats s = stats();
   std::string out = "{\"status\":\"ok\"";
+  out += ",\"docs\":" + std::to_string(index_->corpus().NumDocs());
   out += ",\"queue_depth\":" + std::to_string(queue_depth());
   out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
   out += ",\"workers\":" + std::to_string(num_workers());

@@ -29,6 +29,13 @@ class Vocabulary {
   /// Number of distinct interned terms.
   size_t size() const { return terms_.size(); }
 
+  /// Pre-sizes the intern tables for `n` terms; deserializers call this
+  /// before bulk re-interning a stored vocabulary.
+  void Reserve(size_t n) {
+    ids_.reserve(n);
+    terms_.reserve(n);
+  }
+
  private:
   std::unordered_map<std::string, TermId> ids_;
   std::vector<std::string> terms_;

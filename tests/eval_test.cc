@@ -161,7 +161,7 @@ TEST(HarnessTest, BundlesAreReady) {
   auto shopping = MakeShoppingBundle();
   EXPECT_EQ(shopping.name, "shopping");
   EXPECT_EQ(shopping.queries.size(), 10u);
-  EXPECT_GT(shopping.corpus.NumDocs(), 0u);
+  EXPECT_GT(shopping.corpus->NumDocs(), 0u);
 
   datagen::WikipediaOptions small;
   small.docs_per_sense = 6;

@@ -11,8 +11,11 @@
 #include "common/dynamic_bitset.h"
 #include "common/random.h"
 #include "core/metrics.h"
+#include "core/query_expander.h"
 #include "core/result_universe.h"
 #include "doc/corpus.h"
+#include "index/inverted_index.h"
+#include "storage/snapshot.h"
 #include "text/tokenizer.h"
 #include "xml/xml.h"
 
@@ -271,6 +274,76 @@ TEST_P(XmlRoundTripProperty, WriteParseRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
                          ::testing::Range<uint64_t>(1, 26));
+
+// ---------------------------------------------------------------- snapshot
+
+/// Snapshot round-trip property over random corpora: expansion results
+/// from an index-build → serialize → load pipeline are identical to the
+/// purely in-memory build, on mixed text/structured documents.
+class SnapshotExpansionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+doc::Corpus RandomCorpus(Rng& rng) {
+  static const char* kWords[] = {"apple", "camera", "java",   "store",
+                                 "island", "coffee", "screen", "lens",
+                                 "zoom",  "fruit",  "cider",  "review"};
+  constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+  doc::Corpus corpus;
+  const size_t docs = 8 + rng.UniformInt(30);
+  for (size_t d = 0; d < docs; ++d) {
+    if (rng.Bernoulli(0.3)) {
+      std::vector<doc::Feature> features;
+      const size_t n = 1 + rng.UniformInt(4);
+      for (size_t f = 0; f < n; ++f) {
+        features.push_back({kWords[rng.UniformInt(kNumWords)],
+                            kWords[rng.UniformInt(kNumWords)],
+                            kWords[rng.UniformInt(kNumWords)]});
+      }
+      corpus.AddStructuredDocument("doc" + std::to_string(d),
+                                   std::move(features));
+    } else {
+      std::string body;
+      const size_t words = 5 + rng.UniformInt(40);
+      for (size_t w = 0; w < words; ++w) {
+        body += kWords[rng.UniformInt(kNumWords)];
+        body += ' ';
+      }
+      corpus.AddTextDocument("doc" + std::to_string(d), body);
+    }
+  }
+  return corpus;
+}
+
+TEST_P(SnapshotExpansionProperty, LoadedExpansionEqualsInMemory) {
+  Rng rng(GetParam());
+  doc::Corpus corpus = RandomCorpus(rng);
+  index::InvertedIndex index(corpus);
+  auto snapshot =
+      storage::DeserializeSnapshot(storage::SerializeSnapshot(index));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  core::QueryExpanderOptions options;
+  options.algorithm = rng.Bernoulli(0.5) ? core::ExpansionAlgorithm::kIskr
+                                         : core::ExpansionAlgorithm::kPebc;
+  core::QueryExpander in_memory(index, options);
+  core::QueryExpander loaded(*snapshot->index, options);
+  for (const char* query : {"apple", "camera", "java coffee"}) {
+    auto a = in_memory.ExpandText(query);
+    auto b = loaded.ExpandText(query);
+    ASSERT_EQ(a.ok(), b.ok()) << query;
+    if (!a.ok()) continue;
+    EXPECT_DOUBLE_EQ(a->set_score, b->set_score) << query;
+    ASSERT_EQ(a->queries.size(), b->queries.size()) << query;
+    for (size_t i = 0; i < a->queries.size(); ++i) {
+      EXPECT_EQ(a->queries[i].terms, b->queries[i].terms);
+      EXPECT_EQ(a->queries[i].keywords, b->queries[i].keywords);
+      EXPECT_DOUBLE_EQ(a->queries[i].quality.f_measure,
+                       b->queries[i].quality.f_measure);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotExpansionProperty,
+                         ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace qec

@@ -1,0 +1,449 @@
+// Tests for the versioned snapshot format (storage/snapshot.h): CRC-32,
+// round-trips over text and structured corpora, the lazy section reader,
+// and corruption handling. The corruption suites are exhaustive — every
+// single-byte flip and every truncation of a snapshot must be rejected
+// with StatusCode::kCorruption, never undefined behavior — which is what
+// lets `serve --snapshot` trust a file it did not write.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "core/query_expander.h"
+#include "datagen/shopping.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+#include "storage/snapshot.h"
+
+namespace qec::storage {
+namespace {
+
+// ------------------------------------------------------------------ crc32
+
+TEST(SnapshotCrc32Test, KnownCheckValue) {
+  // The standard CRC-32 check value: crc("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(SnapshotCrc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(""), 0u); }
+
+TEST(SnapshotCrc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32Update(0, std::string_view(data).substr(0, split));
+    crc = Crc32Update(crc, std::string_view(data).substr(split));
+    EXPECT_EQ(crc, Crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(SnapshotCrc32Test, DetectsSingleBitFlips) {
+  std::string data = "snapshot payload bytes";
+  const uint32_t good = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(data), good) << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+// ------------------------------------------------------------ test corpora
+
+doc::Corpus TextCorpus() {
+  doc::Corpus corpus;
+  corpus.AddTextDocument("apple store", "apple store opens with iphone");
+  corpus.AddTextDocument("apple orchard", "apple orchard fruit cider apple");
+  corpus.AddTextDocument("java island", "java island volcano coffee");
+  return corpus;
+}
+
+doc::Corpus StructuredCorpus() {
+  doc::Corpus corpus;
+  corpus.AddStructuredDocument(
+      "canon camera", {{"camera", "brand", "canon"},
+                       {"camera", "model", "powershot 115"}});
+  corpus.AddStructuredDocument(
+      "nikon camera",
+      {{"camera", "brand", "nikon"}, {"camera", "megapixels", "12"}});
+  corpus.AddTextDocument("camera review", "camera review compares brands");
+  return corpus;
+}
+
+void ExpectSameCorpus(const doc::Corpus& a, const doc::Corpus& b) {
+  ASSERT_EQ(a.NumDocs(), b.NumDocs());
+  const auto& va = a.analyzer().vocabulary();
+  const auto& vb = b.analyzer().vocabulary();
+  ASSERT_EQ(va.size(), vb.size());
+  for (TermId t = 0; t < va.size(); ++t) {
+    EXPECT_EQ(va.TermString(t), vb.TermString(t)) << t;
+  }
+  for (DocId d = 0; d < a.NumDocs(); ++d) {
+    const auto& da = a.Get(d);
+    const auto& db = b.Get(d);
+    EXPECT_EQ(da.kind(), db.kind()) << d;
+    EXPECT_EQ(da.title(), db.title()) << d;
+    EXPECT_EQ(da.terms(), db.terms()) << d;
+    EXPECT_EQ(da.features(), db.features()) << d;
+  }
+}
+
+void ExpectSameIndex(const doc::Corpus& corpus,
+                     const index::InvertedIndex& a,
+                     const index::InvertedIndex& b) {
+  const auto& vocab = corpus.analyzer().vocabulary();
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    const auto& pa = a.Postings(t);
+    const auto& pb = b.Postings(t);
+    ASSERT_EQ(pa.size(), pb.size()) << vocab.TermString(t);
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].doc, pb[i].doc);
+      EXPECT_EQ(pa[i].tf, pb[i].tf);
+    }
+  }
+}
+
+// -------------------------------------------------------------- round trip
+
+TEST(SnapshotRoundTripTest, TextCorpus) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  auto snapshot = DeserializeSnapshot(SerializeSnapshot(index));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ExpectSameCorpus(corpus, *snapshot->corpus);
+  ExpectSameIndex(corpus, index, *snapshot->index);
+  EXPECT_EQ(snapshot->stats.num_docs, corpus.Stats().num_docs);
+}
+
+TEST(SnapshotRoundTripTest, StructuredCorpus) {
+  doc::Corpus corpus = StructuredCorpus();
+  index::InvertedIndex index(corpus);
+  auto snapshot = DeserializeSnapshot(SerializeSnapshot(index));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ExpectSameCorpus(corpus, *snapshot->corpus);
+  ExpectSameIndex(corpus, index, *snapshot->index);
+}
+
+TEST(SnapshotRoundTripTest, ShoppingCatalog) {
+  doc::Corpus corpus = datagen::ShoppingGenerator().Generate();
+  index::InvertedIndex index(corpus);
+  auto snapshot = DeserializeSnapshot(SerializeSnapshot(index));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ExpectSameCorpus(corpus, *snapshot->corpus);
+  ExpectSameIndex(corpus, index, *snapshot->index);
+  // Search through the loaded index is identical.
+  for (const char* q : {"canon camera", "samsung tv", "memory"}) {
+    auto a = index.SearchText(q);
+    auto b = snapshot->index->SearchText(q);
+    ASSERT_EQ(a.size(), b.size()) << q;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, EmptyCorpus) {
+  doc::Corpus corpus;
+  index::InvertedIndex index(corpus);
+  auto snapshot = DeserializeSnapshot(SerializeSnapshot(index));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->corpus->NumDocs(), 0u);
+}
+
+// ------------------------------------------------------------ lazy reader
+
+TEST(SnapshotReaderTest, TocListsSectionsInWriteOrder) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  auto reader = SnapshotReader::Open(blob);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->version(), kSnapshotFormatVersion);
+  ASSERT_EQ(reader->sections().size(), 5u);
+  const char* expected[] = {"META", "VOCA", "DOCS", "STAT", "INDX"};
+  uint64_t prev_end = 12;  // header size
+  for (size_t i = 0; i < 5; ++i) {
+    const SectionInfo& s = reader->sections()[i];
+    EXPECT_EQ(s.id, expected[i]);
+    EXPECT_EQ(s.offset, prev_end) << "sections must be contiguous";
+    prev_end = s.offset + s.length;
+    auto payload = reader->Section(s.id);
+    ASSERT_TRUE(payload.ok()) << s.id;
+    EXPECT_EQ(payload->size(), s.length);
+    EXPECT_EQ(Crc32(*payload), s.crc32);
+  }
+}
+
+TEST(SnapshotReaderTest, ReadStatsDecodesOnlyStatSection) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  auto reader = SnapshotReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  auto stats = reader->ReadStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto expected = corpus.Stats();
+  EXPECT_EQ(stats->num_docs, expected.num_docs);
+  EXPECT_EQ(stats->num_distinct_terms, expected.num_distinct_terms);
+  EXPECT_EQ(stats->total_term_occurrences, expected.total_term_occurrences);
+  EXPECT_DOUBLE_EQ(stats->avg_doc_length, expected.avg_doc_length);
+}
+
+TEST(SnapshotReaderTest, UnknownSectionIsNotFound) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  auto reader = SnapshotReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->HasSection("ZZZZ"));
+  auto missing = reader->Section("ZZZZ");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotReaderTest, SniffsMagic) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  EXPECT_TRUE(LooksLikeSnapshot(SerializeSnapshot(index)));
+  EXPECT_FALSE(LooksLikeSnapshot("QECCORP1 something else"));
+  EXPECT_FALSE(LooksLikeSnapshot(""));
+}
+
+// -------------------------------------------------------------- corruption
+
+void ExpectCorrupt(std::string_view blob, const std::string& what) {
+  auto snapshot = DeserializeSnapshot(blob);
+  ASSERT_FALSE(snapshot.ok()) << what;
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kCorruption)
+      << what << ": " << snapshot.status().ToString();
+}
+
+TEST(SnapshotCorruptionTest, EveryByteFlipIsRejected) {
+  // A full load touches every section, so flipping any byte of the file —
+  // header, payloads, TOC, footer — must surface as Corruption.
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    std::string mutated = blob;
+    mutated[i] ^= 0x01;
+    ExpectCorrupt(mutated, "bit 0 flip at byte " + std::to_string(i));
+    mutated = blob;
+    mutated[i] = static_cast<char>(~mutated[i]);
+    ExpectCorrupt(mutated, "byte complement at " + std::to_string(i));
+  }
+}
+
+TEST(SnapshotCorruptionTest, EveryTruncationIsRejected) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    ExpectCorrupt(std::string_view(blob).substr(0, len),
+                  "truncated to " + std::to_string(len));
+  }
+}
+
+TEST(SnapshotCorruptionTest, TrailingGarbageIsRejected) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  ExpectCorrupt(blob + std::string(1, '\0'), "one appended byte");
+  ExpectCorrupt(blob + "garbage", "appended garbage");
+}
+
+TEST(SnapshotCorruptionTest, SectionFlipDetectedBySectionRead) {
+  // A flipped payload byte is caught by the per-section CRC even when only
+  // that section is read.
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  auto reader = SnapshotReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  for (const SectionInfo& s : reader->sections()) {
+    std::string mutated = blob;
+    mutated[s.offset + s.length / 2] ^= 0x40;
+    auto r = SnapshotReader::Open(mutated);
+    ASSERT_TRUE(r.ok()) << "TOC itself is intact";
+    auto payload = r->Section(s.id);
+    ASSERT_FALSE(payload.ok()) << s.id;
+    EXPECT_EQ(payload.status().code(), StatusCode::kCorruption) << s.id;
+  }
+}
+
+// Little-endian patch helpers for forging snapshot bytes with valid CRCs.
+void PutU32(std::string& blob, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    blob[pos + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PutU64(std::string& blob, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    blob[pos + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint64_t GetU64(const std::string& blob, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(blob[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Re-checksums section `idx` and the TOC after a payload was edited, so
+// validation reaches the semantic (cross-check) layer instead of stopping
+// at a CRC mismatch.
+void FixCrcs(std::string& blob, size_t idx, uint64_t offset, uint64_t length) {
+  const size_t footer_pos = blob.size() - 20;
+  const uint64_t toc_offset = GetU64(blob, footer_pos);
+  // TOC entry: id[4] + offset u64 + length u64 + crc u32 = 24 bytes.
+  const size_t entry_crc_pos = toc_offset + 4 + idx * 24 + 4 + 8 + 8;
+  PutU32(blob, entry_crc_pos,
+         Crc32(std::string_view(blob).substr(offset, length)));
+  PutU32(blob, footer_pos + 8,
+         Crc32(std::string_view(blob).substr(toc_offset,
+                                             footer_pos - toc_offset)));
+}
+
+TEST(SnapshotCorruptionTest, StatMismatchWithValidCrcsIsRejected) {
+  // Forge a snapshot whose STAT section disagrees with the documents but
+  // whose checksums are all valid — the semantic cross-check must catch it.
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  auto reader = SnapshotReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  size_t stat_idx = 0;
+  SectionInfo stat;
+  for (size_t i = 0; i < reader->sections().size(); ++i) {
+    if (reader->sections()[i].id == kSectionStats) {
+      stat_idx = i;
+      stat = reader->sections()[i];
+    }
+  }
+  ASSERT_EQ(stat.length, 32u);  // 3 × u64 + f64
+  std::string forged = blob;
+  PutU64(forged, stat.offset, GetU64(blob, stat.offset) + 1);  // num_docs + 1
+  FixCrcs(forged, stat_idx, stat.offset, stat.length);
+
+  // All checksums verify...
+  auto r = SnapshotReader::Open(forged);
+  ASSERT_TRUE(r.ok());
+  for (const auto& s : r->sections()) {
+    EXPECT_TRUE(r->Section(s.id).ok()) << s.id;
+  }
+  // ...but the load still fails on the STAT cross-check.
+  auto snapshot = DeserializeSnapshot(forged);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotCorruptionTest, UnsupportedVersionIsRejected) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  PutU32(blob, 8, kSnapshotFormatVersion + 1);  // version follows the magic
+  auto snapshot = DeserializeSnapshot(blob);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(snapshot.status().message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotFuzzTest, RandomMutationsNeverCrash) {
+  doc::Corpus corpus = StructuredCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = blob;
+    const size_t flips = 1 + rng.UniformInt(6);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.UniformInt(mutated.size())] =
+          static_cast<char>(rng.UniformInt(256));
+    }
+    auto snapshot = DeserializeSnapshot(mutated);  // must not crash
+    if (!snapshot.ok()) {
+      EXPECT_EQ(snapshot.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+// -------------------------------------------------------------------- file
+
+TEST(SnapshotFileTest, WriteReadRoundTrip) {
+  const std::string path = "/tmp/qec_storage_test.qsnap";
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  ASSERT_TRUE(WriteSnapshot(index, path).ok());
+  auto snapshot = ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ExpectSameCorpus(corpus, *snapshot->corpus);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsNotFound) {
+  auto snapshot = ReadSnapshot("/tmp/qec_missing_snapshot_31415.qsnap");
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------- determinism
+
+std::string Fingerprint(const core::ExpansionOutcome& outcome) {
+  char buf[128];
+  std::string fp;
+  std::snprintf(buf, sizeof(buf), "score=%.17g;k=%zu;n=%zu\n",
+                outcome.set_score, outcome.num_clusters,
+                outcome.num_results_used);
+  fp += buf;
+  for (const auto& q : outcome.queries) {
+    fp += "q:";
+    for (TermId t : q.terms) fp += std::to_string(t) + ",";
+    for (const auto& k : q.keywords) fp += k + "|";
+    std::snprintf(buf, sizeof(buf), "P=%.17g;R=%.17g;F=%.17g\n",
+                  q.quality.precision, q.quality.recall,
+                  q.quality.f_measure);
+    fp += buf;
+  }
+  return fp;
+}
+
+TEST(SnapshotDeterminismTest, ExpansionsMatchInMemoryBuild) {
+  // The acceptance bar for the format: expansion over a snapshot-loaded
+  // index is byte-identical to expansion over the in-memory build, for all
+  // three algorithms.
+  doc::Corpus corpus = datagen::ShoppingGenerator().Generate();
+  index::InvertedIndex index(corpus);
+  auto snapshot = DeserializeSnapshot(SerializeSnapshot(index));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  for (auto algorithm : {core::ExpansionAlgorithm::kIskr,
+                         core::ExpansionAlgorithm::kPebc,
+                         core::ExpansionAlgorithm::kFMeasure}) {
+    core::QueryExpanderOptions options;
+    options.algorithm = algorithm;
+    core::QueryExpander in_memory(index, options);
+    core::QueryExpander from_snapshot(*snapshot->index, options);
+    for (const char* query : {"camera", "canon", "tv"}) {
+      auto a = in_memory.ExpandText(query);
+      auto b = from_snapshot.ExpandText(query);
+      ASSERT_EQ(a.ok(), b.ok()) << query;
+      if (!a.ok()) continue;
+      EXPECT_EQ(Fingerprint(*a), Fingerprint(*b))
+          << query << " algorithm "
+          << std::string(core::AlgorithmName(algorithm));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qec::storage
