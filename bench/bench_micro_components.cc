@@ -1,21 +1,34 @@
 // Microbenchmarks (google-benchmark) for the individual components: index
 // build and search, k-means clustering, result-universe construction, the
 // three expansion algorithms, bitset algebra, and XML parsing.
+//
+// Also hosts the fused-kernel CI gate: `--kernel-gate[=metrics.json]` times
+// the fused single-pass set-algebra kernels against the naive
+// materialize-then-count/weigh formulation they replaced and exits non-zero
+// unless every pair clears a 2x speedup, writing the measurements as JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
 
 #include "cluster/kmeans.h"
 #include "common/dynamic_bitset.h"
+#include "common/random.h"
 #include "core/candidates.h"
 #include "core/expansion_context.h"
 #include "core/fmeasure_expander.h"
 #include "core/iskr.h"
+#include "core/metrics.h"
 #include "core/pebc.h"
 #include "core/result_universe.h"
 #include "datagen/shopping.h"
 #include "datagen/wikipedia.h"
+#include "doc/corpus.h"
 #include "eval/harness.h"
 #include "index/inverted_index.h"
 #include "xml/xml.h"
@@ -131,6 +144,76 @@ void BM_FMeasureExpand(benchmark::State& state) {
 }
 BENCHMARK(BM_FMeasureExpand);
 
+// ----------------------------------------------------- fused vs naive --
+
+struct KernelSetup {
+  std::unique_ptr<qec::doc::Corpus> corpus;
+  std::unique_ptr<qec::core::ResultUniverse> universe;
+  /// a = retrieved R(q), b = docs with candidate keyword k, c = other
+  /// clusters U, d = target cluster C (complement of c, as in a real
+  /// expansion context). Densities mirror the ISKR inner loop: docs_k
+  /// covers most of the retrieved set, so few bits survive a & ~b.
+  qec::DynamicBitset a, b, c, d;
+
+  explicit KernelSetup(size_t bits) : a(bits), b(bits), c(bits), d(bits) {
+    qec::Rng rng(42);
+    corpus = std::make_unique<qec::doc::Corpus>();
+    std::vector<qec::index::RankedResult> results;
+    for (size_t i = 0; i < bits; ++i) {
+      qec::DocId id = corpus->AddTextDocument(std::to_string(i), "t");
+      results.push_back({id, 0.05 + rng.UniformDouble() * 4.0});
+    }
+    universe = std::make_unique<qec::core::ResultUniverse>(*corpus, results);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.Bernoulli(0.4)) a.Set(i);
+      if (rng.Bernoulli(0.9)) b.Set(i);
+      if (rng.Bernoulli(0.55)) {
+        c.Set(i);
+      } else {
+        d.Set(i);
+      }
+    }
+  }
+};
+
+void BM_WeightOfAndNotAndFused(benchmark::State& state) {
+  KernelSetup s(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.universe->WeightOfAndNotAnd(s.a, s.b, s.c));
+  }
+}
+BENCHMARK(BM_WeightOfAndNotAndFused)->Arg(512)->Arg(4096);
+
+void BM_WeightOfAndNotAndNaive(benchmark::State& state) {
+  KernelSetup s(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    qec::DynamicBitset t = s.a;
+    t.AndNot(s.b);
+    t &= s.c;
+    benchmark::DoNotOptimize(s.universe->TotalWeight(t));
+  }
+}
+BENCHMARK(BM_WeightOfAndNotAndNaive)->Arg(512)->Arg(4096);
+
+void BM_AndNotAndCountFused(benchmark::State& state) {
+  KernelSetup s(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.a.AndNotAndCount(s.b, s.c));
+  }
+}
+BENCHMARK(BM_AndNotAndCountFused)->Arg(512)->Arg(4096);
+
+void BM_AndNotAndCountNaive(benchmark::State& state) {
+  KernelSetup s(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    qec::DynamicBitset t = s.a;
+    t.AndNot(s.b);
+    t &= s.c;
+    benchmark::DoNotOptimize(t.Count());
+  }
+}
+BENCHMARK(BM_AndNotAndCountNaive)->Arg(512)->Arg(4096);
+
 void BM_BitsetAndCount(benchmark::State& state) {
   qec::DynamicBitset a(static_cast<size_t>(state.range(0)));
   qec::DynamicBitset b(static_cast<size_t>(state.range(0)));
@@ -159,6 +242,126 @@ void BM_XmlParse(benchmark::State& state) {
 }
 BENCHMARK(BM_XmlParse);
 
+// ------------------------------------------------------- --kernel-gate --
+
+/// Best-of-reps ns/op for `fn` (steady clock, warm-up excluded).
+template <typename Fn>
+double TimeNsPerOp(Fn&& fn, int iters) {
+  for (int i = 0; i < iters / 10; ++i) fn();
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    auto t1 = std::chrono::steady_clock::now();
+    double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Times fused kernels against their naive materialize-then-count/weigh
+/// counterparts and enforces the 2x CI bar. Writes a JSON metrics blob to
+/// `out_path` (if non-empty) and always prints it to stdout.
+int RunKernelGate(const std::string& out_path) {
+  constexpr double kRequiredSpeedup = 2.0;
+  constexpr size_t kBits = 4096;
+  constexpr int kIters = 50000;
+  KernelSetup s(kBits);
+
+  // The gated unit is one full ISKR add-entry evaluation — benefit,
+  // cost, and the kills-cluster check — fused (two WeightOfAndNotAnd
+  // passes plus an early-exit three-way Intersects, zero allocations)
+  // against the exact formulation the kernels replaced (four materialized
+  // bitsets, two TotalWeight passes, two Counts). Sinks defeat dead-code
+  // elimination across the timed calls.
+  double weight_sink = 0.0;
+  size_t count_sink = 0;
+  const double fused_entry_ns = TimeNsPerOp(
+      [&] {
+        const double benefit = s.universe->WeightOfAndNotAnd(s.a, s.b, s.c);
+        const double cost = s.universe->WeightOfAndNotAnd(s.a, s.b, s.d);
+        if (cost > 0.0) count_sink += !s.a.Intersects(s.b, s.d) ? 1 : 0;
+        weight_sink += benefit + cost;
+      },
+      kIters);
+  const double naive_entry_ns = TimeNsPerOp(
+      [&] {
+        qec::DynamicBitset eliminated = s.a;
+        eliminated.AndNot(s.b);
+        qec::DynamicBitset in_u = eliminated;
+        in_u &= s.c;
+        qec::DynamicBitset in_c = eliminated;
+        in_c &= s.d;
+        const double benefit = s.universe->TotalWeight(in_u);
+        const double cost = s.universe->TotalWeight(in_c);
+        if (cost > 0.0) {
+          qec::DynamicBitset retrieved_c = s.a;
+          retrieved_c &= s.d;
+          count_sink += in_c.Count() == retrieved_c.Count() ? 1 : 0;
+        }
+        weight_sink += benefit + cost;
+      },
+      kIters);
+  // Informational single-kernel pairs (not gated individually).
+  const double fused_count_ns = TimeNsPerOp(
+      [&] { count_sink += s.a.AndNotAndCount(s.b, s.c); }, kIters);
+  const double naive_count_ns = TimeNsPerOp(
+      [&] {
+        qec::DynamicBitset t = s.a;
+        t.AndNot(s.b);
+        t &= s.c;
+        count_sink += t.Count();
+      },
+      kIters);
+  benchmark::DoNotOptimize(weight_sink);
+  benchmark::DoNotOptimize(count_sink);
+
+  const double entry_speedup = naive_entry_ns / fused_entry_ns;
+  const double count_speedup = naive_count_ns / fused_count_ns;
+  const bool pass = entry_speedup >= kRequiredSpeedup;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"bits\": %zu,\n"
+      "  \"required_speedup\": %.1f,\n"
+      "  \"iskr_add_entry_eval\": {\"fused_ns\": %.1f, \"naive_ns\": %.1f,"
+      " \"speedup\": %.2f},\n"
+      "  \"and_not_and_count\": {\"fused_ns\": %.1f, \"naive_ns\": %.1f,"
+      " \"speedup\": %.2f},\n"
+      "  \"pass\": %s\n"
+      "}\n",
+      kBits, kRequiredSpeedup, fused_entry_ns, naive_entry_ns, entry_speedup,
+      fused_count_ns, naive_count_ns, count_speedup, pass ? "true" : "false");
+  std::cout << json;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  if (!pass) {
+    std::cerr << "kernel gate FAILED: fused kernels must be >= "
+              << kRequiredSpeedup << "x the naive formulation\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kernel-gate" || arg.rfind("--kernel-gate=", 0) == 0) {
+      const size_t eq = arg.find('=');
+      return RunKernelGate(eq == std::string::npos ? std::string()
+                                                   : arg.substr(eq + 1));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,18 @@ DynamicBitset::DynamicBitset(size_t size, bool value)
   if (value) TrimTail();
 }
 
+void DynamicBitset::Reinitialize(size_t size, bool value) {
+  size_ = size;
+  // vector::assign reuses the existing allocation when capacity suffices.
+  words_.assign((size + 63) / 64, value ? ~0ULL : 0ULL);
+  if (value) TrimTail();
+}
+
+void DynamicBitset::CheckSameSize(const DynamicBitset& a,
+                                  const DynamicBitset& b) {
+  QEC_CHECK_EQ(a.size_, b.size_);
+}
+
 void DynamicBitset::TrimTail() {
   const size_t tail = size_ % 64;
   if (tail != 0 && !words_.empty()) {
@@ -46,6 +58,13 @@ size_t DynamicBitset::Count() const {
   return n;
 }
 
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   QEC_CHECK_EQ(size_, other.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
@@ -77,6 +96,50 @@ size_t DynamicBitset::AndCount(const DynamicBitset& other) const {
     n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
   }
   return n;
+}
+
+size_t DynamicBitset::AndNotCount(const DynamicBitset& other) const {
+  QEC_CHECK_EQ(size_, other.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
+size_t DynamicBitset::AndCount3(const DynamicBitset& b,
+                                const DynamicBitset& c) const {
+  QEC_CHECK_EQ(size_, b.size_);
+  QEC_CHECK_EQ(size_, c.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & b.words_[i] & c.words_[i]));
+  }
+  return n;
+}
+
+size_t DynamicBitset::AndNotAndCount(const DynamicBitset& b,
+                                     const DynamicBitset& c) const {
+  QEC_CHECK_EQ(size_, b.size_);
+  QEC_CHECK_EQ(size_, c.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & ~b.words_[i] & c.words_[i]));
+  }
+  return n;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& b,
+                               const DynamicBitset& c) const {
+  QEC_CHECK_EQ(size_, b.size_);
+  QEC_CHECK_EQ(size_, c.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & b.words_[i] & c.words_[i]) != 0) return true;
+  }
+  return false;
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {

@@ -17,6 +17,12 @@ class DynamicBitset {
   /// Creates a bitset of `size` bits, all clear (or all set).
   explicit DynamicBitset(size_t size, bool value = false);
 
+  /// Re-initializes to `size` bits, all clear (or all set), reusing the
+  /// existing word storage when its capacity suffices. The scratch-reuse
+  /// primitive: hot loops re-target one buffer instead of constructing a
+  /// fresh bitset per call.
+  void Reinitialize(size_t size, bool value = false);
+
   size_t size() const { return size_; }
 
   void Set(size_t i);
@@ -30,8 +36,9 @@ class DynamicBitset {
   /// Number of set bits.
   size_t Count() const;
 
-  /// True if no bit is set.
-  bool None() const { return Count() == 0; }
+  /// True if no bit is set. Early-exits on the first nonzero word instead
+  /// of popcounting the whole bitset.
+  bool None() const;
   bool Any() const { return !None(); }
 
   /// In-place operators. Operands must have equal size.
@@ -54,8 +61,25 @@ class DynamicBitset {
   /// Count of bits set in (this & other), without materializing it.
   size_t AndCount(const DynamicBitset& other) const;
 
+  /// Fused single-pass kernels: each evaluates a multi-operand set
+  /// expression word by word without materializing any intermediate
+  /// bitset — the allocation-free core of the ISKR/PEBC benefit/cost
+  /// inner loops.
+
+  /// |this & ~other|.
+  size_t AndNotCount(const DynamicBitset& other) const;
+
+  /// |this & b & c|.
+  size_t AndCount3(const DynamicBitset& b, const DynamicBitset& c) const;
+
+  /// |this & ~b & c|.
+  size_t AndNotAndCount(const DynamicBitset& b, const DynamicBitset& c) const;
+
   /// True if (this & other) has any bit set.
   bool Intersects(const DynamicBitset& other) const;
+
+  /// True if (this & b & c) has any bit set (early-exit three-way AND).
+  bool Intersects(const DynamicBitset& b, const DynamicBitset& c) const;
 
   /// True if every set bit of this is also set in `other`.
   bool IsSubsetOf(const DynamicBitset& other) const;
@@ -80,7 +104,24 @@ class DynamicBitset {
     }
   }
 
+  /// Generic fused combinator: calls `fn(word_index, words...)` once per
+  /// 64-bit word position with the corresponding word of every operand.
+  /// Custom kernels build arbitrary set expressions (e.g. a & ~b & c & ~d)
+  /// in one pass with zero temporaries. All operands must share one size.
+  /// Bits past size() are zero in every operand, so any monotone
+  /// combination of ANDs/AND-NOTs of the words stays tail-clean.
+  template <typename Fn, typename... Rest>
+  static void ForEachWord(Fn&& fn, const DynamicBitset& first,
+                          const Rest&... rest) {
+    (CheckSameSize(first, rest), ...);
+    for (size_t w = 0; w < first.words_.size(); ++w) {
+      fn(w, first.words_[w], rest.words_[w]...);
+    }
+  }
+
  private:
+  static void CheckSameSize(const DynamicBitset& a, const DynamicBitset& b);
+
   void TrimTail();
 
   size_t size_ = 0;

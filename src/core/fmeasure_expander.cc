@@ -19,9 +19,15 @@ ExpansionResult FMeasureExpander::Expand(
   std::vector<TermId> query = context.user_query;
   std::unordered_set<TermId> user_terms(context.user_query.begin(),
                                         context.user_query.end());
-  DynamicBitset retrieved = universe.Retrieve(query);
+  // All working sets are arena leases: repeated expansions over one
+  // universe run allocation-free once the arena is warm.
+  auto retrieved = universe.AcquireScratch();
+  auto best_retrieved = universe.AcquireScratch();
+  auto base = universe.AcquireScratch();
+  auto r = universe.AcquireScratch();
+  universe.RetrieveInto(query, &*retrieved);
   double current_f =
-      EvaluateQuery(universe, retrieved, context.cluster).f_measure;
+      EvaluateQuery(universe, *retrieved, context.cluster).f_measure;
 
   size_t iterations = 0;
   size_t recomputations = 0;
@@ -30,28 +36,30 @@ ExpansionResult FMeasureExpander::Expand(
     TermId best = kInvalidTermId;
     bool best_is_removal = false;
     double best_f = current_f;
-    DynamicBitset best_retrieved = retrieved;
+    *best_retrieved = *retrieved;
 
     // Additions: every candidate not yet in the query. Each value is a
-    // full from-scratch evaluation of q ∪ {k} — the naive recomputation
-    // the paper charges this method with (Sec. 3: "the value of every
-    // keyword needs to be dynamically computed, and updated after every
-    // change to q"), and the reason it is orders of magnitude slower than
-    // ISKR's incremental maintenance (Fig. 6).
+    // full evaluation of q ∪ {k} — the naive recomputation the paper
+    // charges this method with (Sec. 3: "the value of every keyword needs
+    // to be dynamically computed, and updated after every change to q"),
+    // and the reason it is orders of magnitude slower than ISKR's
+    // incremental maintenance (Fig. 6). R(q) is loop-invariant across the
+    // candidate sweep, so it is retrieved once and each candidate costs a
+    // single AND.
+    universe.RetrieveInto(query, &*base);
     std::unordered_set<TermId> in_query(query.begin(), query.end());
     for (TermId k : context.candidates) {
       if (in_query.count(k) != 0) continue;
       ++recomputations;
-      DynamicBitset r = universe.FullSet();
-      for (TermId t : query) r &= universe.DocsWithTerm(t);
-      r &= universe.DocsWithTerm(k);
-      double f = EvaluateQuery(universe, r, context.cluster).f_measure;
+      *r = *base;
+      *r &= universe.DocsWithTerm(k);
+      double f = EvaluateQuery(universe, *r, context.cluster).f_measure;
       if (f > best_f || (f == best_f && best != kInvalidTermId && k < best &&
                          !best_is_removal)) {
         best_f = f;
         best = k;
         best_is_removal = false;
-        best_retrieved = std::move(r);
+        *best_retrieved = *r;
       }
     }
     if (options_.allow_removal) {
@@ -59,16 +67,13 @@ ExpansionResult FMeasureExpander::Expand(
       for (TermId k : query) {
         if (user_terms.count(k) != 0) continue;
         ++recomputations;
-        DynamicBitset r = universe.FullSet();
-        for (TermId t : query) {
-          if (t != k) r &= universe.DocsWithTerm(t);
-        }
-        double f = EvaluateQuery(universe, r, context.cluster).f_measure;
+        universe.RetrieveWithoutInto(query, k, &*r);
+        double f = EvaluateQuery(universe, *r, context.cluster).f_measure;
         if (f > best_f) {
           best_f = f;
           best = k;
           best_is_removal = true;
-          best_retrieved = std::move(r);
+          *best_retrieved = *r;
         }
       }
     }
@@ -76,7 +81,7 @@ ExpansionResult FMeasureExpander::Expand(
     if (best == kInvalidTermId || best_f <= current_f) break;
     ++iterations;
     current_f = best_f;
-    retrieved = std::move(best_retrieved);
+    *retrieved = *best_retrieved;
     if (best_is_removal) {
       query.erase(std::find(query.begin(), query.end(), best));
     } else {
@@ -86,7 +91,7 @@ ExpansionResult FMeasureExpander::Expand(
 
   ExpansionResult result;
   result.query = std::move(query);
-  result.quality = EvaluateQuery(universe, retrieved, context.cluster);
+  result.quality = EvaluateQuery(universe, *retrieved, context.cluster);
   result.iterations = iterations;
   result.value_recomputations = recomputations;
   return result;

@@ -1,11 +1,14 @@
 #include "core/iskr.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/threading.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -30,18 +33,24 @@ struct Entry {
   }
 };
 
-/// Mutable ISKR state over one expansion context.
+/// Mutable ISKR state over one expansion context. All per-evaluation set
+/// algebra runs on the fused ResultUniverse/DynamicBitset kernels: a
+/// benefit/cost (re)computation performs zero heap allocations, and the
+/// few long-lived buffers are leased from the universe's scratch arena so
+/// repeated expansions over one universe stop allocating entirely.
 class IskrState {
  public:
   IskrState(const ExpansionContext& ctx, const IskrOptions& options,
             std::vector<IskrStep>* trace)
-      : ctx_(ctx), options_(options), trace_(trace) {
+      : ctx_(ctx),
+        options_(options),
+        trace_(trace),
+        retrieved_(ctx.universe->AcquireScratch()),
+        delta_(ctx.universe->AcquireScratch()),
+        without_(ctx.universe->AcquireScratch()) {
     query_ = ctx.user_query;
-    retrieved_ = ctx.universe->Retrieve(query_);
-    for (TermId k : ctx.candidates) {
-      add_entries_.emplace(k, ComputeAddEntry(k));
-      ++recomputations_;
-    }
+    ctx_.universe->RetrieveInto(query_, &*retrieved_);
+    SweepCandidates();
   }
 
   ExpansionResult Run() {
@@ -67,13 +76,13 @@ class IskrState {
       }
       if (trace_ != nullptr) {
         step.f_measure_after =
-            EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster).f_measure;
+            EvaluateQuery(*ctx_.universe, *retrieved_, ctx_.cluster).f_measure;
         trace_->push_back(step);
       }
     }
     ExpansionResult result;
     result.query = query_;
-    result.quality = EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster);
+    result.quality = EvaluateQuery(*ctx_.universe, *retrieved_, ctx_.cluster);
     result.iterations = iterations_;
     result.value_recomputations = recomputations_;
     result.iskr_stats.steps = iterations_;
@@ -89,42 +98,61 @@ class IskrState {
   }
 
  private:
+  // Initial benefit/cost evaluation of every candidate. Candidates are
+  // independent, so the sweep fans out over sweep_threads workers; each
+  // entry is computed whole by one thread and merged in candidate-index
+  // order, keeping results byte-identical to the serial sweep.
+  void SweepCandidates() {
+    const size_t n = ctx_.candidates.size();
+    const size_t threads = ResolveThreadCount(options_.sweep_threads, n);
+    if (threads <= 1) {
+      for (TermId k : ctx_.candidates) {
+        add_entries_.emplace(k, ComputeAddEntry(k));
+      }
+    } else {
+      QEC_TRACE_SPAN("iskr/parallel_sweep");
+      QEC_COUNTER_INC("iskr/parallel_sweeps");
+      std::vector<Entry> entries(n);
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+            entries[i] = ComputeAddEntry(ctx_.candidates[i]);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      for (size_t i = 0; i < n; ++i) {
+        add_entries_.emplace(ctx_.candidates[i], entries[i]);
+      }
+    }
+    recomputations_ += n;
+  }
+
   // Addition: benefit = S(R(q) ∩ U ∩ E(k)), cost = S(R(q) ∩ C ∩ E(k)).
+  // One fused pass per weight, no intermediate bitsets; the old
+  // loop-invariant |R(q) ∩ C| comparison is subsumed by the early-exit
+  // three-way Intersects (the addition kills the cluster exactly when
+  // R(q) ∩ C ∩ D(k) is empty with positive cost). Thread-safe: reads only.
   Entry ComputeAddEntry(TermId k) const {
-    DynamicBitset eliminated = retrieved_;
-    eliminated.AndNot(ctx_.universe->DocsWithTerm(k));  // R(q) ∩ E(k)
-    DynamicBitset in_u = eliminated;
-    in_u &= ctx_.others;
-    DynamicBitset in_c = eliminated;
-    in_c &= ctx_.cluster;
-    Entry e{ctx_.universe->TotalWeight(in_u),
-            ctx_.universe->TotalWeight(in_c)};
+    const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
+    Entry e{ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.others),
+            ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
+                                             ctx_.cluster)};
     if (e.cost > 0.0) {
-      DynamicBitset retrieved_c = retrieved_;
-      retrieved_c &= ctx_.cluster;
-      e.kills_cluster = in_c.Count() == retrieved_c.Count();
+      e.kills_cluster = !retrieved_->Intersects(docs_k, ctx_.cluster);
     }
     return e;
   }
 
   // Removal: D(k) = R(q\k) \ R(q); benefit = S(C ∩ D), cost = S(U ∩ D).
-  Entry ComputeRemoveEntry(TermId k) const {
-    DynamicBitset delta = RetrieveWithout(k);
-    delta.AndNot(retrieved_);
-    DynamicBitset in_c = delta;
-    in_c &= ctx_.cluster;
-    DynamicBitset in_u = delta;
-    in_u &= ctx_.others;
-    return Entry{ctx_.universe->TotalWeight(in_c),
-                 ctx_.universe->TotalWeight(in_u)};
-  }
-
-  DynamicBitset RetrieveWithout(TermId k) const {
-    DynamicBitset out = ctx_.universe->FullSet();
-    for (TermId t : query_) {
-      if (t != k) out &= ctx_.universe->DocsWithTerm(t);
-    }
-    return out;
+  Entry ComputeRemoveEntry(TermId k) {
+    ctx_.universe->RetrieveWithoutInto(query_, k, &*without_);
+    return Entry{
+        ctx_.universe->WeightOfAndNotAnd(*without_, *retrieved_, ctx_.cluster),
+        ctx_.universe->WeightOfAndNotAnd(*without_, *retrieved_, ctx_.others)};
   }
 
   // (term, is_removal, value) of the best refinement step.
@@ -151,25 +179,26 @@ class IskrState {
 
   void ApplyAddition(TermId k) {
     // Delta results: eliminated from R(q) by adding k.
-    DynamicBitset delta = retrieved_;
-    delta.AndNot(ctx_.universe->DocsWithTerm(k));
-    retrieved_.AndNot(delta);
+    const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
+    *delta_ = *retrieved_;
+    delta_->AndNot(docs_k);
+    retrieved_->AndNot(*delta_);
     query_.push_back(k);
     add_entries_.erase(k);
-    RefreshAffected(delta);
+    RefreshAffected(*delta_);
     // The new member's removal entry is always fresh.
     remove_entries_[k] = ComputeRemoveEntry(k);
     ++recomputations_;
   }
 
   void ApplyRemoval(TermId k) {
-    DynamicBitset new_retrieved = RetrieveWithout(k);
-    DynamicBitset delta = new_retrieved;
-    delta.AndNot(retrieved_);
-    retrieved_ = std::move(new_retrieved);
+    ctx_.universe->RetrieveWithoutInto(query_, k, &*without_);
+    *delta_ = *without_;
+    delta_->AndNot(*retrieved_);
+    *retrieved_ = *without_;
     query_.erase(std::find(query_.begin(), query_.end(), k));
     remove_entries_.erase(k);
-    RefreshAffected(delta);
+    RefreshAffected(*delta_);
     add_entries_[k] = ComputeAddEntry(k);
     ++recomputations_;
   }
@@ -201,7 +230,11 @@ class IskrState {
   const IskrOptions& options_;
   std::vector<IskrStep>* trace_;
   std::vector<TermId> query_;
-  DynamicBitset retrieved_;
+  /// Current R(q), plus two step-scoped scratches (delta results and
+  /// R(q\k)), all leased from the universe arena.
+  ResultUniverse::ScratchBitset retrieved_;
+  ResultUniverse::ScratchBitset delta_;
+  ResultUniverse::ScratchBitset without_;
   std::unordered_map<TermId, Entry> add_entries_;
   std::unordered_map<TermId, Entry> remove_entries_;
   size_t iterations_ = 0;

@@ -15,6 +15,14 @@ struct IskrOptions {
   /// Allow the removal step (Example 3.2). Disabling it yields the
   /// "add-only" ablation.
   bool allow_removal = true;
+  /// Threads for the initial candidate sweep (the state constructor
+  /// evaluates benefit/cost for every candidate independently). 1 =
+  /// serial, 0 = auto; values are clamped to the candidate count
+  /// (ResolveThreadCount semantics, like QueryExpanderOptions::
+  /// num_threads). Entries merge in candidate-index order and each is
+  /// computed whole by one thread, so results are byte-identical to the
+  /// serial sweep at any thread count.
+  size_t sweep_threads = 1;
 };
 
 /// Iterative Single-Keyword Refinement (Sec. 3, Algorithm 1).

@@ -6,9 +6,8 @@ QueryQuality EvaluateQuery(const ResultUniverse& universe,
                            const DynamicBitset& retrieved,
                            const DynamicBitset& cluster) {
   QueryQuality q;
-  DynamicBitset hit = retrieved;
-  hit &= cluster;
-  const double s_hit = universe.TotalWeight(hit);
+  // S(R ∩ C) in one fused pass — no materialized intersection.
+  const double s_hit = universe.WeightOfAnd(retrieved, cluster);
   const double s_retrieved = universe.TotalWeight(retrieved);
   const double s_cluster = universe.TotalWeight(cluster);
   q.precision = s_retrieved > 0.0 ? s_hit / s_retrieved : 0.0;

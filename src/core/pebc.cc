@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <unordered_set>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -21,11 +22,21 @@ double ValueOf(double benefit, double cost) {
   return benefit > 0.0 ? kInf : 0.0;
 }
 
-/// Builds one sample query for a given elimination target.
+/// Builds one sample query for a given elimination target. Every per-
+/// candidate benefit/cost evaluation runs on the fused weighted kernels
+/// (zero allocations, no intermediate bitsets); the handful of long-lived
+/// buffers are leased once from the universe scratch arena and reused
+/// across all Build() calls of the builder.
 class SampleBuilder {
  public:
   SampleBuilder(const ExpansionContext& ctx, Rng& rng, size_t* recomputations)
-      : ctx_(ctx), rng_(rng), recomputations_(recomputations) {
+      : ctx_(ctx),
+        rng_(rng),
+        recomputations_(recomputations),
+        retrieved_(ctx.universe->AcquireScratch()),
+        saved_(ctx.universe->AcquireScratch()),
+        selected_(ctx.universe->AcquireScratch()),
+        blocked_(ctx.universe->AcquireScratch()) {
     total_u_weight_ = ctx_.universe->TotalWeight(ctx_.others);
   }
 
@@ -36,7 +47,8 @@ class SampleBuilder {
     query_ = ctx_.user_query;
     in_query_.clear();
     in_query_.insert(query_.begin(), query_.end());
-    retrieved_ = ctx_.universe->Retrieve(query_);
+    ctx_.universe->RetrieveInto(query_, &*retrieved_);
+    SyncRetrievedDerived();
     const double target =
         total_u_weight_ * std::clamp(target_percent, 0.0, 100.0) / 100.0;
     switch (strategy) {
@@ -57,71 +69,69 @@ class SampleBuilder {
             ? 100.0 * EliminatedWeight() / total_u_weight_
             : 0.0;
     sample.f_measure =
-        EvaluateQuery(*ctx_.universe, retrieved_, ctx_.cluster).f_measure;
+        EvaluateQuery(*ctx_.universe, *retrieved_, ctx_.cluster).f_measure;
     sample.query = query_;
     return sample;
   }
 
  private:
-  double EliminatedWeight() const {
-    DynamicBitset live = retrieved_;
-    live &= ctx_.others;
-    return total_u_weight_ - ctx_.universe->TotalWeight(live);
+  // Quantities derived from retrieved_ that are loop-invariant across a
+  // whole candidate sweep: hoisted here and refreshed only when retrieved_
+  // changes (one fused pass instead of one per EliminatedWeight() /
+  // KillsCluster() call).
+  void SyncRetrievedDerived() {
+    live_u_weight_ = ctx_.universe->WeightOfAnd(*retrieved_, ctx_.others);
+    retrieved_c_any_ = retrieved_->Intersects(ctx_.cluster);
   }
+
+  double EliminatedWeight() const { return total_u_weight_ - live_u_weight_; }
 
   // benefit = S(R ∩ U ∩ E(k)), cost = S(R ∩ C ∩ E(k)).
   std::pair<double, double> BenefitCost(TermId k) const {
     ++*recomputations_;
-    DynamicBitset eliminated = retrieved_;
-    eliminated.AndNot(ctx_.universe->DocsWithTerm(k));
-    DynamicBitset in_u = eliminated;
-    in_u &= ctx_.others;
-    DynamicBitset in_c = eliminated;
-    in_c &= ctx_.cluster;
-    return {ctx_.universe->TotalWeight(in_u),
-            ctx_.universe->TotalWeight(in_c)};
+    const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
+    return {ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.others),
+            ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
+                                             ctx_.cluster)};
   }
 
   // True when adding k would eliminate every cluster result still
   // retrieved. Sample queries maximize retained C for a given elimination
   // level, so such keywords are never selected (recall would hit 0).
   bool KillsCluster(TermId k) const {
-    DynamicBitset retrieved_c = retrieved_;
-    retrieved_c &= ctx_.cluster;
-    if (retrieved_c.None()) return false;
-    DynamicBitset kept = retrieved_c;
-    kept &= ctx_.universe->DocsWithTerm(k);
-    return kept.None();
+    if (!retrieved_c_any_) return false;
+    return !retrieved_->Intersects(ctx_.universe->DocsWithTerm(k),
+                                   ctx_.cluster);
   }
 
   size_t NumEliminatedBy(TermId k) const {
-    DynamicBitset eliminated = retrieved_;
-    eliminated.AndNot(ctx_.universe->DocsWithTerm(k));
-    return eliminated.Count();
+    return retrieved_->AndNotCount(ctx_.universe->DocsWithTerm(k));
   }
 
   void ApplyKeyword(TermId k) {
     query_.push_back(k);
-    retrieved_ &= ctx_.universe->DocsWithTerm(k);
+    *retrieved_ &= ctx_.universe->DocsWithTerm(k);
     in_query_.insert(k);
+    SyncRetrievedDerived();
   }
 
-  void UndoLastKeyword(const DynamicBitset& previous_retrieved) {
+  void UndoLastKeyword() {
     in_query_.erase(query_.back());
     query_.pop_back();
-    retrieved_ = previous_retrieved;
+    *retrieved_ = *saved_;
+    SyncRetrievedDerived();
   }
 
   // Stops the elimination loop once the target is crossed, keeping the
   // nearer of {with last keyword, without last keyword} (Sec. 4.3's
-  // closeness rule, applied to every strategy).
-  // Returns true if the loop should stop.
-  bool SettleAroundTarget(double target, double before_weight,
-                          const DynamicBitset& before_retrieved) {
+  // closeness rule, applied to every strategy). The pre-apply retrieved
+  // set is parked in saved_ by the caller. Returns true if the loop
+  // should stop.
+  bool SettleAroundTarget(double target, double before_weight) {
     const double after_weight = EliminatedWeight();
     if (after_weight < target) return false;
     if (std::abs(before_weight - target) < std::abs(after_weight - target)) {
-      UndoLastKeyword(before_retrieved);
+      UndoLastKeyword();
     }
     return true;
   }
@@ -147,20 +157,21 @@ class SampleBuilder {
       }
       if (best == kInvalidTermId) return;
       const double before_weight = EliminatedWeight();
-      DynamicBitset before_retrieved = retrieved_;
+      *saved_ = *retrieved_;
       ApplyKeyword(best);
-      if (SettleAroundTarget(target, before_weight, before_retrieved)) return;
+      if (SettleAroundTarget(target, before_weight)) return;
     }
   }
 
   void BuildRandomSubset(double target) {
     if (EliminatedWeight() >= target) return;
     // Randomly select results of U totalling ~target weight.
-    std::vector<size_t> u_members = ctx_.others.ToIndices();
-    rng_.Shuffle(u_members);
-    DynamicBitset selected = ctx_.universe->EmptySet();
+    indices_buf_.clear();
+    ctx_.others.ForEachSetBit([&](size_t i) { indices_buf_.push_back(i); });
+    rng_.Shuffle(indices_buf_);
+    selected_->Reinitialize(ctx_.universe->size());
     double selected_weight = 0.0;
-    for (size_t i : u_members) {
+    for (size_t i : indices_buf_) {
       if (selected_weight >= target) break;
       double w = ctx_.universe->weight(i);
       // Closeness rule at the selection stage too.
@@ -168,7 +179,7 @@ class SampleBuilder {
           selected_weight > 0.0) {
         break;
       }
-      selected.Set(i);
+      selected_->Set(i);
       selected_weight += w;
     }
     // Greedy weighted cover of the selected subset: maximize weight of
@@ -181,20 +192,20 @@ class SampleBuilder {
       for (TermId k : ctx_.candidates) {
         if (in_query_.count(k) != 0) continue;
         ++*recomputations_;
-        DynamicBitset eliminated = retrieved_;
-        eliminated.AndNot(ctx_.universe->DocsWithTerm(k));
-        DynamicBitset in_sel = eliminated;
-        in_sel &= selected;
-        double b = ctx_.universe->TotalWeight(in_sel);
+        const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
+        // Eliminated results E = R ∩ ~docs_k, split three ways in fused
+        // passes: selected (benefit), cluster and unselected-U (cost).
+        double b = ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
+                                                    *selected_);
         if (b <= 0.0) continue;
         if (KillsCluster(k)) continue;
-        DynamicBitset in_c = eliminated;
-        in_c &= ctx_.cluster;
-        DynamicBitset out_sel = eliminated;
-        out_sel &= ctx_.others;
-        out_sel.AndNot(selected);
-        double c = ctx_.universe->TotalWeight(in_c) +
-                   ctx_.universe->TotalWeight(out_sel);
+        double c = ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
+                                                    ctx_.cluster) +
+                   ctx_.universe->WeightWhere(
+                       [](uint64_t r, uint64_t dk, uint64_t u, uint64_t sel) {
+                         return r & ~dk & u & ~sel;
+                       },
+                       *retrieved_, docs_k, ctx_.others, *selected_);
         double v = ValueOf(b, c);
         if (v > best_value) {
           best_value = v;
@@ -203,24 +214,31 @@ class SampleBuilder {
       }
       if (best == kInvalidTermId) return;
       const double before_weight = EliminatedWeight();
-      DynamicBitset before_retrieved = retrieved_;
+      *saved_ = *retrieved_;
       ApplyKeyword(best);
-      if (SettleAroundTarget(target, before_weight, before_retrieved)) return;
+      if (SettleAroundTarget(target, before_weight)) return;
     }
   }
 
   void BuildRandomSingleResult(double target) {
     if (EliminatedWeight() >= target) return;
     // Results for which no candidate keyword works; never re-pick them.
-    DynamicBitset blocked = ctx_.universe->EmptySet();
+    blocked_->Reinitialize(ctx_.universe->size());
     for (;;) {
       // Un-eliminated results of U that are not blocked.
-      DynamicBitset pool = retrieved_;
-      pool &= ctx_.others;
-      pool.AndNot(blocked);
-      if (pool.None()) return;
-      std::vector<size_t> members = pool.ToIndices();
-      size_t r = members[rng_.UniformInt(members.size())];
+      indices_buf_.clear();
+      DynamicBitset::ForEachWord(
+          [&](size_t w, uint64_t r, uint64_t u, uint64_t bl) {
+            uint64_t word = r & u & ~bl;
+            while (word != 0) {
+              int bit = __builtin_ctzll(word);
+              indices_buf_.push_back(w * 64 + static_cast<size_t>(bit));
+              word &= word - 1;
+            }
+          },
+          *retrieved_, ctx_.others, *blocked_);
+      if (indices_buf_.empty()) return;
+      size_t r = indices_buf_[rng_.UniformInt(indices_buf_.size())];
       const doc::Document& rdoc =
           ctx_.universe->corpus().Get(ctx_.universe->doc_at(r));
       // Best benefit/cost keyword that eliminates r (i.e., r lacks k);
@@ -242,13 +260,13 @@ class SampleBuilder {
         }
       }
       if (best == kInvalidTermId) {
-        blocked.Set(r);
+        blocked_->Set(r);
         continue;
       }
       const double before_weight = EliminatedWeight();
-      DynamicBitset before_retrieved = retrieved_;
+      *saved_ = *retrieved_;
       ApplyKeyword(best);
-      if (SettleAroundTarget(target, before_weight, before_retrieved)) return;
+      if (SettleAroundTarget(target, before_weight)) return;
     }
   }
 
@@ -257,7 +275,19 @@ class SampleBuilder {
   size_t* recomputations_;
   double total_u_weight_ = 0.0;
   std::vector<TermId> query_;
-  DynamicBitset retrieved_;
+  /// Current R(q) plus strategy scratches, leased from the universe arena:
+  /// saved_ holds the pre-apply set for the closeness-rule undo, selected_
+  /// the random-subset targets, blocked_ the dead ends of the single-
+  /// result strategy.
+  ResultUniverse::ScratchBitset retrieved_;
+  ResultUniverse::ScratchBitset saved_;
+  ResultUniverse::ScratchBitset selected_;
+  ResultUniverse::ScratchBitset blocked_;
+  /// Hoisted derivatives of retrieved_ (see SyncRetrievedDerived).
+  double live_u_weight_ = 0.0;
+  bool retrieved_c_any_ = false;
+  /// Reused index buffer (random-subset shuffle, single-result pool).
+  std::vector<size_t> indices_buf_;
   std::unordered_set<TermId> in_query_;
 };
 

@@ -17,12 +17,17 @@ namespace {
 constexpr double kMinWeight = 1e-9;
 
 /// Order-independent memo key for an AND conjunction: the sorted TermIds
-/// packed little-endian-of-host into a string.
-std::string ConjunctionKey(const std::vector<TermId>& query) {
-  std::vector<TermId> sorted = query;
+/// packed little-endian-of-host into a string. Both the sort buffer and
+/// the key are thread-local and reused, so steady-state lookups neither
+/// copy the query nor allocate a fresh string; the map only copies the key
+/// on a miss (try_emplace).
+const std::string& ConjunctionKey(const std::vector<TermId>& query) {
+  thread_local std::vector<TermId> sorted;
+  thread_local std::string key;
+  sorted.assign(query.begin(), query.end());
   std::sort(sorted.begin(), sorted.end());
-  std::string key(sorted.size() * sizeof(TermId), '\0');
-  std::memcpy(key.data(), sorted.data(), key.size());
+  key.assign(reinterpret_cast<const char*>(sorted.data()),
+             sorted.size() * sizeof(TermId));
   return key;
 }
 }  // namespace
@@ -34,6 +39,60 @@ struct ResultUniverse::SetAlgebraCache {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
 };
+
+/// Pool of universe-sized bitset buffers. Returned buffers keep their word
+/// storage, so a lease after warm-up is a pop + Reinitialize (no heap
+/// traffic). Guarded by a plain mutex: leases happen per expansion state /
+/// per sample build, never per set operation.
+struct ResultUniverse::ScratchArena {
+  std::mutex mu;
+  std::vector<DynamicBitset> pool;
+  std::atomic<uint64_t> reuses{0};
+  std::atomic<uint64_t> allocs{0};
+};
+
+ResultUniverse::ScratchBitset::ScratchBitset(
+    std::shared_ptr<ScratchArena> arena, DynamicBitset bits)
+    : arena_(std::move(arena)), bits_(std::move(bits)) {}
+
+ResultUniverse::ScratchBitset::ScratchBitset(ScratchBitset&& other) noexcept
+    : arena_(std::move(other.arena_)), bits_(std::move(other.bits_)) {}
+
+ResultUniverse::ScratchBitset::~ScratchBitset() {
+  if (arena_ == nullptr) return;  // moved-from
+  std::lock_guard<std::mutex> lock(arena_->mu);
+  arena_->pool.push_back(std::move(bits_));
+}
+
+ResultUniverse::ScratchBitset ResultUniverse::AcquireScratch(
+    bool all_set) const {
+  DynamicBitset bits;
+  bool reused = false;
+  {
+    std::lock_guard<std::mutex> lock(scratch_->mu);
+    if (!scratch_->pool.empty()) {
+      bits = std::move(scratch_->pool.back());
+      scratch_->pool.pop_back();
+      reused = true;
+    }
+  }
+  if (reused) {
+    scratch_->reuses.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("universe/scratch_reuses");
+  } else {
+    scratch_->allocs.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("universe/scratch_allocs");
+  }
+  bits.Reinitialize(size(), all_set);
+  return ScratchBitset(scratch_, std::move(bits));
+}
+
+ScratchArenaStats ResultUniverse::scratch_arena_stats() const {
+  ScratchArenaStats stats;
+  stats.reuses = scratch_->reuses.load(std::memory_order_relaxed);
+  stats.allocs = scratch_->allocs.load(std::memory_order_relaxed);
+  return stats;
+}
 
 void ResultUniverse::EnableSetAlgebraCache() {
   if (set_cache_ == nullptr) set_cache_ = std::make_shared<SetAlgebraCache>();
@@ -50,7 +109,7 @@ SetAlgebraCacheStats ResultUniverse::set_algebra_cache_stats() const {
 
 ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
                                const std::vector<index::RankedResult>& results)
-    : corpus_(&corpus) {
+    : corpus_(&corpus), scratch_(std::make_shared<ScratchArena>()) {
   docs_.reserve(results.size());
   weights_.reserve(results.size());
   for (const auto& r : results) {
@@ -62,7 +121,7 @@ ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
 
 ResultUniverse::ResultUniverse(const doc::Corpus& corpus,
                                const std::vector<DocId>& results)
-    : corpus_(&corpus) {
+    : corpus_(&corpus), scratch_(std::make_shared<ScratchArena>()) {
   docs_ = results;
   weights_.assign(results.size(), 1.0);
   BuildTermMap();
@@ -95,6 +154,23 @@ double ResultUniverse::TotalWeight(const DynamicBitset& set) const {
   double sum = 0.0;
   set.ForEachSetBit([&](size_t i) { sum += weights_[i]; });
   return sum;
+}
+
+double ResultUniverse::WeightOfAnd(const DynamicBitset& a,
+                                   const DynamicBitset& b) const {
+  return WeightWhere([](uint64_t x, uint64_t y) { return x & y; }, a, b);
+}
+
+double ResultUniverse::WeightOfAndNot(const DynamicBitset& a,
+                                      const DynamicBitset& b) const {
+  return WeightWhere([](uint64_t x, uint64_t y) { return x & ~y; }, a, b);
+}
+
+double ResultUniverse::WeightOfAndNotAnd(const DynamicBitset& a,
+                                         const DynamicBitset& b,
+                                         const DynamicBitset& c) const {
+  return WeightWhere(
+      [](uint64_t x, uint64_t y, uint64_t z) { return x & ~y & z; }, a, b, c);
 }
 
 const DynamicBitset& ResultUniverse::FindDocs(TermId term) const {
@@ -133,10 +209,27 @@ DynamicBitset ResultUniverse::DocsWithoutTerm(TermId term) const {
   return out;
 }
 
+void ResultUniverse::RetrieveInto(const std::vector<TermId>& query,
+                                  DynamicBitset* out) const {
+  QEC_COUNTER_ADD("universe/term_intersections", query.size());
+  out->Reinitialize(size(), /*value=*/true);
+  for (TermId t : query) *out &= FindDocs(t);
+}
+
+void ResultUniverse::RetrieveWithoutInto(const std::vector<TermId>& query,
+                                         TermId excluded,
+                                         DynamicBitset* out) const {
+  QEC_COUNTER_ADD("universe/term_intersections", query.size());
+  out->Reinitialize(size(), /*value=*/true);
+  for (TermId t : query) {
+    if (t != excluded) *out &= FindDocs(t);
+  }
+}
+
 DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
   if (set_cache_ != nullptr && query.size() >= 2 &&
       query.size() <= kMaxMemoArity) {
-    const std::string key = ConjunctionKey(query);
+    const std::string& key = ConjunctionKey(query);
     {
       std::shared_lock lock(set_cache_->mu);
       auto it = set_cache_->conjunctions.find(key);

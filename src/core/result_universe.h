@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "common/dynamic_bitset.h"
+#include "common/logging.h"
 #include "common/types.h"
 #include "doc/corpus.h"
 #include "index/inverted_index.h"
+#include "obs/metrics.h"
 
 namespace qec::core {
 
@@ -17,6 +19,14 @@ namespace qec::core {
 struct SetAlgebraCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+};
+
+/// Reuse/alloc totals of the per-universe scratch arena (AcquireScratch).
+/// In the steady state every acquisition is a reuse: the benefit/cost
+/// inner loops allocate nothing per evaluation.
+struct ScratchArenaStats {
+  uint64_t reuses = 0;
+  uint64_t allocs = 0;
 };
 
 /// The universe of results of the original user query, over which expanded
@@ -28,6 +38,8 @@ struct SetAlgebraCacheStats {
 /// over local ids. Each result carries a ranking weight: the paper's S(.)
 /// is the sum of weights of a set of results (weight 1.0 when unranked).
 class ResultUniverse {
+  struct ScratchArena;  // defined in result_universe.cc
+
  public:
   /// Builds from ranked results of the user query. Weights are the ranking
   /// scores; non-positive scores are clamped to a small epsilon so S(.)
@@ -48,6 +60,29 @@ class ResultUniverse {
   /// S(set): total ranking weight of the results in `set`.
   double TotalWeight(const DynamicBitset& set) const;
 
+  /// Fused weighted kernels: S(.) of a multi-operand set expression in one
+  /// pass, never materializing the intermediate set. Summation order is
+  /// ascending local id — bit-identical to composing the sets and calling
+  /// TotalWeight. Each call bumps the universe/fused_evals counter.
+
+  /// S(a ∩ b).
+  double WeightOfAnd(const DynamicBitset& a, const DynamicBitset& b) const;
+
+  /// S(a \ b).
+  double WeightOfAndNot(const DynamicBitset& a, const DynamicBitset& b) const;
+
+  /// S((a \ b) ∩ c).
+  double WeightOfAndNotAnd(const DynamicBitset& a, const DynamicBitset& b,
+                           const DynamicBitset& c) const;
+
+  /// Generic fused weighted fold: `combine(words...)` receives one 64-bit
+  /// word per operand and returns the word of the combined set; the
+  /// weights of its set bits are summed. The combined word must be 0 for
+  /// bits past size() (any expression that ANDs at least one operand
+  /// positively is safe).
+  template <typename Combine, typename... Sets>
+  double WeightWhere(Combine&& combine, const Sets&... sets) const;
+
   /// S(universe).
   double total_weight() const { return total_weight_; }
 
@@ -61,6 +96,16 @@ class ResultUniverse {
   /// R(q) within the universe under AND semantics: results containing every
   /// term of `query`. The empty query retrieves the whole universe.
   DynamicBitset Retrieve(const std::vector<TermId>& query) const;
+
+  /// R(q) into `out`, reusing its word storage (no allocation once the
+  /// buffer is warm). Bypasses the set-algebra memo: meant for hot loops
+  /// that own a scratch buffer (typically leased via AcquireScratch).
+  void RetrieveInto(const std::vector<TermId>& query, DynamicBitset* out) const;
+
+  /// R(q \ {excluded}) into `out`; every occurrence of `excluded` in
+  /// `query` is skipped. The allocation-free core of ISKR's removal probe.
+  void RetrieveWithoutInto(const std::vector<TermId>& query, TermId excluded,
+                           DynamicBitset* out) const;
 
   /// R(q) within the universe under OR semantics: results containing at
   /// least one term of `query`. The empty query retrieves nothing.
@@ -77,6 +122,40 @@ class ResultUniverse {
 
   /// A bitset of the right size, all set.
   DynamicBitset FullSet() const { return DynamicBitset(size(), true); }
+
+  /// RAII lease on a universe-sized scratch bitset (see AcquireScratch).
+  /// Returns the buffer — capacity intact — to the arena on destruction.
+  class ScratchBitset {
+   public:
+    ScratchBitset(ScratchBitset&& other) noexcept;
+    ScratchBitset& operator=(ScratchBitset&&) = delete;
+    ScratchBitset(const ScratchBitset&) = delete;
+    ScratchBitset& operator=(const ScratchBitset&) = delete;
+    ~ScratchBitset();
+
+    DynamicBitset& operator*() { return bits_; }
+    const DynamicBitset& operator*() const { return bits_; }
+    DynamicBitset* operator->() { return &bits_; }
+    const DynamicBitset* operator->() const { return &bits_; }
+
+   private:
+    friend class ResultUniverse;
+    ScratchBitset(std::shared_ptr<ScratchArena> arena, DynamicBitset bits);
+
+    /// Keeps the arena alive even if the lease outlives the universe.
+    std::shared_ptr<ScratchArena> arena_;
+    DynamicBitset bits_;
+  };
+
+  /// Leases a universe-sized bitset (all clear, or all set) from the
+  /// per-universe scratch arena. Buffers keep their word storage across
+  /// leases, so expansion states constructed over the same universe —
+  /// per-cluster threads, PEBC's per-sample rebuilds, repeated serving
+  /// requests against a cached universe — stop allocating once the arena
+  /// is warm (ScratchArenaStats counts reuses vs allocs). Thread-safe; the
+  /// arena mutex is touched per lease, never per set operation.
+  ScratchBitset AcquireScratch(bool all_set = false) const;
+  ScratchArenaStats scratch_arena_stats() const;
 
   /// Turns on memoization of DocsWithoutTerm complements and small-arity
   /// Retrieve conjunctions (up to kMaxMemoArity terms). Memoized calls
@@ -113,7 +192,33 @@ class ResultUniverse {
   /// stays correct because they also share identical term/doc contents.
   struct SetAlgebraCache;
   std::shared_ptr<SetAlgebraCache> set_cache_;
+  /// Always non-null. shared_ptr for the same copyability reason; copies
+  /// share the arena (identical universe size, so buffers interchange).
+  std::shared_ptr<ScratchArena> scratch_;
 };
+
+template <typename Combine, typename... Sets>
+double ResultUniverse::WeightWhere(Combine&& combine,
+                                   const Sets&... sets) const {
+  QEC_COUNTER_INC("universe/fused_evals");
+  auto check_size = [this](const DynamicBitset& s) {
+    QEC_CHECK_EQ(s.size(), docs_.size());
+  };
+  (check_size(sets), ...);
+  double sum = 0.0;
+  const double* weights = weights_.data();
+  DynamicBitset::ForEachWord(
+      [&](size_t w, auto... words) {
+        uint64_t word = combine(words...);
+        while (word != 0) {
+          int bit = __builtin_ctzll(word);
+          sum += weights[w * 64 + static_cast<size_t>(bit)];
+          word &= word - 1;
+        }
+      },
+      sets...);
+  return sum;
+}
 
 }  // namespace qec::core
 

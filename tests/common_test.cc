@@ -371,5 +371,73 @@ TEST(DynamicBitsetTest, EqualityAndEmptyEdge) {
   EXPECT_FALSE(c == d);
 }
 
+TEST(DynamicBitsetTest, NoneAndAny) {
+  DynamicBitset b(200);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  b.Set(199);  // Last word: early exit must still scan to the end.
+  EXPECT_FALSE(b.None());
+  EXPECT_TRUE(b.Any());
+  b.Reset(199);
+  b.Set(0);
+  EXPECT_FALSE(b.None());
+  DynamicBitset empty(0);
+  EXPECT_TRUE(empty.None());
+}
+
+TEST(DynamicBitsetTest, ReinitializeReusesAndResizes) {
+  DynamicBitset b(70);
+  b.Set(3);
+  b.Set(69);
+  b.Reinitialize(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_TRUE(b.None());
+  b.Reinitialize(70, true);
+  EXPECT_EQ(b.Count(), 70u);  // Tail bits past size stay clear.
+  b.Reinitialize(3, true);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reinitialize(130, true);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 130u);
+}
+
+TEST(DynamicBitsetTest, FusedCountKernels) {
+  // Patterns straddling a word boundary so both words carry data.
+  DynamicBitset a(130), b(130), c(130);
+  for (size_t i : {0u, 5u, 63u, 64u, 100u, 129u}) a.Set(i);
+  for (size_t i : {5u, 64u, 128u, 129u}) b.Set(i);
+  for (size_t i : {0u, 5u, 64u, 129u}) c.Set(i);
+
+  // a & ~b = {0, 63, 100}
+  EXPECT_EQ(a.AndNotCount(b), 3u);
+  // a & b & c = {5, 64, 129}
+  EXPECT_EQ(a.AndCount3(b, c), 3u);
+  EXPECT_TRUE(a.Intersects(b, c));
+  // a & ~b & c = {0}
+  EXPECT_EQ(a.AndNotAndCount(b, c), 1u);
+
+  DynamicBitset disjoint(130);
+  disjoint.Set(1);
+  EXPECT_FALSE(a.Intersects(b, disjoint));
+  EXPECT_EQ(a.AndCount3(b, disjoint), 0u);
+  EXPECT_EQ(a.AndNotCount(a), 0u);
+}
+
+TEST(DynamicBitsetTest, ForEachWordVisitsAllOperands) {
+  DynamicBitset a(128), b(128), c(128);
+  a.Set(0);
+  b.Set(64);
+  c.Set(127);
+  size_t fused_count = 0;
+  DynamicBitset::ForEachWord(
+      [&](size_t w, uint64_t wa, uint64_t wb, uint64_t wc) {
+        (void)w;
+        fused_count += static_cast<size_t>(__builtin_popcountll(wa | wb | wc));
+      },
+      a, b, c);
+  EXPECT_EQ(fused_count, 3u);
+}
+
 }  // namespace
 }  // namespace qec

@@ -190,6 +190,60 @@ TEST_F(PaperExampleFixture, TraceMatchesExampleTables) {
   EXPECT_DOUBLE_EQ(trace[3].f_measure_after, result.quality.f_measure);
 }
 
+TEST_F(PaperExampleFixture, ParallelSweepMatchesSerialByteForByte) {
+  // The initial candidate sweep fans out over sweep_threads, but each
+  // entry is computed whole by one thread and merged in candidate-index
+  // order — every field of the result, including the doubles in the
+  // trace, must be bit-identical to the serial sweep.
+  std::vector<IskrStep> serial_trace;
+  IskrOptions serial_options;
+  serial_options.sweep_threads = 1;
+  ExpansionResult serial =
+      IskrExpander(serial_options).ExpandWithTrace(*context_, &serial_trace);
+
+  for (size_t sweep : {size_t{2}, size_t{3}, size_t{8}, size_t{0}}) {
+    SCOPED_TRACE("sweep_threads=" + std::to_string(sweep));
+    std::vector<IskrStep> trace;
+    IskrOptions options;
+    options.sweep_threads = sweep;
+    ExpansionResult parallel =
+        IskrExpander(options).ExpandWithTrace(*context_, &trace);
+    EXPECT_EQ(parallel.query, serial.query);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    EXPECT_EQ(parallel.value_recomputations, serial.value_recomputations);
+    EXPECT_EQ(parallel.quality.precision, serial.quality.precision);
+    EXPECT_EQ(parallel.quality.recall, serial.quality.recall);
+    EXPECT_EQ(parallel.quality.f_measure, serial.quality.f_measure);
+    ASSERT_EQ(trace.size(), serial_trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i].keyword, serial_trace[i].keyword);
+      EXPECT_EQ(trace[i].is_removal, serial_trace[i].is_removal);
+      EXPECT_EQ(trace[i].benefit, serial_trace[i].benefit);
+      EXPECT_EQ(trace[i].cost, serial_trace[i].cost);
+      EXPECT_EQ(trace[i].value, serial_trace[i].value);
+      EXPECT_EQ(trace[i].f_measure_after, serial_trace[i].f_measure_after);
+    }
+  }
+}
+
+TEST_F(PaperExampleFixture, ScratchArenaStopsAllocatingAfterWarmup) {
+  // Acceptance criterion for the fused-kernel layer: zero heap
+  // allocations per benefit/cost evaluation in the steady state. Each
+  // expansion leases exactly three buffers (retrieved, delta, without)
+  // from the universe's scratch arena; after a warm-up run every lease
+  // must be served from the pool, never freshly allocated.
+  IskrExpander iskr;
+  iskr.Expand(*context_);  // Warm the arena.
+  const ScratchArenaStats before =
+      universe_->scratch_arena_stats();
+  constexpr size_t kRuns = 3;
+  for (size_t i = 0; i < kRuns; ++i) iskr.Expand(*context_);
+  const ScratchArenaStats after =
+      universe_->scratch_arena_stats();
+  EXPECT_EQ(after.allocs, before.allocs);
+  EXPECT_EQ(after.reuses, before.reuses + kRuns * 3);
+}
+
 TEST_F(PaperExampleFixture, TraceFMeasureIsFinalQuality) {
   std::vector<IskrStep> trace;
   ExpansionResult result = IskrExpander().ExpandWithTrace(*context_, &trace);

@@ -167,6 +167,23 @@ TEST_F(Example42Fixture, ReturnsBestSampleByFMeasure) {
   EXPECT_EQ(result.iterations, trace.size());
 }
 
+TEST_F(Example42Fixture, ScratchArenaStopsAllocatingAfterWarmup) {
+  // Zero heap allocations per benefit/cost evaluation in the steady
+  // state: each PEBC expansion leases exactly four buffers (retrieved,
+  // saved, selected, blocked) from the universe's scratch arena, and
+  // after a warm-up run every lease is served from the pool.
+  PebcExpander pebc;
+  pebc.Expand(*context_);  // Warm the arena.
+  const ScratchArenaStats before =
+      universe_->scratch_arena_stats();
+  constexpr size_t kRuns = 3;
+  for (size_t i = 0; i < kRuns; ++i) pebc.Expand(*context_);
+  const ScratchArenaStats after =
+      universe_->scratch_arena_stats();
+  EXPECT_EQ(after.allocs, before.allocs);
+  EXPECT_EQ(after.reuses, before.reuses + kRuns * 4);
+}
+
 TEST_F(Example42Fixture, DeterministicForFixedSeed) {
   PebcOptions options;
   options.seed = 777;

@@ -226,12 +226,14 @@ class DeterminismFixture
   DeterminismFixture()
       : corpus_(datagen::ShoppingGenerator().Generate()), index_(corpus_) {}
 
-  ExpansionOutcome Run(size_t num_threads, bool memoize) const {
+  ExpansionOutcome Run(size_t num_threads, bool memoize,
+                       size_t sweep_threads = 1) const {
     QueryExpanderOptions options;
     options.algorithm = GetParam();
     options.candidates.fraction = 1.0;
     options.num_threads = num_threads;
     options.memoize_set_algebra = memoize;
+    options.iskr.sweep_threads = sweep_threads;
     QueryExpander expander(index_, options);
     auto outcome = expander.ExpandText("canon products");
     EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
@@ -256,6 +258,19 @@ TEST_P(DeterminismFixture, MemoizedSetAlgebraMatchesUncached) {
   ExpectIdenticalOutcomes(plain, Run(1, true));
   // Memo + threads together (the server's configuration).
   ExpectIdenticalOutcomes(plain, Run(8, true));
+}
+
+TEST_P(DeterminismFixture, ParallelCandidateSweepMatchesSerial) {
+  // ISKR's initial candidate sweep can fan out over sweep_threads; the
+  // option is a pure execution strategy and must leave every algorithm's
+  // outcome byte-identical (it is simply ignored by PEBC and F-measure).
+  const ExpansionOutcome serial = Run(1, false, /*sweep_threads=*/1);
+  for (size_t sweep : {size_t{2}, size_t{8}, size_t{0}}) {
+    SCOPED_TRACE("sweep_threads=" + std::to_string(sweep));
+    ExpectIdenticalOutcomes(serial, Run(1, false, sweep));
+  }
+  // All execution strategies at once: cluster threads + memo + sweep.
+  ExpectIdenticalOutcomes(serial, Run(8, true, 8));
 }
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, DeterminismFixture,
