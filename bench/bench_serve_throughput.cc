@@ -10,10 +10,14 @@
 //
 // Flags: --requests=N (default 400), --threads=N (default 0 = auto),
 // --queue=N (default 256), --no-cache (run only the uncached config),
-// plus the shared observability flags (--metrics-out=FILE writes the
-// metrics JSON, including server/cache_* counters, the queue-depth
-// gauges, and the server/request_latency_ns histogram).
+// --result-out=FILE (write a plain JSON result summary — qps, latency
+// percentiles, per-stage breakdown — that works even in notrace builds,
+// which is what the CI telemetry-overhead gate compares), plus the shared
+// observability flags (--metrics-out=FILE writes the metrics JSON,
+// including server/cache_* counters, the queue-depth gauges, and the
+// server/request_latency_ns histogram).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -29,6 +33,7 @@
 #include "eval/obs_report.h"
 #include "eval/table_printer.h"
 #include "index/inverted_index.h"
+#include "server/request_context.h"
 #include "server/server.h"
 
 namespace {
@@ -61,7 +66,69 @@ struct RunResult {
   size_t ok = 0;
   size_t errors = 0;
   qec::server::ServerStats stats;
+  /// Summed per-stage nanoseconds over every response (the responses carry
+  /// their StageTimings in all builds, so this survives QEC_DISABLE_TRACING).
+  uint64_t stage_ns[qec::server::kNumStages] = {};
+  /// Per-request total latency in milliseconds, for percentiles.
+  std::vector<double> latencies_ms;
+
+  double Percentile(double q) const {
+    if (latencies_ms.empty()) return 0.0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
 };
+
+/// Prints the per-stage latency breakdown for a run. Stage timings come from
+/// the responses' StageTimings, so the table is populated in every build
+/// (including QEC_DISABLE_TRACING, which only strips the metrics macros).
+void PrintStageBreakdown(const char* config, const RunResult& r) {
+  qec::eval::TablePrinter table(
+      {"stage", "total ms", "avg ms", "share %"});
+  uint64_t total_ns = 0;
+  for (size_t s = 0; s < qec::server::kNumStages; ++s) total_ns += r.stage_ns[s];
+  const double requests =
+      r.latencies_ms.empty() ? 1.0 : static_cast<double>(r.latencies_ms.size());
+  for (size_t s = 0; s < qec::server::kNumStages; ++s) {
+    const double ms = static_cast<double>(r.stage_ns[s]) / 1e6;
+    const double share =
+        total_ns > 0
+            ? 100.0 * static_cast<double>(r.stage_ns[s]) /
+                  static_cast<double>(total_ns)
+            : 0.0;
+    table.AddRow({std::string(qec::server::StageName(
+                      static_cast<qec::server::Stage>(s))),
+                  qec::FormatDouble(ms, 3), qec::FormatDouble(ms / requests, 4),
+                  qec::FormatDouble(share, 1)});
+  }
+  std::printf("per-stage breakdown (%s): p50=%.3fms p95=%.3fms\n%s\n", config,
+              r.Percentile(50.0), r.Percentile(95.0),
+              table.ToString().c_str());
+}
+
+/// Appends the JSON object for one run to `out` (no trailing separator).
+void AppendRunJson(std::string* out, const RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seconds\":%.6f,\"qps\":%.3f,\"ok\":%zu,\"errors\":%zu,"
+                "\"p50_ms\":%.6f,\"p95_ms\":%.6f,\"p99_ms\":%.6f,\"stages_ms\":{",
+                r.seconds, r.qps, r.ok, r.errors, r.Percentile(50.0),
+                r.Percentile(95.0), r.Percentile(99.0));
+  *out += buf;
+  for (size_t s = 0; s < qec::server::kNumStages; ++s) {
+    const std::string stage(
+        qec::server::StageName(static_cast<qec::server::Stage>(s)));
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6f", s > 0 ? "," : "",
+                  stage.c_str(), static_cast<double>(r.stage_ns[s]) / 1e6);
+    *out += buf;
+  }
+  *out += "}}";
+}
 
 RunResult RunWorkload(const qec::index::InvertedIndex& index,
                       const std::vector<std::string>& workload, bool caches,
@@ -90,6 +157,10 @@ RunResult RunWorkload(const qec::index::InvertedIndex& index,
       std::fprintf(stderr, "request failed: %s\n",
                    response.status.ToString().c_str());
     }
+    for (size_t s = 0; s < qec::server::kNumStages; ++s) {
+      result.stage_ns[s] += response.stages.ns[s];
+    }
+    result.latencies_ms.push_back(response.total_seconds * 1e3);
   };
 
   qec::Stopwatch watch;
@@ -116,6 +187,7 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t queue_capacity = 256;
   bool cached_config = true;
+  std::string result_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (qec::StartsWith(arg, "--requests=")) {
@@ -126,6 +198,8 @@ int main(int argc, char** argv) {
       queue_capacity = std::stoul(arg.substr(strlen("--queue=")));
     } else if (arg == "--no-cache") {
       cached_config = false;
+    } else if (qec::StartsWith(arg, "--result-out=")) {
+      result_out = arg.substr(strlen("--result-out="));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -158,18 +232,46 @@ int main(int argc, char** argv) {
       RunWorkload(index, workload, false, threads, queue_capacity);
   add_row("no-cache", uncached);
   int rc = 0;
+  std::string result_json = "{";
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "\"requests\":%zu,\"threads\":%zu,",
+                  workload.size(), threads);
+    result_json += buf;
+  }
+  result_json += "\"uncached\":";
+  AppendRunJson(&result_json, uncached);
   if (cached_config) {
     RunResult cached =
         RunWorkload(index, workload, true, threads, queue_capacity);
     add_row("cached", cached);
     std::printf("%s\n", table.ToString().c_str());
+    PrintStageBreakdown("no-cache", uncached);
+    PrintStageBreakdown("cached", cached);
     const double speedup =
         uncached.qps > 0.0 ? cached.qps / uncached.qps : 0.0;
     std::printf("speedup (cached vs no-cache): %.2fx %s\n", speedup,
                 speedup >= 2.0 ? "(>= 2x: PASS)" : "(< 2x: FAIL)");
     if (speedup < 2.0 || cached.errors > 0) rc = 1;
+    result_json += ",\"cached\":";
+    AppendRunJson(&result_json, cached);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"speedup\":%.3f", speedup);
+    result_json += buf;
   } else {
     std::printf("%s\n", table.ToString().c_str());
+    PrintStageBreakdown("no-cache", uncached);
+  }
+  result_json += "}";
+  if (!result_out.empty()) {
+    std::FILE* f = std::fopen(result_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", result_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", result_json.c_str());
+    std::fclose(f);
+    std::printf("result json: %s\n", result_out.c_str());
   }
   if (uncached.errors > 0) rc = 1;
   return qec::eval::EmitObsOutputs(obs_flags) ? rc : 1;

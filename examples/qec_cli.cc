@@ -14,7 +14,10 @@
 //                  <query>...
 //   qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE]
 //                  [--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache]
-//                  [--cache-size=N]                      line-protocol server
+//                  [--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N]
+//                  [--flight-recorder=N] [--metrics-flush-interval=SEC]
+//                  [--metrics-flush-out=FILE]            line-protocol server
+//   qec_cli slowlog <dump.jsonl> [-n N]                  print a slowlog dump
 //   qec_cli quickstart [--snapshot=FILE [--query=Q]]     in-memory demo
 //
 // Commands taking <corpus.qec> sniff the file magic, so a snapshot works
@@ -32,15 +35,20 @@
 // element (the whole subtree's text is indexed, title = <title> child or
 // the file name).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/string_util.h"
 #include "core/query_expander.h"
+#include "eval/table_printer.h"
+#include "obs/flight_recorder.h"
+#include "obs/prometheus.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "datagen/shopping.h"
@@ -68,7 +76,10 @@ int Usage() {
       "[-k N] <query words>...\n"
       "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE] "
       "[--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache] "
-      "[--cache-size=N]\n"
+      "[--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N] "
+      "[--flight-recorder=N] [--metrics-flush-interval=SEC] "
+      "[--metrics-flush-out=FILE]\n"
+      "  qec_cli slowlog <dump.jsonl> [-n N]\n"
       "  qec_cli quickstart [--snapshot=FILE [--query=Q]]\n"
       "global flags: --metrics-out=FILE --trace --trace-out=FILE "
       "--log-level=LEVEL\n");
@@ -384,6 +395,8 @@ int CmdServe(const std::vector<std::string>& args) {
   qec::server::ServerOptions options;
   std::string corpus_arg;
   std::string snapshot_path;
+  std::string metrics_flush_out = "metrics.prom";
+  uint64_t metrics_flush_interval_s = 0;
   for (const std::string& arg : args) {
     if (qec::StartsWith(arg, "--snapshot=")) {
       snapshot_path = arg.substr(strlen("--snapshot="));
@@ -402,6 +415,19 @@ int CmdServe(const std::vector<std::string>& args) {
     } else if (qec::StartsWith(arg, "--cache-size=")) {
       options.expansion_cache_capacity =
           static_cast<size_t>(std::stoul(arg.substr(strlen("--cache-size="))));
+    } else if (qec::StartsWith(arg, "--slowlog-dump=")) {
+      options.slowlog_dump_path = arg.substr(strlen("--slowlog-dump="));
+    } else if (qec::StartsWith(arg, "--slow-ms=")) {
+      options.slow_request_threshold_ms =
+          std::stoull(arg.substr(strlen("--slow-ms=")));
+    } else if (qec::StartsWith(arg, "--flight-recorder=")) {
+      options.flight_recorder_capacity = static_cast<size_t>(
+          std::stoul(arg.substr(strlen("--flight-recorder="))));
+    } else if (qec::StartsWith(arg, "--metrics-flush-interval=")) {
+      metrics_flush_interval_s =
+          std::stoull(arg.substr(strlen("--metrics-flush-interval=")));
+    } else if (qec::StartsWith(arg, "--metrics-flush-out=")) {
+      metrics_flush_out = arg.substr(strlen("--metrics-flush-out="));
     } else if (qec::StartsWith(arg, "--")) {
       return Usage();
     } else if (corpus_arg.empty()) {
@@ -427,10 +453,16 @@ int CmdServe(const std::vector<std::string>& args) {
     return 1;
   }
   qec::server::QecServer server(*data->index, options);
+  std::unique_ptr<qec::obs::MetricsFlusher> flusher;
+  if (metrics_flush_interval_s != 0) {
+    flusher = std::make_unique<qec::obs::MetricsFlusher>(
+        metrics_flush_out,
+        std::chrono::milliseconds(metrics_flush_interval_s * 1000));
+  }
   std::fprintf(stderr,
                "serving %zu documents%s with %zu workers (queue %zu, cache "
                "%s); one request per line: EXPAND [k=N] [algo=A] [--] "
-               "<query> | PING | STATS\n",
+               "<query> | PING | STATS | METRICS | SLOWLOG [n]\n",
                data->corpus->NumDocs(),
                data->from_snapshot ? " from snapshot" : "",
                server.num_workers(), options.queue_capacity,
@@ -455,15 +487,96 @@ int CmdServe(const std::vector<std::string>& args) {
       case qec::server::ServeRequest::Verb::kStats:
         out = server.StatsJsonLine();
         break;
+      case qec::server::ServeRequest::Verb::kMetrics:
+        // Multi-line Prometheus text; the trailing "# EOF" line marks the
+        // end for pipeline consumers.
+        out = qec::obs::PrometheusSnapshot();
+        if (!out.empty() && out.back() == '\n') out.pop_back();
+        break;
+      case qec::server::ServeRequest::Verb::kSlowlog:
+        out = server.SlowlogJsonLine(request->slowlog_count);
+        break;
       case qec::server::ServeRequest::Verb::kExpand: {
         auto future = server.Submit(*std::move(request));
-        out = qec::server::ResponseToJsonLine(future.get());
+        const qec::server::ServeResponse response = future.get();
+        // The worker pre-renders the line inside its timed serialize
+        // stage; requests rejected before reaching a worker render here.
+        out = !response.json_line.empty()
+                  ? response.json_line
+                  : qec::server::ResponseToJsonLine(response);
         break;
       }
     }
     std::printf("%s\n", out.c_str());
     std::fflush(stdout);
   }
+  if (flusher != nullptr) flusher->Stop();
+  return 0;
+}
+
+// Pretty-prints a flight-recorder JSONL dump (serve --slowlog-dump=FILE):
+// one table row per record, newest last. `-n N` keeps only the last N.
+int CmdSlowlog(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::string path;
+  size_t keep = 0;  // 0 = all
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-n") {
+      if (i + 1 >= args.size()) return Usage();
+      keep = static_cast<size_t>(std::stoul(args[++i]));
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<qec::obs::RequestRecord> records;
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin <= content->size()) {
+    size_t end = content->find('\n', begin);
+    if (end == std::string::npos) end = content->size();
+    const std::string_view record_line(content->data() + begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (qec::TrimWhitespace(record_line).empty()) continue;
+    auto record = qec::obs::RequestRecordFromJson(record_line);
+    if (!record.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no,
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    records.push_back(*std::move(record));
+  }
+  if (keep != 0 && records.size() > keep) {
+    records.erase(records.begin(),
+                  records.end() - static_cast<ptrdiff_t>(keep));
+  }
+
+  qec::eval::TablePrinter table({"trace_id", "status", "algo", "cached",
+                                 "queue_ms", "lookup_ms", "expand_ms",
+                                 "serialize_ms", "total_ms", "query"});
+  auto ms = [](uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+    return std::string(buf);
+  };
+  for (const auto& r : records) {
+    table.AddRow({qec::server::TraceIdToHex(r.trace_id), r.status, r.algo,
+                  r.from_cache ? "yes" : "no", ms(r.queue_wait_ns),
+                  ms(r.cache_lookup_ns), ms(r.expansion_ns),
+                  ms(r.serialize_ns), ms(r.total_ns), r.query});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("%zu record%s\n", records.size(),
+              records.size() == 1 ? "" : "s");
   return 0;
 }
 
@@ -592,6 +705,8 @@ int main(int argc, char** argv) {
       rc = CmdExpand(rest);
     } else if (cmd == "serve") {
       rc = CmdServe(rest);
+    } else if (cmd == "slowlog") {
+      rc = CmdSlowlog(rest);
     } else if (cmd == "quickstart") {
       rc = CmdQuickstart(rest);
     } else {

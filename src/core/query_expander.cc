@@ -143,6 +143,18 @@ ExpansionOutcome QueryExpander::ExpandClustered(
       eq.cluster_size = c < members.size() ? members[c].size() : 0;
       eq.iterations = results[c].iterations;
       eq.value_recomputations = results[c].value_recomputations;
+      const IskrStats& is = results[c].iskr_stats;
+      outcome.iskr_stats.steps += is.steps;
+      outcome.iskr_stats.additions += is.additions;
+      outcome.iskr_stats.removals += is.removals;
+      outcome.iskr_stats.candidates_evaluated += is.candidates_evaluated;
+      const PebcStats& ps = results[c].pebc_stats;
+      outcome.pebc_stats.samples_drawn += ps.samples_drawn;
+      outcome.pebc_stats.rounds += ps.rounds;
+      outcome.pebc_stats.intervals_zoomed += ps.intervals_zoomed;
+      outcome.pebc_stats.candidates_evaluated += ps.candidates_evaluated;
+      outcome.pebc_stats.best_target_percent = std::max(
+          outcome.pebc_stats.best_target_percent, ps.best_target_percent);
       qualities.push_back(eq.quality);
       outcome.queries.push_back(std::move(eq));
     }

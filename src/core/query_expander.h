@@ -108,6 +108,11 @@ struct ExpansionOutcome {
   size_t num_clusters = 0;
   double clustering_seconds = 0.0;
   double expansion_seconds = 0.0;
+  /// Algorithm accounting aggregated over all clusters: counters are
+  /// summed, PebcStats::best_target_percent is the max. Only the stats of
+  /// the algorithm that actually ran are non-zero.
+  IskrStats iskr_stats;
+  PebcStats pebc_stats;
 };
 
 /// The QEC engine: retrieve the user query's (top-K) results, cluster them

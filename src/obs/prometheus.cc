@@ -1,0 +1,324 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace qec::obs {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Counters are exported with the conventional `_total` suffix.
+std::string CounterName(std::string_view name) {
+  std::string out = PrometheusName(name);
+  const std::string_view suffix = "_total";
+  if (out.size() < suffix.size() ||
+      out.compare(out.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    out += suffix;
+  }
+  return out;
+}
+
+void AppendSample(std::string& out, const std::string& name,
+                  std::string_view label_key, const std::string& label_value,
+                  const std::string& value) {
+  out += name;
+  if (!label_key.empty()) {
+    out += '{';
+    out += label_key;
+    out += "=\"";
+    out += label_value;
+    out += "\"}";
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "qec_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(IsNameChar(c) ? c : '_');
+  return out;
+}
+
+std::string WritePrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = CounterName(name);
+    out += "# TYPE " + prom + " counter\n";
+    AppendSample(out, prom, "", "", std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    AppendSample(out, prom, "", "", json::NumberToString(value));
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string prom = PrometheusName(h.name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Registry buckets are (inclusive upper bound, count) for non-empty
+    // buckets only; cumulating them yields exact `le` counts because the
+    // bounds are inclusive.
+    uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      AppendSample(out, prom + "_bucket", "le", std::to_string(upper),
+                   std::to_string(cumulative));
+    }
+    AppendSample(out, prom + "_bucket", "le", "+Inf",
+                 std::to_string(h.count));
+    AppendSample(out, prom + "_sum", "", "", std::to_string(h.sum));
+    AppendSample(out, prom + "_count", "", "", std::to_string(h.count));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string PrometheusSnapshot() { return WritePrometheus(CaptureMetrics()); }
+
+std::string_view PrometheusSample::Label(std::string_view key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+namespace {
+
+/// True when `sample` belongs to the family `family`: exact match or a
+/// recognized suffix.
+bool BelongsTo(std::string_view sample, std::string_view family) {
+  if (sample == family) return true;
+  if (sample.size() <= family.size() ||
+      sample.compare(0, family.size(), family) != 0) {
+    return false;
+  }
+  const std::string_view suffix = sample.substr(family.size());
+  return suffix == "_bucket" || suffix == "_sum" || suffix == "_count" ||
+         suffix == "_total";
+}
+
+Status BadLine(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("prometheus text line " +
+                                 std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+Result<std::vector<PrometheusFamily>> ParsePrometheusText(
+    std::string_view text) {
+  std::vector<PrometheusFamily> families;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>" starts a family; all other comments
+      // (# HELP, # EOF, free-form) are skipped.
+      std::string_view rest = line.substr(1);
+      while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+      if (rest.compare(0, 5, "TYPE ") != 0) continue;
+      rest.remove_prefix(5);
+      const size_t space = rest.find(' ');
+      if (space == std::string_view::npos || space == 0) {
+        return BadLine(line_no, "malformed # TYPE");
+      }
+      PrometheusFamily family;
+      family.name = std::string(rest.substr(0, space));
+      family.type = std::string(rest.substr(space + 1));
+      if (family.type.empty()) return BadLine(line_no, "missing type");
+      families.push_back(std::move(family));
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp].
+    size_t i = 0;
+    while (i < line.size() && IsNameChar(line[i])) ++i;
+    if (i == 0) return BadLine(line_no, "expected metric name");
+    PrometheusSample sample;
+    sample.name = std::string(line.substr(0, i));
+
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t key_start = i;
+        while (i < line.size() && IsNameChar(line[i])) ++i;
+        if (i == key_start || i >= line.size() || line[i] != '=') {
+          return BadLine(line_no, "malformed label");
+        }
+        std::string key(line.substr(key_start, i - key_start));
+        ++i;  // '='
+        if (i >= line.size() || line[i] != '"') {
+          return BadLine(line_no, "label value must be quoted");
+        }
+        ++i;  // opening quote
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ++i;
+            if (i >= line.size()) break;
+            switch (line[i]) {
+              case 'n':
+                value.push_back('\n');
+                break;
+              case '\\':
+                value.push_back('\\');
+                break;
+              case '"':
+                value.push_back('"');
+                break;
+              default:
+                return BadLine(line_no, "bad label escape");
+            }
+            ++i;
+          } else {
+            value.push_back(line[i]);
+            ++i;
+          }
+        }
+        if (i >= line.size()) return BadLine(line_no, "unterminated label");
+        ++i;  // closing quote
+        sample.labels.emplace_back(std::move(key), std::move(value));
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) return BadLine(line_no, "unterminated label set");
+      ++i;  // '}'
+    }
+
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) return BadLine(line_no, "missing sample value");
+    const std::string value_text(line.substr(i, line.find(' ', i) - i));
+    if (value_text == "+Inf") {
+      sample.value = HUGE_VAL;
+    } else if (value_text == "-Inf") {
+      sample.value = -HUGE_VAL;
+    } else {
+      char* parse_end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &parse_end);
+      if (parse_end != value_text.c_str() + value_text.size()) {
+        return BadLine(line_no, "bad sample value '" + value_text + "'");
+      }
+    }
+
+    if (families.empty() || !BelongsTo(sample.name, families.back().name)) {
+      return BadLine(line_no,
+                     "sample '" + sample.name + "' has no preceding # TYPE");
+    }
+    families.back().samples.push_back(std::move(sample));
+  }
+  return families;
+}
+
+Status ValidatePrometheusHistograms(
+    const std::vector<PrometheusFamily>& families) {
+  for (const PrometheusFamily& family : families) {
+    if (family.type != "histogram") continue;
+    double last_bucket = -1.0;
+    bool saw_inf = false;
+    double inf_count = -1.0;
+    double count = -1.0;
+    for (const PrometheusSample& sample : family.samples) {
+      if (sample.name == family.name + "_bucket") {
+        if (saw_inf) {
+          return Status::InvalidArgument(family.name +
+                                         ": bucket after le=\"+Inf\"");
+        }
+        if (sample.value < last_bucket) {
+          return Status::InvalidArgument(
+              family.name + ": cumulative buckets must be non-decreasing");
+        }
+        last_bucket = sample.value;
+        if (sample.Label("le") == "+Inf") {
+          saw_inf = true;
+          inf_count = sample.value;
+        }
+      } else if (sample.name == family.name + "_count") {
+        count = sample.value;
+      }
+    }
+    if (!saw_inf) {
+      return Status::InvalidArgument(family.name +
+                                     ": histogram missing le=\"+Inf\" bucket");
+    }
+    if (count != inf_count) {
+      return Status::InvalidArgument(family.name +
+                                     ": _count != le=\"+Inf\" bucket");
+    }
+  }
+  return Status::Ok();
+}
+
+MetricsFlusher::MetricsFlusher(std::string path,
+                               std::chrono::milliseconds interval)
+    : path_(std::move(path)), interval_(interval) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsFlusher::~MetricsFlusher() { Stop(); }
+
+bool MetricsFlusher::FlushNow() {
+  const std::string text = PrometheusSnapshot();
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MetricsFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  FlushNow();  // Final flush so short-lived processes still leave a file.
+}
+
+void MetricsFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    lock.unlock();
+    FlushNow();
+    lock.lock();
+  }
+}
+
+}  // namespace qec::obs

@@ -1,0 +1,109 @@
+#ifndef QEC_OBS_PROMETHEUS_H_
+#define QEC_OBS_PROMETHEUS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace qec::obs {
+
+/// `name` mapped to a legal Prometheus metric name: "qec_" prefix, every
+/// character outside [a-zA-Z0-9_] replaced by '_'. "server/queue_wait_ns"
+/// becomes "qec_server_queue_wait_ns". (Two registry names that differ only
+/// in separators collide; keep registry names unambiguous.)
+std::string PrometheusName(std::string_view name);
+
+/// Renders a snapshot in Prometheus text exposition format:
+///   - counters as `<name>_total` with a `# TYPE ... counter` line,
+///   - gauges with `# TYPE ... gauge`,
+///   - histograms as cumulative `_bucket{le="..."}` series (always ending
+///     in `le="+Inf"`) plus `_sum` and `_count`, `# TYPE ... histogram`.
+/// Span aggregates are not emitted separately — every span already feeds
+/// its `span/<name>` histogram. The output ends with a `# EOF` line so
+/// stream consumers (the METRICS protocol verb) can find the end.
+std::string WritePrometheus(const MetricsSnapshot& snapshot);
+
+/// WritePrometheus over the full live registry + span aggregates
+/// (CaptureMetrics() in trace.h).
+std::string PrometheusSnapshot();
+
+/// One parsed sample line: `name{labels} value`.
+struct PrometheusSample {
+  std::string name;
+  /// Label pairs in source order (empty when the sample has no label set).
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  /// Value of label `key`, or "" when absent.
+  std::string_view Label(std::string_view key) const;
+};
+
+/// One metric family: a `# TYPE` line and the samples grouped under it.
+struct PrometheusFamily {
+  std::string name;
+  std::string type;  // "counter", "gauge", "histogram", ...
+  std::vector<PrometheusSample> samples;
+};
+
+/// Parses Prometheus text exposition format. Every sample must belong to
+/// the most recent `# TYPE` family (exact name match, or the family name
+/// plus a `_bucket`/`_sum`/`_count`/`_total` suffix); anything else is an
+/// InvalidArgument. `# HELP`, other comments, and `# EOF` are skipped.
+Result<std::vector<PrometheusFamily>> ParsePrometheusText(
+    std::string_view text);
+
+/// Validates the histogram invariants of a parsed exposition: each
+/// histogram family has monotonically non-decreasing cumulative buckets,
+/// a final `le="+Inf"` bucket, and `_count` equal to that bucket.
+Status ValidatePrometheusHistograms(
+    const std::vector<PrometheusFamily>& families);
+
+/// Background thread that periodically writes PrometheusSnapshot() to a
+/// file (atomically: temp file + rename), so external scrapers and CI can
+/// consume the exposition without speaking the line protocol. Started by
+/// the constructor; the destructor (or Stop()) joins the thread after one
+/// final flush.
+class MetricsFlusher {
+ public:
+  MetricsFlusher(std::string path, std::chrono::milliseconds interval);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Writes one snapshot immediately. Returns false on I/O failure.
+  bool FlushNow();
+
+  /// Stops the periodic thread after a final flush. Idempotent.
+  void Stop();
+
+  uint64_t flush_count() const {
+    return flush_count_.load(std::memory_order_relaxed);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Loop();
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  std::atomic<uint64_t> flush_count_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace qec::obs
+
+#endif  // QEC_OBS_PROMETHEUS_H_

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 #include "obs/json.h"
 
@@ -29,13 +36,6 @@ struct Frame {
 };
 
 thread_local std::vector<Frame> tls_span_stack;
-
-std::atomic<uint32_t> g_next_thread_index{1};
-uint32_t ThreadIndex() {
-  thread_local uint32_t index =
-      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
-  return index;
-}
 
 struct TraceEvent {
   const std::string* name;  // points at the (leaked) SpanSite name
@@ -109,7 +109,7 @@ ScopedSpan::~ScopedSpan() {
     auto& events = Events();
     if (events.size() < kMaxTraceEvents) {
       events.push_back(TraceEvent{
-          &site_->name(), ThreadIndex(),
+          &site_->name(), CurrentOsThreadId(),
           static_cast<uint32_t>(tls_span_stack.size()), start_ns_, dur});
     }
   }
@@ -185,21 +185,42 @@ bool TraceEventRecordingEnabled() {
   return g_record_events.load(std::memory_order_relaxed);
 }
 
+uint32_t CurrentOsThreadId() {
+#if defined(__linux__)
+  thread_local const uint32_t tid =
+      static_cast<uint32_t>(::syscall(SYS_gettid));
+#else
+  thread_local const uint32_t tid = static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+  return tid;
+}
+
+uint32_t CurrentOsProcessId() {
+#if defined(__linux__)
+  static const uint32_t pid = static_cast<uint32_t>(::getpid());
+  return pid;
+#else
+  return 1;
+#endif
+}
+
 std::string TraceEventsJson() {
   std::lock_guard<std::mutex> lock(EventMutex());
   std::string out = "{\"traceEvents\": [";
   const auto& events = Events();
+  const uint32_t pid = CurrentOsProcessId();
   char buf[256];
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     // "X" complete events; timestamps/durations in microseconds.
     std::snprintf(buf, sizeof(buf),
                   "%s\n  {\"name\": %s, \"cat\": \"qec\", \"ph\": \"X\", "
-                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %u, \"tid\": %u}",
                   i == 0 ? "" : ",",
                   json::Quote(*e.name).c_str(),
                   static_cast<double>(e.start_ns) / 1e3,
-                  static_cast<double>(e.dur_ns) / 1e3, e.tid);
+                  static_cast<double>(e.dur_ns) / 1e3, pid, e.tid);
     out += buf;
   }
   out += "\n]}\n";

@@ -74,9 +74,19 @@ std::string SpanFlatProfile();
 void SetTraceEventRecording(bool enabled);
 bool TraceEventRecordingEnabled();
 
-/// chrome://tracing / Perfetto-loadable JSON of the recorded events.
+/// chrome://tracing / Perfetto-loadable JSON of the recorded events. Span
+/// events carry the real OS thread/process ids (CurrentOsThreadId below),
+/// so worker-pool spans land on their own tracks instead of misnesting
+/// under the main thread.
 std::string TraceEventsJson();
 void ClearTraceEvents();
+
+/// The calling thread's OS thread id (gettid on Linux; a hash of
+/// std::thread::id elsewhere). Stable for the thread's lifetime.
+uint32_t CurrentOsThreadId();
+
+/// The process id (1 when the platform offers none).
+uint32_t CurrentOsProcessId();
 
 }  // namespace qec::obs
 

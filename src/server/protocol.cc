@@ -86,6 +86,25 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
     request.verb = ServeRequest::Verb::kStats;
     return request;
   }
+  if (verb == "metrics") {
+    request.verb = ServeRequest::Verb::kMetrics;
+    return request;
+  }
+  if (verb == "slowlog") {
+    request.verb = ServeRequest::Verb::kSlowlog;
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("SLOWLOG takes at most one count");
+    }
+    if (tokens.size() == 2) {
+      uint64_t n = 0;
+      if (!ParseSize(tokens[1], &n) || n == 0) {
+        return Status::InvalidArgument("malformed SLOWLOG count '" +
+                                       tokens[1] + "'");
+      }
+      request.slowlog_count = static_cast<size_t>(n);
+    }
+    return request;
+  }
   if (verb != "expand") {
     return Status::InvalidArgument("unknown verb '" + tokens[0] + "'");
   }
@@ -137,6 +156,8 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
     } else if (key == "deadline_ms") {
       if (!ParseSize(value, &n)) return BadOption(token);
       request.deadline_ms = n;
+    } else if (key == "trace") {
+      if (!ParseTraceIdHex(value, &request.trace_id)) return BadOption(token);
     } else {
       return Status::InvalidArgument("unknown option '" + key + "'");
     }
@@ -218,20 +239,33 @@ std::string ResponseToJsonLine(const ServeResponse& response) {
   if (!response.status.ok()) {
     out += "\"status\":\"error\",\"code\":";
     out += Quote(StatusCodeName(response.status.code()));
+    if (response.trace_id != 0) {
+      out += ",\"trace_id\":" + Quote(TraceIdToHex(response.trace_id));
+    }
     out += ",\"message\":";
     out += Quote(response.status.message());
     out += "}";
     return out;
   }
   const core::ExpansionOutcome& o = response.outcome;
-  out += "\"status\":\"ok\",\"cached\":";
+  out += "\"status\":\"ok\"";
+  if (response.trace_id != 0) {
+    out += ",\"trace_id\":" + Quote(TraceIdToHex(response.trace_id));
+  }
+  out += ",\"cached\":";
   out += response.from_cache ? "true" : "false";
   out += ",\"clusters\":" + std::to_string(o.num_clusters);
   out += ",\"results_used\":" + std::to_string(o.num_results_used);
   out += ",\"set_score\":" + NumberToString(o.set_score);
   out += ",\"queue_ms\":" + NumberToString(response.queue_seconds * 1e3);
   out += ",\"total_ms\":" + NumberToString(response.total_seconds * 1e3);
-  out += ",\"queries\":[";
+  out += ",\"stages_ms\":{";
+  for (size_t s = 0; s < kNumStages; ++s) {
+    if (s > 0) out += ",";
+    out += Quote(std::string(StageName(static_cast<Stage>(s))));
+    out += ":" + NumberToString(static_cast<double>(response.stages.ns[s]) / 1e6);
+  }
+  out += "},\"queries\":[";
   for (size_t i = 0; i < o.queries.size(); ++i) {
     const core::ExpandedQuery& q = o.queries[i];
     if (i > 0) out += ",";

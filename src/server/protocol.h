@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/query_expander.h"
+#include "server/request_context.h"
 
 namespace qec::server {
 
@@ -19,16 +20,27 @@ namespace qec::server {
 ///   EXPAND [key=value ...] [--] <query words>
 ///   PING
 ///   STATS
+///   METRICS
+///   SLOWLOG [n]
 ///
 /// Recognized EXPAND options: k=N (max clusters), algo=iskr|pebc|fmeasure,
 /// topk=N (results used), minimize=0|1, weights=0|1, threads=N (per-request
-/// expansion threads; 0 = auto), deadline_ms=N. A literal `--` token ends
-/// option parsing so query words containing '=' stay query words.
+/// expansion threads; 0 = auto), deadline_ms=N, trace=HEX (propagate a
+/// caller-assigned trace id; the server generates one otherwise). A literal
+/// `--` token ends option parsing so query words containing '=' stay query
+/// words.
 struct ServeRequest {
-  enum class Verb { kExpand, kPing, kStats };
+  enum class Verb { kExpand, kPing, kStats, kMetrics, kSlowlog };
 
   Verb verb = Verb::kExpand;
   std::string query;
+
+  /// Caller-propagated trace id (the `trace=` option); 0 = the server
+  /// assigns a fresh one at submission.
+  uint64_t trace_id = 0;
+
+  /// SLOWLOG only: maximum records to return.
+  size_t slowlog_count = 16;
 
   /// Per-request overrides of the server's base expander options; unset
   /// fields inherit the server configuration.
@@ -83,11 +95,21 @@ struct ServeResponse {
   double queue_seconds = 0.0;
   /// Submission-to-completion wall time.
   double total_seconds = 0.0;
+  /// The request's trace id (0 when the request never entered the pool).
+  uint64_t trace_id = 0;
+  /// Per-stage latency breakdown. The serialize stage is measured after
+  /// the JSON line is rendered, so inside `json_line` it reads 0; the
+  /// stage histograms and the flight recorder carry the real value.
+  StageTimings stages;
+  /// Response line pre-rendered by the worker (the timed serialize stage).
+  /// Empty for responses produced outside the pool — render on demand.
+  std::string json_line;
 };
 
 /// Renders a response as the protocol's single-line JSON:
-///   {"status":"ok","cached":false,"clusters":2,"set_score":0.91,...}
-///   {"status":"error","code":"Unavailable","message":"..."}
+///   {"status":"ok","trace_id":"4fe1...","cached":false,"clusters":2,
+///    "set_score":0.91,"stages_ms":{...},...}
+///   {"status":"error","code":"Unavailable","trace_id":"...","message":"..."}
 std::string ResponseToJsonLine(const ServeResponse& response);
 
 }  // namespace qec::server

@@ -1,0 +1,65 @@
+#include "server/request_context.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace qec::server {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kExpansion:
+      return "expansion";
+    case Stage::kSerialize:
+      return "serialize";
+  }
+  return "?";
+}
+
+uint64_t GenerateTraceId() {
+  // Seed once from the clock so two processes started apart do not share
+  // id sequences; splitmix64 then guarantees distinct, well-mixed ids
+  // within the process.
+  static const uint64_t seed = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<uint64_t> counter{0};
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                          (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+std::string TraceIdToHex(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+bool ParseTraceIdHex(std::string_view hex, uint64_t* out) {
+  if (hex.empty() || hex.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : hex) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  if (value == 0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace qec::server

@@ -1,0 +1,85 @@
+#ifndef QEC_SERVER_REQUEST_CONTEXT_H_
+#define QEC_SERVER_REQUEST_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qec::server {
+
+/// The stages a request passes through inside QecServer; every request
+/// contributes one sample per stage to the `server/stage/<stage>_ns`
+/// histograms (a stage the request never entered records 0).
+enum class Stage : size_t {
+  /// Submission until a worker dequeued the request.
+  kQueueWait = 0,
+  /// Cache key computation + lookup (+ the Put on a miss).
+  kCacheLookup,
+  /// The expander itself (retrieval, clustering, ISKR/PEBC inner loop).
+  kExpansion,
+  /// Rendering the response JSON line.
+  kSerialize,
+};
+
+inline constexpr size_t kNumStages = 4;
+
+std::string_view StageName(Stage stage);
+
+/// Per-stage accumulated nanoseconds.
+struct StageTimings {
+  uint64_t ns[kNumStages] = {};
+
+  uint64_t& operator[](Stage s) { return ns[static_cast<size_t>(s)]; }
+  uint64_t operator[](Stage s) const { return ns[static_cast<size_t>(s)]; }
+};
+
+/// Request-scoped telemetry threaded from protocol parse through the
+/// worker pool into the expander and back out: who the request is (trace
+/// id), how long it may run (deadline), and where its time went.
+struct RequestContext {
+  using Clock = std::chrono::steady_clock;
+
+  uint64_t trace_id = 0;
+  Clock::time_point submit_time{};
+  /// Clock::time_point::max() when the request has no deadline.
+  Clock::time_point deadline = Clock::time_point::max();
+  StageTimings stages;
+};
+
+/// RAII stopwatch accumulating into one stage of a context.
+class StageTimer {
+ public:
+  StageTimer(RequestContext& context, Stage stage)
+      : context_(&context), stage_(stage),
+        start_(RequestContext::Clock::now()) {}
+  ~StageTimer() {
+    context_->stages[stage_] += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            RequestContext::Clock::now() - start_)
+            .count());
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  RequestContext* context_;
+  Stage stage_;
+  RequestContext::Clock::time_point start_;
+};
+
+/// A fresh, never-zero 64-bit trace id (splitmix64 over a process-wide
+/// counter seeded from the clock at first use). Thread-safe.
+uint64_t GenerateTraceId();
+
+/// 16 lowercase hex digits, the wire rendering of a trace id.
+std::string TraceIdToHex(uint64_t trace_id);
+
+/// Parses a 1-16 hex digit trace id; false (and *out untouched) on
+/// malformed input or an all-zero id.
+bool ParseTraceIdHex(std::string_view hex, uint64_t* out);
+
+}  // namespace qec::server
+
+#endif  // QEC_SERVER_REQUEST_CONTEXT_H_

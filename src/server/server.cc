@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/threading.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,16 +21,61 @@ double ToSeconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
 
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Exact per-stage tail counters: histogram buckets are power-of-two wide
+/// at the millisecond scale, so "how many requests crossed 10ms in
+/// expansion" needs its own counters to be exact rather than estimated.
+void RecordStageTails(const StageTimings& stages) {
+  const uint64_t qw = stages[Stage::kQueueWait];
+  if (qw > 1'000'000) QEC_COUNTER_INC("server/stage/queue_wait_gt_1ms");
+  if (qw > 10'000'000) QEC_COUNTER_INC("server/stage/queue_wait_gt_10ms");
+  if (qw > 100'000'000) QEC_COUNTER_INC("server/stage/queue_wait_gt_100ms");
+  const uint64_t cl = stages[Stage::kCacheLookup];
+  if (cl > 1'000'000) QEC_COUNTER_INC("server/stage/cache_lookup_gt_1ms");
+  if (cl > 10'000'000) QEC_COUNTER_INC("server/stage/cache_lookup_gt_10ms");
+  if (cl > 100'000'000) QEC_COUNTER_INC("server/stage/cache_lookup_gt_100ms");
+  const uint64_t ex = stages[Stage::kExpansion];
+  if (ex > 1'000'000) QEC_COUNTER_INC("server/stage/expansion_gt_1ms");
+  if (ex > 10'000'000) QEC_COUNTER_INC("server/stage/expansion_gt_10ms");
+  if (ex > 100'000'000) QEC_COUNTER_INC("server/stage/expansion_gt_100ms");
+  const uint64_t se = stages[Stage::kSerialize];
+  if (se > 1'000'000) QEC_COUNTER_INC("server/stage/serialize_gt_1ms");
+  if (se > 10'000'000) QEC_COUNTER_INC("server/stage/serialize_gt_10ms");
+  if (se > 100'000'000) QEC_COUNTER_INC("server/stage/serialize_gt_100ms");
+}
+
+void RecordStageHistograms(const StageTimings& stages) {
+  QEC_HISTOGRAM_RECORD("server/stage/queue_wait_ns",
+                       stages[Stage::kQueueWait]);
+  QEC_HISTOGRAM_RECORD("server/stage/cache_lookup_ns",
+                       stages[Stage::kCacheLookup]);
+  QEC_HISTOGRAM_RECORD("server/stage/expansion_ns",
+                       stages[Stage::kExpansion]);
+  QEC_HISTOGRAM_RECORD("server/stage/serialize_ns",
+                       stages[Stage::kSerialize]);
+  RecordStageTails(stages);
+}
+
 }  // namespace
 
 QecServer::QecServer(const index::InvertedIndex& index, ServerOptions options)
-    : index_(&index), options_(std::move(options)) {
+    : index_(&index),
+      options_(std::move(options)),
+      start_time_(Clock::now()),
+      recorder_(options_.flight_recorder_capacity) {
   pool_size_ = ResolveThreadCount(options_.num_threads,
                                   std::numeric_limits<size_t>::max());
   if (options_.enable_expansion_cache) {
     cache_ = std::make_unique<ShardedLruCache<std::string, ServeResponse>>(
         options_.expansion_cache_capacity, options_.expansion_cache_shards);
   }
+  recorder_.SetDumpPath(options_.slowlog_dump_path);
   if (options_.start_workers) Start();
 }
 
@@ -62,7 +108,11 @@ void QecServer::Shutdown() {
   for (auto& pending : to_reject) {
     ServeResponse response;
     response.status = Status::Unavailable("server shutting down");
-    response.total_seconds = ToSeconds(Clock::now() - pending.submit_time);
+    response.trace_id = pending.context.trace_id;
+    const uint64_t total_ns =
+        ToNanos(Clock::now() - pending.context.submit_time);
+    response.total_seconds = static_cast<double>(total_ns) / 1e9;
+    RecordFlight(pending.request, response, pending.context, total_ns);
     pending.promise.set_value(std::move(response));
   }
   for (auto& worker : to_join) worker.join();
@@ -73,14 +123,16 @@ std::future<ServeResponse> QecServer::Submit(ServeRequest request) {
   QEC_COUNTER_INC("server/requests");
 
   Pending pending;
-  pending.submit_time = Clock::now();
+  pending.context.submit_time = Clock::now();
+  pending.context.trace_id =
+      request.trace_id != 0 ? request.trace_id : GenerateTraceId();
   const uint64_t deadline_ms = request.deadline_ms != 0
                                    ? request.deadline_ms
                                    : options_.default_deadline_ms;
-  pending.deadline = deadline_ms != 0
-                         ? pending.submit_time +
-                               std::chrono::milliseconds(deadline_ms)
-                         : Clock::time_point::max();
+  pending.context.deadline =
+      deadline_ms != 0
+          ? pending.context.submit_time + std::chrono::milliseconds(deadline_ms)
+          : Clock::time_point::max();
   pending.request = std::move(request);
   std::future<ServeResponse> future = pending.promise.get_future();
 
@@ -88,6 +140,11 @@ std::future<ServeResponse> QecServer::Submit(ServeRequest request) {
     if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
     ServeResponse response;
     response.status = std::move(status);
+    response.trace_id = pending.context.trace_id;
+    const uint64_t total_ns =
+        ToNanos(Clock::now() - pending.context.submit_time);
+    response.total_seconds = static_cast<double>(total_ns) / 1e9;
+    RecordFlight(pending.request, response, pending.context, total_ns);
     pending.promise.set_value(std::move(response));
     return std::move(future);
   };
@@ -132,9 +189,12 @@ void QecServer::WorkerLoop() {
 }
 
 void QecServer::Process(Pending pending) {
+  RequestContext& context = pending.context;
   const Clock::time_point dequeue_time = Clock::now();
+  context.stages[Stage::kQueueWait] =
+      ToNanos(dequeue_time - context.submit_time);
   QEC_HISTOGRAM_RECORD("server/queue_wait_ns",
-                       ToNanos(dequeue_time - pending.submit_time));
+                       context.stages[Stage::kQueueWait]);
 
   ServeResponse response;
   const ServeRequest& request = pending.request;
@@ -143,26 +203,59 @@ void QecServer::Process(Pending pending) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
     QEC_COUNTER_INC("server/cancelled");
     response.status = Status::Cancelled("request cancelled before execution");
-  } else if (dequeue_time > pending.deadline) {
+  } else if (dequeue_time > context.deadline) {
     shed_deadline_.fetch_add(1, std::memory_order_relaxed);
     QEC_COUNTER_INC("server/shed_deadline");
     response.status =
         Status::DeadlineExceeded("deadline passed while request was queued");
   } else {
-    response = Execute(request);
+    response = Execute(request, &context);
   }
 
+  // Render the wire line here, inside the timed serialize stage. The
+  // stages_ms the line itself carries therefore shows serialize as 0; the
+  // response struct, the stage histograms, and the flight recorder all get
+  // the real value.
+  response.trace_id = context.trace_id;
+  response.queue_seconds = ToSeconds(dequeue_time - context.submit_time);
+  response.total_seconds = ToSeconds(Clock::now() - context.submit_time);
+  response.stages = context.stages;
+  {
+    StageTimer timer(context, Stage::kSerialize);
+    response.json_line = ResponseToJsonLine(response);
+  }
+  response.stages = context.stages;
+
   const Clock::time_point done = Clock::now();
-  response.queue_seconds = ToSeconds(dequeue_time - pending.submit_time);
-  response.total_seconds = ToSeconds(done - pending.submit_time);
-  QEC_HISTOGRAM_RECORD("server/request_latency_ns",
-                       ToNanos(done - pending.submit_time));
+  const uint64_t total_ns = ToNanos(done - context.submit_time);
+  response.total_seconds = static_cast<double>(total_ns) / 1e9;
+  QEC_HISTOGRAM_RECORD("server/request_latency_ns", total_ns);
+  RecordStageHistograms(context.stages);
+  if (options_.slow_request_threshold_ms != 0 &&
+      total_ns >= options_.slow_request_threshold_ms * 1'000'000ULL) {
+    slow_requests_.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("server/slow_requests");
+  }
   completed_.fetch_add(1, std::memory_order_relaxed);
   QEC_COUNTER_INC("server/completed");
+  RecordFlight(request, response, context, total_ns);
   pending.promise.set_value(std::move(response));
 }
 
 ServeResponse QecServer::Execute(const ServeRequest& request) {
+  RequestContext context;
+  context.trace_id =
+      request.trace_id != 0 ? request.trace_id : GenerateTraceId();
+  context.submit_time = Clock::now();
+  ServeResponse response = Execute(request, &context);
+  response.trace_id = context.trace_id;
+  response.stages = context.stages;
+  response.total_seconds = ToSeconds(Clock::now() - context.submit_time);
+  return response;
+}
+
+ServeResponse QecServer::Execute(const ServeRequest& request,
+                                 RequestContext* context) {
   QEC_TRACE_SPAN("server/execute");
   ServeResponse response;
   if (request.verb != ServeRequest::Verb::kExpand) {
@@ -174,6 +267,7 @@ ServeResponse QecServer::Execute(const ServeRequest& request) {
   const core::QueryExpanderOptions effective = EffectiveOptions(request);
   std::string key;
   if (cache_ != nullptr) {
+    StageTimer timer(*context, Stage::kCacheLookup);
     key = ExpansionCacheKey(NormalizeQuery(request.query),
                             effective.max_clusters, effective.algorithm,
                             OptionsFingerprint(effective));
@@ -181,13 +275,21 @@ ServeResponse QecServer::Execute(const ServeRequest& request) {
     if (hit.has_value()) {
       QEC_COUNTER_INC("server/cache_hits");
       hit->from_cache = true;
+      // Identity and timing are per-request, never per-cache-entry: drop
+      // whatever the original computation left behind.
+      hit->trace_id = 0;
+      hit->stages = StageTimings{};
+      hit->json_line.clear();
       return *std::move(hit);
     }
     QEC_COUNTER_INC("server/cache_misses");
   }
 
-  core::QueryExpander expander(*index_, effective);
-  Result<core::ExpansionOutcome> outcome = expander.ExpandText(request.query);
+  Result<core::ExpansionOutcome> outcome = [&] {
+    StageTimer timer(*context, Stage::kExpansion);
+    core::QueryExpander expander(*index_, effective);
+    return expander.ExpandText(request.query);
+  }();
   if (!outcome.ok()) {
     response.status = outcome.status();
     return response;
@@ -196,6 +298,7 @@ ServeResponse QecServer::Execute(const ServeRequest& request) {
   if (cache_ != nullptr) {
     // Only successful expansions are cached (no negative caching): errors
     // are either caller mistakes or transient, and both should re-resolve.
+    StageTimer timer(*context, Stage::kCacheLookup);
     cache_->Put(key, response);
   }
   return response;
@@ -214,6 +317,40 @@ core::QueryExpanderOptions QecServer::EffectiveOptions(
   if (r.num_threads.has_value()) o.num_threads = *r.num_threads;
   o.memoize_set_algebra = options_.enable_set_algebra_cache;
   return o;
+}
+
+void QecServer::RecordFlight(const ServeRequest& request,
+                             const ServeResponse& response,
+                             const RequestContext& context,
+                             uint64_t total_ns) {
+  obs::RequestRecord record;
+  record.trace_id = context.trace_id;
+  record.unix_ms = UnixMillisNow();
+  record.query = request.query;
+  record.algo =
+      std::string(core::AlgorithmName(EffectiveOptions(request).algorithm));
+  record.status = std::string(StatusCodeName(response.status.code()));
+  record.from_cache = response.from_cache;
+  record.queue_wait_ns = context.stages[Stage::kQueueWait];
+  record.cache_lookup_ns = context.stages[Stage::kCacheLookup];
+  record.expansion_ns = context.stages[Stage::kExpansion];
+  record.serialize_ns = context.stages[Stage::kSerialize];
+  record.total_ns = total_ns;
+  record.iskr_steps = response.outcome.iskr_stats.steps;
+  record.iskr_candidates_evaluated =
+      response.outcome.iskr_stats.candidates_evaluated;
+  record.pebc_samples_drawn = response.outcome.pebc_stats.samples_drawn;
+  record.pebc_candidates_evaluated =
+      response.outcome.pebc_stats.candidates_evaluated;
+  recorder_.Record(record);
+
+  const StatusCode code = response.status.code();
+  const bool dump_worthy =
+      code == StatusCode::kDeadlineExceeded ||
+      code == StatusCode::kUnavailable || code == StatusCode::kCorruption ||
+      (options_.slow_request_threshold_ms != 0 &&
+       total_ns >= options_.slow_request_threshold_ms * 1'000'000ULL);
+  if (dump_worthy) recorder_.Dump(record);
 }
 
 void QecServer::UpdateQueueDepthLocked() {
@@ -243,14 +380,21 @@ ServerStats QecServer::stats() const {
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.slow_requests = slow_requests_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) s.expansion_cache = cache_->stats();
   return s;
 }
 
+double QecServer::uptime_seconds() const {
+  return ToSeconds(Clock::now() - start_time_);
+}
+
 std::string QecServer::StatsJsonLine() const {
+  using obs::json::NumberToString;
   const ServerStats s = stats();
   std::string out = "{\"status\":\"ok\"";
   out += ",\"docs\":" + std::to_string(index_->corpus().NumDocs());
+  out += ",\"uptime_seconds\":" + NumberToString(uptime_seconds());
   out += ",\"queue_depth\":" + std::to_string(queue_depth());
   out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
   out += ",\"workers\":" + std::to_string(num_workers());
@@ -260,13 +404,38 @@ std::string QecServer::StatsJsonLine() const {
   out += ",\"shed_queue_full\":" + std::to_string(s.shed_queue_full);
   out += ",\"shed_deadline\":" + std::to_string(s.shed_deadline);
   out += ",\"cancelled\":" + std::to_string(s.cancelled);
+  out += ",\"slow_requests\":" + std::to_string(s.slow_requests);
+  const uint64_t lookups = s.expansion_cache.hits + s.expansion_cache.misses;
+  const double hit_ratio =
+      lookups != 0 ? static_cast<double>(s.expansion_cache.hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
   out += ",\"cache\":{\"enabled\":";
   out += cache_ != nullptr ? "true" : "false";
   out += ",\"hits\":" + std::to_string(s.expansion_cache.hits);
   out += ",\"misses\":" + std::to_string(s.expansion_cache.misses);
+  out += ",\"hit_ratio\":" + NumberToString(hit_ratio);
   out += ",\"evictions\":" + std::to_string(s.expansion_cache.evictions);
   out += ",\"entries\":" + std::to_string(s.expansion_cache.entries);
+  out += "},\"slowlog\":{\"capacity\":" + std::to_string(recorder_.capacity());
+  out += ",\"recorded\":" + std::to_string(recorder_.total_recorded());
+  out += ",\"dumped\":" + std::to_string(recorder_.dumped());
   out += "}}";
+  return out;
+}
+
+std::string QecServer::SlowlogJsonLine(size_t max) const {
+  const std::vector<obs::RequestRecord> records = recorder_.Recent(max);
+  std::string out = "{\"status\":\"ok\"";
+  out += ",\"count\":" + std::to_string(records.size());
+  out += ",\"total_recorded\":" + std::to_string(recorder_.total_recorded());
+  out += ",\"dumped\":" + std::to_string(recorder_.dumped());
+  out += ",\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    out += records[i].ToJsonLine();
+  }
+  out += "]}";
   return out;
 }
 

@@ -15,8 +15,10 @@
 
 #include "core/query_expander.h"
 #include "index/inverted_index.h"
+#include "obs/flight_recorder.h"
 #include "server/lru_cache.h"
 #include "server/protocol.h"
+#include "server/request_context.h"
 
 namespace qec::server {
 
@@ -45,6 +47,18 @@ struct ServerOptions {
   /// they can fill the admission queue deterministically, then call
   /// Start().
   bool start_workers = true;
+  /// Ring size of the always-on flight recorder (SLOWLOG). Every request
+  /// that reaches the pool leaves a record; the ring keeps the most recent
+  /// ones.
+  size_t flight_recorder_capacity = 256;
+  /// Requests whose total latency reaches this many milliseconds are
+  /// auto-dumped to `slowlog_dump_path` (0 = only failed requests dump).
+  uint64_t slow_request_threshold_ms = 0;
+  /// JSONL append file for flight-recorder dumps: requests that end in
+  /// DeadlineExceeded/Unavailable/Corruption or exceed
+  /// `slow_request_threshold_ms`. "" disables dumping (the in-memory ring
+  /// stays on regardless).
+  std::string slowlog_dump_path;
   /// Base expander configuration; per-request ServeRequest fields overlay
   /// it. Note num_threads here is the *per-expansion* cluster parallelism;
   /// the server's own parallelism comes from its worker pool, so the
@@ -61,6 +75,8 @@ struct ServerStats {
   uint64_t shed_queue_full = 0;
   uint64_t shed_deadline = 0;
   uint64_t cancelled = 0;
+  /// Requests at or over ServerOptions::slow_request_threshold_ms.
+  uint64_t slow_requests = 0;
   LruCacheStats expansion_cache;
 };
 
@@ -74,8 +90,12 @@ struct ServerStats {
 ///
 /// Everything is instrumented through qec_obs: server/queue_depth (+peak)
 /// gauges, server/{admitted,shed_queue_full,shed_deadline,cancelled}
-/// counters, server/cache_{hits,misses} counters, and
-/// server/{queue_wait_ns,request_latency_ns} histograms.
+/// counters, server/cache_{hits,misses} counters,
+/// server/{queue_wait_ns,request_latency_ns} histograms, per-stage
+/// server/stage/{queue_wait,cache_lookup,expansion,serialize}_ns
+/// histograms with exact gt_{1,10,100}ms tail counters, and an always-on
+/// flight recorder of completed requests (SLOWLOG; errors and slow
+/// requests auto-dump to ServerOptions::slowlog_dump_path as JSONL).
 class QecServer {
  public:
   explicit QecServer(const index::InvertedIndex& index,
@@ -93,9 +113,15 @@ class QecServer {
   std::future<ServeResponse> Submit(ServeRequest request);
 
   /// Runs a request synchronously on the calling thread, bypassing the
-  /// queue (still uses — and fills — the expansion cache). The worker pool
-  /// calls this internally.
+  /// queue (still uses — and fills — the expansion cache). Stage timings
+  /// and the trace id land in the returned response; the queue_wait stage
+  /// is 0 by definition on this path.
   ServeResponse Execute(const ServeRequest& request);
+
+  /// Core of Execute: runs the request against `context`, accumulating the
+  /// cache_lookup and expansion stages into it. The worker pool calls this
+  /// with the request's queued context.
+  ServeResponse Execute(const ServeRequest& request, RequestContext* context);
 
   /// Spawns the worker pool if it is not already running.
   void Start();
@@ -110,8 +136,19 @@ class QecServer {
   const ServerOptions& options() const { return options_; }
   ServerStats stats() const;
 
-  /// One-line JSON for the STATS verb: queue state, totals, cache stats.
+  /// One-line JSON for the STATS verb: queue state, totals, cache stats,
+  /// uptime, flight-recorder counts.
   std::string StatsJsonLine() const;
+
+  /// One-line JSON for the SLOWLOG verb: up to `max` most recent flight-
+  /// recorder records, newest first.
+  std::string SlowlogJsonLine(size_t max) const;
+
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Seconds since construction.
+  double uptime_seconds() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -119,8 +156,8 @@ class QecServer {
   struct Pending {
     ServeRequest request;
     std::promise<ServeResponse> promise;
-    Clock::time_point submit_time;
-    Clock::time_point deadline;  // Clock::time_point::max() when none.
+    /// Trace id, submit time, deadline, and stage stopwatch accumulators.
+    RequestContext context;
   };
 
   void WorkerLoop();
@@ -129,10 +166,15 @@ class QecServer {
   /// Effective expander options for one request: base + overlays.
   core::QueryExpanderOptions EffectiveOptions(const ServeRequest& r) const;
   void UpdateQueueDepthLocked();
+  /// Flight-records one finished request and dumps it to the slowlog file
+  /// when it failed in a dump-worthy way or crossed the slow threshold.
+  void RecordFlight(const ServeRequest& request, const ServeResponse& response,
+                    const RequestContext& context, uint64_t total_ns);
 
   const index::InvertedIndex* index_;
   ServerOptions options_;
   size_t pool_size_;
+  Clock::time_point start_time_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -142,6 +184,7 @@ class QecServer {
   size_t peak_queue_depth_ = 0;
 
   std::unique_ptr<ShardedLruCache<std::string, ServeResponse>> cache_;
+  obs::FlightRecorder recorder_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> admitted_{0};
@@ -149,6 +192,7 @@ class QecServer {
   std::atomic<uint64_t> shed_queue_full_{0};
   std::atomic<uint64_t> shed_deadline_{0};
   std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> slow_requests_{0};
 };
 
 }  // namespace qec::server

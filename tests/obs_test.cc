@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -132,6 +134,90 @@ TEST_F(ObsTest, HistogramConcurrentRecords) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+// The registry itself under contention: every thread resolves handles by
+// name on every iteration (the worst case; hot paths cache handles) while
+// a reader snapshots concurrently. Totals must come out exact.
+TEST_F(ObsTest, RegistryConcurrentLookupsProduceExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+      (void)snapshot;
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      auto& registry = MetricsRegistry::Global();
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("test/contended_counter")->Increment();
+        registry.GetCounter("test/per_thread_" + std::to_string(t))->Add(2);
+        registry.GetHistogram("test/contended_hist")
+            ->Record(static_cast<uint64_t>(i));
+        registry.GetGauge("test/contended_gauge")
+            ->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("test/contended_counter")->value(),
+            uint64_t{kThreads} * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        registry.GetCounter("test/per_thread_" + std::to_string(t))->value(),
+        uint64_t{kPerThread} * 2);
+  }
+  Histogram* hist = registry.GetHistogram("test/contended_hist");
+  EXPECT_EQ(hist->count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(hist->min(), 0u);
+  EXPECT_EQ(hist->max(), uint64_t{kPerThread} - 1);
+}
+
+TEST_F(ObsTest, HistogramPercentilesStayMonotonicUnderConcurrentRecords) {
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test/percentile_hist");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  // Percentile reads interleaved with writes must never come out inverted
+  // (p50 <= p95 <= p99 <= max+1): each read sees some consistent-enough
+  // prefix of the relaxed updates.
+  std::thread reader([hist, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const double p50 = hist->Percentile(50);
+      const double p95 = hist->Percentile(95);
+      const double p99 = hist->Percentile(99);
+      EXPECT_LE(p50, p95);
+      EXPECT_LE(p95, p99);
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Record(static_cast<uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(hist->count(), uint64_t{kThreads} * kPerThread);
+  const double p50 = hist->Percentile(50);
+  const double p95 = hist->Percentile(95);
+  const double p99 = hist->Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.0);
+}
+
 // Everything below exercises the QEC_* macros and span aggregation, which
 // are no-ops when instrumentation is compiled out.
 #ifndef QEC_DISABLE_TRACING
@@ -224,6 +310,40 @@ TEST_F(ObsTest, TraceEventsRecordWhenEnabled) {
     ASSERT_NE(e.Find("dur"), nullptr);
     EXPECT_EQ(e.Find("ph")->string, "X");
   }
+}
+
+TEST_F(ObsTest, TraceEventsCarryRealThreadAndProcessIds) {
+  SetTraceEventRecording(true);
+  const uint32_t main_tid = CurrentOsThreadId();
+  uint32_t worker_tid = 0;
+  OuterWork();
+  std::thread worker([&worker_tid] {
+    worker_tid = CurrentOsThreadId();
+    InnerWork();
+  });
+  worker.join();
+  SetTraceEventRecording(false);
+
+  ASSERT_NE(main_tid, 0u);
+  ASSERT_NE(worker_tid, 0u);
+  EXPECT_NE(main_tid, worker_tid);
+
+  auto doc = json::Parse(TraceEventsJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::set<uint32_t> tids;
+  for (const auto& e : events->array) {
+    ASSERT_NE(e.Find("tid"), nullptr);
+    ASSERT_NE(e.Find("pid"), nullptr);
+    tids.insert(static_cast<uint32_t>(e.Find("tid")->number));
+    // All events come from this process, stamped with its real pid.
+    EXPECT_EQ(static_cast<uint32_t>(e.Find("pid")->number),
+              CurrentOsProcessId());
+  }
+  // chrome://tracing lanes: the main thread's spans and the worker's span
+  // carry their actual OS thread ids, not synthetic indices.
+  EXPECT_EQ(tids, (std::set<uint32_t>{main_tid, worker_tid}));
 }
 
 TEST_F(ObsTest, JsonExportRoundTrips) {

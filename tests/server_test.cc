@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -15,9 +17,13 @@
 #include "datagen/shopping.h"
 #include "doc/corpus.h"
 #include "index/inverted_index.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "server/lru_cache.h"
 #include "server/protocol.h"
+#include "server/request_context.h"
 #include "server/server.h"
 
 namespace qec::server {
@@ -61,6 +67,52 @@ TEST(ProtocolTest, FirstQueryWordEndsOptions) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->query, "apple k=2");
   EXPECT_FALSE(r->max_clusters.has_value());
+}
+
+TEST(ProtocolTest, ParsesMetricsAndSlowlog) {
+  auto metrics = ParseRequestLine("METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->verb, ServeRequest::Verb::kMetrics);
+
+  auto slowlog = ParseRequestLine("slowlog");
+  ASSERT_TRUE(slowlog.ok());
+  EXPECT_EQ(slowlog->verb, ServeRequest::Verb::kSlowlog);
+  EXPECT_EQ(slowlog->slowlog_count, 16u);
+
+  auto counted = ParseRequestLine("SLOWLOG 5");
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->slowlog_count, 5u);
+
+  EXPECT_FALSE(ParseRequestLine("SLOWLOG 0").ok());
+  EXPECT_FALSE(ParseRequestLine("SLOWLOG bogus").ok());
+  EXPECT_FALSE(ParseRequestLine("SLOWLOG 1 2").ok());
+}
+
+TEST(ProtocolTest, ParsesTraceOption) {
+  auto r = ParseRequestLine("EXPAND trace=DeadBeef k=2 canon products");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->trace_id, 0xdeadbeefULL);
+  EXPECT_EQ(r->query, "canon products");
+
+  // Without the option the id stays 0 (server-assigned at submission).
+  EXPECT_EQ(ParseRequestLine("EXPAND canon")->trace_id, 0u);
+
+  EXPECT_FALSE(ParseRequestLine("EXPAND trace=xyz canon").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND trace=0 canon").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND trace=00112233445566778 canon").ok());
+}
+
+TEST(ProtocolTest, TraceIdHexRoundTrips) {
+  EXPECT_EQ(TraceIdToHex(0xdeadbeefULL), "00000000deadbeef");
+  uint64_t parsed = 0;
+  ASSERT_TRUE(ParseTraceIdHex("00000000deadbeef", &parsed));
+  EXPECT_EQ(parsed, 0xdeadbeefULL);
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t id = GenerateTraceId();
+    ASSERT_NE(id, 0u);
+    ASSERT_TRUE(ParseTraceIdHex(TraceIdToHex(id), &parsed));
+    EXPECT_EQ(parsed, id);
+  }
 }
 
 TEST(ProtocolTest, ParsesPingAndStats) {
@@ -421,6 +473,233 @@ TEST_F(ServerFixture, ResponseJsonRoundTrips) {
   EXPECT_EQ(parsed->Find("queries")->array.size(),
             response.outcome.queries.size());
 }
+
+// ------------------------------------------------------------ telemetry --
+
+TEST_F(ServerFixture, ResponsesCarryTraceIdAndStageBreakdown) {
+  QecServer server(index_);
+  ServeRequest request = Expand("canon products");
+  request.trace_id = 0xabcdef1234ULL;
+  auto response = server.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.trace_id, 0xabcdef1234ULL);
+  EXPECT_GT(response.stages[Stage::kExpansion], 0u);
+  EXPECT_GT(response.stages[Stage::kSerialize], 0u);
+  ASSERT_FALSE(response.json_line.empty());
+
+  auto parsed = obs::json::Parse(response.json_line);
+  ASSERT_TRUE(parsed.ok()) << response.json_line;
+  EXPECT_EQ(parsed->Find("trace_id")->string, "000000abcdef1234");
+  const obs::json::Value* stages = parsed->Find("stages_ms");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_GT(stages->Find("expansion")->number, 0.0);
+  // Serialization is measured around rendering this very line, so inside
+  // it the serialize stage necessarily reads 0.
+  EXPECT_EQ(stages->Find("serialize")->number, 0.0);
+
+  // A server-assigned id appears when the caller did not provide one.
+  auto assigned = server.Submit(Expand("tv plasma")).get();
+  ASSERT_TRUE(assigned.status.ok());
+  EXPECT_NE(assigned.trace_id, 0u);
+}
+
+TEST_F(ServerFixture, CacheHitGetsFreshPerRequestTelemetry) {
+  QecServer server(index_);
+  auto first = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(first.status.ok());
+  auto second = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_NE(second.trace_id, 0u);
+  EXPECT_NE(second.trace_id, first.trace_id);
+  EXPECT_EQ(second.stages[Stage::kExpansion], 0u);
+  EXPECT_GT(second.stages[Stage::kCacheLookup], 0u);
+  auto parsed = obs::json::Parse(second.json_line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("cached")->boolean);
+  EXPECT_EQ(parsed->Find("trace_id")->string, TraceIdToHex(second.trace_id));
+}
+
+TEST_F(ServerFixture, ErrorResponsesCarryTraceId) {
+  QecServer server(index_);
+  ServeRequest request = Expand("zzzzunknownwordzzzz");
+  request.trace_id = 0x77ULL;
+  auto response = server.Submit(std::move(request)).get();
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.trace_id, 0x77ULL);
+  auto parsed = obs::json::Parse(response.json_line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("status")->string, "error");
+  EXPECT_EQ(parsed->Find("trace_id")->string, "0000000000000077");
+}
+
+TEST_F(ServerFixture, FlightRecorderSeesEveryCompletedRequest) {
+  QecServer server(index_);
+  server.Submit(Expand("canon products")).get();
+  server.Submit(Expand("canon products")).get();
+  server.Submit(Expand("zzzzunknownwordzzzz")).get();
+  EXPECT_EQ(server.flight_recorder().total_recorded(), 3u);
+  const auto records = server.flight_recorder().Recent(10);
+  ASSERT_EQ(records.size(), 3u);
+  // Newest first.
+  EXPECT_EQ(records[0].status, "InvalidArgument");
+  EXPECT_EQ(records[1].status, "OK");
+  EXPECT_TRUE(records[1].from_cache);
+  EXPECT_EQ(records[2].status, "OK");
+  EXPECT_FALSE(records[2].from_cache);
+  EXPECT_GT(records[2].expansion_ns, 0u);
+  EXPECT_GT(records[2].iskr_steps + records[2].iskr_candidates_evaluated, 0u);
+  EXPECT_EQ(records[2].query, "canon products");
+  EXPECT_EQ(records[2].algo, "ISKR");
+}
+
+// The acceptance scenario: a request that dies of DeadlineExceeded must be
+// visible twice — in the SLOWLOG response and in the auto-dumped JSONL.
+TEST_F(ServerFixture, DeadlineExceededLandsInSlowlogAndDumpFile) {
+  const std::string dump_path = "/tmp/qec_server_test_slowlog.jsonl";
+  std::remove(dump_path.c_str());
+
+  ServerOptions options;
+  options.start_workers = false;
+  options.slowlog_dump_path = dump_path;
+  QecServer server(index_, options);
+
+  ServeRequest request = Expand("canon products");
+  request.trace_id = 0xfeedULL;
+  request.deadline_ms = 1;
+  auto future = server.Submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Start();
+  auto response = future.get();
+  ASSERT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.trace_id, 0xfeedULL);
+
+  // 1. The SLOWLOG verb surfaces the record with its trace id and status.
+  auto slowlog = obs::json::Parse(server.SlowlogJsonLine(8));
+  ASSERT_TRUE(slowlog.ok()) << server.SlowlogJsonLine(8);
+  ASSERT_TRUE(slowlog->Find("records")->is_array());
+  ASSERT_EQ(slowlog->Find("records")->array.size(), 1u);
+  const obs::json::Value& record = slowlog->Find("records")->array[0];
+  EXPECT_EQ(record.Find("trace_id")->string, "000000000000feed");
+  EXPECT_EQ(record.Find("status")->string, "DeadlineExceeded");
+  EXPECT_GT(record.Find("queue_wait_ns")->number, 0.0);
+
+  // 2. The same record was auto-dumped to the JSONL file.
+  EXPECT_EQ(server.flight_recorder().dumped(), 1u);
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(dump, line));
+  auto dumped = obs::RequestRecordFromJson(line);
+  ASSERT_TRUE(dumped.ok()) << line;
+  EXPECT_EQ(dumped->trace_id, 0xfeedULL);
+  EXPECT_EQ(dumped->status, "DeadlineExceeded");
+  EXPECT_EQ(dumped->query, "canon products");
+  EXPECT_GT(dumped->total_ns, 0u);
+  EXPECT_FALSE(std::getline(dump, line));  // exactly one record
+
+  std::remove(dump_path.c_str());
+}
+
+TEST_F(ServerFixture, QueueFullShedIsRecordedAndDumped) {
+  const std::string dump_path = "/tmp/qec_server_test_shed.jsonl";
+  std::remove(dump_path.c_str());
+
+  ServerOptions options;
+  options.start_workers = false;
+  options.queue_capacity = 1;
+  options.slowlog_dump_path = dump_path;
+  QecServer server(index_, options);
+  auto f1 = server.Submit(Expand("canon products"));
+  auto f2 = server.Submit(Expand("tv plasma"));  // shed: queue full
+  auto shed = f2.get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.trace_id, 0u);
+  EXPECT_EQ(server.flight_recorder().dumped(), 1u);
+  const auto records = server.flight_recorder().Recent(4);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records[0].status, "Unavailable");
+  EXPECT_EQ(records[0].query, "tv plasma");
+  server.Start();
+  f1.get();
+  std::remove(dump_path.c_str());
+}
+
+TEST_F(ServerFixture, SlowRequestThresholdCountsAndDumps) {
+  const std::string dump_path = "/tmp/qec_server_test_slowms.jsonl";
+  std::remove(dump_path.c_str());
+
+  ServerOptions options;
+  options.start_workers = false;
+  options.slowlog_dump_path = dump_path;
+  options.slow_request_threshold_ms = 5;
+  QecServer server(index_, options);
+  auto future = server.Submit(Expand("canon products"));
+  // Held in the queue past the threshold: total latency crosses 5ms even
+  // though execution itself is fast.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Start();
+  auto response = future.get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(server.stats().slow_requests, 1u);
+  EXPECT_EQ(server.flight_recorder().dumped(), 1u);
+  const auto records = server.flight_recorder().Recent(1);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, "OK");
+  EXPECT_GE(records[0].total_ns, 5u * 1000 * 1000);
+  std::remove(dump_path.c_str());
+}
+
+TEST_F(ServerFixture, StatsJsonCarriesUptimeHitRatioAndSlowlogCounts) {
+  QecServer server(index_);
+  server.Submit(Expand("canon products")).get();
+  server.Submit(Expand("canon products")).get();
+  const std::string line = server.StatsJsonLine();
+  auto parsed = obs::json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_GE(parsed->Find("uptime_seconds")->number, 0.0);
+  EXPECT_EQ(parsed->Find("slow_requests")->number, 0.0);
+  const obs::json::Value* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_DOUBLE_EQ(cache->Find("hit_ratio")->number, 0.5);
+  const obs::json::Value* slowlog = parsed->Find("slowlog");
+  ASSERT_NE(slowlog, nullptr);
+  EXPECT_EQ(slowlog->Find("recorded")->number, 2.0);
+  EXPECT_EQ(slowlog->Find("dumped")->number, 0.0);
+  EXPECT_EQ(slowlog->Find("capacity")->number, 256.0);
+}
+
+#if !defined(QEC_DISABLE_METRICS) && !defined(QEC_DISABLE_TRACING)
+TEST_F(ServerFixture, StageHistogramsFillAndExposeAsPrometheus) {
+  obs::MetricsRegistry::Global().ResetAll();
+  QecServer server(index_);
+  auto response = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(response.status.ok());
+
+  auto* registry = &obs::MetricsRegistry::Global();
+  for (const char* name :
+       {"server/stage/queue_wait_ns", "server/stage/cache_lookup_ns",
+        "server/stage/expansion_ns", "server/stage/serialize_ns"}) {
+    EXPECT_EQ(registry->GetHistogram(name)->count(), 1u) << name;
+  }
+  EXPECT_GT(registry->GetHistogram("server/stage/expansion_ns")->sum(), 0u);
+
+  // The exposition of the live registry parses and holds the histogram
+  // invariants — the same check the CI smoke leg runs externally.
+  const std::string text = obs::PrometheusSnapshot();
+  auto families = obs::ParsePrometheusText(text);
+  ASSERT_TRUE(families.ok()) << families.status().ToString();
+  ASSERT_TRUE(obs::ValidatePrometheusHistograms(*families).ok());
+  bool found_expansion = false;
+  for (const auto& family : *families) {
+    if (family.name == "qec_server_stage_expansion_ns") {
+      EXPECT_EQ(family.type, "histogram");
+      found_expansion = true;
+    }
+  }
+  EXPECT_TRUE(found_expansion);
+}
+#endif  // !QEC_DISABLE_METRICS && !QEC_DISABLE_TRACING
 
 }  // namespace
 }  // namespace qec::server
