@@ -10,6 +10,9 @@
 //
 // Flags: --requests=N (default 400), --threads=N (default 0 = auto),
 // --queue=N (default 256), --no-cache (run only the uncached config),
+// --shadow-rate=R (additionally run the cached config with shadow A/B
+// execution at rate R and report foreground p99 shadows-on vs shadows-off
+// — the acceptance bar is p99 within 10% on the cached path),
 // --result-out=FILE (write a plain JSON result summary — qps, latency
 // percentiles, per-stage breakdown — that works even in notrace builds,
 // which is what the CI telemetry-overhead gate compares), plus the shared
@@ -18,11 +21,13 @@
 // server/request_latency_ns histogram).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -66,6 +71,8 @@ struct RunResult {
   size_t ok = 0;
   size_t errors = 0;
   qec::server::ServerStats stats;
+  /// Shadow A/B tallies (all zero when the run had shadow_rate 0).
+  qec::server::ShadowTallies shadow;
   /// Summed per-stage nanoseconds over every response (the responses carry
   /// their StageTimings in all builds, so this survives QEC_DISABLE_TRACING).
   uint64_t stage_ns[qec::server::kNumStages] = {};
@@ -132,13 +139,16 @@ void AppendRunJson(std::string* out, const RunResult& r) {
 
 RunResult RunWorkload(const qec::index::InvertedIndex& index,
                       const std::vector<std::string>& workload, bool caches,
-                      size_t threads, size_t queue_capacity) {
+                      size_t threads, size_t queue_capacity,
+                      double shadow_rate = 0.0) {
   qec::server::ServerOptions options;
   options.num_threads = threads;
   options.queue_capacity = queue_capacity;
   options.enable_expansion_cache = caches;
   options.enable_set_algebra_cache = caches;
   options.expander.candidates.fraction = 1.0;
+  options.shadow_sample_rate = shadow_rate;
+  options.shadow_algorithm = qec::core::ExpansionAlgorithm::kPebc;
   qec::server::QecServer server(index, options);
 
   // Submit with backpressure: keep fewer requests outstanding than the
@@ -176,6 +186,16 @@ RunResult RunWorkload(const qec::index::InvertedIndex& index,
                    ? static_cast<double>(workload.size()) / result.seconds
                    : 0.0;
   result.stats = server.stats();
+  if (shadow_rate > 0.0) {
+    // Foreground latencies are already recorded; give the low-priority
+    // shadow queue a moment to drain so the tallies reflect executed
+    // comparisons instead of still-queued jobs.
+    while (server.shadow_queue_depth() > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  result.shadow = server.shadow_tallies();
   return result;
 }
 
@@ -187,6 +207,7 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t queue_capacity = 256;
   bool cached_config = true;
+  double shadow_rate = 0.0;
   std::string result_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -198,6 +219,8 @@ int main(int argc, char** argv) {
       queue_capacity = std::stoul(arg.substr(strlen("--queue=")));
     } else if (arg == "--no-cache") {
       cached_config = false;
+    } else if (qec::StartsWith(arg, "--shadow-rate=")) {
+      shadow_rate = std::stod(arg.substr(strlen("--shadow-rate=")));
     } else if (qec::StartsWith(arg, "--result-out=")) {
       result_out = arg.substr(strlen("--result-out="));
     } else {
@@ -245,9 +268,43 @@ int main(int argc, char** argv) {
     RunResult cached =
         RunWorkload(index, workload, true, threads, queue_capacity);
     add_row("cached", cached);
+    RunResult shadowed;
+    if (shadow_rate > 0.0) {
+      shadowed = RunWorkload(index, workload, true, threads, queue_capacity,
+                             shadow_rate);
+      add_row("cached+shadow", shadowed);
+    }
     std::printf("%s\n", table.ToString().c_str());
     PrintStageBreakdown("no-cache", uncached);
     PrintStageBreakdown("cached", cached);
+    if (shadow_rate > 0.0) {
+      PrintStageBreakdown("cached+shadow", shadowed);
+      // Foreground latency comparison: the shadow arm runs off the
+      // critical path, so p99 with shadows on should track shadows off.
+      const double p99_off = cached.Percentile(99.0);
+      const double p99_on = shadowed.Percentile(99.0);
+      const double ratio = p99_off > 0.0 ? p99_on / p99_off : 0.0;
+      std::printf(
+          "shadow A/B (rate=%.2f, pebc arm): sampled=%llu executed=%llu "
+          "shed=%llu deduped=%llu\n",
+          shadow_rate,
+          static_cast<unsigned long long>(shadowed.shadow.sampled),
+          static_cast<unsigned long long>(shadowed.shadow.executed),
+          static_cast<unsigned long long>(shadowed.shadow.shed),
+          static_cast<unsigned long long>(shadowed.shadow.deduped));
+      std::printf(
+          "foreground p99: shadows-off %.3fms vs shadows-on %.3fms "
+          "(%.2fx)\n",
+          p99_off, p99_on, ratio);
+      if (shadowed.errors > 0) rc = 1;
+      char buf[128];
+      result_json += ",\"shadow\":";
+      AppendRunJson(&result_json, shadowed);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"shadow_rate\":%.3f,\"shadow_p99_ratio\":%.4f",
+                    shadow_rate, ratio);
+      result_json += buf;
+    }
     const double speedup =
         uncached.qps > 0.0 ? cached.qps / uncached.qps : 0.0;
     std::printf("speedup (cached vs no-cache): %.2fx %s\n", speedup,

@@ -12,11 +12,18 @@
 //   qec_cli search <corpus.qec|snap.qsnap> <query words>...  top-10 search
 //   qec_cli expand <corpus.qec|snap.qsnap> [-a iskr|pebc|fmeasure] [-k N]
 //                  <query>...
+//   qec_cli explain <corpus.qec|snap.qsnap> [-a algo] [-b algo] [-k N]
+//                  <query>...   run a query through two arms with per-term
+//                  benefit/cost diagnostics and report the winner
+//   qec_cli abtest <corpus.qec|shopping|wikipedia> [-a algo] [-b algo]
+//                  [-n N] [--queries=FILE]   offline A/B replay: score both
+//                  arms over a query workload and print the tallies
 //   qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE]
 //                  [--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache]
 //                  [--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N]
 //                  [--flight-recorder=N] [--metrics-flush-interval=SEC]
-//                  [--metrics-flush-out=FILE]            line-protocol server
+//                  [--metrics-flush-out=FILE] [--shadow-rate=R]
+//                  [--shadow-algo=A] [--shadow-queue=N]  line-protocol server
 //   qec_cli slowlog <dump.jsonl> [-n N]                  print a slowlog dump
 //   qec_cli quickstart [--snapshot=FILE [--query=Q]]     in-memory demo
 //
@@ -53,6 +60,7 @@
 #include "server/server.h"
 #include "datagen/shopping.h"
 #include "datagen/wikipedia.h"
+#include "datagen/workload.h"
 #include "doc/corpus_io.h"
 #include "eval/obs_report.h"
 #include "index/inverted_index.h"
@@ -74,11 +82,16 @@ int Usage() {
       "  qec_cli search <corpus.qec|snap.qsnap> <query words>...\n"
       "  qec_cli expand <corpus.qec|snap.qsnap> [-a iskr|pebc|fmeasure] "
       "[-k N] <query words>...\n"
+      "  qec_cli explain <corpus.qec|snap.qsnap> [-a algo] [-b algo] "
+      "[-k N] <query words>...\n"
+      "  qec_cli abtest <corpus.qec|shopping|wikipedia> [-a algo] [-b algo] "
+      "[-n N] [--queries=FILE]\n"
       "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE] "
       "[--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache] "
       "[--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N] "
       "[--flight-recorder=N] [--metrics-flush-interval=SEC] "
-      "[--metrics-flush-out=FILE]\n"
+      "[--metrics-flush-out=FILE] [--shadow-rate=R] [--shadow-algo=A] "
+      "[--shadow-queue=N]\n"
       "  qec_cli slowlog <dump.jsonl> [-n N]\n"
       "  qec_cli quickstart [--snapshot=FILE [--query=Q]]\n"
       "global flags: --metrics-out=FILE --trace --trace-out=FILE "
@@ -299,6 +312,20 @@ int CmdStats(const std::vector<std::string>& args) {
   return 0;
 }
 
+bool ParseAlgoName(const std::string& name,
+                   qec::core::ExpansionAlgorithm* out) {
+  if (name == "iskr") {
+    *out = qec::core::ExpansionAlgorithm::kIskr;
+  } else if (name == "pebc") {
+    *out = qec::core::ExpansionAlgorithm::kPebc;
+  } else if (name == "fmeasure") {
+    *out = qec::core::ExpansionAlgorithm::kFMeasure;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string JoinFrom(const std::vector<std::string>& args, size_t from) {
   std::string out;
   for (size_t i = from; i < args.size(); ++i) {
@@ -385,6 +412,218 @@ int CmdExpand(const std::vector<std::string>& args) {
   return 0;
 }
 
+// explain: run one query through two expansion arms with per-term
+// benefit/cost diagnostics (QueryExpanderOptions::explain_terms) and report
+// which arm's set score wins — the offline twin of the server's EXPLAIN
+// verb (docs/OBSERVABILITY.md).
+int CmdExplain(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  qec::core::QueryExpanderOptions options;
+  options.explain_terms = true;
+  qec::core::ExpansionAlgorithm shadow_algo =
+      qec::core::ExpansionAlgorithm::kPebc;
+  size_t i = 1;
+  while (i < args.size() && args[i][0] == '-') {
+    if (args[i] == "-a" && i + 1 < args.size()) {
+      if (!ParseAlgoName(args[i + 1], &options.algorithm)) return Usage();
+      i += 2;
+    } else if (args[i] == "-b" && i + 1 < args.size()) {
+      if (!ParseAlgoName(args[i + 1], &shadow_algo)) return Usage();
+      i += 2;
+    } else if (args[i] == "-k" && i + 1 < args.size()) {
+      options.max_clusters = static_cast<size_t>(std::stoul(args[i + 1]));
+      i += 2;
+    } else {
+      return Usage();
+    }
+  }
+  if (i >= args.size()) return Usage();
+  if (shadow_algo == options.algorithm) {
+    shadow_algo = options.algorithm == qec::core::ExpansionAlgorithm::kPebc
+                      ? qec::core::ExpansionAlgorithm::kIskr
+                      : qec::core::ExpansionAlgorithm::kPebc;
+  }
+
+  auto data = LoadCorpusAndIndex(args[0]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const std::string query = JoinFrom(args, i);
+
+  qec::eval::TablePrinter table(
+      {"arm", "cluster", "term", "action", "benefit", "cost", "value"});
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v > 1e12 ? 1e12 : v);
+    return std::string(buf);
+  };
+  double scores[2] = {-1.0, -1.0};
+  const char* arm_names[2] = {"primary", "shadow"};
+  const qec::core::ExpansionAlgorithm arms[2] = {options.algorithm,
+                                                 shadow_algo};
+  for (int arm = 0; arm < 2; ++arm) {
+    qec::core::QueryExpanderOptions arm_options = options;
+    arm_options.algorithm = arms[arm];
+    qec::core::QueryExpander expander(*data->index, arm_options);
+    auto outcome = expander.ExpandText(query);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s arm (%s): %s\n", arm_names[arm],
+                   std::string(qec::core::AlgorithmName(arms[arm])).c_str(),
+                   outcome.status().ToString().c_str());
+      continue;
+    }
+    scores[arm] = outcome->set_score;
+    std::printf("%s arm %s: set score %.3f over %zu clusters "
+                "(%zu results, %.2f ms)\n",
+                arm_names[arm],
+                std::string(qec::core::AlgorithmName(arms[arm])).c_str(),
+                outcome->set_score, outcome->num_clusters,
+                outcome->num_results_used,
+                outcome->expansion_seconds * 1e3);
+    for (const auto& eq : outcome->queries) {
+      for (const auto& row : eq.term_details) {
+        table.AddRow({arm_names[arm], std::to_string(eq.cluster_index),
+                      data->corpus->analyzer().vocabulary().TermString(
+                          row.term),
+                      row.is_removal ? "remove" : "add", fmt(row.benefit),
+                      fmt(row.cost), fmt(row.value)});
+      }
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (scores[0] >= 0.0 && scores[1] >= 0.0) {
+    const double d = scores[0] - scores[1];
+    std::printf("winner: %s (primary %.3f vs shadow %.3f)\n",
+                d > 1e-9 ? "primary" : (d < -1e-9 ? "shadow" : "tie"),
+                scores[0], scores[1]);
+  }
+  return scores[0] < 0.0 && scores[1] < 0.0 ? 1 : 0;
+}
+
+// abtest: offline A/B replay — scores a primary and a shadow arm over a
+// query workload through the same ShadowEvaluator the server samples
+// with, then prints the tallies the ABTEST verb would report.
+int CmdAbtest(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  qec::core::ExpansionAlgorithm primary_algo =
+      qec::core::ExpansionAlgorithm::kIskr;
+  qec::core::ExpansionAlgorithm shadow_algo =
+      qec::core::ExpansionAlgorithm::kPebc;
+  size_t limit = 0;  // 0 = all
+  std::string queries_file;
+  std::string corpus_arg;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-a" && i + 1 < args.size()) {
+      if (!ParseAlgoName(args[++i], &primary_algo)) return Usage();
+    } else if (args[i] == "-b" && i + 1 < args.size()) {
+      if (!ParseAlgoName(args[++i], &shadow_algo)) return Usage();
+    } else if (args[i] == "-n" && i + 1 < args.size()) {
+      limit = static_cast<size_t>(std::stoul(args[++i]));
+    } else if (qec::StartsWith(args[i], "--queries=")) {
+      queries_file = args[i].substr(strlen("--queries="));
+    } else if (corpus_arg.empty()) {
+      corpus_arg = args[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (corpus_arg.empty()) return Usage();
+  if (primary_algo == shadow_algo) {
+    std::fprintf(stderr, "abtest: both arms are %s — nothing to compare\n",
+                 std::string(qec::core::AlgorithmName(primary_algo)).c_str());
+    return 2;
+  }
+
+  std::vector<std::string> queries;
+  if (!queries_file.empty()) {
+    auto content = ReadFile(queries_file);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    size_t begin = 0;
+    while (begin <= content->size()) {
+      size_t end = content->find('\n', begin);
+      if (end == std::string::npos) end = content->size();
+      std::string q(qec::TrimWhitespace(
+          std::string_view(content->data() + begin, end - begin)));
+      if (!q.empty()) queries.push_back(std::move(q));
+      begin = end + 1;
+    }
+  } else if (corpus_arg == "shopping") {
+    for (const auto& q : qec::datagen::ShoppingQueries()) {
+      queries.push_back(q.text);
+    }
+  } else if (corpus_arg == "wikipedia") {
+    for (const auto& q : qec::datagen::WikipediaQueries()) {
+      queries.push_back(q.text);
+    }
+  } else {
+    std::fprintf(stderr,
+                 "abtest: --queries=FILE is required for corpus files\n");
+    return 2;
+  }
+  if (limit != 0 && queries.size() > limit) queries.resize(limit);
+
+  auto data = LoadCorpusAndIndex(corpus_arg);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  qec::server::ShadowEvaluatorOptions shadow_options;
+  shadow_options.sample_rate = 1.0;
+  shadow_options.algorithm = shadow_algo;
+  shadow_options.dedupe = false;  // replay every workload query once
+  shadow_options.history_capacity = queries.size() + 1;
+  qec::server::ShadowEvaluator evaluator(shadow_options);
+
+  qec::core::QueryExpanderOptions primary_options;
+  primary_options.algorithm = primary_algo;
+  qec::core::QueryExpanderOptions secondary_options;
+  secondary_options.algorithm = shadow_algo;
+  qec::core::QueryExpander primary(*data->index, primary_options);
+  qec::core::QueryExpander shadow(*data->index, secondary_options);
+
+  qec::eval::TablePrinter table(
+      {"query", "primary", "shadow", "winner", "p_ms", "s_ms"});
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!evaluator.ShouldSample()) continue;  // rate 1.0: never skips
+    auto p = primary.ExpandText(queries[i]);
+    auto s = shadow.ExpandText(queries[i]);
+    if (!p.ok() || !s.ok()) {
+      evaluator.RecordError();
+      continue;
+    }
+    const auto c = evaluator.Compare(
+        i + 1, queries[i],
+        std::string(qec::core::AlgorithmName(primary_algo)), p->set_score,
+        static_cast<uint64_t>(p->expansion_seconds * 1e9), s->set_score,
+        static_cast<uint64_t>(s->expansion_seconds * 1e9));
+    char p_score[32], s_score[32], p_ms[32], s_ms[32];
+    std::snprintf(p_score, sizeof(p_score), "%.3f", c.primary_score);
+    std::snprintf(s_score, sizeof(s_score), "%.3f", c.shadow_score);
+    std::snprintf(p_ms, sizeof(p_ms), "%.2f",
+                  static_cast<double>(c.primary_expansion_ns) / 1e6);
+    std::snprintf(s_ms, sizeof(s_ms), "%.2f",
+                  static_cast<double>(c.shadow_expansion_ns) / 1e6);
+    table.AddRow({queries[i], p_score, s_score, c.winner, p_ms, s_ms});
+  }
+  std::printf("%s", table.ToString().c_str());
+  const qec::server::ShadowTallies t = evaluator.tallies();
+  std::printf("%s vs %s over %llu queries: primary %llu, shadow %llu, "
+              "tie %llu, errors %llu\n",
+              std::string(qec::core::AlgorithmName(primary_algo)).c_str(),
+              std::string(qec::core::AlgorithmName(shadow_algo)).c_str(),
+              static_cast<unsigned long long>(t.sampled),
+              static_cast<unsigned long long>(t.primary_wins),
+              static_cast<unsigned long long>(t.shadow_wins),
+              static_cast<unsigned long long>(t.ties),
+              static_cast<unsigned long long>(t.errors));
+  return 0;
+}
+
 // serve: the line-protocol serving layer (docs/SERVING.md) driven by
 // stdin/stdout — one request line in, one JSON response line out. The
 // corpus argument is a .qec file, or the literal "shopping"/"wikipedia"
@@ -428,6 +667,17 @@ int CmdServe(const std::vector<std::string>& args) {
           std::stoull(arg.substr(strlen("--metrics-flush-interval=")));
     } else if (qec::StartsWith(arg, "--metrics-flush-out=")) {
       metrics_flush_out = arg.substr(strlen("--metrics-flush-out="));
+    } else if (qec::StartsWith(arg, "--shadow-rate=")) {
+      options.shadow_sample_rate =
+          std::stod(arg.substr(strlen("--shadow-rate=")));
+    } else if (qec::StartsWith(arg, "--shadow-algo=")) {
+      if (!ParseAlgoName(arg.substr(strlen("--shadow-algo=")),
+                         &options.shadow_algorithm)) {
+        return Usage();
+      }
+    } else if (qec::StartsWith(arg, "--shadow-queue=")) {
+      options.shadow_queue_capacity = static_cast<size_t>(
+          std::stoul(arg.substr(strlen("--shadow-queue="))));
     } else if (qec::StartsWith(arg, "--")) {
       return Usage();
     } else if (corpus_arg.empty()) {
@@ -461,12 +711,14 @@ int CmdServe(const std::vector<std::string>& args) {
   }
   std::fprintf(stderr,
                "serving %zu documents%s with %zu workers (queue %zu, cache "
-               "%s); one request per line: EXPAND [k=N] [algo=A] [--] "
-               "<query> | PING | STATS | METRICS | SLOWLOG [n]\n",
+               "%s, shadow %s); one request per line: EXPAND [k=N] [algo=A] "
+               "[--] <query> | EXPLAIN <query> | PING | STATS | METRICS | "
+               "SLOWLOG [n] | ABTEST [n]\n",
                data->corpus->NumDocs(),
                data->from_snapshot ? " from snapshot" : "",
                server.num_workers(), options.queue_capacity,
-               options.enable_expansion_cache ? "on" : "off");
+               options.enable_expansion_cache ? "on" : "off",
+               options.shadow_sample_rate > 0.0 ? "on" : "off");
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -495,6 +747,14 @@ int CmdServe(const std::vector<std::string>& args) {
         break;
       case qec::server::ServeRequest::Verb::kSlowlog:
         out = server.SlowlogJsonLine(request->slowlog_count);
+        break;
+      case qec::server::ServeRequest::Verb::kAbtest:
+        out = server.AbtestJsonLine(request->abtest_count);
+        break;
+      case qec::server::ServeRequest::Verb::kExplain:
+        // Synchronous and cache-bypassing by design: EXPLAIN is a
+        // diagnostic verb, not a serving path.
+        out = server.ExplainJsonLine(*request);
         break;
       case qec::server::ServeRequest::Verb::kExpand: {
         auto future = server.Submit(*std::move(request));
@@ -703,6 +963,10 @@ int main(int argc, char** argv) {
       rc = CmdSearch(rest);
     } else if (cmd == "expand") {
       rc = CmdExpand(rest);
+    } else if (cmd == "explain") {
+      rc = CmdExplain(rest);
+    } else if (cmd == "abtest") {
+      rc = CmdAbtest(rest);
     } else if (cmd == "serve") {
       rc = CmdServe(rest);
     } else if (cmd == "slowlog") {

@@ -59,6 +59,32 @@ struct PebcStats {
   double best_target_percent = 0.0;
 };
 
+/// One per-term accounting row of an expansion, for EXPLAIN-style
+/// diagnostics (opt-in via QueryExpanderOptions::explain_terms). For ISKR
+/// the rows are the actual refinement steps (one per addition/removal, in
+/// order, with the benefit/cost the step was chosen at); for PEBC and the
+/// F-measure variant they are a post-hoc attribution: each added keyword's
+/// benefit/cost evaluated in final-query order against the shrinking
+/// retrieved set (ExplainAddedTerms).
+struct TermExplain {
+  TermId term = kInvalidTermId;
+  /// True when the row removed the term from the query (ISKR only).
+  bool is_removal = false;
+  /// Weight eliminated from the other clusters (S(R ∩ U ∩ E(k))).
+  double benefit = 0.0;
+  /// Weight eliminated from the target cluster (S(R ∩ C ∩ E(k))).
+  double cost = 0.0;
+  /// benefit / cost; +inf when cost is 0 with positive benefit.
+  double value = 0.0;
+};
+
+/// Post-hoc per-term benefit/cost attribution: walks `final_query`'s added
+/// keywords (those not in the context's user query) in order, scoring each
+/// against the retrieved set of the preceding prefix — exactly the sequence
+/// of ISKR addition entries had the terms been added in that order.
+std::vector<TermExplain> ExplainAddedTerms(const ExpansionContext& context,
+                                           const std::vector<TermId>& final_query);
+
 /// Output of a per-cluster expansion algorithm.
 struct ExpansionResult {
   /// The expanded query: the user query terms plus any added keywords.
@@ -74,6 +100,9 @@ struct ExpansionResult {
   IskrStats iskr_stats;
   /// Filled by PebcExpander runs; zero otherwise.
   PebcStats pebc_stats;
+  /// Per-term benefit/cost rows; empty unless the caller opted in
+  /// (QueryExpanderOptions::explain_terms).
+  std::vector<TermExplain> term_details;
 };
 
 /// Evaluates an arbitrary query against the context's cluster.

@@ -143,6 +143,7 @@ ExpansionOutcome QueryExpander::ExpandClustered(
       eq.cluster_size = c < members.size() ? members[c].size() : 0;
       eq.iterations = results[c].iterations;
       eq.value_recomputations = results[c].value_recomputations;
+      eq.term_details = std::move(results[c].term_details);
       const IskrStats& is = results[c].iskr_stats;
       outcome.iskr_stats.steps += is.steps;
       outcome.iskr_stats.additions += is.additions;
@@ -214,12 +215,42 @@ ExpansionOutcome QueryExpander::ExpandClustered(
 ExpansionResult QueryExpander::RunAlgorithm(
     const ExpansionContext& context) const {
   switch (options_.algorithm) {
-    case ExpansionAlgorithm::kIskr:
-      return IskrExpander(options_.iskr).Expand(context);
-    case ExpansionAlgorithm::kPebc:
-      return PebcExpander(options_.pebc).Expand(context);
-    case ExpansionAlgorithm::kFMeasure:
-      return FMeasureExpander(options_.fmeasure).Expand(context);
+    case ExpansionAlgorithm::kIskr: {
+      if (!options_.explain_terms) {
+        return IskrExpander(options_.iskr).Expand(context);
+      }
+      // ISKR's refinement trace already carries the benefit/cost each step
+      // was chosen at — use it verbatim rather than re-deriving post hoc.
+      std::vector<IskrStep> steps;
+      ExpansionResult result =
+          IskrExpander(options_.iskr).ExpandWithTrace(context, &steps);
+      result.term_details.reserve(steps.size());
+      for (const IskrStep& step : steps) {
+        TermExplain row;
+        row.term = step.keyword;
+        row.is_removal = step.is_removal;
+        row.benefit = step.benefit;
+        row.cost = step.cost;
+        row.value = step.value;
+        result.term_details.push_back(row);
+      }
+      return result;
+    }
+    case ExpansionAlgorithm::kPebc: {
+      ExpansionResult result = PebcExpander(options_.pebc).Expand(context);
+      if (options_.explain_terms) {
+        result.term_details = ExplainAddedTerms(context, result.query);
+      }
+      return result;
+    }
+    case ExpansionAlgorithm::kFMeasure: {
+      ExpansionResult result =
+          FMeasureExpander(options_.fmeasure).Expand(context);
+      if (options_.explain_terms) {
+        result.term_details = ExplainAddedTerms(context, result.query);
+      }
+      return result;
+    }
   }
   QEC_LOG(Fatal) << "unknown expansion algorithm";
   return {};

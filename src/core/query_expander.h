@@ -75,6 +75,13 @@ struct QueryExpanderOptions {
   /// unchanged (query_minimizer.h): same precision/recall, shorter
   /// suggestion.
   bool minimize_queries = false;
+  /// Fill ExpandedQuery::term_details with per-term benefit/cost rows
+  /// (EXPLAIN support). For ISKR these are the actual refinement steps;
+  /// for PEBC/F-measure a post-hoc attribution pass. Does not change the
+  /// produced queries, so it is excluded from the serving-layer options
+  /// fingerprint — but explain requests bypass the expansion cache, which
+  /// stores outcomes without the rows.
+  bool explain_terms = false;
   CandidateOptions candidates;
   IskrOptions iskr;
   PebcOptions pebc;
@@ -97,6 +104,9 @@ struct ExpandedQuery {
   size_t cluster_size = 0;
   size_t iterations = 0;
   size_t value_recomputations = 0;
+  /// Per-term benefit/cost rows; empty unless
+  /// QueryExpanderOptions::explain_terms.
+  std::vector<TermExplain> term_details;
 };
 
 /// Result of expanding one user query.

@@ -29,6 +29,12 @@ std::string ReadString(const json::Value& object, std::string_view key) {
   return v != nullptr && v->is_string() ? v->string : std::string();
 }
 
+double ReadDouble(const json::Value& object, std::string_view key,
+                  double fallback) {
+  const json::Value* v = object.Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
 }  // namespace
 
 std::string RequestRecord::ToJsonLine() const {
@@ -51,6 +57,16 @@ std::string RequestRecord::ToJsonLine() const {
   out += ",\"pebc_samples_drawn\":" + std::to_string(pebc_samples_drawn);
   out += ",\"pebc_candidates_evaluated\":" +
          std::to_string(pebc_candidates_evaluated);
+  if (set_score >= 0.0) {
+    out += ",\"set_score\":" + json::NumberToString(set_score);
+  }
+  if (shadow_sampled) out += ",\"shadow_sampled\":true";
+  if (!shadow_algo.empty()) {
+    out += ",\"shadow_algo\":" + json::Quote(shadow_algo);
+    out += ",\"shadow_set_score\":" + json::NumberToString(shadow_set_score);
+    out += ",\"ab_winner\":" + json::Quote(ab_winner);
+    out += ",\"shadow_expansion_ns\":" + std::to_string(shadow_expansion_ns);
+  }
   out += "}";
   return out;
 }
@@ -81,6 +97,13 @@ Result<RequestRecord> RequestRecordFromJson(std::string_view line) {
   r.iskr_candidates_evaluated = ReadU64(*doc, "iskr_candidates_evaluated");
   r.pebc_samples_drawn = ReadU64(*doc, "pebc_samples_drawn");
   r.pebc_candidates_evaluated = ReadU64(*doc, "pebc_candidates_evaluated");
+  r.set_score = ReadDouble(*doc, "set_score", -1.0);
+  const json::Value* sampled = doc->Find("shadow_sampled");
+  r.shadow_sampled = sampled != nullptr && sampled->boolean;
+  r.shadow_algo = ReadString(*doc, "shadow_algo");
+  r.shadow_set_score = ReadDouble(*doc, "shadow_set_score", -1.0);
+  r.ab_winner = ReadString(*doc, "ab_winner");
+  r.shadow_expansion_ns = ReadU64(*doc, "shadow_expansion_ns");
   return r;
 }
 

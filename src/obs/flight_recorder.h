@@ -38,6 +38,20 @@ struct RequestRecord {
   uint64_t pebc_samples_drawn = 0;
   uint64_t pebc_candidates_evaluated = 0;
 
+  /// Expansion quality (Eq. 1 set score); negative = not recorded (errors,
+  /// non-expansion records). Serialized only when >= 0.
+  double set_score = -1.0;
+  /// True when the shadow A/B sampler enqueued a shadow run for this
+  /// request.
+  bool shadow_sampled = false;
+  /// Shadow comparison fields; empty/negative/zero until a shadow run
+  /// completed and was scored (they ride the comparison record, not the
+  /// original request's). Serialized only when shadow_algo is non-empty.
+  std::string shadow_algo;
+  double shadow_set_score = -1.0;
+  std::string ab_winner;  // "primary" / "shadow" / "tie"
+  uint64_t shadow_expansion_ns = 0;
+
   /// One-line JSON object (also the JSONL dump format).
   std::string ToJsonLine() const;
 };

@@ -47,6 +47,34 @@ void AppendSample(std::string& out, const std::string& name,
 
 }  // namespace
 
+// Build metadata injected by src/obs/CMakeLists.txt; the fallbacks cover
+// builds that bypass CMake (e.g. direct compiler invocations in tooling).
+#ifndef QEC_VERSION
+#define QEC_VERSION "unknown"
+#endif
+#ifndef QEC_GIT_DESCRIBE
+#define QEC_GIT_DESCRIBE "unknown"
+#endif
+
+std::string PrometheusBuildInfo() {
+  std::string out = "# TYPE qec_build_info gauge\n";
+  out += "qec_build_info{version=\"" QEC_VERSION "\",git=\"" QEC_GIT_DESCRIBE
+         "\",popcount=\"";
+#if defined(__POPCNT__)
+  out += "on";
+#else
+  out += "off";
+#endif
+  out += "\",tracing=\"";
+#ifdef QEC_DISABLE_TRACING
+  out += "off";
+#else
+  out += "on";
+#endif
+  out += "\"} 1\n";
+  return out;
+}
+
 std::string PrometheusName(std::string_view name) {
   std::string out = "qec_";
   out.reserve(out.size() + name.size());
@@ -55,7 +83,7 @@ std::string PrometheusName(std::string_view name) {
 }
 
 std::string WritePrometheus(const MetricsSnapshot& snapshot) {
-  std::string out;
+  std::string out = PrometheusBuildInfo();
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = CounterName(name);
     out += "# TYPE " + prom + " counter\n";

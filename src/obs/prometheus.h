@@ -22,6 +22,14 @@ namespace qec::obs {
 /// in separators collide; keep registry names unambiguous.)
 std::string PrometheusName(std::string_view name);
 
+/// The `qec_build_info` gauge (its `# TYPE` line plus one sample of value
+/// 1) carrying build metadata as labels: library version, `git describe`
+/// output when the build tree had git available, and the popcount/tracing
+/// compile flags. Emitted at the top of every WritePrometheus exposition
+/// so dashboards can correlate a regression with the build that shipped
+/// it.
+std::string PrometheusBuildInfo();
+
 /// Renders a snapshot in Prometheus text exposition format:
 ///   - counters as `<name>_total` with a `# TYPE ... counter` line,
 ///   - gauges with `# TYPE ... gauge`,

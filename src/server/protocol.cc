@@ -105,10 +105,26 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
     }
     return request;
   }
-  if (verb != "expand") {
+  if (verb == "abtest") {
+    request.verb = ServeRequest::Verb::kAbtest;
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("ABTEST takes at most one count");
+    }
+    if (tokens.size() == 2) {
+      uint64_t n = 0;
+      if (!ParseSize(tokens[1], &n)) {
+        return Status::InvalidArgument("malformed ABTEST count '" +
+                                       tokens[1] + "'");
+      }
+      request.abtest_count = static_cast<size_t>(n);
+    }
+    return request;
+  }
+  if (verb != "expand" && verb != "explain") {
     return Status::InvalidArgument("unknown verb '" + tokens[0] + "'");
   }
-  request.verb = ServeRequest::Verb::kExpand;
+  request.verb = verb == "expand" ? ServeRequest::Verb::kExpand
+                                  : ServeRequest::Verb::kExplain;
 
   std::vector<std::string> query_words;
   bool in_options = true;
@@ -163,7 +179,10 @@ Result<ServeRequest> ParseRequestLine(std::string_view line) {
     }
   }
   if (query_words.empty()) {
-    return Status::InvalidArgument("EXPAND needs query words");
+    return Status::InvalidArgument(
+        request.verb == ServeRequest::Verb::kExplain
+            ? "EXPLAIN needs query words"
+            : "EXPAND needs query words");
   }
   request.query = Join(query_words, " ");
   return request;
@@ -198,8 +217,10 @@ uint64_t OptionsFingerprint(const core::QueryExpanderOptions& options) {
   fp.U64(static_cast<uint64_t>(options.clustering));
   fp.U64(options.interleave_rounds);
   fp.B(options.minimize_queries);
-  // num_threads and memoize_set_algebra are deliberately excluded: both
-  // change how an expansion is computed, never what it returns.
+  // num_threads, memoize_set_algebra, and explain_terms are deliberately
+  // excluded: they change how an expansion is computed (or what diagnostics
+  // ride along), never the queries it returns. Explain requests bypass the
+  // cache anyway — cached outcomes carry no per-term rows.
   fp.D(options.candidates.fraction);
   fp.U64(options.candidates.max_candidates);
   fp.B(options.candidates.drop_universal_terms);

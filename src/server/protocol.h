@@ -18,19 +18,31 @@ namespace qec::server {
 /// a single line:
 ///
 ///   EXPAND [key=value ...] [--] <query words>
+///   EXPLAIN [key=value ...] [--] <query words>
 ///   PING
 ///   STATS
 ///   METRICS
 ///   SLOWLOG [n]
+///   ABTEST [n]
 ///
 /// Recognized EXPAND options: k=N (max clusters), algo=iskr|pebc|fmeasure,
 /// topk=N (results used), minimize=0|1, weights=0|1, threads=N (per-request
 /// expansion threads; 0 = auto), deadline_ms=N, trace=HEX (propagate a
 /// caller-assigned trace id; the server generates one otherwise). A literal
 /// `--` token ends option parsing so query words containing '=' stay query
-/// words.
+/// words. EXPLAIN accepts the same options and runs the query through both
+/// the primary and the shadow arm with per-term diagnostics; ABTEST reports
+/// the running shadow tallies plus the most recent [n] comparisons.
 struct ServeRequest {
-  enum class Verb { kExpand, kPing, kStats, kMetrics, kSlowlog };
+  enum class Verb {
+    kExpand,
+    kExplain,
+    kPing,
+    kStats,
+    kMetrics,
+    kSlowlog,
+    kAbtest,
+  };
 
   Verb verb = Verb::kExpand;
   std::string query;
@@ -41,6 +53,9 @@ struct ServeRequest {
 
   /// SLOWLOG only: maximum records to return.
   size_t slowlog_count = 16;
+
+  /// ABTEST only: maximum recent comparisons to return.
+  size_t abtest_count = 16;
 
   /// Per-request overrides of the server's base expander options; unset
   /// fields inherit the server configuration.

@@ -45,6 +45,10 @@ struct RequestContext {
   /// Clock::time_point::max() when the request has no deadline.
   Clock::time_point deadline = Clock::time_point::max();
   StageTimings stages;
+  /// True when the shadow A/B sampler selected this request and a shadow
+  /// job was enqueued (the comparison lands in a later flight record once
+  /// the shadow run completes off the critical path).
+  bool shadow_sampled = false;
 };
 
 /// RAII stopwatch accumulating into one stage of a context.

@@ -75,6 +75,14 @@ QecServer::QecServer(const index::InvertedIndex& index, ServerOptions options)
     cache_ = std::make_unique<ShardedLruCache<std::string, ServeResponse>>(
         options_.expansion_cache_capacity, options_.expansion_cache_shards);
   }
+  if (options_.shadow_sample_rate > 0.0) {
+    ShadowEvaluatorOptions shadow_options;
+    shadow_options.sample_rate = options_.shadow_sample_rate;
+    shadow_options.algorithm = options_.shadow_algorithm;
+    shadow_options.seed = options_.shadow_seed;
+    shadow_options.dedupe = options_.shadow_dedupe;
+    shadow_ = std::make_unique<ShadowEvaluator>(shadow_options);
+  }
   recorder_.SetDumpPath(options_.slowlog_dump_path);
   if (options_.start_workers) Start();
 }
@@ -93,10 +101,14 @@ void QecServer::Start() {
 void QecServer::Shutdown() {
   std::vector<std::thread> to_join;
   std::deque<Pending> to_reject;
+  std::deque<ShadowJob> shadows_to_drop;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
     to_join.swap(workers_);
+    // Shadows are best-effort: pending ones are dropped (shed) at shutdown
+    // rather than draining, whether or not the pool ran.
+    shadows_to_drop.swap(shadow_queue_);
     if (to_join.empty()) {
       // Pool never ran (or already joined): nobody will drain the queue,
       // so reject whatever is still waiting.
@@ -105,6 +117,9 @@ void QecServer::Shutdown() {
     }
   }
   cv_.notify_all();
+  if (shadow_ != nullptr) {
+    for (size_t i = 0; i < shadows_to_drop.size(); ++i) shadow_->RecordShed();
+  }
   for (auto& pending : to_reject) {
     ServeResponse response;
     response.status = Status::Unavailable("server shutting down");
@@ -178,8 +193,20 @@ void QecServer::WorkerLoop() {
     Pending pending;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained.
+      cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || !shadow_queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;  // Foreground drained; shadows are dropped.
+        // Foreground queue empty: drain the low-priority class. Shadows
+        // only ever run in cycles a foreground request would have left
+        // idle — a new Submit wakes another worker via cv_.
+        ShadowJob job = std::move(shadow_queue_.front());
+        shadow_queue_.pop_front();
+        lock.unlock();
+        RunShadow(std::move(job));
+        continue;
+      }
       pending = std::move(queue_.front());
       queue_.pop_front();
       UpdateQueueDepthLocked();
@@ -210,6 +237,7 @@ void QecServer::Process(Pending pending) {
         Status::DeadlineExceeded("deadline passed while request was queued");
   } else {
     response = Execute(request, &context);
+    MaybeScheduleShadow(request, response, &context);
   }
 
   // Render the wire line here, inside the timed serialize stage. The
@@ -248,6 +276,7 @@ ServeResponse QecServer::Execute(const ServeRequest& request) {
       request.trace_id != 0 ? request.trace_id : GenerateTraceId();
   context.submit_time = Clock::now();
   ServeResponse response = Execute(request, &context);
+  MaybeScheduleShadow(request, response, &context);
   response.trace_id = context.trace_id;
   response.stages = context.stages;
   response.total_seconds = ToSeconds(Clock::now() - context.submit_time);
@@ -304,6 +333,119 @@ ServeResponse QecServer::Execute(const ServeRequest& request,
   return response;
 }
 
+void QecServer::MaybeScheduleShadow(const ServeRequest& request,
+                                    const ServeResponse& response,
+                                    RequestContext* context) {
+  if (shadow_ == nullptr) return;
+  if (request.verb != ServeRequest::Verb::kExpand) return;
+  if (!response.status.ok()) return;
+
+  const core::QueryExpanderOptions effective = EffectiveOptions(request);
+  // Same algorithm on both arms compares nothing — don't burn a sample.
+  if (effective.algorithm == options_.shadow_algorithm) return;
+  if (!shadow_->ShouldSample()) return;
+
+  core::QueryExpanderOptions shadow_options = effective;
+  shadow_options.algorithm = options_.shadow_algorithm;
+  shadow_options.explain_terms = false;
+  if (options_.shadow_dedupe) {
+    // Key the comparison, not just the shadow run: primary algo + the
+    // shadow arm's cache identity.
+    std::string key = ExpansionCacheKey(
+        NormalizeQuery(request.query), shadow_options.max_clusters,
+        shadow_options.algorithm, OptionsFingerprint(shadow_options));
+    key.push_back('\x1f');
+    key += std::to_string(static_cast<int>(effective.algorithm));
+    if (shadow_->SeenRecently(key)) {
+      shadow_->RecordDeduped();
+      return;
+    }
+  }
+
+  ShadowJob job;
+  job.trace_id = context->trace_id;
+  job.query = request.query;
+  job.primary_algo = std::string(core::AlgorithmName(effective.algorithm));
+  job.primary_score = response.outcome.set_score;
+  // A cache hit's expansion stage reads 0 — fall back to the expansion
+  // time the original computation recorded in the cached outcome.
+  job.primary_expansion_ns =
+      response.from_cache
+          ? static_cast<uint64_t>(response.outcome.expansion_seconds * 1e9)
+          : context->stages[Stage::kExpansion];
+  job.options = std::move(shadow_options);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Shed rather than queue when the server is saturated: a full
+    // foreground queue means every worker cycle is spoken for, and the
+    // whole point of the low-priority class is that shadows never displace
+    // foreground work.
+    if (stopping_ || shadow_queue_.size() >= options_.shadow_queue_capacity ||
+        queue_.size() >= options_.queue_capacity) {
+      shadow_->RecordShed();
+      return;
+    }
+    shadow_queue_.push_back(std::move(job));
+    QEC_GAUGE_SET("shadow/queue_depth",
+                  static_cast<double>(shadow_queue_.size()));
+  }
+  context->shadow_sampled = true;
+  cv_.notify_one();
+}
+
+void QecServer::RunShadow(ShadowJob job) {
+  QEC_TRACE_SPAN("server/shadow");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QEC_GAUGE_SET("shadow/queue_depth",
+                  static_cast<double>(shadow_queue_.size()));
+  }
+  const Clock::time_point start = Clock::now();
+  // The shadow arm runs the expander directly: it must never read or fill
+  // the expansion cache (a shadow hit would measure the cache, not the
+  // algorithm — and a shadow fill would poison foreground entries keyed by
+  // a different algorithm's fingerprint).
+  core::QueryExpander expander(*index_, job.options);
+  Result<core::ExpansionOutcome> outcome = expander.ExpandText(job.query);
+  const uint64_t shadow_ns = ToNanos(Clock::now() - start);
+  if (!outcome.ok()) {
+    shadow_->RecordError();
+    return;
+  }
+
+  const ShadowComparison comparison = shadow_->Compare(
+      job.trace_id, job.query, job.primary_algo, job.primary_score,
+      job.primary_expansion_ns, outcome->set_score,
+      static_cast<uint64_t>(outcome->expansion_seconds * 1e9));
+
+  // Flight-record the comparison so SLOWLOG interleaves quality verdicts
+  // with the requests they describe (same trace id as the foreground
+  // request). Work counters are the shadow arm's.
+  obs::RequestRecord record;
+  record.trace_id = job.trace_id;
+  record.unix_ms = UnixMillisNow();
+  record.query = job.query;
+  record.algo = job.primary_algo;
+  record.status = std::string(StatusCodeName(StatusCode::kOk));
+  record.expansion_ns = job.primary_expansion_ns;
+  record.total_ns = shadow_ns;
+  record.iskr_steps = outcome->iskr_stats.steps;
+  record.iskr_candidates_evaluated = outcome->iskr_stats.candidates_evaluated;
+  record.pebc_samples_drawn = outcome->pebc_stats.samples_drawn;
+  record.pebc_candidates_evaluated = outcome->pebc_stats.candidates_evaluated;
+  record.set_score = comparison.primary_score;
+  record.shadow_sampled = true;
+  record.shadow_algo = comparison.shadow_algo;
+  record.shadow_set_score = comparison.shadow_score;
+  record.ab_winner = comparison.winner;
+  record.shadow_expansion_ns = comparison.shadow_expansion_ns;
+  recorder_.Record(record);
+  // A shadow win is a foreground quality miss — dump it like an error so
+  // low-quality requests are as greppable as slow ones.
+  if (comparison.winner == "shadow") recorder_.Dump(record);
+}
+
 core::QueryExpanderOptions QecServer::EffectiveOptions(
     const ServeRequest& r) const {
   core::QueryExpanderOptions o = options_.expander;
@@ -342,6 +484,8 @@ void QecServer::RecordFlight(const ServeRequest& request,
   record.pebc_samples_drawn = response.outcome.pebc_stats.samples_drawn;
   record.pebc_candidates_evaluated =
       response.outcome.pebc_stats.candidates_evaluated;
+  if (response.status.ok()) record.set_score = response.outcome.set_score;
+  record.shadow_sampled = context.shadow_sampled;
   recorder_.Record(record);
 
   const StatusCode code = response.status.code();
@@ -420,14 +564,43 @@ std::string QecServer::StatsJsonLine() const {
   out += "},\"slowlog\":{\"capacity\":" + std::to_string(recorder_.capacity());
   out += ",\"recorded\":" + std::to_string(recorder_.total_recorded());
   out += ",\"dumped\":" + std::to_string(recorder_.dumped());
+  out += "},\"shadow\":{\"enabled\":";
+  out += shadow_ != nullptr ? "true" : "false";
+  if (shadow_ != nullptr) {
+    const ShadowTallies t = shadow_->tallies();
+    out += ",\"sample_rate\":" + NumberToString(options_.shadow_sample_rate);
+    out += ",\"algo\":" + obs::json::Quote(std::string(core::AlgorithmName(
+                              options_.shadow_algorithm)));
+    out += ",\"queue_depth\":" + std::to_string(shadow_queue_depth());
+    out += ",\"queue_capacity\":" +
+           std::to_string(options_.shadow_queue_capacity);
+    out += ",\"sampled\":" + std::to_string(t.sampled);
+    out += ",\"executed\":" + std::to_string(t.executed);
+    out += ",\"shed\":" + std::to_string(t.shed);
+    out += ",\"deduped\":" + std::to_string(t.deduped);
+    out += ",\"errors\":" + std::to_string(t.errors);
+    out += ",\"primary_wins\":" + std::to_string(t.primary_wins);
+    out += ",\"shadow_wins\":" + std::to_string(t.shadow_wins);
+    out += ",\"ties\":" + std::to_string(t.ties);
+  }
   out += "}}";
   return out;
 }
 
 std::string QecServer::SlowlogJsonLine(size_t max) const {
-  const std::vector<obs::RequestRecord> records = recorder_.Recent(max);
+  // The ring can never return more than its capacity: clamp oversized
+  // requests up front and say so, instead of silently behaving as if the
+  // caller's count had been honored.
+  const size_t capacity = recorder_.capacity();
+  const bool clamped = max > capacity;
+  const size_t effective = clamped ? capacity : max;
+  const std::vector<obs::RequestRecord> records = recorder_.Recent(effective);
   std::string out = "{\"status\":\"ok\"";
   out += ",\"count\":" + std::to_string(records.size());
+  if (clamped) {
+    out += ",\"requested\":" + std::to_string(max);
+    out += ",\"clamped_to\":" + std::to_string(capacity);
+  }
   out += ",\"total_recorded\":" + std::to_string(recorder_.total_recorded());
   out += ",\"dumped\":" + std::to_string(recorder_.dumped());
   out += ",\"records\":[";
@@ -436,6 +609,124 @@ std::string QecServer::SlowlogJsonLine(size_t max) const {
     out += records[i].ToJsonLine();
   }
   out += "]}";
+  return out;
+}
+
+size_t QecServer::shadow_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shadow_queue_.size();
+}
+
+ShadowTallies QecServer::shadow_tallies() const {
+  return shadow_ != nullptr ? shadow_->tallies() : ShadowTallies{};
+}
+
+std::string QecServer::AbtestJsonLine(size_t max) const {
+  if (shadow_ == nullptr) {
+    return "{\"status\":\"ok\",\"enabled\":false,\"sampled\":0,"
+           "\"executed\":0,\"shed\":0,\"deduped\":0,\"errors\":0,"
+           "\"primary_wins\":0,\"shadow_wins\":0,\"ties\":0,\"recent\":[]}";
+  }
+  return shadow_->AbtestJsonLine(max);
+}
+
+std::string QecServer::ExplainJsonLine(const ServeRequest& request) const {
+  using obs::json::NumberToString;
+  using obs::json::Quote;
+  QEC_COUNTER_INC("server/explain");
+
+  core::QueryExpanderOptions primary = EffectiveOptions(request);
+  primary.explain_terms = true;
+  core::QueryExpanderOptions secondary = primary;
+  secondary.algorithm = options_.shadow_algorithm;
+  if (secondary.algorithm == primary.algorithm) {
+    // EXPLAIN always shows two arms; when the configured shadow arm
+    // coincides with the primary, fall back to its natural counterpart.
+    secondary.algorithm = primary.algorithm == core::ExpansionAlgorithm::kPebc
+                              ? core::ExpansionAlgorithm::kIskr
+                              : core::ExpansionAlgorithm::kPebc;
+  }
+
+  // Both arms run the expander directly: EXPLAIN measures the algorithms,
+  // never the cache, and cached outcomes carry no per-term rows anyway.
+  auto run_arm = [&](const core::QueryExpanderOptions& arm) {
+    core::QueryExpander expander(*index_, arm);
+    return expander.ExpandText(request.query);
+  };
+  const Result<core::ExpansionOutcome> primary_outcome = run_arm(primary);
+  const Result<core::ExpansionOutcome> shadow_outcome = run_arm(secondary);
+
+  const auto& vocab = index_->corpus().analyzer().vocabulary();
+  auto render_arm = [&](core::ExpansionAlgorithm algo,
+                        const Result<core::ExpansionOutcome>& r) {
+    std::string out = "{\"algo\":";
+    out += Quote(std::string(core::AlgorithmName(algo)));
+    out += ",\"status\":";
+    out += Quote(StatusCodeName(r.status().code()));
+    if (!r.ok()) {
+      out += ",\"message\":" + Quote(r.status().message());
+      out += "}";
+      return out;
+    }
+    const core::ExpansionOutcome& o = *r;
+    out += ",\"set_score\":" + NumberToString(o.set_score);
+    out += ",\"clusters\":" + std::to_string(o.num_clusters);
+    out += ",\"results_used\":" + std::to_string(o.num_results_used);
+    out += ",\"expansion_ms\":" + NumberToString(o.expansion_seconds * 1e3);
+    out += ",\"queries\":[";
+    for (size_t i = 0; i < o.queries.size(); ++i) {
+      const core::ExpandedQuery& q = o.queries[i];
+      if (i > 0) out += ",";
+      out += "{\"keywords\":[";
+      for (size_t k = 0; k < q.keywords.size(); ++k) {
+        if (k > 0) out += ",";
+        out += Quote(q.keywords[k]);
+      }
+      out += "],\"cluster_size\":" + std::to_string(q.cluster_size);
+      out += ",\"precision\":" + NumberToString(q.quality.precision);
+      out += ",\"recall\":" + NumberToString(q.quality.recall);
+      out += ",\"f_measure\":" + NumberToString(q.quality.f_measure);
+      out += ",\"terms\":[";
+      for (size_t t = 0; t < q.term_details.size(); ++t) {
+        const core::TermExplain& row = q.term_details[t];
+        if (t > 0) out += ",";
+        out += "{\"term\":" + Quote(vocab.TermString(row.term));
+        out += ",\"action\":";
+        out += row.is_removal ? "\"remove\"" : "\"add\"";
+        out += ",\"benefit\":" + NumberToString(row.benefit);
+        out += ",\"cost\":" + NumberToString(row.cost);
+        // A zero-cost term has infinite value; clamp so the line stays
+        // valid JSON.
+        out += ",\"value\":" +
+               NumberToString(row.value > 1e12 ? 1e12 : row.value);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+    return out;
+  };
+
+  std::string winner;
+  if (primary_outcome.ok() && shadow_outcome.ok()) {
+    const double d = primary_outcome->set_score - shadow_outcome->set_score;
+    const double epsilon =
+        shadow_ != nullptr ? shadow_->options().tie_epsilon : 1e-9;
+    winner = d > epsilon ? "primary" : (d < -epsilon ? "shadow" : "tie");
+  } else if (primary_outcome.ok()) {
+    winner = "primary";
+  } else if (shadow_outcome.ok()) {
+    winner = "shadow";
+  } else {
+    winner = "none";
+  }
+
+  std::string out = "{\"status\":\"ok\"";
+  out += ",\"query\":" + Quote(request.query);
+  out += ",\"primary\":" + render_arm(primary.algorithm, primary_outcome);
+  out += ",\"shadow\":" + render_arm(secondary.algorithm, shadow_outcome);
+  out += ",\"winner\":" + Quote(winner);
+  out += "}";
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include "server/lru_cache.h"
 #include "server/protocol.h"
 #include "server/request_context.h"
+#include "server/shadow_evaluator.h"
 
 namespace qec::server {
 
@@ -59,6 +60,22 @@ struct ServerOptions {
   /// `slow_request_threshold_ms`. "" disables dumping (the in-memory ring
   /// stays on regardless).
   std::string slowlog_dump_path;
+  /// Shadow A/B execution (docs/OBSERVABILITY.md): fraction of successful
+  /// foreground EXPANDs re-run through `shadow_algorithm` off the critical
+  /// path and scored against the foreground arm. 0 disables the shadow
+  /// layer entirely.
+  double shadow_sample_rate = 0.0;
+  core::ExpansionAlgorithm shadow_algorithm =
+      core::ExpansionAlgorithm::kPebc;
+  /// Seed of the (deterministic) shadow sampling RNG.
+  uint64_t shadow_seed = 42;
+  /// Bounded low-priority queue of pending shadow runs: workers drain it
+  /// only when the foreground queue is empty, and sampled shadows are shed
+  /// (never queued foreground work) when either queue is full.
+  size_t shadow_queue_capacity = 32;
+  /// Skip shadowing a (query, options) pair seen recently so Zipf-head
+  /// queries don't monopolize the shadow budget.
+  bool shadow_dedupe = true;
   /// Base expander configuration; per-request ServeRequest fields overlay
   /// it. Note num_threads here is the *per-expansion* cluster parallelism;
   /// the server's own parallelism comes from its worker pool, so the
@@ -141,8 +158,28 @@ class QecServer {
   std::string StatsJsonLine() const;
 
   /// One-line JSON for the SLOWLOG verb: up to `max` most recent flight-
-  /// recorder records, newest first.
+  /// recorder records, newest first. A `max` beyond the ring capacity is
+  /// clamped, and the response reports the clamp (`requested`,
+  /// `clamped_to`).
   std::string SlowlogJsonLine(size_t max) const;
+
+  /// One-line JSON for the EXPLAIN verb: runs `request` through both the
+  /// primary arm (its effective options) and the shadow arm with per-term
+  /// diagnostics, synchronously on the calling thread and bypassing the
+  /// expansion cache (cached outcomes carry no per-term rows).
+  std::string ExplainJsonLine(const ServeRequest& request) const;
+
+  /// One-line JSON for the ABTEST verb: shadow tallies + up to `max`
+  /// recent comparisons. Answers even when shadowing is disabled (all
+  /// tallies zero).
+  std::string AbtestJsonLine(size_t max) const;
+
+  /// Pending shadow runs (the low-priority queue).
+  size_t shadow_queue_depth() const;
+  /// Zero-value tallies when shadowing is disabled.
+  ShadowTallies shadow_tallies() const;
+  /// Nullptr when ServerOptions::shadow_sample_rate is 0.
+  const ShadowEvaluator* shadow_evaluator() const { return shadow_.get(); }
 
   obs::FlightRecorder& flight_recorder() { return recorder_; }
   const obs::FlightRecorder& flight_recorder() const { return recorder_; }
@@ -160,9 +197,32 @@ class QecServer {
     RequestContext context;
   };
 
+  /// One queued shadow run: everything needed to re-run the query through
+  /// the shadow arm and score it against the foreground result, detached
+  /// from the foreground request's promise and deadline.
+  struct ShadowJob {
+    uint64_t trace_id = 0;
+    std::string query;
+    std::string primary_algo;
+    double primary_score = 0.0;
+    uint64_t primary_expansion_ns = 0;
+    /// The foreground request's effective options with the algorithm
+    /// swapped to the shadow arm.
+    core::QueryExpanderOptions options;
+  };
+
   void WorkerLoop();
   /// Processes one dequeued request end to end and fulfills its promise.
   void Process(Pending pending);
+  /// Samples a completed foreground EXPAND; enqueues a ShadowJob (low
+  /// priority, sheddable) when selected and sets context->shadow_sampled.
+  void MaybeScheduleShadow(const ServeRequest& request,
+                           const ServeResponse& response,
+                           RequestContext* context);
+  /// Runs one shadow job on a worker thread: expands through the shadow
+  /// arm (never touching the expansion cache), scores the comparison, and
+  /// flight-records it.
+  void RunShadow(ShadowJob job);
   /// Effective expander options for one request: base + overlays.
   core::QueryExpanderOptions EffectiveOptions(const ServeRequest& r) const;
   void UpdateQueueDepthLocked();
@@ -179,11 +239,14 @@ class QecServer {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  /// Low-priority admission class: drained only when `queue_` is empty.
+  std::deque<ShadowJob> shadow_queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
   size_t peak_queue_depth_ = 0;
 
   std::unique_ptr<ShardedLruCache<std::string, ServeResponse>> cache_;
+  std::unique_ptr<ShadowEvaluator> shadow_;
   obs::FlightRecorder recorder_;
 
   std::atomic<uint64_t> submitted_{0};

@@ -290,5 +290,72 @@ TEST(AlgorithmNameTest, AllNamesDistinct) {
   EXPECT_EQ(AlgorithmName(ExpansionAlgorithm::kFMeasure), "F-measure");
 }
 
+// ---------------------------------------------------------- explain_terms
+
+TEST_F(EngineFixture, ExplainTermsOffByDefault) {
+  QueryExpanderOptions options;
+  options.candidates.fraction = 1.0;
+  QueryExpander expander(*index_, options);
+  auto outcome = expander.ExpandText("apple");
+  ASSERT_TRUE(outcome.ok());
+  for (const auto& query : outcome->queries) {
+    EXPECT_TRUE(query.term_details.empty());
+  }
+}
+
+TEST_F(EngineFixture, ExplainTermsCoverEveryChangedTermForAllAlgorithms) {
+  for (auto algorithm :
+       {ExpansionAlgorithm::kIskr, ExpansionAlgorithm::kPebc,
+        ExpansionAlgorithm::kFMeasure}) {
+    QueryExpanderOptions options;
+    options.algorithm = algorithm;
+    options.max_clusters = 2;
+    options.candidates.fraction = 1.0;
+    options.explain_terms = true;
+    QueryExpander expander(*index_, options);
+    auto outcome = expander.ExpandText("apple");
+    ASSERT_TRUE(outcome.ok()) << AlgorithmName(algorithm);
+    for (const auto& query : outcome->queries) {
+      // Every term the algorithm added beyond the user query has a
+      // benefit/cost row (ISKR removals additionally trace removals).
+      std::set<TermId> explained;
+      for (const auto& detail : query.term_details) {
+        EXPECT_GE(detail.benefit, 0.0) << AlgorithmName(algorithm);
+        EXPECT_GE(detail.cost, 0.0) << AlgorithmName(algorithm);
+        if (!detail.is_removal) explained.insert(detail.term);
+      }
+      for (TermId term : query.terms) {
+        if (term == T("apple")) continue;
+        EXPECT_TRUE(explained.count(term) > 0)
+            << AlgorithmName(algorithm) << " missing term " << term;
+      }
+    }
+  }
+}
+
+TEST_F(EngineFixture, ExplainTermsDoNotChangeExpansionResults) {
+  for (auto algorithm :
+       {ExpansionAlgorithm::kIskr, ExpansionAlgorithm::kPebc,
+        ExpansionAlgorithm::kFMeasure}) {
+    QueryExpanderOptions options;
+    options.algorithm = algorithm;
+    options.max_clusters = 2;
+    options.candidates.fraction = 1.0;
+    QueryExpander plain(*index_, options);
+    options.explain_terms = true;
+    QueryExpander explained(*index_, options);
+    auto a = plain.ExpandText("apple");
+    auto b = explained.ExpandText("apple");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a->set_score, b->set_score) << AlgorithmName(algorithm);
+    ASSERT_EQ(a->queries.size(), b->queries.size());
+    for (size_t i = 0; i < a->queries.size(); ++i) {
+      EXPECT_EQ(a->queries[i].terms, b->queries[i].terms)
+          << AlgorithmName(algorithm);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qec::core

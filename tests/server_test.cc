@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -667,6 +668,271 @@ TEST_F(ServerFixture, StatsJsonCarriesUptimeHitRatioAndSlowlogCounts) {
   EXPECT_EQ(slowlog->Find("recorded")->number, 2.0);
   EXPECT_EQ(slowlog->Find("dumped")->number, 0.0);
   EXPECT_EQ(slowlog->Find("capacity")->number, 256.0);
+}
+
+// --------------------------------------------------- EXPLAIN / ABTEST --
+
+TEST(ProtocolTest, ParsesExplainWithOptions) {
+  auto r = ParseRequestLine("EXPLAIN k=3 algo=iskr canon products");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->verb, ServeRequest::Verb::kExplain);
+  EXPECT_EQ(r->query, "canon products");
+  EXPECT_EQ(*r->max_clusters, 3u);
+  EXPECT_EQ(*r->algorithm, core::ExpansionAlgorithm::kIskr);
+}
+
+TEST(ProtocolTest, ExplainNeedsQueryWords) {
+  auto r = ParseRequestLine("EXPLAIN k=3");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ProtocolTest, ParsesAbtestCount) {
+  auto bare = ParseRequestLine("ABTEST");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->verb, ServeRequest::Verb::kAbtest);
+  EXPECT_EQ(bare->abtest_count, 16u);
+
+  auto counted = ParseRequestLine("abtest 5");
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->abtest_count, 5u);
+
+  EXPECT_FALSE(ParseRequestLine("ABTEST five").ok());
+}
+
+TEST_F(ServerFixture, SlowlogClampsOversizedRequests) {
+  ServerOptions options;
+  options.flight_recorder_capacity = 4;
+  QecServer server(index_, options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server.Submit(Expand("canon products")).get().status.ok());
+  }
+  // A `max` beyond the ring capacity used to walk the whole requested
+  // range; now it clamps to capacity and reports the clamp.
+  const std::string line = server.SlowlogJsonLine(100);
+  auto parsed = obs::json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->Find("requested")->number, 100.0);
+  EXPECT_EQ(parsed->Find("clamped_to")->number, 4.0);
+  EXPECT_EQ(parsed->Find("records")->array.size(), 4u);
+
+  // Within capacity: no clamp fields.
+  auto small = obs::json::Parse(server.SlowlogJsonLine(2));
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->Find("requested"), nullptr);
+  EXPECT_EQ(small->Find("records")->array.size(), 2u);
+}
+
+// ------------------------------------------------------------- shadow --
+
+TEST(ShadowEvaluatorTest, SampleDecisionIsSeededAndDeterministic) {
+  ShadowEvaluatorOptions options;
+  options.sample_rate = 0.5;
+  options.seed = 7;
+  ShadowEvaluator a(options);
+  ShadowEvaluator b(options);
+  std::vector<bool> seq_a, seq_b;
+  for (int i = 0; i < 64; ++i) {
+    seq_a.push_back(a.ShouldSample());
+    seq_b.push_back(b.ShouldSample());
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  // The sequence actually mixes both outcomes at rate 0.5.
+  EXPECT_NE(std::count(seq_a.begin(), seq_a.end(), true), 0);
+  EXPECT_NE(std::count(seq_a.begin(), seq_a.end(), false), 0);
+
+  options.seed = 8;
+  ShadowEvaluator c(options);
+  std::vector<bool> seq_c;
+  for (int i = 0; i < 64; ++i) seq_c.push_back(c.ShouldSample());
+  EXPECT_NE(seq_a, seq_c);
+}
+
+TEST(ShadowEvaluatorTest, RateEndpointsShortCircuit) {
+  ShadowEvaluatorOptions options;
+  options.sample_rate = 0.0;
+  ShadowEvaluator off(options);
+  EXPECT_FALSE(off.ShouldSample());
+  options.sample_rate = 1.0;
+  ShadowEvaluator on(options);
+  EXPECT_TRUE(on.ShouldSample());
+}
+
+TEST(ShadowEvaluatorTest, TalliesBalanceAcrossOutcomes) {
+  ShadowEvaluatorOptions options;
+  options.sample_rate = 1.0;
+  ShadowEvaluator evaluator(options);
+  evaluator.Compare(1, "q1", "iskr", 0.9, 1000, 0.5, 2000);  // primary win
+  evaluator.Compare(2, "q2", "iskr", 0.4, 1000, 0.8, 2000);  // shadow win
+  evaluator.Compare(3, "q3", "iskr", 0.7, 1000, 0.7, 2000);  // tie
+  evaluator.RecordShed();
+  evaluator.RecordDeduped();
+  evaluator.RecordError();
+  const ShadowTallies t = evaluator.tallies();
+  EXPECT_EQ(t.sampled,
+            t.executed + t.shed + t.deduped + t.errors);
+  EXPECT_EQ(t.executed, 3u);
+  EXPECT_EQ(t.primary_wins, 1u);
+  EXPECT_EQ(t.shadow_wins, 1u);
+  EXPECT_EQ(t.ties, 1u);
+  EXPECT_EQ(evaluator.Recent(10).size(), 3u);
+  // Newest first.
+  EXPECT_EQ(evaluator.Recent(1)[0].query, "q3");
+}
+
+TEST_F(ServerFixture, ShadowNeverMutatesForegroundResponsesOrCache) {
+  const std::vector<std::string> queries = {"canon products", "tv",
+                                            "printer", "canon products"};
+  ServerOptions plain_options;
+  QecServer plain(index_, plain_options);
+  ServerOptions shadowed_options;
+  shadowed_options.shadow_sample_rate = 1.0;
+  QecServer shadowed(index_, shadowed_options);
+
+  for (const std::string& query : queries) {
+    auto a = plain.Submit(Expand(query)).get();
+    auto b = shadowed.Submit(Expand(query)).get();
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    ExpectSameOutcome(a.outcome, b.outcome);
+    EXPECT_EQ(a.from_cache, b.from_cache);
+  }
+  // Shadow runs bypass the expansion cache entirely, so both servers saw
+  // identical cache traffic.
+  while (shadowed.shadow_queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 200 && shadowed.shadow_tallies().executed < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(plain.stats().expansion_cache.hits,
+            shadowed.stats().expansion_cache.hits);
+  EXPECT_EQ(plain.stats().expansion_cache.misses,
+            shadowed.stats().expansion_cache.misses);
+  const ShadowTallies t = shadowed.shadow_tallies();
+  // 3 distinct queries execute; the repeat is deduped.
+  EXPECT_EQ(t.executed, 3u);
+  EXPECT_EQ(t.deduped, 1u);
+  EXPECT_EQ(t.sampled, t.executed + t.shed + t.deduped + t.errors);
+}
+
+TEST_F(ServerFixture, ShadowJobsShedWhenLowPriorityQueueIsFull) {
+  ServerOptions options;
+  options.start_workers = false;
+  options.shadow_sample_rate = 1.0;
+  options.shadow_queue_capacity = 2;
+  QecServer server(index_, options);
+  const std::vector<std::string> queries = {"canon products", "tv", "printer",
+                                            "memory", "hp products"};
+  for (const std::string& query : queries) {
+    // The synchronous path executes foreground work on this thread and
+    // schedules the shadow; with no workers the low-priority queue fills.
+    ASSERT_TRUE(server.Execute(Expand(query)).status.ok());
+  }
+  ShadowTallies t = server.shadow_tallies();
+  EXPECT_EQ(server.shadow_queue_depth(), 2u);
+  EXPECT_EQ(t.shed, 3u);
+  server.Start();
+  for (int i = 0; i < 200 && server.shadow_tallies().executed < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  t = server.shadow_tallies();
+  EXPECT_EQ(t.executed, 2u);
+  EXPECT_EQ(t.sampled, t.executed + t.shed + t.deduped + t.errors);
+}
+
+TEST_F(ServerFixture, ShadowComparisonsLandInFlightRecorder) {
+  ServerOptions options;
+  options.shadow_sample_rate = 1.0;
+  QecServer server(index_, options);
+  auto response = server.Submit(Expand("canon products")).get();
+  ASSERT_TRUE(response.status.ok());
+  for (int i = 0; i < 200 && server.shadow_tallies().executed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.shadow_tallies().executed, 1u);
+  bool found = false;
+  for (const auto& record : server.flight_recorder().Recent(8)) {
+    if (!record.shadow_algo.empty()) {
+      found = true;
+      EXPECT_EQ(record.trace_id, response.trace_id);
+      EXPECT_TRUE(record.shadow_sampled);
+      EXPECT_GE(record.shadow_set_score, 0.0);
+      EXPECT_FALSE(record.ab_winner.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ServerFixture, ExplainJsonLineCarriesBothArmsAndTermDetails) {
+  QecServer server(index_);
+  ServeRequest request;
+  request.verb = ServeRequest::Verb::kExplain;
+  request.query = "canon products";
+  const std::string line = server.ExplainJsonLine(request);
+  auto parsed = obs::json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->Find("status")->string, "ok");
+  EXPECT_EQ(parsed->Find("query")->string, "canon products");
+  const obs::json::Value* winner = parsed->Find("winner");
+  ASSERT_NE(winner, nullptr);
+  for (const char* arm : {"primary", "shadow"}) {
+    const obs::json::Value* value = parsed->Find(arm);
+    ASSERT_NE(value, nullptr) << arm;
+    ASSERT_EQ(value->Find("status")->string, "OK") << arm;
+    EXPECT_GE(value->Find("set_score")->number, 0.0);
+    const obs::json::Value* arm_queries = value->Find("queries");
+    ASSERT_NE(arm_queries, nullptr);
+    ASSERT_FALSE(arm_queries->array.empty());
+    for (const auto& q : arm_queries->array) {
+      for (const auto& term : q.Find("terms")->array) {
+        EXPECT_FALSE(term.Find("term")->string.empty());
+        EXPECT_GE(term.Find("benefit")->number, 0.0);
+        EXPECT_GE(term.Find("cost")->number, 0.0);
+      }
+    }
+  }
+  // The two arms differ (primary default vs its natural counterpart).
+  EXPECT_NE(parsed->Find("primary")->Find("algo")->string,
+            parsed->Find("shadow")->Find("algo")->string);
+}
+
+TEST_F(ServerFixture, AbtestJsonLineAnswersEnabledAndDisabled) {
+  QecServer disabled(index_);
+  auto off = obs::json::Parse(disabled.AbtestJsonLine(4));
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->Find("enabled")->boolean, false);
+  EXPECT_EQ(off->Find("sampled")->number, 0.0);
+  EXPECT_TRUE(off->Find("recent")->array.empty());
+
+  ServerOptions options;
+  options.shadow_sample_rate = 1.0;
+  QecServer server(index_, options);
+  ASSERT_TRUE(server.Submit(Expand("canon products")).get().status.ok());
+  for (int i = 0; i < 200 && server.shadow_tallies().executed < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto on = obs::json::Parse(server.AbtestJsonLine(4));
+  ASSERT_TRUE(on.ok()) << server.AbtestJsonLine(4);
+  EXPECT_EQ(on->Find("enabled")->boolean, true);
+  EXPECT_EQ(on->Find("shadow_algo")->string, "PEBC");
+  EXPECT_EQ(on->Find("executed")->number, 1.0);
+  ASSERT_EQ(on->Find("recent")->array.size(), 1u);
+  const obs::json::Value& comparison = on->Find("recent")->array[0];
+  EXPECT_EQ(comparison.Find("query")->string, "canon products");
+  EXPECT_FALSE(comparison.Find("winner")->string.empty());
+}
+
+TEST_F(ServerFixture, StatsJsonCarriesShadowBlock) {
+  ServerOptions options;
+  options.shadow_sample_rate = 0.25;
+  QecServer server(index_, options);
+  auto parsed = obs::json::Parse(server.StatsJsonLine());
+  ASSERT_TRUE(parsed.ok());
+  const obs::json::Value* shadow = parsed->Find("shadow");
+  ASSERT_NE(shadow, nullptr);
+  EXPECT_EQ(shadow->Find("enabled")->boolean, true);
+  EXPECT_DOUBLE_EQ(shadow->Find("sample_rate")->number, 0.25);
+  EXPECT_EQ(shadow->Find("algo")->string, "PEBC");
 }
 
 #if !defined(QEC_DISABLE_METRICS) && !defined(QEC_DISABLE_TRACING)

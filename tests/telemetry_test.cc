@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "server/request_context.h"
+#include "server/shadow_evaluator.h"
 
 namespace qec::obs {
 namespace {
@@ -235,6 +236,12 @@ RequestRecord MakeRecord(uint64_t trace_id) {
   r.iskr_candidates_evaluated = trace_id * 2;
   r.pebc_samples_drawn = trace_id * 3;
   r.pebc_candidates_evaluated = trace_id * 4;
+  r.set_score = 0.75;
+  r.shadow_sampled = true;
+  r.shadow_algo = "PEBC";
+  r.shadow_set_score = 0.5;
+  r.ab_winner = "primary";
+  r.shadow_expansion_ns = 50 * trace_id;
   return r;
 }
 
@@ -259,6 +266,29 @@ TEST(RequestRecordTest, JsonRoundTripsEveryField) {
   EXPECT_EQ(parsed->pebc_samples_drawn, original.pebc_samples_drawn);
   EXPECT_EQ(parsed->pebc_candidates_evaluated,
             original.pebc_candidates_evaluated);
+  EXPECT_DOUBLE_EQ(parsed->set_score, original.set_score);
+  EXPECT_EQ(parsed->shadow_sampled, original.shadow_sampled);
+  EXPECT_EQ(parsed->shadow_algo, original.shadow_algo);
+  EXPECT_DOUBLE_EQ(parsed->shadow_set_score, original.shadow_set_score);
+  EXPECT_EQ(parsed->ab_winner, original.ab_winner);
+  EXPECT_EQ(parsed->shadow_expansion_ns, original.shadow_expansion_ns);
+}
+
+TEST(RequestRecordTest, QualityFieldsAreOptionalInJson) {
+  // A record that never met the shadow layer emits none of the quality
+  // fields, and a pre-shadow JSONL line still parses with the defaults.
+  RequestRecord plain;
+  plain.trace_id = 7;
+  plain.query = "q";
+  const std::string line = plain.ToJsonLine();
+  EXPECT_EQ(line.find("shadow"), std::string::npos);
+  EXPECT_EQ(line.find("set_score"), std::string::npos);
+  auto parsed = RequestRecordFromJson(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->shadow_sampled);
+  EXPECT_TRUE(parsed->shadow_algo.empty());
+  EXPECT_DOUBLE_EQ(parsed->set_score, -1.0);
+  EXPECT_DOUBLE_EQ(parsed->shadow_set_score, -1.0);
 }
 
 TEST(RequestRecordTest, RejectsMalformedJson) {
@@ -372,6 +402,82 @@ TEST(RequestContextTest, GeneratedTraceIdsAreUniqueAndNonZero) {
   }
   EXPECT_EQ(ids.size(), 10000u);
 }
+
+// ------------------------------------------------------------ build info --
+
+TEST(PrometheusBuildInfoTest, EmitsParsableSingleSampleGauge) {
+  const std::string text = PrometheusBuildInfo();
+  auto families = ParsePrometheusText(text);
+  ASSERT_TRUE(families.ok()) << families.status().ToString();
+  ASSERT_EQ(families->size(), 1u);
+  const PrometheusFamily& family = (*families)[0];
+  EXPECT_EQ(family.name, "qec_build_info");
+  EXPECT_EQ(family.type, "gauge");
+  ASSERT_EQ(family.samples.size(), 1u);
+  const PrometheusSample& sample = family.samples[0];
+  EXPECT_DOUBLE_EQ(sample.value, 1.0);
+  EXPECT_FALSE(sample.Label("version").empty());
+  EXPECT_FALSE(sample.Label("git").empty());
+  for (const char* flag : {"popcount", "tracing"}) {
+    const std::string_view v = sample.Label(flag);
+    EXPECT_TRUE(v == "on" || v == "off") << flag << "=" << v;
+  }
+}
+
+TEST(PrometheusBuildInfoTest, LeadsEveryExposition) {
+  const std::string text = PrometheusSnapshot();
+  EXPECT_EQ(text.rfind("# TYPE qec_build_info gauge\nqec_build_info{", 0), 0u)
+      << text.substr(0, 120);
+  // And the multi-label line survives the strict parser.
+  EXPECT_TRUE(ParsePrometheusText(text).ok());
+}
+
+// --------------------------------------------------------- shadow metrics --
+
+#if !defined(QEC_DISABLE_METRICS) && !defined(QEC_DISABLE_TRACING)
+TEST(ShadowMetricsTest, ComparisonsFeedPrometheusFamilies) {
+  MetricsRegistry::Global().ResetAll();
+  server::ShadowEvaluatorOptions options;
+  options.sample_rate = 1.0;
+  server::ShadowEvaluator evaluator(options);
+  evaluator.Compare(1, "q", "ISKR", 0.9, 1'000'000, 0.5, 2'000'000);
+  evaluator.Compare(2, "q2", "ISKR", 0.2, 1'000'000, 0.8, 2'000'000);
+  evaluator.RecordShed();
+
+  const std::string text = PrometheusSnapshot();
+  auto families = ParsePrometheusText(text);
+  ASSERT_TRUE(families.ok()) << families.status().ToString();
+  double sampled = 0, executed = 0, shed = 0, wins_primary = 0,
+         wins_shadow = 0;
+  bool saw_primary_hist = false, saw_shadow_hist = false;
+  for (const auto& family : *families) {
+    for (const auto& sample : family.samples) {
+      if (sample.name == "qec_shadow_sampled_total") sampled = sample.value;
+      if (sample.name == "qec_shadow_executed_total") executed = sample.value;
+      if (sample.name == "qec_shadow_shed_total") shed = sample.value;
+      if (sample.name == "qec_shadow_wins_primary_total") {
+        wins_primary = sample.value;
+      }
+      if (sample.name == "qec_shadow_wins_shadow_total") {
+        wins_shadow = sample.value;
+      }
+    }
+    if (family.name == "qec_shadow_primary_score_milli") {
+      saw_primary_hist = true;
+    }
+    if (family.name == "qec_shadow_shadow_expansion_ns") {
+      saw_shadow_hist = true;
+    }
+  }
+  EXPECT_EQ(sampled, 3.0);
+  EXPECT_EQ(executed, 2.0);
+  EXPECT_EQ(shed, 1.0);
+  EXPECT_EQ(wins_primary, 1.0);
+  EXPECT_EQ(wins_shadow, 1.0);
+  EXPECT_TRUE(saw_primary_hist);
+  EXPECT_TRUE(saw_shadow_hist);
+}
+#endif  // !QEC_DISABLE_METRICS && !QEC_DISABLE_TRACING
 
 }  // namespace
 }  // namespace qec::obs
