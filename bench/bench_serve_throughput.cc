@@ -19,13 +19,32 @@
 // observability flags (--metrics-out=FILE writes the metrics JSON,
 // including server/cache_* counters, the queue-depth gauges, and the
 // server/request_latency_ns histogram).
+//
+// --net switches to the network load-generator mode: an in-process epoll
+// NetServer (ephemeral loopback port) is driven by the same Zipf workload,
+// cache pre-warmed, first with one single-in-flight connection (the old
+// stdin serve loop's behavior: one request, wait, repeat), then with
+// --connections=N (default 8) pipelined connections at --pipeline=D
+// (default 32) requests in flight each. Reports both QPS and their ratio —
+// the acceptance bar is >= 4x — and cross-checks that the TCP transport
+// returns byte-identical responses (volatile fields canonicalized) to the
+// direct submission path for the same request stream.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +57,8 @@
 #include "eval/obs_report.h"
 #include "eval/table_printer.h"
 #include "index/inverted_index.h"
+#include "server/net/net_server.h"
+#include "server/protocol.h"
 #include "server/request_context.h"
 #include "server/server.h"
 
@@ -199,6 +220,381 @@ RunResult RunWorkload(const qec::index::InvertedIndex& index,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// --net mode: drive an in-process NetServer over loopback TCP.
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+  return fd;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered blocking line reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* out) {
+    for (;;) {
+      const size_t nl = buf_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        out->assign(buf_, pos_, nl - pos_);
+        pos_ = nl + 1;
+        if (pos_ > 1 << 16) {
+          buf_.erase(0, pos_);
+          pos_ = 0;
+        }
+        return true;
+      }
+      if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+/// Replays `workload` as EXPAND lines over `connections` TCP connections,
+/// each keeping up to `depth` requests in flight (depth 1 = the serialized
+/// request/response loop the stdin transport used to run). The writer
+/// coalesces every free window slot into one send, so a pipelined client
+/// issues bursts the server can batch-admit.
+RunResult RunNetWorkload(uint16_t port,
+                         const std::vector<std::string>& workload,
+                         size_t connections, size_t depth) {
+  std::vector<std::vector<const std::string*>> per_conn(connections);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    per_conn[i % connections].push_back(&workload[i]);
+  }
+
+  RunResult result;
+  std::mutex result_mu;
+  std::atomic<bool> failed{false};
+  qec::Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<const std::string*>& requests = per_conn[c];
+      if (requests.empty()) return;
+      const int fd = ConnectLoopback(port);
+      if (fd < 0) {
+        failed.store(true);
+        return;
+      }
+      using Clock = std::chrono::steady_clock;
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t in_flight = 0;
+      // Cork threshold, shared by writer (wait) and reader (notify): the
+      // writer sleeps until at least this much window is free, and the
+      // reader only pays a futex wake when the threshold is crossed —
+      // one wake per burst instead of one per response.
+      const size_t min_burst = depth > 1 ? depth / 2 : 1;
+      std::vector<Clock::time_point> send_times(requests.size());
+
+      std::vector<double> latencies;
+      latencies.reserve(requests.size());
+      size_t ok = 0;
+      size_t errors = 0;
+      std::thread reader([&] {
+        LineReader lines(fd);
+        std::string line;
+        for (size_t i = 0; i < requests.size(); ++i) {
+          if (!lines.ReadLine(&line)) {
+            failed.store(true);
+            cv.notify_all();
+            return;
+          }
+          Clock::time_point sent;
+          bool wake;
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            sent = send_times[i];
+            --in_flight;
+            const size_t free_window = depth - in_flight;
+            wake = free_window == min_burst || in_flight == 0;
+          }
+          if (wake) cv.notify_one();
+          latencies.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                  .count());
+          if (qec::StartsWith(line, "{\"status\":\"ok\"")) {
+            ++ok;
+          } else {
+            ++errors;
+          }
+        }
+      });
+
+      std::string wire;
+      size_t next = 0;
+      while (next < requests.size() && !failed.load()) {
+        size_t take = 0;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          const size_t want = std::min(min_burst, requests.size() - next);
+          cv.wait(lock, [&] {
+            return depth - in_flight >= want || failed.load();
+          });
+          if (failed.load()) break;
+          take = std::min(depth - in_flight, requests.size() - next);
+          const Clock::time_point now = Clock::now();
+          for (size_t k = 0; k < take; ++k) send_times[next + k] = now;
+          in_flight += take;
+        }
+        wire.clear();
+        for (size_t k = 0; k < take; ++k) {
+          wire += "EXPAND ";
+          wire += *requests[next + k];
+          wire += '\n';
+        }
+        if (!SendAll(fd, wire.data(), wire.size())) failed.store(true);
+        next += take;
+      }
+      reader.join();
+      ::close(fd);
+
+      std::lock_guard<std::mutex> lock(result_mu);
+      result.ok += ok;
+      result.errors += errors;
+      result.latencies_ms.insert(result.latencies_ms.end(),
+                                 latencies.begin(), latencies.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  result.seconds = watch.ElapsedSeconds();
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(workload.size()) / result.seconds
+                   : 0.0;
+  if (failed.load()) result.errors += 1;
+  return result;
+}
+
+/// Erases one `"key":value` JSON field (string, number, or object value)
+/// from a rendered response line, comma included — used to canonicalize
+/// away per-request volatile fields before the transport-identity check.
+void EraseJsonField(std::string* line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line->find(needle);
+  if (pos == std::string::npos) return;
+  size_t end = pos + needle.size();
+  if (end >= line->size()) return;
+  if ((*line)[end] == '"') {
+    end = line->find('"', end + 1);
+    if (end == std::string::npos) return;
+    ++end;
+  } else if ((*line)[end] == '{') {
+    int nesting = 0;
+    do {
+      if ((*line)[end] == '{') ++nesting;
+      if ((*line)[end] == '}') --nesting;
+      ++end;
+    } while (nesting > 0 && end < line->size());
+  } else {
+    while (end < line->size() &&
+           (std::isdigit(static_cast<unsigned char>((*line)[end])) != 0 ||
+            (*line)[end] == '.' || (*line)[end] == '-' ||
+            (*line)[end] == '+' || (*line)[end] == 'e')) {
+      ++end;
+    }
+  }
+  size_t begin = pos;
+  if (end < line->size() && (*line)[end] == ',') {
+    ++end;  // interior field: take the trailing comma
+  } else if (begin > 0 && (*line)[begin - 1] == ',') {
+    --begin;  // last field: take the leading comma
+  }
+  line->erase(begin, end - begin);
+}
+
+std::string CanonicalizeResponse(std::string line) {
+  EraseJsonField(&line, "trace_id");
+  EraseJsonField(&line, "queue_ms");
+  EraseJsonField(&line, "total_ms");
+  EraseJsonField(&line, "stages_ms");
+  return line;
+}
+
+/// Replays `workload` over one TCP connection and also through direct
+/// QecServer submission (the stdin transport's path), and compares the
+/// canonicalized response lines pairwise. Returns the number of mismatches.
+size_t CheckTransportIdentity(qec::server::QecServer* server, uint16_t port,
+                              const std::vector<std::string>& workload) {
+  // TCP side: send everything pipelined, read back in order.
+  std::vector<std::string> net_lines;
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) return workload.size();
+  std::string wire;
+  for (const std::string& query : workload) {
+    wire += "EXPAND ";
+    wire += query;
+    wire += '\n';
+  }
+  if (!SendAll(fd, wire.data(), wire.size())) {
+    ::close(fd);
+    return workload.size();
+  }
+  LineReader lines(fd);
+  std::string line;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!lines.ReadLine(&line)) break;
+    net_lines.push_back(line);
+  }
+  ::close(fd);
+  if (net_lines.size() != workload.size()) return workload.size();
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto request = qec::server::ParseRequestLine("EXPAND " + workload[i]);
+    qec::server::ServeResponse response =
+        server->Submit(*std::move(request)).get();
+    const std::string direct =
+        !response.json_line.empty()
+            ? response.json_line
+            : qec::server::ResponseToJsonLine(response);
+    if (CanonicalizeResponse(net_lines[i]) != CanonicalizeResponse(direct)) {
+      if (++mismatches <= 3) {
+        std::fprintf(stderr,
+                     "transport mismatch on '%s':\n  net:    %s\n  direct: "
+                     "%s\n",
+                     workload[i].c_str(), net_lines[i].c_str(),
+                     direct.c_str());
+      }
+    }
+  }
+  return mismatches;
+}
+
+/// The --net benchmark: single-in-flight baseline vs pipelined connections
+/// against one warm in-process NetServer. Returns the process exit code and
+/// appends the net section of the result JSON.
+int RunNetMode(const qec::index::InvertedIndex& index,
+               const std::vector<std::string>& workload, size_t threads,
+               size_t queue_capacity, size_t connections, size_t depth,
+               std::string* result_json) {
+  qec::server::ServerOptions options;
+  options.num_threads = threads;
+  // Admission must hold a full pipelined burst from every connection, or
+  // the load generator measures shedding instead of throughput.
+  options.queue_capacity =
+      std::max(queue_capacity, connections * depth + 32);
+  options.expander.candidates.fraction = 1.0;
+  qec::server::QecServer server(index, options);
+
+  qec::server::net::NetServerOptions net_options;
+  net_options.max_connections = connections + 8;
+  qec::server::net::NetServer net(&server, net_options);
+  const qec::Status started = net.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "net server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Warm the expansion cache with every distinct query so both arms replay
+  // the same all-hit workload — the cached-hit config the acceptance bar
+  // is defined over (and the `cached` field is uniform for the identity
+  // check).
+  for (const auto& query : qec::datagen::ShoppingQueries()) {
+    auto request = qec::server::ParseRequestLine("EXPAND " + query.text);
+    if (request.ok()) server.Execute(*request);
+  }
+
+  const size_t identity_n = std::min<size_t>(workload.size(), 128);
+  const std::vector<std::string> identity_slice(
+      workload.begin(),
+      workload.begin() + static_cast<ptrdiff_t>(identity_n));
+  const size_t mismatches =
+      CheckTransportIdentity(&server, net.port(), identity_slice);
+  std::printf(
+      "transport identity (net vs direct, %zu requests): %s\n", identity_n,
+      mismatches == 0 ? "identical" : "MISMATCH");
+
+  RunResult baseline = RunNetWorkload(net.port(), workload, 1, 1);
+  RunResult pipelined =
+      RunNetWorkload(net.port(), workload, connections, depth);
+  net.Shutdown();
+
+  const qec::server::net::NetServerStats net_stats = net.stats();
+  qec::eval::TablePrinter table(
+      {"config", "seconds", "qps", "p50 ms", "p99 ms", "errors"});
+  auto add_row = [&](const char* name, const RunResult& r) {
+    table.AddRow({name, qec::FormatDouble(r.seconds, 3),
+                  qec::FormatDouble(r.qps, 1),
+                  qec::FormatDouble(r.Percentile(50.0), 3),
+                  qec::FormatDouble(r.Percentile(99.0), 3),
+                  std::to_string(r.errors)});
+  };
+  add_row("net single-in-flight", baseline);
+  add_row("net pipelined", pipelined);
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "net: %zu conns x depth %zu, %llu batches over %llu expands "
+      "(%.1f expands/batch)\n",
+      connections, depth,
+      static_cast<unsigned long long>(net_stats.batches),
+      static_cast<unsigned long long>(net_stats.expand_requests),
+      net_stats.batches > 0
+          ? static_cast<double>(net_stats.expand_requests) /
+                static_cast<double>(net_stats.batches)
+          : 0.0);
+
+  const double ratio =
+      baseline.qps > 0.0 ? pipelined.qps / baseline.qps : 0.0;
+  std::printf("pipelined vs single-in-flight: %.2fx %s\n", ratio,
+              ratio >= 4.0 ? "(>= 4x: PASS)" : "(< 4x: FAIL)");
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\"net\":{\"connections\":%zu,\"pipeline\":%zu,"
+                "\"identity_mismatches\":%zu,\"ratio\":%.3f,\"baseline\":",
+                connections, depth, mismatches, ratio);
+  *result_json += buf;
+  AppendRunJson(result_json, baseline);
+  *result_json += ",\"pipelined\":";
+  AppendRunJson(result_json, pipelined);
+  *result_json += "}";
+
+  int rc = 0;
+  if (ratio < 4.0 || mismatches > 0) rc = 1;
+  if (baseline.errors > 0 || pipelined.errors > 0) rc = 1;
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +603,9 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t queue_capacity = 256;
   bool cached_config = true;
+  bool net_mode = false;
+  size_t connections = 8;
+  size_t pipeline_depth = 32;
   double shadow_rate = 0.0;
   std::string result_out;
   for (int i = 1; i < argc; ++i) {
@@ -219,6 +618,12 @@ int main(int argc, char** argv) {
       queue_capacity = std::stoul(arg.substr(strlen("--queue=")));
     } else if (arg == "--no-cache") {
       cached_config = false;
+    } else if (arg == "--net") {
+      net_mode = true;
+    } else if (qec::StartsWith(arg, "--connections=")) {
+      connections = std::stoul(arg.substr(strlen("--connections=")));
+    } else if (qec::StartsWith(arg, "--pipeline=")) {
+      pipeline_depth = std::stoul(arg.substr(strlen("--pipeline=")));
     } else if (qec::StartsWith(arg, "--shadow-rate=")) {
       shadow_rate = std::stod(arg.substr(strlen("--shadow-rate=")));
     } else if (qec::StartsWith(arg, "--result-out=")) {
@@ -227,6 +632,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (connections == 0 || pipeline_depth == 0) {
+    std::fprintf(stderr, "--connections and --pipeline must be >= 1\n");
+    return 2;
   }
 
   std::printf("=== Serving Throughput: Repeated-Query Workload ===\n\n");
@@ -238,6 +647,28 @@ int main(int argc, char** argv) {
       "(Zipf-skewed)\n\n",
       corpus.NumDocs(), workload.size(),
       qec::datagen::ShoppingQueries().size());
+
+  if (net_mode) {
+    std::string result_json = "{";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "\"requests\":%zu,\"threads\":%zu",
+                  workload.size(), threads);
+    result_json += buf;
+    const int rc = RunNetMode(index, workload, threads, queue_capacity,
+                              connections, pipeline_depth, &result_json);
+    result_json += "}";
+    if (!result_out.empty()) {
+      std::FILE* f = std::fopen(result_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", result_out.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%s\n", result_json.c_str());
+      std::fclose(f);
+      std::printf("result json: %s\n", result_out.c_str());
+    }
+    return qec::eval::EmitObsOutputs(obs_flags) ? rc : 1;
+  }
 
   qec::eval::TablePrinter table({"config", "seconds", "qps", "cache hits",
                                  "cache misses", "errors"});

@@ -19,11 +19,15 @@
 //                  [-n N] [--queries=FILE]   offline A/B replay: score both
 //                  arms over a query workload and print the tallies
 //   qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE]
+//                  [--port=N [--host=ADDR] [--max-conns=N]
+//                  [--max-line-bytes=N] [--drain-ms=N]]
 //                  [--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache]
 //                  [--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N]
 //                  [--flight-recorder=N] [--metrics-flush-interval=SEC]
 //                  [--metrics-flush-out=FILE] [--shadow-rate=R]
-//                  [--shadow-algo=A] [--shadow-queue=N]  line-protocol server
+//                  [--shadow-algo=A] [--shadow-queue=N]  line-protocol
+//                  server over stdin/stdout, or over TCP (epoll, pipelined)
+//                  with --port
 //   qec_cli slowlog <dump.jsonl> [-n N]                  print a slowlog dump
 //   qec_cli quickstart [--snapshot=FILE [--query=Q]]     in-memory demo
 //
@@ -42,11 +46,16 @@
 // element (the whole subtree's text is indexed, title = <title> child or
 // the file name).
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,6 +65,7 @@
 #include "eval/table_printer.h"
 #include "obs/flight_recorder.h"
 #include "obs/prometheus.h"
+#include "server/net/net_server.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "datagen/shopping.h"
@@ -87,6 +97,8 @@ int Usage() {
       "  qec_cli abtest <corpus.qec|shopping|wikipedia> [-a algo] [-b algo] "
       "[-n N] [--queries=FILE]\n"
       "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE] "
+      "[--port=N [--host=ADDR] [--max-conns=N] [--max-line-bytes=N] "
+      "[--drain-ms=N]] "
       "[--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache] "
       "[--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N] "
       "[--flight-recorder=N] [--metrics-flush-interval=SEC] "
@@ -624,20 +636,109 @@ int CmdAbtest(const std::vector<std::string>& args) {
   return 0;
 }
 
+// The serve --port signal hook: SIGINT/SIGTERM request a graceful drain.
+// NetServer::RequestStop is async-signal-safe (atomic store + eventfd
+// write), so the handler may call it directly.
+std::atomic<qec::server::net::NetServer*> g_net_server{nullptr};
+
+void HandleStopSignal(int) {
+  qec::server::net::NetServer* net =
+      g_net_server.load(std::memory_order_acquire);
+  if (net != nullptr) net->RequestStop();
+}
+
+// Ordered stdout writer for the pipelined stdin serve loop. The reader
+// thread opens one slot per request line and keeps reading ahead;
+// responses complete out of order on worker threads but print strictly in
+// request order. Open() applies backpressure once `window` responses are
+// outstanding, so a piped-in workload cannot trip the server's admission
+// shedding.
+class OrderedStdout {
+ public:
+  explicit OrderedStdout(size_t window) : window_(window) {}
+
+  bool Full() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size() >= window_;
+  }
+
+  uint64_t Open() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return slots_.size() < window_; });
+    slots_.emplace_back();
+    return next_++;
+  }
+
+  void Complete(uint64_t slot, std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[static_cast<size_t>(slot - base_)] = {true, std::move(line)};
+    bool flushed = false;
+    while (!slots_.empty() && slots_.front().done) {
+      std::printf("%s\n", slots_.front().line.c_str());
+      slots_.pop_front();
+      ++base_;
+      flushed = true;
+    }
+    if (flushed) {
+      std::fflush(stdout);
+      cv_.notify_all();
+    }
+  }
+
+  /// Blocks until every opened slot has completed and printed.
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return slots_.empty(); });
+  }
+
+ private:
+  struct Slot {
+    bool done = false;
+    std::string line;
+  };
+
+  const size_t window_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Slot> slots_;
+  uint64_t next_ = 0;
+  uint64_t base_ = 0;
+};
+
 // serve: the line-protocol serving layer (docs/SERVING.md) driven by
-// stdin/stdout — one request line in, one JSON response line out. The
-// corpus argument is a .qec file, or the literal "shopping"/"wikipedia"
-// to serve a generated demo corpus; `--snapshot=FILE` starts from a
-// checksummed snapshot instead — no XML parsing, no index rebuild.
+// stdin/stdout — one request line in, one JSON response line out — or, with
+// --port=N, by the epoll network front end serving the same protocol over
+// TCP with pipelining (--port=0 binds an ephemeral port and reports it on
+// stderr). The corpus argument is a .qec file, or the literal
+// "shopping"/"wikipedia" to serve a generated demo corpus;
+// `--snapshot=FILE` starts from a checksummed snapshot instead — no XML
+// parsing, no index rebuild.
 int CmdServe(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   qec::server::ServerOptions options;
+  qec::server::net::NetServerOptions net_options;
+  bool net_mode = false;
   std::string corpus_arg;
   std::string snapshot_path;
   std::string metrics_flush_out = "metrics.prom";
   uint64_t metrics_flush_interval_s = 0;
   for (const std::string& arg : args) {
-    if (qec::StartsWith(arg, "--snapshot=")) {
+    if (qec::StartsWith(arg, "--port=")) {
+      net_mode = true;
+      net_options.port =
+          static_cast<uint16_t>(std::stoul(arg.substr(strlen("--port="))));
+    } else if (qec::StartsWith(arg, "--host=")) {
+      net_options.host = arg.substr(strlen("--host="));
+    } else if (qec::StartsWith(arg, "--max-conns=")) {
+      net_options.max_connections =
+          static_cast<size_t>(std::stoul(arg.substr(strlen("--max-conns="))));
+    } else if (qec::StartsWith(arg, "--max-line-bytes=")) {
+      net_options.max_line_bytes = static_cast<size_t>(
+          std::stoul(arg.substr(strlen("--max-line-bytes="))));
+    } else if (qec::StartsWith(arg, "--drain-ms=")) {
+      net_options.drain_timeout_ms =
+          std::stoull(arg.substr(strlen("--drain-ms=")));
+    } else if (qec::StartsWith(arg, "--snapshot=")) {
       snapshot_path = arg.substr(strlen("--snapshot="));
     } else if (qec::StartsWith(arg, "--threads=")) {
       options.num_threads =
@@ -720,17 +821,80 @@ int CmdServe(const std::vector<std::string>& args) {
                options.enable_expansion_cache ? "on" : "off",
                options.shadow_sample_rate > 0.0 ? "on" : "off");
 
+  if (net_mode) {
+    qec::server::net::NetServer net(&server, net_options);
+    const qec::Status bound = net.Bind();
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+      return 1;
+    }
+    g_net_server.store(&net, std::memory_order_release);
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    std::fprintf(stderr, "listening on %s:%u (SIGINT/SIGTERM drain)\n",
+                 net_options.host.c_str(), static_cast<unsigned>(net.port()));
+    const qec::Status run = net.Run();
+    g_net_server.store(nullptr, std::memory_order_release);
+    if (flusher != nullptr) flusher->Stop();
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  // Stdin transport, same submission path as the network front end:
+  // request lines are read ahead and EXPANDs admitted in bursts through
+  // SubmitBatch, so a piped workload pipelines through the whole worker
+  // pool instead of serializing on one future.get() per line. OrderedStdout
+  // keeps responses in request order.
+  OrderedStdout writer(std::max<size_t>(options.queue_capacity, 1));
+  std::vector<qec::server::QecServer::AsyncRequest> batch;
+  const auto flush_batch = [&server, &batch] {
+    if (batch.empty()) return;
+    server.SubmitBatch(std::move(batch));
+    batch.clear();
+  };
+
   std::string line;
   while (std::getline(std::cin, line)) {
     if (qec::TrimWhitespace(line).empty()) continue;
+    // Never let unsubmitted work block slot backpressure.
+    if (writer.Full()) flush_batch();
+    const uint64_t slot = writer.Open();
+
     auto request = qec::server::ParseRequestLine(line);
     if (!request.ok()) {
       qec::server::ServeResponse bad;
       bad.status = request.status();
-      std::printf("%s\n", qec::server::ResponseToJsonLine(bad).c_str());
-      std::fflush(stdout);
+      writer.Complete(slot, qec::server::ResponseToJsonLine(bad));
       continue;
     }
+
+    if (request->verb == qec::server::ServeRequest::Verb::kExpand) {
+      qec::server::QecServer::AsyncRequest async;
+      async.request = *std::move(request);
+      async.on_done = [&writer, slot](qec::server::ServeResponse response) {
+        // The worker pre-renders the line inside its timed serialize
+        // stage; requests rejected before reaching a worker render here.
+        writer.Complete(slot,
+                        !response.json_line.empty()
+                            ? std::move(response.json_line)
+                            : qec::server::ResponseToJsonLine(response));
+      };
+      batch.push_back(std::move(async));
+      // Submit at end of the buffered burst (nothing left to read without
+      // blocking) or at a size cap, mirroring the per-readable-event
+      // batches of the network front end.
+      if (batch.size() >= 64 || std::cin.rdbuf()->in_avail() <= 0) {
+        flush_batch();
+      }
+      continue;
+    }
+
+    // Control verbs answer immediately (still in request order via their
+    // slot). Submit buffered EXPANDs first so STATS/METRICS observe them.
+    flush_batch();
     std::string out;
     switch (request->verb) {
       case qec::server::ServeRequest::Verb::kPing:
@@ -756,20 +920,13 @@ int CmdServe(const std::vector<std::string>& args) {
         // diagnostic verb, not a serving path.
         out = server.ExplainJsonLine(*request);
         break;
-      case qec::server::ServeRequest::Verb::kExpand: {
-        auto future = server.Submit(*std::move(request));
-        const qec::server::ServeResponse response = future.get();
-        // The worker pre-renders the line inside its timed serialize
-        // stage; requests rejected before reaching a worker render here.
-        out = !response.json_line.empty()
-                  ? response.json_line
-                  : qec::server::ResponseToJsonLine(response);
-        break;
-      }
+      case qec::server::ServeRequest::Verb::kExpand:
+        break;  // unreachable: handled above
     }
-    std::printf("%s\n", out.c_str());
-    std::fflush(stdout);
+    writer.Complete(slot, std::move(out));
   }
+  flush_batch();
+  writer.Drain();
   if (flusher != nullptr) flusher->Stop();
   return 0;
 }

@@ -35,16 +35,21 @@ struct LruCacheStats {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedLruCache {
  public:
-  /// `capacity` is the total entry bound, split evenly across
-  /// `num_shards`; each shard holds at least one entry.
+  /// `capacity` is the total entry bound, split across `num_shards` so the
+  /// per-shard capacities sum to exactly `capacity` (the first
+  /// `capacity % num_shards` shards hold one extra entry); each shard
+  /// holds at least one entry. Ceil-division here used to let a
+  /// (capacity=10, num_shards=8) cache hold 16 entries — 60% over the
+  /// documented total bound.
   explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
     QEC_CHECK_GT(capacity, 0u);
     QEC_CHECK_GT(num_shards, 0u);
     if (num_shards > capacity) num_shards = capacity;
-    const size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    const size_t base = capacity / num_shards;
+    const size_t extra = capacity % num_shards;
     shards_.reserve(num_shards);
     for (size_t i = 0; i < num_shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>(per_shard));
+      shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0)));
     }
   }
 
@@ -131,8 +136,23 @@ class ShardedLruCache {
     uint64_t evictions = 0;
   };
 
+  /// Shard selection mixes the hash through a splitmix64 finalizer first:
+  /// std::hash is the identity for integral keys on common
+  /// implementations, so `hash % num_shards` and the in-shard bucket index
+  /// would otherwise be computed from the same low bits — sequential keys
+  /// with a stride equal to the shard count would all pile into one shard.
+  static size_t MixHash(size_t h) {
+    uint64_t x = static_cast<uint64_t>(h);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+
   Shard& ShardFor(const Key& key) {
-    return *shards_[hash_(key) % shards_.size()];
+    return *shards_[MixHash(hash_(key)) % shards_.size()];
   }
 
   Hash hash_;

@@ -1,0 +1,244 @@
+#include "server/net/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace qec::server::net {
+
+namespace {
+
+/// Per readable event, stop pulling from the socket after this many bytes
+/// so one fire-hosing client cannot starve its neighbours; level-triggered
+/// epoll re-notifies for the remainder.
+constexpr size_t kMaxBytesPerReadEvent = 256 * 1024;
+
+}  // namespace
+
+Connection::Connection(EventLoop* loop, int fd, std::string peer,
+                       size_t max_line_bytes, Callbacks callbacks)
+    : loop_(loop),
+      fd_(fd),
+      peer_(std::move(peer)),
+      max_line_bytes_(max_line_bytes),
+      callbacks_(std::move(callbacks)) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0 && !closed_) ::close(fd_);
+}
+
+Status Connection::Register() {
+  auto self = weak_from_this();
+  return loop_->Add(fd_, EPOLLIN, [self](uint32_t events) {
+    // Self-hold: the handler may Close() this connection, dropping the
+    // owner's shared_ptr mid-call.
+    if (auto conn = self.lock()) conn->HandleEvents(events);
+  });
+}
+
+void Connection::HandleEvents(uint32_t events) {
+  if (closed_) return;
+  if (events & EPOLLERR) {
+    Close();
+    return;
+  }
+  if (events & EPOLLOUT) {
+    TryWrite();
+    if (closed_) return;
+  }
+  if (events & (EPOLLIN | EPOLLHUP)) OnReadable();
+}
+
+void Connection::OnReadable() {
+  if (draining_) return;  // interest already narrowed; spurious level event
+  char buf[16 * 1024];
+  size_t read_this_event = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      bytes_read_ += static_cast<uint64_t>(n);
+      read_this_event += static_cast<size_t>(n);
+      if (read_this_event >= kMaxBytesPerReadEvent) break;
+      continue;
+    }
+    if (n == 0) {
+      // Orderly shutdown from the peer. Responses for everything already
+      // received still go out (the client may have half-closed with
+      // shutdown(SHUT_WR) and be reading).
+      peer_eof_ = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    Close();  // ECONNRESET and friends
+    return;
+  }
+
+  DeliverFrames();
+  if (closed_) return;
+  if (callbacks_.on_batch_end) callbacks_.on_batch_end(*this);
+  if (closed_) return;
+  if (peer_eof_) {
+    // Nothing more will arrive: close now if nothing is owed, otherwise
+    // once the open slots flush.
+    draining_ = true;
+    MaybeFinish();
+  }
+}
+
+void Connection::DeliverFrames() {
+  size_t consumed = 0;
+  for (;;) {
+    const size_t nl = rbuf_.find('\n', scan_pos_);
+    if (nl == std::string::npos) {
+      scan_pos_ = rbuf_.size();
+      break;
+    }
+    size_t end = nl;
+    if (end > consumed && rbuf_[end - 1] == '\r') --end;
+    const std::string_view line(rbuf_.data() + consumed, end - consumed);
+    consumed = nl + 1;
+    scan_pos_ = consumed;
+    if (line.size() > max_line_bytes_) {
+      QEC_COUNTER_INC("net/oversized_lines");
+      const uint64_t slot = OpenSlot();
+      CompleteSlot(slot,
+                   "{\"status\":\"error\",\"code\":\"InvalidArgument\","
+                   "\"message\":\"request line exceeds " +
+                       std::to_string(max_line_bytes_) + " bytes\"}");
+      StartDrain();
+      rbuf_.clear();
+      scan_pos_ = 0;
+      return;
+    }
+    if (!line.empty() && callbacks_.on_line) callbacks_.on_line(*this, line);
+    if (closed_ || draining_) break;
+  }
+  if (consumed > 0) {
+    rbuf_.erase(0, consumed);
+    scan_pos_ -= consumed;
+  }
+  // Unterminated frame growing past the limit: the terminator can be
+  // arbitrarily far away, so reject now instead of buffering unboundedly.
+  if (!closed_ && !draining_ && rbuf_.size() > max_line_bytes_) {
+    QEC_COUNTER_INC("net/oversized_lines");
+    const uint64_t slot = OpenSlot();
+    CompleteSlot(slot,
+                 "{\"status\":\"error\",\"code\":\"InvalidArgument\","
+                 "\"message\":\"request line exceeds " +
+                     std::to_string(max_line_bytes_) + " bytes\"}");
+    StartDrain();
+    rbuf_.clear();
+    scan_pos_ = 0;
+  }
+}
+
+uint64_t Connection::OpenSlot() {
+  slots_.emplace_back();
+  return next_slot_++;
+}
+
+void Connection::CompleteSlot(uint64_t slot, std::string line) {
+  if (closed_) return;
+  if (slot < base_slot_) return;  // flushed already (cannot normally happen)
+  const size_t index = static_cast<size_t>(slot - base_slot_);
+  QEC_CHECK_LT(index, slots_.size());
+  slots_[index].done = true;
+  slots_[index].line = std::move(line);
+  FlushCompleted();
+}
+
+void Connection::FlushCompleted() {
+  // Coalesce: every completed head-of-line response joins one buffer, so a
+  // pipelined burst answers with one send() instead of one per response.
+  while (!slots_.empty() && slots_.front().done) {
+    wbuf_ += slots_.front().line;
+    wbuf_ += '\n';
+    slots_.pop_front();
+    ++base_slot_;
+  }
+  if (write_pos_ < wbuf_.size()) ScheduleFlush();
+}
+
+void Connection::ScheduleFlush() {
+  // If EPOLLOUT is armed the socket is full; it flushes when writable.
+  if (flush_scheduled_ || want_write_) return;
+  flush_scheduled_ = true;
+  auto self = weak_from_this();
+  loop_->Post([self] {
+    if (auto conn = self.lock()) {
+      conn->flush_scheduled_ = false;
+      if (!conn->closed_) conn->TryWrite();
+    }
+  });
+}
+
+void Connection::TryWrite() {
+  while (write_pos_ < wbuf_.size()) {
+    const ssize_t n = ::send(fd_, wbuf_.data() + write_pos_,
+                             wbuf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<size_t>(n);
+      bytes_written_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateWriteInterest(true);
+      return;
+    }
+    // EPIPE/ECONNRESET: the client left mid-response. Nothing to salvage.
+    Close();
+    return;
+  }
+  wbuf_.clear();
+  write_pos_ = 0;
+  UpdateWriteInterest(false);
+  MaybeFinish();
+}
+
+void Connection::UpdateWriteInterest(bool want_write) {
+  if (want_write == want_write_ || closed_) return;
+  want_write_ = want_write;
+  // While draining we no longer care about EPOLLIN.
+  uint32_t events = draining_ ? 0u : static_cast<uint32_t>(EPOLLIN);
+  if (want_write) events |= EPOLLOUT;
+  loop_->Modify(fd_, events);
+}
+
+void Connection::StartDrain() {
+  if (closed_ || draining_) return;
+  draining_ = true;
+  const uint32_t events = want_write_ ? static_cast<uint32_t>(EPOLLOUT) : 0u;
+  loop_->Modify(fd_, events);
+  MaybeFinish();
+}
+
+bool Connection::MaybeFinish() {
+  if (closed_) return true;
+  if (!draining_) return false;
+  if (!idle()) return false;
+  Close();
+  return true;
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->Remove(fd_);
+  ::close(fd_);
+  slots_.clear();
+  wbuf_.clear();
+  write_pos_ = 0;
+  if (callbacks_.on_closed) callbacks_.on_closed(*this);
+}
+
+}  // namespace qec::server::net

@@ -1,0 +1,144 @@
+#ifndef QEC_SERVER_NET_CONNECTION_H_
+#define QEC_SERVER_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "server/net/event_loop.h"
+
+namespace qec::server::net {
+
+/// One accepted TCP connection speaking the line protocol, owned by the
+/// event-loop thread. Handles:
+///
+///  - nonblocking reads with EINTR/EAGAIN/partial-frame handling: bytes
+///    accumulate in a receive buffer until '\n' completes a frame (CRLF
+///    tolerated), so a request split across arbitrarily many TCP segments
+///    parses identically to one arriving whole;
+///  - a max-line guard: a frame that exceeds the limit without a
+///    terminator gets one error response and the connection drains closed
+///    (the stream cannot resync past an unterminated frame);
+///  - pipelining with in-order writeback: every parsed line opens a
+///    response slot; slots complete out of order (worker pool) but are
+///    written strictly in request order;
+///  - write coalescing: all completed head-of-line responses are appended
+///    to one output buffer and flushed with as few send() calls as the
+///    socket accepts, falling back to EPOLLOUT on short writes.
+///
+/// Thread model: every method must be called on the loop thread. Worker
+/// threads deliver responses by posting a CompleteSlot call through the
+/// EventLoop. Callers keep Connections alive via shared_ptr; event
+/// handlers self-hold, so a handler that closes its own connection is
+/// safe.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  struct Callbacks {
+    /// One complete, non-empty request line (terminator stripped).
+    std::function<void(Connection&, std::string_view line)> on_line;
+    /// End of one readable burst: every line the kernel had buffered has
+    /// been delivered — the moment to submit the accumulated batch.
+    std::function<void(Connection&)> on_batch_end;
+    /// The fd is closed and deregistered; drop the owning shared_ptr.
+    std::function<void(Connection&)> on_closed;
+  };
+
+  Connection(EventLoop* loop, int fd, std::string peer, size_t max_line_bytes,
+             Callbacks callbacks);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Registers the fd with the loop. Call once, right after construction
+  /// (needs shared_from_this, hence not in the constructor).
+  Status Register();
+
+  /// Reserves the next in-order response slot. Responses are written back
+  /// in OpenSlot order regardless of completion order.
+  uint64_t OpenSlot();
+
+  /// Delivers the response line for a slot (without trailing newline; it
+  /// is appended on the wire). Flushes every completed head-of-line slot.
+  /// No-op after Close.
+  void CompleteSlot(uint64_t slot, std::string line);
+
+  /// Stops reading; the connection closes once every open slot has
+  /// completed and flushed. Used for server drain and after protocol
+  /// errors that poison the stream.
+  void StartDrain();
+
+  /// Immediate teardown: deregisters, closes the fd, invokes on_closed.
+  /// Idempotent.
+  void Close();
+
+  int fd() const { return fd_; }
+  const std::string& peer() const { return peer_; }
+  bool closed() const { return closed_; }
+  /// Slots opened but not yet flushed to the socket.
+  size_t open_slots() const { return slots_.size(); }
+  /// True when nothing is owed to the client: no open slots, no buffered
+  /// output.
+  bool idle() const { return slots_.empty() && write_pos_ >= wbuf_.size(); }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  struct Slot {
+    bool done = false;
+    std::string line;
+  };
+
+  void HandleEvents(uint32_t events);
+  void OnReadable();
+  /// Extracts every complete frame from rbuf_, enforcing the max-line
+  /// guard on both terminated and still-unterminated frames.
+  void DeliverFrames();
+  /// Appends completed head-of-line slots to wbuf_ and schedules a flush.
+  void FlushCompleted();
+  /// Defers TryWrite to the end of the current loop iteration, so a burst
+  /// of completions (one batch of worker responses, or several immediate
+  /// verbs in one read event) leaves the socket with one send() instead of
+  /// one per response.
+  void ScheduleFlush();
+  void TryWrite();
+  void UpdateWriteInterest(bool want_write);
+  /// Closes once drained/EOF and nothing is owed. Returns true if closed.
+  bool MaybeFinish();
+
+  EventLoop* loop_;
+  int fd_;
+  std::string peer_;
+  const size_t max_line_bytes_;
+  Callbacks callbacks_;
+
+  std::string rbuf_;
+  /// Prefix of rbuf_ already scanned for '\n' (avoids rescans on partial
+  /// frames).
+  size_t scan_pos_ = 0;
+
+  std::deque<Slot> slots_;
+  uint64_t next_slot_ = 0;
+  /// Slot id of slots_.front().
+  uint64_t base_slot_ = 0;
+
+  std::string wbuf_;
+  size_t write_pos_ = 0;
+  bool want_write_ = false;
+  /// A posted flush task is in flight; further completions just append.
+  bool flush_scheduled_ = false;
+
+  bool peer_eof_ = false;
+  bool draining_ = false;
+  bool closed_ = false;
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace qec::server::net
+
+#endif  // QEC_SERVER_NET_CONNECTION_H_

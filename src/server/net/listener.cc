@@ -1,0 +1,94 @@
+#include "server/net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace qec::server::net {
+
+Result<std::unique_ptr<Listener>> Listener::Bind(const std::string& host,
+                                                 uint16_t port, int backlog) {
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int on = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::Unavailable("bind " + host + ":" +
+                                         std::to_string(port) + ": " +
+                                         std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status s =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  // Resolve the ephemeral port the kernel picked for port 0.
+  struct sockaddr_in bound = {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+      0) {
+    port = ntohs(bound.sin_port);
+  }
+  return std::unique_ptr<Listener>(new Listener(fd, port));
+}
+
+Listener::~Listener() { Close(); }
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Listener::AcceptReady(
+    const std::function<void(int fd, std::string peer)>& on_accept) {
+  for (;;) {
+    struct sockaddr_in peer = {};
+    socklen_t len = sizeof(peer);
+    const int conn =
+        ::accept4(fd_, reinterpret_cast<struct sockaddr*>(&peer), &len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      if (errno == EINTR) continue;
+      // ECONNABORTED: the client went away between listen and accept.
+      // EMFILE/ENFILE: out of fds — drop this one, keep serving the rest.
+      QEC_LOG(Warning) << "accept failed: " << std::strerror(errno);
+      if (errno == EMFILE || errno == ENFILE) return;
+      continue;
+    }
+    // Responses are small coalesced lines on an interactive path; Nagle
+    // only adds latency here.
+    const int on = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    on_accept(conn,
+              std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port)));
+  }
+}
+
+}  // namespace qec::server::net

@@ -1,0 +1,53 @@
+#ifndef QEC_SERVER_NET_LISTENER_H_
+#define QEC_SERVER_NET_LISTENER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace qec::server::net {
+
+/// A nonblocking listening TCP socket. Bind() resolves the address, sets
+/// SO_REUSEADDR, binds, and listens; AcceptReady() accepts until EAGAIN
+/// (the accept loop a level-triggered reactor needs), handing each new
+/// connection over already nonblocking with TCP_NODELAY set.
+class Listener {
+ public:
+  /// `port` 0 binds an ephemeral port — port() reports the real one.
+  /// `host` is a dotted-quad IPv4 address ("127.0.0.1", "0.0.0.0").
+  static Result<std::unique_ptr<Listener>> Bind(const std::string& host,
+                                                uint16_t port, int backlog);
+
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  /// The bound port (resolves port 0 to the kernel-assigned one).
+  uint16_t port() const { return port_; }
+
+  /// Accepts every connection currently pending, invoking
+  /// `on_accept(conn_fd, peer)` for each ("ip:port" peer). Transient
+  /// per-connection failures (ECONNABORTED, EMFILE) are logged and
+  /// skipped, never fatal.
+  void AcceptReady(
+      const std::function<void(int fd, std::string peer)>& on_accept);
+
+  /// Closes the socket early (before destruction) so no new connections
+  /// land during drain. Idempotent.
+  void Close();
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+};
+
+}  // namespace qec::server::net
+
+#endif  // QEC_SERVER_NET_LISTENER_H_

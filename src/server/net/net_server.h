@@ -1,0 +1,144 @@
+#ifndef QEC_SERVER_NET_NET_SERVER_H_
+#define QEC_SERVER_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/net/connection.h"
+#include "server/net/event_loop.h"
+#include "server/net/listener.h"
+#include "server/server.h"
+
+namespace qec::server::net {
+
+struct NetServerOptions {
+  /// IPv4 address to bind. The default stays on loopback; pass "0.0.0.0"
+  /// to serve externally.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (NetServer::port() reports it) — what the
+  /// tests and the in-process benchmark use.
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Max request-line bytes; a longer frame earns one error response and
+  /// the connection drains closed (the stream cannot resync past an
+  /// unterminated frame).
+  size_t max_line_bytes = 64 * 1024;
+  /// Accepted connections beyond this are answered with one error line
+  /// and closed immediately.
+  size_t max_connections = 1024;
+  /// Graceful-drain budget: on stop, in-flight requests get this long to
+  /// complete and flush before remaining connections are force-closed.
+  uint64_t drain_timeout_ms = 5000;
+};
+
+/// Monotonic totals since construction. Thread-safe snapshot.
+struct NetServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_over_capacity = 0;
+  uint64_t closed = 0;
+  uint64_t lines = 0;
+  uint64_t expand_requests = 0;
+  uint64_t immediate_requests = 0;
+  uint64_t parse_errors = 0;
+  uint64_t batches = 0;
+  size_t active_connections = 0;
+};
+
+/// Epoll front end serving the qec line protocol over TCP, in front of an
+/// existing QecServer (which must outlive it and whose worker pool does
+/// every expansion — the loop thread only parses, dispatches, and writes).
+///
+/// Pipelining: a connection may send any number of request lines without
+/// waiting; responses come back in request order. All EXPAND lines decoded
+/// from one readable burst are admitted through QecServer::SubmitBatch
+/// under a single queue-lock acquisition, so a burst for one hot cluster
+/// runs back to back on cache-warm state. Non-EXPAND verbs (PING, STATS,
+/// METRICS, SLOWLOG, ABTEST) are answered on the loop thread but still
+/// occupy an in-order slot, so `EXPAND…\nPING\n` answers in that order.
+/// EXPLAIN also runs on the loop thread — it is a synchronous diagnostic
+/// verb, and a pipelined EXPLAIN stalls only its own connection's reads.
+///
+/// Shutdown is a graceful drain: stop accepting, stop reading, let
+/// in-flight expansions complete and flush, then close — bounded by
+/// NetServerOptions::drain_timeout_ms.
+class NetServer {
+ public:
+  NetServer(QecServer* server, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Creates the event loop and binds the listener; port() is valid after
+  /// an OK return. Run()/Start() call it implicitly if needed.
+  Status Bind();
+
+  /// The bound port (resolves an ephemeral request to the real port).
+  uint16_t port() const;
+
+  /// Runs the event loop on the calling thread until RequestStop(), then
+  /// drains and returns. This is what `qec_cli serve --port` blocks in.
+  Status Run();
+
+  /// Bind() + a background thread running Run(). For tests and the
+  /// in-process benchmark.
+  Status Start();
+
+  /// RequestStop() + join the background thread (or wait for a foreground
+  /// Run() to drain). Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Signals the loop to stop and drain. Async-signal-safe: callable
+  /// straight from a SIGINT/SIGTERM handler.
+  void RequestStop();
+
+  NetServerStats stats() const;
+  const NetServerOptions& options() const { return options_; }
+
+ private:
+  void OnAccept(int fd, std::string peer);
+  void OnLine(Connection& connection, std::string_view line);
+  void OnBatchEnd(Connection& connection);
+  void OnClosed(Connection& connection);
+  /// Serves the verbs answered without the worker pool; returns the
+  /// response line.
+  std::string ImmediateResponse(const ServeRequest& request);
+  void Drain();
+
+  QecServer* server_;
+  NetServerOptions options_;
+  /// shared_ptr so worker-pool completion callbacks can keep the loop
+  /// alive (and post into it harmlessly) even if the NetServer is torn
+  /// down on a drain timeout with expansions still in flight.
+  std::shared_ptr<EventLoop> loop_;
+  std::unique_ptr<Listener> listener_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  /// EXPANDs decoded from the current readable burst, admitted together
+  /// at on_batch_end.
+  std::vector<QecServer::AsyncRequest> batch_;
+
+  std::thread run_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint16_t> bound_port_{0};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_over_capacity_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> lines_{0};
+  std::atomic<uint64_t> expand_requests_{0};
+  std::atomic<uint64_t> immediate_requests_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<size_t> active_connections_{0};
+};
+
+}  // namespace qec::server::net
+
+#endif  // QEC_SERVER_NET_NET_SERVER_H_

@@ -119,7 +119,17 @@ struct ServeResponse {
   /// Response line pre-rendered by the worker (the timed serialize stage).
   /// Empty for responses produced outside the pool — render on demand.
   std::string json_line;
+  /// The outcome-dependent tail of the JSON line (clusters, set_score, the
+  /// queries array). Invariant for a given outcome, so the expansion cache
+  /// stores it once and every hit splices it in instead of re-formatting
+  /// ~40 numbers per request. Empty → rendered on demand.
+  std::string rendered_tail;
 };
+
+/// Renders the outcome-dependent tail of an ok response line, from
+/// `,"clusters":` through the closing `}`. ResponseToJsonLine() composes
+/// the volatile prefix (trace id, cached flag, timings) with this tail.
+std::string RenderOutcomeTail(const core::ExpansionOutcome& outcome);
 
 /// Renders a response as the protocol's single-line JSON:
 ///   {"status":"ok","trace_id":"4fe1...","cached":false,"clusters":2,

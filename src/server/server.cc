@@ -128,15 +128,14 @@ void QecServer::Shutdown() {
         ToNanos(Clock::now() - pending.context.submit_time);
     response.total_seconds = static_cast<double>(total_ns) / 1e9;
     RecordFlight(pending.request, response, pending.context, total_ns);
-    pending.promise.set_value(std::move(response));
+    Fulfill(std::move(pending), std::move(response));
   }
   for (auto& worker : to_join) worker.join();
 }
 
-std::future<ServeResponse> QecServer::Submit(ServeRequest request) {
+QecServer::Pending QecServer::MakePending(ServeRequest request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   QEC_COUNTER_INC("server/requests");
-
   Pending pending;
   pending.context.submit_time = Clock::now();
   pending.context.trace_id =
@@ -149,43 +148,131 @@ std::future<ServeResponse> QecServer::Submit(ServeRequest request) {
           ? pending.context.submit_time + std::chrono::milliseconds(deadline_ms)
           : Clock::time_point::max();
   pending.request = std::move(request);
+  return pending;
+}
+
+void QecServer::Fulfill(Pending pending, ServeResponse response) {
+  if (pending.callback) {
+    pending.callback(std::move(response));
+  } else {
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+void QecServer::Reject(Pending pending, Status status,
+                       std::atomic<uint64_t>* counter) {
+  if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+  ServeResponse response;
+  response.status = std::move(status);
+  response.trace_id = pending.context.trace_id;
+  const uint64_t total_ns = ToNanos(Clock::now() - pending.context.submit_time);
+  response.total_seconds = static_cast<double>(total_ns) / 1e9;
+  RecordFlight(pending.request, response, pending.context, total_ns);
+  Fulfill(std::move(pending), std::move(response));
+}
+
+std::future<ServeResponse> QecServer::Submit(ServeRequest request) {
+  Pending pending = MakePending(std::move(request));
   std::future<ServeResponse> future = pending.promise.get_future();
 
-  auto reject = [&](Status status, std::atomic<uint64_t>* counter) {
-    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
-    ServeResponse response;
-    response.status = std::move(status);
-    response.trace_id = pending.context.trace_id;
-    const uint64_t total_ns =
-        ToNanos(Clock::now() - pending.context.submit_time);
-    response.total_seconds = static_cast<double>(total_ns) / 1e9;
-    RecordFlight(pending.request, response, pending.context, total_ns);
-    pending.promise.set_value(std::move(response));
-    return std::move(future);
-  };
-
   if (pending.request.verb != ServeRequest::Verb::kExpand) {
-    return reject(
-        Status::InvalidArgument("only EXPAND goes through the request queue"),
-        nullptr);
+    Reject(std::move(pending),
+           Status::InvalidArgument("only EXPAND goes through the request queue"),
+           nullptr);
+    return future;
   }
+  enum class Decision { kAdmitted, kStopping, kQueueFull };
+  Decision decision;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      return reject(Status::Unavailable("server shutting down"), nullptr);
-    }
-    if (queue_.size() >= options_.queue_capacity) {
+      decision = Decision::kStopping;
+    } else if (queue_.size() >= options_.queue_capacity) {
       QEC_COUNTER_INC("server/shed_queue_full");
-      return reject(Status::Unavailable("admission queue full"),
-                    &shed_queue_full_);
+      decision = Decision::kQueueFull;
+    } else {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      QEC_COUNTER_INC("server/admitted");
+      queue_.push_back(std::move(pending));
+      UpdateQueueDepthLocked();
+      decision = Decision::kAdmitted;
     }
-    admitted_.fetch_add(1, std::memory_order_relaxed);
-    QEC_COUNTER_INC("server/admitted");
-    queue_.push_back(std::move(pending));
-    UpdateQueueDepthLocked();
   }
-  cv_.notify_one();
+  switch (decision) {
+    case Decision::kAdmitted:
+      cv_.notify_one();
+      break;
+    case Decision::kStopping:
+      Reject(std::move(pending), Status::Unavailable("server shutting down"),
+             nullptr);
+      break;
+    case Decision::kQueueFull:
+      Reject(std::move(pending), Status::Unavailable("admission queue full"),
+             &shed_queue_full_);
+      break;
+  }
   return future;
+}
+
+void QecServer::SubmitBatch(std::vector<AsyncRequest> batch) {
+  struct Rejection {
+    Pending pending;
+    Status status;
+    std::atomic<uint64_t>* counter;
+  };
+  std::vector<Pending> to_admit;
+  to_admit.reserve(batch.size());
+  // Rejections are resolved outside the queue lock: callbacks may do
+  // arbitrary work (post to an event loop) and must never run under mu_.
+  std::vector<Rejection> to_reject;
+
+  for (auto& entry : batch) {
+    Pending pending = MakePending(std::move(entry.request));
+    pending.callback = std::move(entry.on_done);
+    if (pending.request.verb != ServeRequest::Verb::kExpand) {
+      to_reject.push_back(
+          {std::move(pending),
+           Status::InvalidArgument("only EXPAND goes through the request queue"),
+           nullptr});
+      continue;
+    }
+    to_admit.push_back(std::move(pending));
+  }
+
+  size_t admitted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& pending : to_admit) {
+      if (stopping_) {
+        to_reject.push_back({std::move(pending),
+                             Status::Unavailable("server shutting down"),
+                             nullptr});
+        continue;
+      }
+      if (queue_.size() >= options_.queue_capacity) {
+        QEC_COUNTER_INC("server/shed_queue_full");
+        to_reject.push_back({std::move(pending),
+                             Status::Unavailable("admission queue full"),
+                             &shed_queue_full_});
+        continue;
+      }
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      QEC_COUNTER_INC("server/admitted");
+      queue_.push_back(std::move(pending));
+      ++admitted;
+    }
+    if (admitted > 0) UpdateQueueDepthLocked();
+  }
+  QEC_HISTOGRAM_RECORD("server/batch_admitted", admitted);
+  if (admitted == 1) {
+    cv_.notify_one();
+  } else if (admitted > 1) {
+    cv_.notify_all();
+  }
+  for (auto& rejection : to_reject) {
+    Reject(std::move(rejection.pending), std::move(rejection.status),
+           rejection.counter);
+  }
 }
 
 void QecServer::WorkerLoop() {
@@ -267,7 +354,7 @@ void QecServer::Process(Pending pending) {
   completed_.fetch_add(1, std::memory_order_relaxed);
   QEC_COUNTER_INC("server/completed");
   RecordFlight(request, response, context, total_ns);
-  pending.promise.set_value(std::move(response));
+  Fulfill(std::move(pending), std::move(response));
 }
 
 ServeResponse QecServer::Execute(const ServeRequest& request) {
@@ -305,7 +392,9 @@ ServeResponse QecServer::Execute(const ServeRequest& request,
       QEC_COUNTER_INC("server/cache_hits");
       hit->from_cache = true;
       // Identity and timing are per-request, never per-cache-entry: drop
-      // whatever the original computation left behind.
+      // whatever the original computation left behind. rendered_tail stays:
+      // it depends only on the outcome, which is exactly what the cache
+      // deduplicates.
       hit->trace_id = 0;
       hit->stages = StageTimings{};
       hit->json_line.clear();
@@ -327,7 +416,10 @@ ServeResponse QecServer::Execute(const ServeRequest& request,
   if (cache_ != nullptr) {
     // Only successful expansions are cached (no negative caching): errors
     // are either caller mistakes or transient, and both should re-resolve.
+    // The rendered tail rides along with the entry so hits splice a string
+    // instead of re-formatting the whole queries array per request.
     StageTimer timer(*context, Stage::kCacheLookup);
+    response.rendered_tail = RenderOutcomeTail(response.outcome);
     cache_->Put(key, response);
   }
   return response;
@@ -469,8 +561,9 @@ void QecServer::RecordFlight(const ServeRequest& request,
   record.trace_id = context.trace_id;
   record.unix_ms = UnixMillisNow();
   record.query = request.query;
-  record.algo =
-      std::string(core::AlgorithmName(EffectiveOptions(request).algorithm));
+  // Only the algorithm is needed; skip the full EffectiveOptions copy.
+  record.algo = std::string(core::AlgorithmName(
+      request.algorithm.value_or(options_.expander.algorithm)));
   record.status = std::string(StatusCodeName(response.status.code()));
   record.from_cache = response.from_cache;
   record.queue_wait_ns = context.stages[Stage::kQueueWait];

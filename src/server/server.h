@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -129,6 +130,25 @@ class QecServer {
   /// STATS are answered by the driver, not the pool).
   std::future<ServeResponse> Submit(ServeRequest request);
 
+  /// Completion callback alternative to the future: invoked exactly once
+  /// with the final response, on a worker thread for executed requests or
+  /// on the submitting thread for immediate rejections. Callbacks must not
+  /// block (the network front end posts the response to its event loop).
+  using ResponseCallback = std::function<void(ServeResponse)>;
+
+  /// One request of a batch submission.
+  struct AsyncRequest {
+    ServeRequest request;
+    ResponseCallback on_done;
+  };
+
+  /// Admits a pipelined burst under a single queue-lock acquisition and one
+  /// worker wakeup, so co-arriving requests for one hot cluster run back to
+  /// back on cache-warm state instead of interleaving with unrelated work.
+  /// Per-request shedding semantics are identical to Submit; rejected
+  /// requests get their callback invoked before SubmitBatch returns.
+  void SubmitBatch(std::vector<AsyncRequest> batch);
+
   /// Runs a request synchronously on the calling thread, bypassing the
   /// queue (still uses — and fills — the expansion cache). Stage timings
   /// and the trace id land in the returned response; the queue_wait stage
@@ -193,6 +213,9 @@ class QecServer {
   struct Pending {
     ServeRequest request;
     std::promise<ServeResponse> promise;
+    /// Set for callback-style submissions (SubmitBatch); the promise is
+    /// fulfilled otherwise.
+    ResponseCallback callback;
     /// Trace id, submit time, deadline, and stage stopwatch accumulators.
     RequestContext context;
   };
@@ -210,6 +233,15 @@ class QecServer {
     /// swapped to the shadow arm.
     core::QueryExpanderOptions options;
   };
+
+  /// Stamps submission time, trace id, and deadline onto a fresh Pending.
+  Pending MakePending(ServeRequest request);
+  /// Resolves a pending request through its callback or promise.
+  static void Fulfill(Pending pending, ServeResponse response);
+  /// Resolves `pending` with an error status without executing it,
+  /// flight-recording the rejection. `counter` is the matching shed/cancel
+  /// total (may be null).
+  void Reject(Pending pending, Status status, std::atomic<uint64_t>* counter);
 
   void WorkerLoop();
   /// Processes one dequeued request end to end and fulfills its promise.

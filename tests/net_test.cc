@@ -1,0 +1,368 @@
+// Loopback integration tests for the epoll network front end: frame
+// reassembly across arbitrary TCP segmentation, pipelined bursts with
+// in-order writeback, the max-line guard, abrupt client disconnects, the
+// connection cap, and graceful drain on shutdown. Every test drives a real
+// NetServer over real sockets on 127.0.0.1.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/shopping.h"
+#include "datagen/workload.h"
+#include "doc/corpus.h"
+#include "index/inverted_index.h"
+#include "server/net/net_server.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace qec::server::net {
+namespace {
+
+// --------------------------------------------------------------- client --
+
+/// Blocking loopback client socket with a receive timeout, so a server bug
+/// fails the test instead of hanging the suite.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port, int recv_timeout_sec = 10) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    struct timeval tv = {};
+    tv.tv_sec = recv_timeout_sec;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated line (terminator stripped). Empty string on
+  /// EOF or timeout.
+  std::string ReadLine() {
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return std::string();
+      }
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the peer closed: recv returns 0 with no buffered data.
+  bool ReadEof() {
+    if (!buf_.empty()) return false;
+    char chunk[64];
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    return n == 0;
+  }
+
+  /// Abrupt teardown with an RST (SO_LINGER 0), as a crashing client does.
+  void Abort() {
+    if (fd_ < 0) return;
+    struct linger lg = {};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// -------------------------------------------------------------- fixture --
+
+class NetServerFixture : public ::testing::Test {
+ protected:
+  NetServerFixture()
+      : corpus_(datagen::ShoppingGenerator().Generate()), index_(corpus_) {}
+
+  /// Builds and starts a server; returns it listening on an ephemeral port.
+  std::unique_ptr<NetServer> StartNet(QecServer* server,
+                                      NetServerOptions options = {}) {
+    auto net = std::make_unique<NetServer>(server, options);
+    const Status started = net->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    EXPECT_NE(net->port(), 0);
+    return net;
+  }
+
+  static std::string query(size_t i) {
+    const auto& queries = datagen::ShoppingQueries();
+    return queries[i % queries.size()].text;
+  }
+
+  doc::Corpus corpus_;
+  index::InvertedIndex index_;
+};
+
+// ---------------------------------------------------------------- tests --
+
+TEST_F(NetServerFixture, ServesPingAndExpand) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("PING\n"));
+  EXPECT_EQ(client.ReadLine(), "{\"status\":\"ok\",\"pong\":true}");
+
+  ASSERT_TRUE(client.Send("EXPAND " + query(0) + "\n"));
+  const std::string line = client.ReadLine();
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queries\":["), std::string::npos) << line;
+}
+
+TEST_F(NetServerFixture, ReassemblesSplitFrames) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+
+  // One request delivered a few bytes at a time, with pauses so each
+  // fragment arrives as its own TCP segment and read event.
+  const std::string request = "EXPAND " + query(0) + "\n";
+  for (size_t i = 0; i < request.size(); i += 3) {
+    ASSERT_TRUE(client.Send(request.substr(i, 3)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string line = client.ReadLine();
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos) << line;
+
+  // CRLF-terminated and blank lines: the terminator is stripped and empty
+  // frames are skipped, not answered.
+  ASSERT_TRUE(client.Send("\r\n\nPING\r\n"));
+  EXPECT_EQ(client.ReadLine(), "{\"status\":\"ok\",\"pong\":true}");
+}
+
+TEST_F(NetServerFixture, PipelinedBurstAnswersInOrder) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+
+  // Expected responses come from the direct, synchronous path; cache-warm
+  // both sides so the only difference left is the transport.
+  const size_t kBurst = 12;
+  std::vector<std::string> expected_tails;
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto parsed = ParseRequestLine("EXPAND " + query(i));
+    ASSERT_TRUE(parsed.ok());
+    const ServeResponse direct = server.Execute(*parsed);
+    ASSERT_TRUE(direct.status.ok());
+    expected_tails.push_back(RenderOutcomeTail(direct.outcome));
+  }
+
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+  std::string wire;
+  for (size_t i = 0; i < kBurst; ++i) wire += "EXPAND " + query(i) + "\n";
+  wire += "PING\n";
+  ASSERT_TRUE(client.Send(wire));
+
+  for (size_t i = 0; i < kBurst; ++i) {
+    const std::string line = client.ReadLine();
+    // In-order writeback: response i carries request i's outcome tail.
+    EXPECT_NE(line.find(expected_tails[i]), std::string::npos)
+        << "response " << i << " out of order: " << line;
+  }
+  EXPECT_EQ(client.ReadLine(), "{\"status\":\"ok\",\"pong\":true}");
+
+  const NetServerStats stats = net->stats();
+  EXPECT_EQ(stats.expand_requests, kBurst);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST_F(NetServerFixture, MalformedLineGetsErrorAndStreamContinues) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("BOGUS verb\nPING\n"));
+  const std::string error = client.ReadLine();
+  EXPECT_NE(error.find("\"status\":\"error\""), std::string::npos) << error;
+  // A parse error poisons one request, not the connection.
+  EXPECT_EQ(client.ReadLine(), "{\"status\":\"ok\",\"pong\":true}");
+  EXPECT_EQ(net->stats().parse_errors, 1u);
+}
+
+TEST_F(NetServerFixture, OversizedLineIsRejectedAndConnectionCloses) {
+  QecServer server(index_);
+  NetServerOptions options;
+  options.max_line_bytes = 128;
+  auto net = StartNet(&server, options);
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+
+  // An unterminated frame larger than the limit: the guard must fire
+  // without ever seeing a newline (the terminator may never come).
+  ASSERT_TRUE(client.Send(std::string(4096, 'x')));
+  const std::string line = client.ReadLine();
+  EXPECT_NE(line.find("\"status\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("exceeds"), std::string::npos) << line;
+  // The stream cannot resync past an unterminated frame — the server
+  // drains the connection closed after the error line.
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(NetServerFixture, MidRequestDisconnectLeavesServerServing) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+
+  {
+    TestClient doomed(net->port());
+    ASSERT_TRUE(doomed.connected());
+    // A full request (whose response will have nowhere to go) plus a
+    // partial one, then an abrupt RST mid-stream.
+    ASSERT_TRUE(doomed.Send("EXPAND " + query(0) + "\nEXPAND half a requ"));
+    doomed.Abort();
+  }
+
+  // The server must notice the disconnect, reap the connection, and keep
+  // serving others.
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("PING\n"));
+  EXPECT_EQ(client.ReadLine(), "{\"status\":\"ok\",\"pong\":true}");
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (net->stats().closed < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(net->stats().closed, 1u);
+}
+
+TEST_F(NetServerFixture, OverCapacityConnectionIsTurnedAway) {
+  QecServer server(index_);
+  NetServerOptions options;
+  options.max_connections = 1;
+  auto net = StartNet(&server, options);
+
+  TestClient first(net->port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.Send("PING\n"));
+  EXPECT_EQ(first.ReadLine(), "{\"status\":\"ok\",\"pong\":true}");
+
+  TestClient second(net->port());
+  ASSERT_TRUE(second.connected());
+  const std::string line = second.ReadLine();
+  EXPECT_NE(line.find("\"code\":\"Unavailable\""), std::string::npos) << line;
+  EXPECT_TRUE(second.ReadEof());
+  EXPECT_EQ(net->stats().rejected_over_capacity, 1u);
+}
+
+TEST_F(NetServerFixture, ShutdownDrainsOwedResponses) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+  const size_t kBurst = 8;
+  std::string wire;
+  for (size_t i = 0; i < kBurst; ++i) wire += "EXPAND " + query(i) + "\n";
+  ASSERT_TRUE(client.Send(wire));
+
+  // Wait until the loop has read the burst, then shut down mid-flight:
+  // every admitted request must still get its response before EOF.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (net->stats().expand_requests < kBurst &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(net->stats().expand_requests, kBurst);
+  net->Shutdown();
+
+  for (size_t i = 0; i < kBurst; ++i) {
+    const std::string line = client.ReadLine();
+    EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos)
+        << "response " << i << ": " << line;
+  }
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(net->stats().active_connections, 0u);
+}
+
+TEST_F(NetServerFixture, StatsAndMetricsOverTcp) {
+  QecServer server(index_);
+  auto net = StartNet(&server);
+  TestClient client(net->port());
+  ASSERT_TRUE(client.connected());
+
+  // A pipelined EXPAND ahead of STATS must be visible as submitted by the
+  // time STATS is answered (batch-before-immediate ordering).
+  ASSERT_TRUE(client.Send("EXPAND " + query(0) + "\nSTATS\n"));
+  const std::string expand = client.ReadLine();
+  EXPECT_NE(expand.find("\"status\":\"ok\""), std::string::npos) << expand;
+  const std::string stats = client.ReadLine();
+  EXPECT_NE(stats.find("\"submitted\":"), std::string::npos) << stats;
+  EXPECT_EQ(stats.find("\"submitted\":0"), std::string::npos) << stats;
+
+  // METRICS streams multi-line Prometheus text ending in "# EOF".
+  ASSERT_TRUE(client.Send("METRICS\n"));
+  bool saw_counter = false;
+  for (;;) {
+    const std::string line = client.ReadLine();
+    ASSERT_FALSE(line.empty() && client.ReadEof()) << "EOF before # EOF";
+    if (line.rfind("qec_", 0) == 0) saw_counter = true;
+    if (line == "# EOF") break;
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+}  // namespace
+}  // namespace qec::server::net

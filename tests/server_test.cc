@@ -8,9 +8,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -142,6 +144,27 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   }
 }
 
+TEST(ProtocolTest, SizeOptionsParseStrictly) {
+  // Only all-digit values: strtoull-style tolerance of sign prefixes and
+  // trailing garbage let "deadline_ms=-1" wrap to a huge deadline.
+  EXPECT_FALSE(ParseRequestLine("EXPAND deadline_ms=-1 apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND deadline_ms=+5 apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND deadline_ms=5x apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND deadline_ms= apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND topk=0x10 apple").ok());
+  EXPECT_FALSE(ParseRequestLine("EXPAND k=2, apple").ok());
+  // Values past UINT64_MAX must be rejected, not silently wrapped.
+  EXPECT_FALSE(
+      ParseRequestLine("EXPAND deadline_ms=99999999999999999999 apple").ok());
+  EXPECT_FALSE(ParseRequestLine("SLOWLOG -3").ok());
+  EXPECT_FALSE(ParseRequestLine("ABTEST 1e3").ok());
+
+  auto ok = ParseRequestLine("EXPAND deadline_ms=500 topk=20 apple");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->deadline_ms, 500u);
+  EXPECT_EQ(*ok->top_k_results, 20u);
+}
+
 TEST(ProtocolTest, NormalizeQueryCanonicalizes) {
   EXPECT_EQ(NormalizeQuery("  Apple   STORE\t"), "apple store");
   EXPECT_EQ(NormalizeQuery("apple store"), "apple store");
@@ -234,6 +257,33 @@ TEST(ShardedLruCacheTest, MoreShardsThanCapacityClamps) {
   EXPECT_TRUE(cache.Get(1).has_value() || cache.Get(2).has_value());
 }
 
+TEST(ShardedLruCacheTest, CapacityIsATotalBoundAcrossShards) {
+  // Per-shard capacities must sum to exactly the requested total:
+  // ceil-division here let (capacity=10, shards=8) hold 16 entries.
+  ShardedLruCache<int, int> cache(10, 8);
+  for (int i = 0; i < 200; ++i) cache.Put(i, i);
+  EXPECT_LE(cache.size(), 10u);
+  EXPECT_GE(cache.size(), 8u);  // every shard holds at least one entry
+}
+
+TEST(ShardedLruCacheTest, StridedKeysSpreadAcrossShards) {
+  // std::hash is the identity for ints, so without mixing before shard
+  // selection every key with stride == num_shards lands in one shard and
+  // the cache degrades to a single shard's capacity.
+  const size_t kShards = 8;
+  ShardedLruCache<int, int> cache(64, kShards);
+  const int kKeys = 32;
+  for (int i = 0; i < kKeys; ++i) cache.Put(i * static_cast<int>(kShards), i);
+  // Spread across shards, nearly all 32 strided keys survive in a
+  // 64-entry cache (an unlucky shard may still overflow its 8 slots); a
+  // single shard would have kept only 8.
+  size_t retained = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    retained += cache.Get(i * static_cast<int>(kShards)).has_value() ? 1 : 0;
+  }
+  EXPECT_GE(retained, static_cast<size_t>(kKeys) * 3 / 4);
+}
+
 TEST(ShardedLruCacheTest, ConcurrentAccessIsSafe) {
   ShardedLruCache<int, int> cache(64, 8);
   std::vector<std::thread> threads;
@@ -243,7 +293,9 @@ TEST(ShardedLruCacheTest, ConcurrentAccessIsSafe) {
         const int key = (t * 31 + i) % 100;
         cache.Put(key, key * 2);
         auto v = cache.Get(key);
-        if (v.has_value()) EXPECT_EQ(*v, key * 2);
+        if (v.has_value()) {
+          EXPECT_EQ(*v, key * 2);
+        }
       }
     });
   }
@@ -376,6 +428,67 @@ TEST_F(ServerFixture, FullQueueShedsWithUnavailable) {
   auto r2 = f2.get();
   EXPECT_TRUE(r1.status.ok()) << r1.status.ToString();
   EXPECT_TRUE(r2.status.ok()) << r2.status.ToString();
+}
+
+TEST_F(ServerFixture, SubmitBatchCompletesEveryCallback) {
+  QecServer server(index_);
+  const std::vector<std::string> queries = {"canon products", "tv plasma",
+                                            "printer", "canon products"};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ServeResponse> responses(queries.size());
+  size_t done = 0;
+  std::vector<QecServer::AsyncRequest> batch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QecServer::AsyncRequest async;
+    async.request = Expand(queries[i]);
+    async.on_done = [&, i](ServeResponse response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses[i] = std::move(response);
+      if (++done == queries.size()) cv.notify_one();
+    };
+    batch.push_back(std::move(async));
+  }
+  server.SubmitBatch(std::move(batch));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return done == queries.size(); }));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok())
+        << i << ": " << responses[i].status.ToString();
+    ExpectSameOutcome(responses[i].outcome,
+                      server.Execute(Expand(queries[i])).outcome);
+  }
+  EXPECT_EQ(server.stats().submitted, queries.size());
+}
+
+TEST_F(ServerFixture, SubmitBatchShedsOverflowBeforeReturning) {
+  ServerOptions options;
+  options.start_workers = false;  // nothing drains until Start()
+  options.queue_capacity = 2;
+  QecServer server(index_, options);
+  std::vector<StatusCode> codes(4, StatusCode::kUnimplemented);  // sentinel
+  std::vector<QecServer::AsyncRequest> batch;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    QecServer::AsyncRequest async;
+    async.request = Expand("canon products");
+    async.on_done = [&codes, i](ServeResponse response) {
+      codes[i] = response.status.code();
+    };
+    batch.push_back(std::move(async));
+  }
+  server.SubmitBatch(std::move(batch));
+  // Rejections resolve synchronously; the first two are still queued.
+  EXPECT_EQ(codes[2], StatusCode::kUnavailable);
+  EXPECT_EQ(codes[3], StatusCode::kUnavailable);
+  EXPECT_EQ(server.queue_depth(), 2u);
+  EXPECT_EQ(server.stats().shed_queue_full, 2u);
+  server.Start();
+  server.Shutdown();
+  EXPECT_EQ(codes[0], StatusCode::kOk);
+  EXPECT_EQ(codes[1], StatusCode::kOk);
 }
 
 TEST_F(ServerFixture, ExpiredDeadlineIsShedWhenDequeued) {
