@@ -6,15 +6,24 @@
 // the fused single-pass set-algebra kernels against the naive
 // materialize-then-count/weigh formulation they replaced and exits non-zero
 // unless every pair clears a 2x speedup, writing the measurements as JSON.
+//
+// `--sweep-report[=metrics.json]` measures the scatter-gather benefit/cost
+// sweeps (IskrOptions/PebcOptions/FMeasureOptions::sweep_threads) against
+// the serial sweep on a clustered datagen corpus and reports end-to-end
+// expansion speedups as JSON (report-only, no gate — results are
+// byte-identical either way, which the test suite asserts).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/kmeans.h"
 #include "common/dynamic_bitset.h"
@@ -26,6 +35,7 @@
 #include "core/metrics.h"
 #include "core/pebc.h"
 #include "core/result_universe.h"
+#include "datagen/clustered.h"
 #include "datagen/shopping.h"
 #include "datagen/wikipedia.h"
 #include "doc/corpus.h"
@@ -348,9 +358,126 @@ int RunKernelGate(const std::string& out_path) {
   return 0;
 }
 
+// ------------------------------------------------------ --sweep-report --
+
+/// Times serial vs scatter-gather (sweep_threads=4) expansion per
+/// algorithm over one prebuilt ExpansionContext on a clustered datagen
+/// corpus — sweeps isolated from retrieval and clustering, same idiom as
+/// the kernel gate. The sweeps distribute whole candidate evaluations and
+/// merge in candidate order, so the outputs are byte-identical — only the
+/// wall clock moves.
+int RunSweepReport(const std::string& out_path, size_t docs,
+                   size_t clusters) {
+  constexpr size_t kSweepThreads = 4;
+  constexpr int kSweepReps = 5;
+  qec::datagen::ClusteredOptions options;
+  options.num_docs = docs;
+  options.num_clusters = clusters;
+  qec::doc::Corpus corpus =
+      qec::datagen::ClusteredGenerator(options).Generate();
+  qec::index::InvertedIndex index(corpus);
+
+  // Universe: every result of one topic term; cluster: the results also
+  // carrying a sibling topic term (a realistic sub-cluster).
+  const auto& vocab = corpus.analyzer().vocabulary();
+  const std::vector<qec::TermId> user_terms = {vocab.Lookup("c0t0")};
+  auto results = index.Search(user_terms);
+  qec::core::ResultUniverse universe(corpus, results);
+  qec::DynamicBitset bits =
+      universe.Retrieve({vocab.Lookup("c0t1")});
+  qec::core::CandidateOptions candidate_options;
+  candidate_options.fraction = 1.0;  // widest sweeps: every candidate
+  auto candidates = qec::core::SelectCandidates(universe, index, user_terms,
+                                                candidate_options);
+  auto context = qec::core::MakeContext(universe, user_terms,
+                                        std::move(bits), candidates);
+
+  auto median_ns = [&](auto&& expand) {
+    std::vector<double> samples;
+    for (int i = 0; i < kSweepReps; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto r = expand();
+      auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(r);
+      samples.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+
+  double serial_s[3] = {0, 0, 0};
+  double sharded_s[3] = {0, 0, 0};
+  for (int threaded = 0; threaded < 2; ++threaded) {
+    double* out = threaded != 0 ? sharded_s : serial_s;
+    const size_t threads = threaded != 0 ? kSweepThreads : 1;
+    qec::core::IskrOptions iskr;
+    iskr.sweep_threads = threads;
+    out[0] = median_ns([&] {
+               return qec::core::IskrExpander(iskr).Expand(context);
+             }) /
+             1e9;
+    qec::core::PebcOptions pebc;
+    pebc.sweep_threads = threads;
+    out[1] = median_ns([&] {
+               return qec::core::PebcExpander(pebc).Expand(context);
+             }) /
+             1e9;
+    qec::core::FMeasureOptions fmeasure;
+    fmeasure.sweep_threads = threads;
+    out[2] = median_ns([&] {
+               return qec::core::FMeasureExpander(fmeasure).Expand(context);
+             }) /
+             1e9;
+  }
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"docs\": %zu,\n"
+      "  \"clusters\": %zu,\n"
+      "  \"sweep_threads\": %zu,\n"
+      "  \"iskr\": {\"serial_ms\": %.2f, \"sharded_ms\": %.2f,"
+      " \"speedup\": %.2f},\n"
+      "  \"pebc\": {\"serial_ms\": %.2f, \"sharded_ms\": %.2f,"
+      " \"speedup\": %.2f},\n"
+      "  \"fmeasure\": {\"serial_ms\": %.2f, \"sharded_ms\": %.2f,"
+      " \"speedup\": %.2f}\n"
+      "}\n",
+      docs, clusters, kSweepThreads, serial_s[0] * 1e3, sharded_s[0] * 1e3,
+      serial_s[0] / sharded_s[0], serial_s[1] * 1e3, sharded_s[1] * 1e3,
+      serial_s[1] / sharded_s[1], serial_s[2] * 1e3, sharded_s[2] * 1e3,
+      serial_s[2] / sharded_s[2]);
+  std::cout << json;
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  size_t docs = 400000;
+  size_t clusters = 256;
+  std::string sweep_out;
+  bool sweep_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--docs=", 0) == 0) {
+      docs = static_cast<size_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--clusters=", 0) == 0) {
+      clusters = static_cast<size_t>(std::atoll(arg.c_str() + 11));
+    } else if (arg == "--sweep-report" ||
+               arg.rfind("--sweep-report=", 0) == 0) {
+      sweep_mode = true;
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) sweep_out = arg.substr(eq + 1);
+    }
+  }
+  if (sweep_mode) return RunSweepReport(sweep_out, docs, clusters);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--kernel-gate" || arg.rfind("--kernel-gate=", 0) == 0) {

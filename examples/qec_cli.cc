@@ -3,15 +3,20 @@
 //
 //   qec_cli index  <corpus.qec> <file.xml|file.txt>...   build + save corpus
 //   qec_cli gen    <corpus.qec> [shopping|wikipedia]     save a demo corpus
-//   qec_cli index-build   <snap.qsnap> <file...|shopping|wikipedia>
+//   qec_cli index-build   <snap.qsnap> [--reorder=cluster]
+//                  <file...|shopping|wikipedia|clustered:D:C[:SEED]>
 //                  build corpus + inverted index, write one checksummed
-//                  snapshot (docs/FORMATS.md) that serves without a rebuild
+//                  snapshot (docs/FORMATS.md) that serves without a rebuild;
+//                  --reorder=cluster permutes doc ids so same-cluster
+//                  documents are contiguous (smaller INDX, byte-identical
+//                  expansion) and records the permutation as a PERM section
 //   qec_cli index-inspect <snap.qsnap>   print version, section TOC, CRCs,
-//                  and corpus statistics (reads only the STAT section)
+//                  permutation presence/identity, and corpus statistics
+//                  (reads only the STAT and PERM sections)
 //   qec_cli stats  <corpus.qec|snap.qsnap>               corpus statistics
 //   qec_cli search <corpus.qec|snap.qsnap> <query words>...  top-10 search
 //   qec_cli expand <corpus.qec|snap.qsnap> [-a iskr|pebc|fmeasure] [-k N]
-//                  <query>...
+//                  [--sweep-threads=N] <query>...
 //   qec_cli explain <corpus.qec|snap.qsnap> [-a algo] [-b algo] [-k N]
 //                  <query>...   run a query through two arms with per-term
 //                  benefit/cost diagnostics and report the winner
@@ -68,6 +73,8 @@
 #include "server/net/net_server.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "cluster/doc_reorder.h"
+#include "datagen/clustered.h"
 #include "datagen/shopping.h"
 #include "datagen/wikipedia.h"
 #include "datagen/workload.h"
@@ -86,12 +93,13 @@ int Usage() {
       "usage:\n"
       "  qec_cli index  <corpus.qec> <file.xml|file.txt>...\n"
       "  qec_cli gen    <corpus.qec> [shopping|wikipedia]\n"
-      "  qec_cli index-build   <snap.qsnap> <file...|shopping|wikipedia>\n"
+      "  qec_cli index-build   <snap.qsnap> [--reorder=cluster] "
+      "<file...|shopping|wikipedia|clustered:D:C[:SEED]>\n"
       "  qec_cli index-inspect <snap.qsnap>\n"
       "  qec_cli stats  <corpus.qec|snap.qsnap>\n"
       "  qec_cli search <corpus.qec|snap.qsnap> <query words>...\n"
       "  qec_cli expand <corpus.qec|snap.qsnap> [-a iskr|pebc|fmeasure] "
-      "[-k N] <query words>...\n"
+      "[-k N] [--sweep-threads=N] <query words>...\n"
       "  qec_cli explain <corpus.qec|snap.qsnap> [-a algo] [-b algo] "
       "[-k N] <query words>...\n"
       "  qec_cli abtest <corpus.qec|shopping|wikipedia> [-a algo] [-b algo] "
@@ -127,14 +135,43 @@ bool EndsWith(const std::string& s, const char* suffix) {
   return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
 }
 
+/// Parses "clustered:<docs>:<clusters>[:<seed>]" into generator options.
+/// Returns false when `spec` is not a clustered spec at all; malformed
+/// counts surface as an error from std::stoull.
+bool ParseClusteredSpec(const std::string& spec,
+                        qec::datagen::ClusteredOptions* options) {
+  if (!qec::StartsWith(spec, "clustered:")) return false;
+  std::vector<std::string> parts;
+  size_t begin = strlen("clustered:");
+  while (begin <= spec.size()) {
+    size_t end = spec.find(':', begin);
+    if (end == std::string::npos) end = spec.size();
+    parts.push_back(spec.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  if (parts.size() < 2 || parts.size() > 3) return false;
+  options->num_docs = static_cast<size_t>(std::stoull(parts[0]));
+  options->num_clusters = static_cast<size_t>(std::stoull(parts[1]));
+  if (parts.size() == 3) options->seed = std::stoull(parts[2]);
+  return options->num_docs > 0 && options->num_clusters > 0;
+}
+
 /// Builds a corpus from XML/text files ("shopping"/"wikipedia" generate the
-/// demo catalogs instead). Shared by `index` and `index-build`.
+/// demo catalogs, "clustered:D:C[:SEED]" the synthetic clustered corpus).
+/// Shared by `index` and `index-build`.
 qec::Result<qec::doc::Corpus> BuildCorpus(const std::vector<std::string>& inputs) {
   if (inputs.size() == 1 && inputs[0] == "shopping") {
     return qec::datagen::ShoppingGenerator().Generate();
   }
   if (inputs.size() == 1 && inputs[0] == "wikipedia") {
     return qec::datagen::WikipediaGenerator().Generate();
+  }
+  if (inputs.size() == 1 && qec::StartsWith(inputs[0], "clustered:")) {
+    qec::datagen::ClusteredOptions options;
+    if (!ParseClusteredSpec(inputs[0], &options)) {
+      return qec::Status::InvalidArgument("bad clustered spec: " + inputs[0]);
+    }
+    return qec::datagen::ClusteredGenerator(options).Generate();
   }
   qec::doc::Corpus corpus;
   for (const std::string& input : inputs) {
@@ -211,24 +248,60 @@ int CmdIndex(const std::vector<std::string>& args) {
 }
 
 int CmdIndexBuild(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Usage();
-  auto corpus =
-      BuildCorpus(std::vector<std::string>(args.begin() + 1, args.end()));
+  bool reorder = false;
+  std::string snapshot_path;
+  std::vector<std::string> inputs;
+  for (const std::string& arg : args) {
+    if (arg == "--reorder=cluster") {
+      reorder = true;
+    } else if (qec::StartsWith(arg, "--reorder=")) {
+      std::fprintf(stderr, "index-build: unknown reorder mode in %s\n",
+                   arg.c_str());
+      return 2;
+    } else if (qec::StartsWith(arg, "--")) {
+      return Usage();
+    } else if (snapshot_path.empty()) {
+      snapshot_path = arg;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (snapshot_path.empty() || inputs.empty()) return Usage();
+  auto corpus = BuildCorpus(inputs);
   if (!corpus.ok()) {
     std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
     return 1;
   }
-  qec::index::InvertedIndex index(*corpus);
-  qec::Status s = qec::storage::WriteSnapshot(index, args[0]);
+  qec::Status s = qec::Status::Ok();
+  bool identity = true;
+  if (reorder) {
+    // Permute doc ids so same-cluster documents are contiguous: the
+    // delta+varbyte codec then sees gap-1 runs inside each topical posting
+    // list (smaller INDX). The permutation rides along as a PERM section,
+    // so loads tie-break ranked results on the original ids and expansion
+    // output stays byte-identical to the unreordered snapshot.
+    const std::vector<qec::DocId> order =
+        qec::cluster::ComputeClusterOrder(*corpus);
+    identity = qec::cluster::IsIdentityOrder(order);
+    qec::doc::Corpus reordered = qec::cluster::ReorderCorpus(*corpus, order);
+    qec::index::InvertedIndex index(reordered);
+    s = qec::storage::WriteSnapshot(index, order, snapshot_path);
+  } else {
+    qec::index::InvertedIndex index(*corpus);
+    s = qec::storage::WriteSnapshot(index, snapshot_path);
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
   auto stats = corpus->Stats();
   std::printf(
-      "wrote snapshot %s: %zu documents, %zu terms, format v%u\n",
-      args[0].c_str(), stats.num_docs, stats.num_distinct_terms,
-      qec::storage::kSnapshotFormatVersion);
+      "wrote snapshot %s: %zu documents, %zu terms, format v%u%s\n",
+      snapshot_path.c_str(), stats.num_docs, stats.num_distinct_terms,
+      qec::storage::kSnapshotFormatVersion,
+      !reorder ? ""
+               : (identity ? ", cluster reorder (identity)"
+                           : ", cluster reordered"));
   return 0;
 }
 
@@ -268,6 +341,26 @@ int CmdIndexInspect(const std::vector<std::string>& args) {
   std::printf("distinct terms:   %zu\n", stats->num_distinct_terms);
   std::printf("term occurrences: %zu\n", stats->total_term_occurrences);
   std::printf("avg doc length:   %.1f\n", stats->avg_doc_length);
+  if (reader->HasSection(qec::storage::kSectionPerm)) {
+    auto perm = reader->ReadPermutation();
+    if (!perm.ok()) {
+      // A PERM section whose length differs from the doc count, repeats
+      // an id, or points out of range is Corruption, same as a bad CRC.
+      std::fprintf(stderr, "%s\n", perm.status().ToString().c_str());
+      return 1;
+    }
+    bool identity = true;
+    for (size_t i = 0; i < perm->size(); ++i) {
+      if ((*perm)[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+    std::printf("permutation:      %s (%zu entries)\n",
+                identity ? "identity" : "reordered", perm->size());
+  } else {
+    std::printf("permutation:      none\n");
+  }
   return rc;
 }
 
@@ -390,6 +483,15 @@ int CmdExpand(const std::vector<std::string>& args) {
     } else if (args[i] == "-k" && i + 1 < args.size()) {
       options.max_clusters = static_cast<size_t>(std::stoul(args[i + 1]));
       i += 2;
+    } else if (qec::StartsWith(args[i], "--sweep-threads=")) {
+      // Scatter-gather benefit/cost sweeps inside every algorithm; merges
+      // are candidate-ordered, so output is byte-identical to serial.
+      const size_t n = static_cast<size_t>(
+          std::stoul(args[i].substr(strlen("--sweep-threads="))));
+      options.iskr.sweep_threads = n;
+      options.pebc.sweep_threads = n;
+      options.fmeasure.sweep_threads = n;
+      i += 1;
     } else {
       return Usage();
     }

@@ -108,6 +108,18 @@ size_t DynamicBitset::AndNotCount(const DynamicBitset& other) const {
   return n;
 }
 
+size_t DynamicBitset::AndNotCount(const DynamicBitset& other,
+                                  const WordRange& range) const {
+  QEC_CHECK_EQ(size_, other.size_);
+  const size_t end = range.end < words_.size() ? range.end : words_.size();
+  size_t n = 0;
+  for (size_t i = range.begin; i < end; ++i) {
+    n += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
 size_t DynamicBitset::AndCount3(const DynamicBitset& b,
                                 const DynamicBitset& c) const {
   QEC_CHECK_EQ(size_, b.size_);
@@ -140,6 +152,26 @@ bool DynamicBitset::Intersects(const DynamicBitset& b,
     if ((words_[i] & b.words_[i] & c.words_[i]) != 0) return true;
   }
   return false;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& b, const DynamicBitset& c,
+                               const WordRange& range) const {
+  QEC_CHECK_EQ(size_, b.size_);
+  QEC_CHECK_EQ(size_, c.size_);
+  const size_t end = range.end < words_.size() ? range.end : words_.size();
+  for (size_t i = range.begin; i < end; ++i) {
+    if ((words_[i] & b.words_[i] & c.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+WordRange DynamicBitset::NonzeroWordRange() const {
+  size_t first = 0;
+  while (first < words_.size() && words_[first] == 0) ++first;
+  if (first == words_.size()) return WordRange{};
+  size_t last = words_.size();
+  while (last > first && words_[last - 1] == 0) --last;
+  return WordRange{first, last};
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {

@@ -1,10 +1,14 @@
 #include "core/fmeasure_expander.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/threading.h"
 
 namespace qec::core {
 
@@ -31,6 +35,10 @@ ExpansionResult FMeasureExpander::Expand(
 
   size_t iterations = 0;
   size_t recomputations = 0;
+  // Per-candidate sweep buffers, reused across iterations. uint8_t (not
+  // vector<bool>) so concurrent workers can write distinct elements.
+  std::vector<double> candidate_f;
+  std::vector<uint8_t> evaluated;
 
   while (iterations < options_.max_iterations) {
     TermId best = kInvalidTermId;
@@ -48,19 +56,58 @@ ExpansionResult FMeasureExpander::Expand(
     // single AND.
     universe.RetrieveInto(query, &*base);
     std::unordered_set<TermId> in_query(query.begin(), query.end());
-    for (TermId k : context.candidates) {
-      if (in_query.count(k) != 0) continue;
+    const size_t n = context.candidates.size();
+    candidate_f.assign(n, -1.0);
+    evaluated.assign(n, 0);
+    const size_t threads = ResolveThreadCount(options_.sweep_threads, n);
+    if (threads <= 1) {
+      for (size_t i = 0; i < n; ++i) {
+        TermId k = context.candidates[i];
+        if (in_query.count(k) != 0) continue;
+        evaluated[i] = 1;
+        *r = *base;
+        *r &= universe.DocsWithTerm(k);
+        candidate_f[i] =
+            EvaluateQuery(universe, *r, context.cluster).f_measure;
+      }
+    } else {
+      // Scatter-gather: each candidate's delta-F is computed whole by one
+      // work-stealing worker (own scratch lease), then merged below in
+      // candidate-index order — byte-identical to the serial sweep.
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          auto rt = universe.AcquireScratch();
+          for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+            TermId k = context.candidates[i];
+            if (in_query.count(k) != 0) continue;
+            evaluated[i] = 1;
+            *rt = *base;
+            *rt &= universe.DocsWithTerm(k);
+            candidate_f[i] =
+                EvaluateQuery(universe, *rt, context.cluster).f_measure;
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (evaluated[i] == 0) continue;
       ++recomputations;
-      *r = *base;
-      *r &= universe.DocsWithTerm(k);
-      double f = EvaluateQuery(universe, *r, context.cluster).f_measure;
+      TermId k = context.candidates[i];
+      double f = candidate_f[i];
       if (f > best_f || (f == best_f && best != kInvalidTermId && k < best &&
                          !best_is_removal)) {
         best_f = f;
         best = k;
         best_is_removal = false;
-        *best_retrieved = *r;
       }
+    }
+    if (best != kInvalidTermId && !best_is_removal) {
+      *best_retrieved = *base;
+      *best_retrieved &= universe.DocsWithTerm(best);
     }
     if (options_.allow_removal) {
       // Removals: every previously added keyword.

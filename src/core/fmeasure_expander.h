@@ -11,6 +11,12 @@ namespace qec::core {
 struct FMeasureOptions {
   size_t max_iterations = 200;
   bool allow_removal = true;
+  /// Threads for the per-iteration candidate sweep (every candidate's
+  /// delta-F is an independent full evaluation). Same scatter-gather
+  /// contract as IskrOptions::sweep_threads: per-candidate values merge in
+  /// candidate-index order, so any thread count is byte-identical to the
+  /// serial sweep. 1 = serial, 0 = auto.
+  size_t sweep_threads = 1;
 };
 
 /// The "F-measure" comparison method of Sec. 5: the ISKR refinement loop,

@@ -47,9 +47,12 @@ class IskrState {
         trace_(trace),
         retrieved_(ctx.universe->AcquireScratch()),
         delta_(ctx.universe->AcquireScratch()),
-        without_(ctx.universe->AcquireScratch()) {
+        without_(ctx.universe->AcquireScratch()),
+        cluster_range_(ctx.cluster.NonzeroWordRange()),
+        others_range_(ctx.others.NonzeroWordRange()) {
     query_ = ctx.user_query;
     ctx_.universe->RetrieveInto(query_, &*retrieved_);
+    RefreshScanRanges();
     SweepCandidates();
   }
 
@@ -131,6 +134,18 @@ class IskrState {
     recomputations_ += n;
   }
 
+  // Kernel scan ranges, refreshed whenever R(q) changes: every benefit/
+  // cost expression positively ANDs R(q) and one of C/U, so scanning only
+  // the intersection of their nonzero-word ranges skips provably all-zero
+  // shards while preserving the exact floating-point addition sequence
+  // (byte-identical to the full scan). On cluster-reordered corpora C and
+  // the refined R(q) are dense runs, so whole shards drop out.
+  void RefreshScanRanges() {
+    const WordRange retrieved_range = retrieved_->NonzeroWordRange();
+    cluster_scan_ = WordRange::Intersect(retrieved_range, cluster_range_);
+    others_scan_ = WordRange::Intersect(retrieved_range, others_range_);
+  }
+
   // Addition: benefit = S(R(q) ∩ U ∩ E(k)), cost = S(R(q) ∩ C ∩ E(k)).
   // One fused pass per weight, no intermediate bitsets; the old
   // loop-invariant |R(q) ∩ C| comparison is subsumed by the early-exit
@@ -138,21 +153,27 @@ class IskrState {
   // R(q) ∩ C ∩ D(k) is empty with positive cost). Thread-safe: reads only.
   Entry ComputeAddEntry(TermId k) const {
     const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
-    Entry e{ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.others),
-            ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
-                                             ctx_.cluster)};
+    Entry e{ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.others,
+                                             others_scan_),
+            ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.cluster,
+                                             cluster_scan_)};
     if (e.cost > 0.0) {
-      e.kills_cluster = !retrieved_->Intersects(docs_k, ctx_.cluster);
+      e.kills_cluster =
+          !retrieved_->Intersects(docs_k, ctx_.cluster, cluster_scan_);
     }
     return e;
   }
 
   // Removal: D(k) = R(q\k) \ R(q); benefit = S(C ∩ D), cost = S(U ∩ D).
+  // The delta lies outside R(q), so only the positively-ANDed C/U operand
+  // bounds the scan here.
   Entry ComputeRemoveEntry(TermId k) {
     ctx_.universe->RetrieveWithoutInto(query_, k, &*without_);
     return Entry{
-        ctx_.universe->WeightOfAndNotAnd(*without_, *retrieved_, ctx_.cluster),
-        ctx_.universe->WeightOfAndNotAnd(*without_, *retrieved_, ctx_.others)};
+        ctx_.universe->WeightOfAndNotAnd(*without_, *retrieved_, ctx_.cluster,
+                                         cluster_range_),
+        ctx_.universe->WeightOfAndNotAnd(*without_, *retrieved_, ctx_.others,
+                                         others_range_)};
   }
 
   // (term, is_removal, value) of the best refinement step.
@@ -183,6 +204,7 @@ class IskrState {
     *delta_ = *retrieved_;
     delta_->AndNot(docs_k);
     retrieved_->AndNot(*delta_);
+    RefreshScanRanges();
     query_.push_back(k);
     add_entries_.erase(k);
     RefreshAffected(*delta_);
@@ -196,6 +218,7 @@ class IskrState {
     *delta_ = *without_;
     delta_->AndNot(*retrieved_);
     *retrieved_ = *without_;
+    RefreshScanRanges();
     query_.erase(std::find(query_.begin(), query_.end(), k));
     remove_entries_.erase(k);
     RefreshAffected(*delta_);
@@ -211,13 +234,48 @@ class IskrState {
   // even when k appears in every delta result (e.g. the walkthrough's
   // removal of "job" after adding store and location). Removal entries are
   // few (|q| keywords), so they are simply recomputed every step.
+  //
+  // The addition refresh fans out over sweep_threads like the initial
+  // sweep: ComputeAddEntry only reads shared state and every affected
+  // entry is overwritten whole, so the refreshed values — and the
+  // recomputation count, a plain sum — are byte-identical to the serial
+  // loop. The removal refresh shares the without_ scratch and therefore
+  // stays serial; it touches at most |q| entries anyway.
   void RefreshAffected(const DynamicBitset& delta) {
     if (!delta.None()) {
-      for (auto& [k, e] : add_entries_) {
-        if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
-          e = ComputeAddEntry(k);
-          ++recomputations_;
+      const size_t threads =
+          ResolveThreadCount(options_.sweep_threads, add_entries_.size());
+      if (threads <= 1) {
+        for (auto& [k, e] : add_entries_) {
+          if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
+            e = ComputeAddEntry(k);
+            ++recomputations_;
+          }
         }
+      } else {
+        std::vector<std::pair<TermId, Entry*>> slots;
+        slots.reserve(add_entries_.size());
+        for (auto& [k, e] : add_entries_) slots.emplace_back(k, &e);
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> refreshed{0};
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (size_t t = 0; t < threads; ++t) {
+          pool.emplace_back([&] {
+            size_t local = 0;
+            for (size_t i = next.fetch_add(1); i < slots.size();
+                 i = next.fetch_add(1)) {
+              const TermId k = slots[i].first;
+              if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
+                *slots[i].second = ComputeAddEntry(k);
+                ++local;
+              }
+            }
+            refreshed.fetch_add(local);
+          });
+        }
+        for (auto& th : pool) th.join();
+        recomputations_ += refreshed.load();
       }
     }
     for (auto& [k, e] : remove_entries_) {
@@ -235,6 +293,12 @@ class IskrState {
   ResultUniverse::ScratchBitset retrieved_;
   ResultUniverse::ScratchBitset delta_;
   ResultUniverse::ScratchBitset without_;
+  /// Nonzero-word ranges of C and U (fixed per context) and their current
+  /// intersections with R(q)'s range (see RefreshScanRanges).
+  WordRange cluster_range_;
+  WordRange others_range_;
+  WordRange cluster_scan_;
+  WordRange others_scan_;
   std::unordered_map<TermId, Entry> add_entries_;
   std::unordered_map<TermId, Entry> remove_entries_;
   size_t iterations_ = 0;

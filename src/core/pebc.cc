@@ -1,13 +1,16 @@
 #include "core/pebc.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/threading.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -29,14 +32,18 @@ double ValueOf(double benefit, double cost) {
 /// across all Build() calls of the builder.
 class SampleBuilder {
  public:
-  SampleBuilder(const ExpansionContext& ctx, Rng& rng, size_t* recomputations)
+  SampleBuilder(const ExpansionContext& ctx, Rng& rng, size_t sweep_threads,
+                size_t* recomputations)
       : ctx_(ctx),
         rng_(rng),
+        sweep_threads_(sweep_threads),
         recomputations_(recomputations),
         retrieved_(ctx.universe->AcquireScratch()),
         saved_(ctx.universe->AcquireScratch()),
         selected_(ctx.universe->AcquireScratch()),
-        blocked_(ctx.universe->AcquireScratch()) {
+        blocked_(ctx.universe->AcquireScratch()),
+        cluster_range_(ctx.cluster.NonzeroWordRange()),
+        others_range_(ctx.others.NonzeroWordRange()) {
     total_u_weight_ = ctx_.universe->TotalWeight(ctx_.others);
   }
 
@@ -82,17 +89,25 @@ class SampleBuilder {
   void SyncRetrievedDerived() {
     live_u_weight_ = ctx_.universe->WeightOfAnd(*retrieved_, ctx_.others);
     retrieved_c_any_ = retrieved_->Intersects(ctx_.cluster);
+    // Kernel scan ranges: every per-candidate expression positively ANDs
+    // R and one of C/U, so restricting the scan to the intersection of
+    // their nonzero-word ranges skips provably all-zero shards while
+    // preserving the exact addition sequence (byte-identical results).
+    retrieved_range_ = retrieved_->NonzeroWordRange();
+    cluster_scan_ = WordRange::Intersect(retrieved_range_, cluster_range_);
+    others_scan_ = WordRange::Intersect(retrieved_range_, others_range_);
   }
 
   double EliminatedWeight() const { return total_u_weight_ - live_u_weight_; }
 
-  // benefit = S(R ∩ U ∩ E(k)), cost = S(R ∩ C ∩ E(k)).
+  // benefit = S(R ∩ U ∩ E(k)), cost = S(R ∩ C ∩ E(k)). Thread-safe: reads
+  // only; callers account the evaluation in their CandidateEntry.
   std::pair<double, double> BenefitCost(TermId k) const {
-    ++*recomputations_;
     const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
-    return {ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.others),
-            ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
-                                             ctx_.cluster)};
+    return {ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.others,
+                                             others_scan_),
+            ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k, ctx_.cluster,
+                                             cluster_scan_)};
   }
 
   // True when adding k would eliminate every cluster result still
@@ -101,11 +116,51 @@ class SampleBuilder {
   bool KillsCluster(TermId k) const {
     if (!retrieved_c_any_) return false;
     return !retrieved_->Intersects(ctx_.universe->DocsWithTerm(k),
-                                   ctx_.cluster);
+                                   ctx_.cluster, cluster_scan_);
   }
 
   size_t NumEliminatedBy(TermId k) const {
-    return retrieved_->AndNotCount(ctx_.universe->DocsWithTerm(k));
+    return retrieved_->AndNotCount(ctx_.universe->DocsWithTerm(k),
+                                   retrieved_range_);
+  }
+
+  // One candidate's sweep outcome. `eligible` is false for candidates a
+  // strategy filter skipped; `evals` carries the benefit/cost evaluation
+  // count into the serial merge (so the recomputations tally is identical
+  // to the serial sweep's).
+  struct CandidateEntry {
+    double value = -1.0;
+    size_t eliminated = 0;
+    uint32_t evals = 0;
+    bool eligible = false;
+  };
+
+  // Scatter-gather over the candidate list: evaluates `eval` (a pure
+  // function of one candidate) with work-stealing workers and merges the
+  // entries in candidate-index order — the IskrOptions::sweep_threads
+  // machinery, so any thread count is byte-identical to the serial loop.
+  template <typename Eval>
+  void SweepCandidates(const Eval& eval, std::vector<CandidateEntry>* out) {
+    const size_t n = ctx_.candidates.size();
+    out->assign(n, CandidateEntry{});
+    const size_t threads = ResolveThreadCount(sweep_threads_, n);
+    if (threads <= 1) {
+      for (size_t i = 0; i < n; ++i) (*out)[i] = eval(ctx_.candidates[i]);
+    } else {
+      QEC_COUNTER_INC("pebc/parallel_sweeps");
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+            (*out)[i] = eval(ctx_.candidates[i]);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+    }
+    for (const CandidateEntry& e : *out) *recomputations_ += e.evals;
   }
 
   void ApplyKeyword(TermId k) {
@@ -136,25 +191,45 @@ class SampleBuilder {
     return true;
   }
 
+  // Serial argmax over swept entries in candidate-index order, with the
+  // value-then-fewest-eliminated tiebreak shared by the fixed-order and
+  // single-result strategies.
+  TermId SelectBestByValueThenElim(const std::vector<CandidateEntry>& entries)
+      const {
+    TermId best = kInvalidTermId;
+    double best_value = -1.0;
+    size_t best_elim = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const CandidateEntry& e = entries[i];
+      if (!e.eligible) continue;
+      if (e.value > best_value ||
+          (e.value == best_value && e.eliminated < best_elim)) {
+        best_value = e.value;
+        best = ctx_.candidates[i];
+        best_elim = e.eliminated;
+      }
+    }
+    return best;
+  }
+
   void BuildFixedOrder(double target) {
     if (EliminatedWeight() >= target) return;
     for (;;) {
-      TermId best = kInvalidTermId;
-      double best_value = -1.0;
-      size_t best_elim = 0;
-      for (TermId k : ctx_.candidates) {
-        if (in_query_.count(k) != 0) continue;
-        auto [b, c] = BenefitCost(k);
-        if (b <= 0.0) continue;  // must eliminate something in U
-        if (KillsCluster(k)) continue;
-        double v = ValueOf(b, c);
-        size_t elim = NumEliminatedBy(k);
-        if (v > best_value || (v == best_value && elim < best_elim)) {
-          best_value = v;
-          best = k;
-          best_elim = elim;
-        }
-      }
+      SweepCandidates(
+          [&](TermId k) {
+            CandidateEntry e;
+            if (in_query_.count(k) != 0) return e;
+            auto [b, c] = BenefitCost(k);
+            e.evals = 1;
+            if (b <= 0.0) return e;  // must eliminate something in U
+            if (KillsCluster(k)) return e;
+            e.value = ValueOf(b, c);
+            e.eliminated = NumEliminatedBy(k);
+            e.eligible = true;
+            return e;
+          },
+          &entries_buf_);
+      TermId best = SelectBestByValueThenElim(entries_buf_);
       if (best == kInvalidTermId) return;
       const double before_weight = EliminatedWeight();
       *saved_ = *retrieved_;
@@ -185,31 +260,45 @@ class SampleBuilder {
     // Greedy weighted cover of the selected subset: maximize weight of
     // selected results eliminated per unit cost, where eliminating
     // non-selected results of U counts as cost (Example 4.3).
+    const WordRange sel_range = selected_->NonzeroWordRange();
     for (;;) {
       if (EliminatedWeight() >= target) return;
+      const WordRange sel_scan =
+          WordRange::Intersect(retrieved_range_, sel_range);
+      SweepCandidates(
+          [&](TermId k) {
+            CandidateEntry e;
+            if (in_query_.count(k) != 0) return e;
+            e.evals = 1;
+            const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
+            // Eliminated results E = R ∩ ~docs_k, split three ways in
+            // fused passes: selected (benefit), cluster and unselected-U
+            // (cost).
+            double b = ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
+                                                        *selected_, sel_scan);
+            if (b <= 0.0) return e;
+            if (KillsCluster(k)) return e;
+            double c = ctx_.universe->WeightOfAndNotAnd(
+                           *retrieved_, docs_k, ctx_.cluster, cluster_scan_) +
+                       ctx_.universe->WeightWhereInRange(
+                           others_scan_,
+                           [](uint64_t r, uint64_t dk, uint64_t u,
+                              uint64_t sel) { return r & ~dk & u & ~sel; },
+                           *retrieved_, docs_k, ctx_.others, *selected_);
+            e.value = ValueOf(b, c);
+            e.eligible = true;
+            return e;
+          },
+          &entries_buf_);
+      // Value-only tiebreak (first candidate in index order wins ties),
+      // exactly the serial loop's rule.
       TermId best = kInvalidTermId;
       double best_value = -1.0;
-      for (TermId k : ctx_.candidates) {
-        if (in_query_.count(k) != 0) continue;
-        ++*recomputations_;
-        const DynamicBitset& docs_k = ctx_.universe->DocsWithTerm(k);
-        // Eliminated results E = R ∩ ~docs_k, split three ways in fused
-        // passes: selected (benefit), cluster and unselected-U (cost).
-        double b = ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
-                                                    *selected_);
-        if (b <= 0.0) continue;
-        if (KillsCluster(k)) continue;
-        double c = ctx_.universe->WeightOfAndNotAnd(*retrieved_, docs_k,
-                                                    ctx_.cluster) +
-                   ctx_.universe->WeightWhere(
-                       [](uint64_t r, uint64_t dk, uint64_t u, uint64_t sel) {
-                         return r & ~dk & u & ~sel;
-                       },
-                       *retrieved_, docs_k, ctx_.others, *selected_);
-        double v = ValueOf(b, c);
-        if (v > best_value) {
-          best_value = v;
-          best = k;
+      for (size_t i = 0; i < entries_buf_.size(); ++i) {
+        if (!entries_buf_[i].eligible) continue;
+        if (entries_buf_[i].value > best_value) {
+          best_value = entries_buf_[i].value;
+          best = ctx_.candidates[i];
         }
       }
       if (best == kInvalidTermId) return;
@@ -243,22 +332,21 @@ class SampleBuilder {
           ctx_.universe->corpus().Get(ctx_.universe->doc_at(r));
       // Best benefit/cost keyword that eliminates r (i.e., r lacks k);
       // ties go to the keyword eliminating fewest results.
-      TermId best = kInvalidTermId;
-      double best_value = -1.0;
-      size_t best_elim = 0;
-      for (TermId k : ctx_.candidates) {
-        if (in_query_.count(k) != 0) continue;
-        if (rdoc.Contains(k)) continue;  // cannot eliminate r
-        if (KillsCluster(k)) continue;
-        auto [b, c] = BenefitCost(k);
-        double v = ValueOf(b, c);
-        size_t elim = NumEliminatedBy(k);
-        if (v > best_value || (v == best_value && elim < best_elim)) {
-          best_value = v;
-          best = k;
-          best_elim = elim;
-        }
-      }
+      SweepCandidates(
+          [&](TermId k) {
+            CandidateEntry e;
+            if (in_query_.count(k) != 0) return e;
+            if (rdoc.Contains(k)) return e;  // cannot eliminate r
+            if (KillsCluster(k)) return e;
+            auto [b, c] = BenefitCost(k);
+            e.evals = 1;
+            e.value = ValueOf(b, c);
+            e.eliminated = NumEliminatedBy(k);
+            e.eligible = true;
+            return e;
+          },
+          &entries_buf_);
+      TermId best = SelectBestByValueThenElim(entries_buf_);
       if (best == kInvalidTermId) {
         blocked_->Set(r);
         continue;
@@ -272,6 +360,7 @@ class SampleBuilder {
 
   const ExpansionContext& ctx_;
   Rng& rng_;
+  size_t sweep_threads_;
   size_t* recomputations_;
   double total_u_weight_ = 0.0;
   std::vector<TermId> query_;
@@ -283,11 +372,19 @@ class SampleBuilder {
   ResultUniverse::ScratchBitset saved_;
   ResultUniverse::ScratchBitset selected_;
   ResultUniverse::ScratchBitset blocked_;
-  /// Hoisted derivatives of retrieved_ (see SyncRetrievedDerived).
+  /// Nonzero-word ranges of C and U (fixed per context) plus the hoisted
+  /// derivatives of retrieved_ (see SyncRetrievedDerived).
+  WordRange cluster_range_;
+  WordRange others_range_;
+  WordRange retrieved_range_;
+  WordRange cluster_scan_;
+  WordRange others_scan_;
   double live_u_weight_ = 0.0;
   bool retrieved_c_any_ = false;
-  /// Reused index buffer (random-subset shuffle, single-result pool).
+  /// Reused index buffer (random-subset shuffle, single-result pool) and
+  /// swept-entry buffer (scatter-gather merge target).
   std::vector<size_t> indices_buf_;
+  std::vector<CandidateEntry> entries_buf_;
   std::unordered_set<TermId> in_query_;
 };
 
@@ -305,7 +402,7 @@ ExpansionResult PebcExpander::ExpandWithTrace(
   QEC_TRACE_SPAN("pebc/expand");
   Rng rng(options_.seed);
   size_t recomputations = 0;
-  SampleBuilder builder(context, rng, &recomputations);
+  SampleBuilder builder(context, rng, options_.sweep_threads, &recomputations);
 
   const size_t nseg = std::max<size_t>(1, options_.num_segments);
   double left = 0.0, right = 100.0;

@@ -35,6 +35,13 @@ struct PebcOptions {
   size_t num_iterations = 3;
   PebcStrategy strategy = PebcStrategy::kRandomSingleResult;
   uint64_t seed = 42;
+  /// Threads for the per-candidate benefit/cost sweeps inside each sample
+  /// build — the same scatter-gather contract as IskrOptions::
+  /// sweep_threads: each candidate's entry is computed whole by one worker
+  /// and the winner is selected serially in candidate-index order, so
+  /// results are byte-identical to the serial sweep at any thread count.
+  /// 1 = serial, 0 = auto (ResolveThreadCount semantics).
+  size_t sweep_threads = 1;
 };
 
 /// One tested sample point (for tracing / the ablation bench).

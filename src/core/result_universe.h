@@ -75,6 +75,17 @@ class ResultUniverse {
   double WeightOfAndNotAnd(const DynamicBitset& a, const DynamicBitset& b,
                            const DynamicBitset& c) const;
 
+  /// S((a \ b) ∩ c) scanning only words in `range`. Bit-identical to the
+  /// full kernel when (a ∩ c) is zero outside `range` — the caller passes
+  /// the intersection of the nonzero-word ranges of `a` and `c`, and the
+  /// skipped all-zero words contribute no terms to the sum, so the exact
+  /// floating-point addition sequence is preserved. With cluster-reordered
+  /// doc ids the positively-ANDed operands are dense runs, so the scan
+  /// collapses to the few shards the clusters live in.
+  double WeightOfAndNotAnd(const DynamicBitset& a, const DynamicBitset& b,
+                           const DynamicBitset& c, const WordRange& range)
+      const;
+
   /// Generic fused weighted fold: `combine(words...)` receives one 64-bit
   /// word per operand and returns the word of the combined set; the
   /// weights of its set bits are summed. The combined word must be 0 for
@@ -82,6 +93,23 @@ class ResultUniverse {
   /// positively is safe).
   template <typename Combine, typename... Sets>
   double WeightWhere(Combine&& combine, const Sets&... sets) const;
+
+  /// WeightWhere restricted to `range`: bit-identical to the full fold
+  /// whenever `combine` yields 0 for every word outside the range (any
+  /// expression that positively ANDs an operand whose nonzero words lie
+  /// inside `range` qualifies).
+  template <typename Combine, typename... Sets>
+  double WeightWhereInRange(const WordRange& range, Combine&& combine,
+                            const Sets&... sets) const;
+
+  /// Shards the universe's local-id space into up to `target_shards`
+  /// contiguous word-aligned doc-id ranges of near-equal width. Universes
+  /// built over cluster-reordered corpora keep each cluster inside one run
+  /// of ids, so clusters stay shard-local and per-shard pruning (via
+  /// NonzeroWordRange) skips whole shards. Never returns an empty
+  /// partition for a non-empty universe; `target_shards` is clamped to the
+  /// word count.
+  std::vector<WordRange> ShardByDocRange(size_t target_shards) const;
 
   /// S(universe).
   double total_weight() const { return total_weight_; }
@@ -208,6 +236,31 @@ double ResultUniverse::WeightWhere(Combine&& combine,
   double sum = 0.0;
   const double* weights = weights_.data();
   DynamicBitset::ForEachWord(
+      [&](size_t w, auto... words) {
+        uint64_t word = combine(words...);
+        while (word != 0) {
+          int bit = __builtin_ctzll(word);
+          sum += weights[w * 64 + static_cast<size_t>(bit)];
+          word &= word - 1;
+        }
+      },
+      sets...);
+  return sum;
+}
+
+template <typename Combine, typename... Sets>
+double ResultUniverse::WeightWhereInRange(const WordRange& range,
+                                          Combine&& combine,
+                                          const Sets&... sets) const {
+  QEC_COUNTER_INC("universe/fused_evals");
+  auto check_size = [this](const DynamicBitset& s) {
+    QEC_CHECK_EQ(s.size(), docs_.size());
+  };
+  (check_size(sets), ...);
+  double sum = 0.0;
+  const double* weights = weights_.data();
+  DynamicBitset::ForEachWordInRange(
+      range,
       [&](size_t w, auto... words) {
         uint64_t word = combine(words...);
         while (word != 0) {

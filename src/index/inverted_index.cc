@@ -97,6 +97,11 @@ void InvertedIndex::ComputeDocNorms() {
   }
 }
 
+void InvertedIndex::SetExternalIds(std::vector<DocId> ids) {
+  if (!ids.empty()) QEC_CHECK_EQ(ids.size(), corpus_->NumDocs());
+  external_ids_ = std::move(ids);
+}
+
 size_t InvertedIndex::DocumentFrequency(TermId term) const {
   return Postings(term).size();
 }
@@ -187,10 +192,13 @@ std::vector<RankedResult> InvertedIndex::Search(
   std::vector<RankedResult> out;
   out.reserve(docs.size());
   for (DocId d : docs) out.push_back(RankedResult{d, TfIdfScore(terms, d)});
-  std::sort(out.begin(), out.end(), [](const RankedResult& a,
-                                       const RankedResult& b) {
+  // Score ties break on external ids: on a cluster-reordered corpus the
+  // ranked order (hence the expansion universe) matches the unpermuted
+  // index exactly; with no mapping installed this is the plain id order.
+  std::sort(out.begin(), out.end(), [this](const RankedResult& a,
+                                           const RankedResult& b) {
     if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
+    return ExternalId(a.doc) < ExternalId(b.doc);
   });
   if (top_k > 0 && out.size() > top_k) out.resize(top_k);
   return out;
@@ -229,9 +237,9 @@ std::vector<RankedResult> InvertedIndex::SearchVsm(
     out.push_back(RankedResult{d, dot / (norm * query_norm)});
   }
   std::sort(out.begin(), out.end(),
-            [](const RankedResult& a, const RankedResult& b) {
+            [this](const RankedResult& a, const RankedResult& b) {
               if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
+              return ExternalId(a.doc) < ExternalId(b.doc);
             });
   if (top_k > 0 && out.size() > top_k) out.resize(top_k);
   return out;
@@ -277,9 +285,9 @@ std::vector<RankedResult> InvertedIndex::SearchBm25(
   out.reserve(scores.size());
   for (const auto& [d, s] : scores) out.push_back(RankedResult{d, s});
   std::sort(out.begin(), out.end(),
-            [](const RankedResult& a, const RankedResult& b) {
+            [this](const RankedResult& a, const RankedResult& b) {
               if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
+              return ExternalId(a.doc) < ExternalId(b.doc);
             });
   if (top_k > 0 && out.size() > top_k) out.resize(top_k);
   return out;

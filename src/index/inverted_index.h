@@ -52,6 +52,23 @@ class InvertedIndex {
 
   const doc::Corpus& corpus() const { return *corpus_; }
 
+  /// Installs the external-id mapping of a cluster-reordered corpus:
+  /// `ids[internal]` is the doc id the document had before reordering
+  /// (the QECSNAP `PERM` section). Ranked-search score ties then break on
+  /// external ids, so result order — and everything downstream, expansion
+  /// included — is byte-identical to an unpermuted index. Empty = identity.
+  /// `ids` must be empty or a permutation of [0, NumDocs) (the snapshot
+  /// reader validates before calling; direct callers get a size check).
+  void SetExternalIds(std::vector<DocId> ids);
+
+  /// The external (pre-reorder) id of internal doc `doc`.
+  DocId ExternalId(DocId doc) const {
+    return external_ids_.empty() ? doc : external_ids_[doc];
+  }
+
+  /// The installed mapping (empty = identity).
+  const std::vector<DocId>& external_ids() const { return external_ids_; }
+
   /// Number of documents containing `term`.
   size_t DocumentFrequency(TermId term) const;
 
@@ -122,6 +139,7 @@ class InvertedIndex {
   const doc::Corpus* corpus_;
   std::vector<std::vector<Posting>> postings_;  // indexed by TermId
   std::vector<double> doc_norms_;  // ||tf-idf vector|| per document
+  std::vector<DocId> external_ids_;  // empty = identity
   std::vector<Posting> empty_;
 };
 

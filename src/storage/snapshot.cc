@@ -5,6 +5,7 @@
 
 #include "common/binary_io.h"
 #include "common/crc32.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "index/posting_codec.h"
 #include "obs/metrics.h"
@@ -63,6 +64,13 @@ std::string EncodeDocsSection(const doc::Corpus& corpus) {
   return w.Take();
 }
 
+std::string EncodePermSection(const std::vector<DocId>& external_ids) {
+  BinaryWriter w;
+  w.U32(static_cast<uint32_t>(external_ids.size()));
+  for (DocId d : external_ids) w.U32(d);
+  return w.Take();
+}
+
 std::string EncodeStatsSection(const doc::CorpusStats& stats) {
   BinaryWriter w;
   w.U64(stats.num_docs);
@@ -113,17 +121,25 @@ Result<text::AnalyzerOptions> DecodeMetaSection(std::string_view payload) {
 // ----------------------------------------------------------------- write
 
 std::string SerializeSnapshot(const index::InvertedIndex& index) {
+  return SerializeSnapshot(index, {});
+}
+
+std::string SerializeSnapshot(const index::InvertedIndex& index,
+                              const std::vector<DocId>& external_ids) {
   QEC_TRACE_SPAN("storage/serialize_snapshot");
   Stopwatch watch;
   const doc::Corpus& corpus = index.corpus();
 
-  const std::pair<std::string_view, std::string> payloads[] = {
-      {kSectionMeta, EncodeMetaSection(corpus)},
-      {kSectionVocab, EncodeVocabSection(corpus)},
-      {kSectionDocs, EncodeDocsSection(corpus)},
-      {kSectionStats, EncodeStatsSection(corpus.Stats())},
-      {kSectionIndex, EncodeIndexSection(index)},
-  };
+  std::vector<std::pair<std::string_view, std::string>> payloads;
+  payloads.emplace_back(kSectionMeta, EncodeMetaSection(corpus));
+  payloads.emplace_back(kSectionVocab, EncodeVocabSection(corpus));
+  payloads.emplace_back(kSectionDocs, EncodeDocsSection(corpus));
+  payloads.emplace_back(kSectionStats, EncodeStatsSection(corpus.Stats()));
+  payloads.emplace_back(kSectionIndex, EncodeIndexSection(index));
+  if (!external_ids.empty()) {
+    QEC_CHECK_EQ(external_ids.size(), corpus.NumDocs());
+    payloads.emplace_back(kSectionPerm, EncodePermSection(external_ids));
+  }
 
   BinaryWriter w;
   w.Raw(kSnapshotMagic);
@@ -164,7 +180,13 @@ std::string SerializeSnapshot(const index::InvertedIndex& index) {
 
 Status WriteSnapshot(const index::InvertedIndex& index,
                      const std::string& path) {
-  std::string blob = SerializeSnapshot(index);
+  return WriteSnapshot(index, {}, path);
+}
+
+Status WriteSnapshot(const index::InvertedIndex& index,
+                     const std::vector<DocId>& external_ids,
+                     const std::string& path) {
+  std::string blob = SerializeSnapshot(index, external_ids);
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
       std::fopen(path.c_str(), "wb"), &std::fclose);
   if (f == nullptr) {
@@ -291,6 +313,43 @@ Result<doc::CorpusStats> SnapshotReader::ReadStats() const {
     return Status::Corruption("trailing bytes in snapshot STAT section");
   }
   return stats;
+}
+
+Result<std::vector<DocId>> SnapshotReader::ReadPermutation() const {
+  auto payload = Section(kSectionPerm);
+  if (!payload.ok()) return payload.status();
+  auto stats = ReadStats();
+  if (!stats.ok()) return stats.status();
+  BinaryReader r(*payload, "snapshot PERM section");
+  uint32_t count = 0;
+  QEC_RETURN_IF_ERROR(r.U32(count));
+  if (count != stats->num_docs) {
+    return Status::Corruption(
+        "snapshot PERM section has " + std::to_string(count) +
+        " entries but the snapshot holds " + std::to_string(stats->num_docs) +
+        " documents");
+  }
+  std::vector<DocId> external_ids;
+  external_ids.reserve(count);
+  std::vector<uint8_t> seen(count, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t d = 0;
+    QEC_RETURN_IF_ERROR(r.U32(d));
+    if (d >= count) {
+      return Status::Corruption("snapshot PERM entry " + std::to_string(d) +
+                                " out of range");
+    }
+    if (seen[d] != 0) {
+      return Status::Corruption("snapshot PERM is not a permutation (doc " +
+                                std::to_string(d) + " repeats)");
+    }
+    seen[d] = 1;
+    external_ids.push_back(d);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in snapshot PERM section");
+  }
+  return external_ids;
 }
 
 Result<doc::Corpus> SnapshotReader::LoadCorpus() const {
@@ -436,6 +495,12 @@ Result<Snapshot> SnapshotReader::Load() const {
   snapshot.index =
       std::make_unique<index::InvertedIndex>(std::move(*loaded_index));
   snapshot.stats = snapshot.corpus->Stats();
+  if (HasSection(kSectionPerm)) {
+    auto perm = ReadPermutation();
+    if (!perm.ok()) return perm.status();
+    snapshot.external_ids = std::move(*perm);
+    snapshot.index->SetExternalIds(snapshot.external_ids);
+  }
   QEC_COUNTER_INC("storage/snapshot_reads");
   QEC_COUNTER_ADD("storage/snapshot_read_bytes", data_.size());
   QEC_HISTOGRAM_RECORD("storage/snapshot_load_ns", ElapsedNs(watch));

@@ -36,12 +36,15 @@ inline constexpr uint32_t kSnapshotFormatVersion = 1;
 inline constexpr std::string_view kSnapshotMagic = "QECSNAP1";
 inline constexpr std::string_view kSnapshotFooterMagic = "QECSNAPF";
 
-/// Section ids, in the order SerializeSnapshot writes them.
+/// Section ids, in the order SerializeSnapshot writes them. PERM is only
+/// present in snapshots of cluster-reordered corpora; readers that predate
+/// it skip unknown sections, so no format-version bump is needed.
 inline constexpr std::string_view kSectionMeta = "META";   // analyzer options
 inline constexpr std::string_view kSectionVocab = "VOCA";  // term strings
 inline constexpr std::string_view kSectionDocs = "DOCS";   // documents
 inline constexpr std::string_view kSectionStats = "STAT";  // corpus stats
 inline constexpr std::string_view kSectionIndex = "INDX";  // posting lists
+inline constexpr std::string_view kSectionPerm = "PERM";   // doc-id permutation
 
 /// One TOC entry.
 struct SectionInfo {
@@ -57,13 +60,29 @@ struct Snapshot {
   std::unique_ptr<doc::Corpus> corpus;
   std::unique_ptr<index::InvertedIndex> index;
   doc::CorpusStats stats;
+  /// Doc-id permutation of a cluster-reordered snapshot: external_ids[i]
+  /// is the id document i carried before reordering. Empty = identity
+  /// (no PERM section). Load() also installs it on `index`, so ranked
+  /// searches tie-break on external ids.
+  std::vector<DocId> external_ids;
 };
 
 /// Serializes `index` and its corpus into a snapshot blob.
 std::string SerializeSnapshot(const index::InvertedIndex& index);
 
+/// Like above, additionally persisting a doc-id permutation as a `PERM`
+/// section (per-section CRC like the rest). `external_ids` must be empty
+/// (no PERM section written) or NumDocs entries.
+std::string SerializeSnapshot(const index::InvertedIndex& index,
+                              const std::vector<DocId>& external_ids);
+
 /// Serializes and writes to `path` (Internal on I/O failure).
 Status WriteSnapshot(const index::InvertedIndex& index,
+                     const std::string& path);
+
+/// Writes a reordered snapshot carrying the doc-id permutation.
+Status WriteSnapshot(const index::InvertedIndex& index,
+                     const std::vector<DocId>& external_ids,
                      const std::string& path);
 
 /// Lazy section-level reader. Open() parses only the header, footer, and
@@ -87,6 +106,12 @@ class SnapshotReader {
 
   /// Decodes STAT only — no vocabulary/document/index parsing.
   Result<doc::CorpusStats> ReadStats() const;
+
+  /// Decodes the PERM section: the external doc id of every internal doc
+  /// id, validated to be a permutation whose length equals the STAT doc
+  /// count (any mismatch, out-of-range id, or duplicate is Corruption).
+  /// NotFound when the snapshot has no PERM section (identity mapping).
+  Result<std::vector<DocId>> ReadPermutation() const;
 
   /// Restores the corpus from META + VOCA + DOCS and cross-checks its
   /// recomputed statistics against STAT (mismatch = Corruption).

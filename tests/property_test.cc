@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/doc_reorder.h"
 #include "common/dynamic_bitset.h"
 #include "common/random.h"
 #include "core/metrics.h"
@@ -442,6 +443,190 @@ TEST_P(FusedKernelProperty, RetrieveIntoMatchesRetrieve) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FusedKernelProperty,
                          ::testing::Range<uint64_t>(1, 41));
+
+// ---------------------------------------------------------- ranged kernels
+
+/// The WordRange-restricted kernels must be EXACTLY the full kernels
+/// whenever the skipped words are provably zero in the positively-ANDed
+/// operands: skipping an all-zero word removes no term from the popcount
+/// or weighted sum, so even the doubles match bit for bit. This is what
+/// lets the sharded benefit/cost sweeps stay byte-identical to the serial
+/// single-universe path.
+class RangedKernelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangedKernelProperty, RangedKernelsMatchFullKernels) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    const size_t size = 1 + rng.UniformInt(500);
+    doc::Corpus corpus;
+    std::vector<index::RankedResult> results;
+    for (size_t d = 0; d < size; ++d) {
+      DocId id = corpus.AddTextDocument(std::to_string(d), "t");
+      results.push_back({id, 0.05 + rng.UniformDouble() * 4.0});
+    }
+    core::ResultUniverse universe(corpus, results);
+    // Sparse operands concentrated in a sub-span, mimicking a shard-local
+    // cluster; b stays dense (it plays the ~docs_k complement role, which
+    // must never restrict the scan range).
+    auto span_bits = [&] {
+      DynamicBitset bits(size);
+      const size_t lo = rng.UniformInt(size);
+      const size_t hi = lo + rng.UniformInt(size - lo);
+      for (size_t i = lo; i <= hi && i < size; ++i) {
+        if (rng.Bernoulli(0.3)) bits.Set(i);
+      }
+      return bits;
+    };
+    const DynamicBitset a = span_bits();
+    DynamicBitset b(size);
+    for (size_t i = 0; i < size; ++i) {
+      if (rng.Bernoulli(0.5)) b.Set(i);
+    }
+    const DynamicBitset c = span_bits();
+
+    const WordRange scan =
+        WordRange::Intersect(a.NonzeroWordRange(), c.NonzeroWordRange());
+    ASSERT_EQ(universe.WeightOfAndNotAnd(a, b, c, scan),
+              universe.WeightOfAndNotAnd(a, b, c));
+    ASSERT_EQ(a.Intersects(b, c, scan), a.Intersects(b, c));
+    ASSERT_EQ(a.AndNotCount(b, a.NonzeroWordRange()), a.AndNotCount(b));
+
+    // NonzeroWordRange brackets every set bit.
+    const WordRange nz = a.NonzeroWordRange();
+    ASSERT_EQ(nz.empty(), a.None());
+    for (size_t i = 0; i < size; ++i) {
+      if (a.Test(i)) {
+        ASSERT_GE(i / 64, nz.begin);
+        ASSERT_LT(i / 64, nz.end);
+      }
+    }
+  }
+}
+
+TEST_P(RangedKernelProperty, ShardByDocRangePartitionsTheUniverse) {
+  Rng rng(GetParam() + 500);
+  const size_t size = 1 + rng.UniformInt(2000);
+  doc::Corpus corpus;
+  std::vector<DocId> ids;
+  for (size_t d = 0; d < size; ++d) {
+    ids.push_back(corpus.AddTextDocument(std::to_string(d), "t"));
+  }
+  core::ResultUniverse universe(corpus, ids);
+  const size_t requested = 1 + rng.UniformInt(12);
+  const std::vector<WordRange> shards = universe.ShardByDocRange(requested);
+  ASSERT_FALSE(shards.empty());
+  ASSERT_LE(shards.size(), requested);
+  // Contiguous, disjoint, and jointly covering every word.
+  size_t expect_begin = 0;
+  for (const WordRange& s : shards) {
+    ASSERT_EQ(s.begin, expect_begin);
+    ASSERT_GT(s.end, s.begin);
+    expect_begin = s.end;
+  }
+  ASSERT_EQ(expect_begin, (size + 63) / 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangedKernelProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ------------------------------------------------------------ doc reorder
+
+/// The tentpole byte-identity contract: cluster-reordering doc ids, then
+/// rebuilding the index (with the permutation installed as external ids)
+/// and running scatter-gather sweeps, must reproduce the seed serial
+/// single-universe expansion EXACTLY — same terms, same keywords, and
+/// bit-identical doubles — for every algorithm.
+class ReorderExpansionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReorderExpansionProperty, ReorderedShardedExpansionIsByteIdentical) {
+  Rng rng(GetParam());
+  doc::Corpus corpus = RandomCorpus(rng);
+  index::InvertedIndex index(corpus);
+
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  doc::Corpus reordered = cluster::ReorderCorpus(corpus, order);
+  ASSERT_EQ(reordered.NumDocs(), corpus.NumDocs());
+  // Re-interning preserved the vocabulary bit for bit.
+  ASSERT_EQ(reordered.analyzer().vocabulary().size(),
+            corpus.analyzer().vocabulary().size());
+  index::InvertedIndex reordered_index(reordered);
+  reordered_index.SetExternalIds(order);
+
+  for (auto algorithm :
+       {core::ExpansionAlgorithm::kIskr, core::ExpansionAlgorithm::kPebc,
+        core::ExpansionAlgorithm::kFMeasure}) {
+    core::QueryExpanderOptions serial_options;
+    serial_options.algorithm = algorithm;
+    core::QueryExpanderOptions sharded_options = serial_options;
+    sharded_options.iskr.sweep_threads = 4;
+    sharded_options.pebc.sweep_threads = 4;
+    sharded_options.fmeasure.sweep_threads = 4;
+
+    core::QueryExpander seed_path(index, serial_options);
+    core::QueryExpander sharded_path(reordered_index, sharded_options);
+    for (const char* query : {"apple", "camera", "java coffee", "store"}) {
+      auto a = seed_path.ExpandText(query);
+      auto b = sharded_path.ExpandText(query);
+      ASSERT_EQ(a.ok(), b.ok()) << query;
+      if (!a.ok()) continue;
+      ASSERT_EQ(a->set_score, b->set_score) << query;  // exact, not NEAR
+      ASSERT_EQ(a->num_clusters, b->num_clusters) << query;
+      ASSERT_EQ(a->num_results_used, b->num_results_used) << query;
+      ASSERT_EQ(a->queries.size(), b->queries.size()) << query;
+      for (size_t i = 0; i < a->queries.size(); ++i) {
+        ASSERT_EQ(a->queries[i].terms, b->queries[i].terms) << query;
+        ASSERT_EQ(a->queries[i].keywords, b->queries[i].keywords) << query;
+        ASSERT_EQ(a->queries[i].quality.precision,
+                  b->queries[i].quality.precision);
+        ASSERT_EQ(a->queries[i].quality.recall, b->queries[i].quality.recall);
+        ASSERT_EQ(a->queries[i].quality.f_measure,
+                  b->queries[i].quality.f_measure);
+        ASSERT_EQ(a->queries[i].iterations, b->queries[i].iterations);
+        ASSERT_EQ(a->queries[i].value_recomputations,
+                  b->queries[i].value_recomputations);
+      }
+    }
+  }
+}
+
+TEST_P(ReorderExpansionProperty, ReorderedSnapshotRoundTripIsByteIdentical) {
+  // Same contract through the full persistence pipeline: serialize the
+  // reordered index with its PERM section, load it back, expand.
+  Rng rng(GetParam() + 4000);
+  doc::Corpus corpus = RandomCorpus(rng);
+  index::InvertedIndex index(corpus);
+
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  doc::Corpus reordered = cluster::ReorderCorpus(corpus, order);
+  index::InvertedIndex reordered_index(reordered);
+  auto snapshot = storage::DeserializeSnapshot(
+      storage::SerializeSnapshot(reordered_index, order));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_EQ(snapshot->external_ids, order);
+
+  core::QueryExpanderOptions options;
+  options.algorithm = core::ExpansionAlgorithm::kIskr;
+  options.iskr.sweep_threads = 4;
+  core::QueryExpander seed_path(index, options);
+  core::QueryExpander loaded_path(*snapshot->index, options);
+  for (const char* query : {"apple", "camera", "java coffee"}) {
+    auto a = seed_path.ExpandText(query);
+    auto b = loaded_path.ExpandText(query);
+    ASSERT_EQ(a.ok(), b.ok()) << query;
+    if (!a.ok()) continue;
+    ASSERT_EQ(a->set_score, b->set_score) << query;
+    ASSERT_EQ(a->queries.size(), b->queries.size()) << query;
+    for (size_t i = 0; i < a->queries.size(); ++i) {
+      ASSERT_EQ(a->queries[i].terms, b->queries[i].terms) << query;
+      ASSERT_EQ(a->queries[i].keywords, b->queries[i].keywords) << query;
+      ASSERT_EQ(a->queries[i].quality.f_measure,
+                b->queries[i].quality.f_measure);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderExpansionProperty,
+                         ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace qec

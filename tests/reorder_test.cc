@@ -1,0 +1,223 @@
+// Cluster-aware doc-id reordering: permutation construction, corpus
+// reordering, external-id tiebreaks, and the sharded scatter-gather sweep
+// knobs. The byte-identity property suites live in property_test.cc; this
+// file pins down the unit-level contracts they build on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/doc_reorder.h"
+#include "common/dynamic_bitset.h"
+#include "core/query_expander.h"
+#include "core/result_universe.h"
+#include "datagen/clustered.h"
+#include "index/inverted_index.h"
+#include "storage/snapshot.h"
+
+namespace qec {
+namespace {
+
+doc::Corpus InterleavedTopicCorpus() {
+  // Two topics interleaved doc by doc — the layout the reorder must undo.
+  doc::Corpus corpus;
+  for (int i = 0; i < 4; ++i) {
+    corpus.AddTextDocument("fruit" + std::to_string(i),
+                           "apple apple orchard fruit");
+    corpus.AddTextDocument("tech" + std::to_string(i),
+                           "laptop laptop screen keyboard");
+  }
+  return corpus;
+}
+
+TEST(ComputeClusterOrderTest, ProducesAValidPermutation) {
+  doc::Corpus corpus = InterleavedTopicCorpus();
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  ASSERT_EQ(order.size(), corpus.NumDocs());
+  std::vector<DocId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (DocId d = 0; d < sorted.size(); ++d) EXPECT_EQ(sorted[d], d);
+}
+
+TEST(ComputeClusterOrderTest, GroupsSameTopicDocumentsContiguously) {
+  doc::Corpus corpus = InterleavedTopicCorpus();
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  EXPECT_FALSE(cluster::IsIdentityOrder(order));
+  // After reordering, each topic's four documents occupy one contiguous
+  // run (original ids: fruit = even, tech = odd).
+  auto parity = [&](size_t i) { return order[i] % 2; };
+  size_t flips = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (parity(i) != parity(i - 1)) ++flips;
+  }
+  EXPECT_EQ(flips, 1u);
+}
+
+TEST(ComputeClusterOrderTest, SingletonBucketsKeepInputOrder) {
+  doc::Corpus corpus;
+  corpus.AddTextDocument("a", "unique0 unique0 filler");
+  corpus.AddTextDocument("b", "unique1 unique1 filler");
+  corpus.AddTextDocument("c", "unique2 unique2 filler");
+  // Every dominant term is unique, so with the default min bucket size no
+  // document qualifies for grouping: the order must be the identity.
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  EXPECT_TRUE(cluster::IsIdentityOrder(order));
+}
+
+TEST(ReorderCorpusTest, PreservesVocabularyAndDocumentContent) {
+  doc::Corpus corpus = InterleavedTopicCorpus();
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  doc::Corpus reordered = cluster::ReorderCorpus(corpus, order);
+
+  ASSERT_EQ(reordered.NumDocs(), corpus.NumDocs());
+  // TermIds are preserved bit for bit: same strings, same ids.
+  const auto& vocab = corpus.analyzer().vocabulary();
+  const auto& rvocab = reordered.analyzer().vocabulary();
+  ASSERT_EQ(rvocab.size(), vocab.size());
+  for (TermId t = 0; t < vocab.size(); ++t) {
+    EXPECT_EQ(rvocab.TermString(t), vocab.TermString(t));
+  }
+  // Document i of the reordered corpus is document order[i] of the input.
+  for (DocId i = 0; i < reordered.NumDocs(); ++i) {
+    const doc::Document& got = reordered.Get(i);
+    const doc::Document& want = corpus.Get(order[i]);
+    EXPECT_EQ(got.title(), want.title());
+    EXPECT_EQ(got.terms(), want.terms());
+  }
+  // Aggregate statistics are permutation-invariant.
+  const auto stats = corpus.Stats();
+  const auto rstats = reordered.Stats();
+  EXPECT_EQ(rstats.num_docs, stats.num_docs);
+  EXPECT_EQ(rstats.num_distinct_terms, stats.num_distinct_terms);
+  EXPECT_EQ(rstats.total_term_occurrences, stats.total_term_occurrences);
+}
+
+TEST(ReorderCorpusTest, IdentityOrderReproducesTheCorpus) {
+  doc::Corpus corpus = InterleavedTopicCorpus();
+  std::vector<DocId> identity(corpus.NumDocs());
+  for (DocId d = 0; d < corpus.NumDocs(); ++d) identity[d] = d;
+  EXPECT_TRUE(cluster::IsIdentityOrder(identity));
+  doc::Corpus copy = cluster::ReorderCorpus(corpus, identity);
+  for (DocId d = 0; d < corpus.NumDocs(); ++d) {
+    EXPECT_EQ(copy.Get(d).terms(), corpus.Get(d).terms());
+  }
+}
+
+TEST(ExternalIdTest, RankedSearchTiesBreakOnExternalIds) {
+  // Two identical documents tie on score; with external ids installed the
+  // ranked order must follow the ORIGINAL ids, not the permuted ones.
+  doc::Corpus corpus;
+  corpus.AddTextDocument("first", "apple pie");
+  corpus.AddTextDocument("second", "apple pie");
+  index::InvertedIndex index(corpus);
+  // Pretend this corpus is a reordering that swapped the two documents.
+  index.SetExternalIds({1, 0});
+  EXPECT_EQ(index.ExternalId(0), 1u);
+  EXPECT_EQ(index.ExternalId(1), 0u);
+
+  TermId apple = corpus.analyzer().vocabulary().Lookup("apple");
+  ASSERT_NE(apple, kInvalidTermId);
+  for (const auto& results :
+       {index.Search({apple}), index.SearchVsm({apple}),
+        index.SearchBm25({apple})}) {
+    ASSERT_EQ(results.size(), 2u);
+    // Internal doc 1 carries external id 0, so it ranks first.
+    EXPECT_EQ(results[0].doc, 1u);
+    EXPECT_EQ(results[1].doc, 0u);
+  }
+}
+
+TEST(ExternalIdTest, EmptyMappingIsIdentity) {
+  doc::Corpus corpus;
+  corpus.AddTextDocument("only", "apple");
+  index::InvertedIndex index(corpus);
+  EXPECT_TRUE(index.external_ids().empty());
+  EXPECT_EQ(index.ExternalId(0), 0u);
+}
+
+TEST(ClusteredGeneratorTest, InterleavesClustersAndIsDeterministic) {
+  datagen::ClusteredOptions options;
+  options.num_docs = 200;
+  options.num_clusters = 8;
+  doc::Corpus a = datagen::ClusteredGenerator(options).Generate();
+  doc::Corpus b = datagen::ClusteredGenerator(options).Generate();
+  ASSERT_EQ(a.NumDocs(), options.num_docs);
+  for (DocId d = 0; d < a.NumDocs(); ++d) {
+    EXPECT_EQ(a.Get(d).terms(), b.Get(d).terms());
+  }
+  // Round-robin interleave: adjacent docs belong to different clusters, so
+  // the cluster reorder must move almost everything.
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(a);
+  EXPECT_FALSE(cluster::IsIdentityOrder(order));
+}
+
+TEST(ClusteredGeneratorTest, ReorderShrinksTheIndexSection) {
+  // The whole point of the permutation: same corpus, smaller INDX.
+  datagen::ClusteredOptions options;
+  options.num_docs = 3000;
+  options.num_clusters = 100;
+  doc::Corpus corpus = datagen::ClusteredGenerator(options).Generate();
+  index::InvertedIndex plain(corpus);
+  const std::string plain_blob = storage::SerializeSnapshot(plain);
+
+  const std::vector<DocId> order = cluster::ComputeClusterOrder(corpus);
+  doc::Corpus reordered_corpus = cluster::ReorderCorpus(corpus, order);
+  index::InvertedIndex reordered(reordered_corpus);
+  const std::string reordered_blob =
+      storage::SerializeSnapshot(reordered, order);
+
+  auto indx_length = [](const std::string& blob) {
+    auto reader = storage::SnapshotReader::Open(blob);
+    EXPECT_TRUE(reader.ok());
+    for (const auto& section : reader->sections()) {
+      if (section.id == storage::kSectionIndex) return section.length;
+    }
+    ADD_FAILURE() << "no INDX section";
+    return uint64_t{0};
+  };
+  EXPECT_LT(indx_length(reordered_blob), indx_length(plain_blob));
+}
+
+TEST(SweepThreadsTest, ThreadedSweepsMatchSerialExactly) {
+  datagen::ClusteredOptions options;
+  options.num_docs = 400;
+  options.num_clusters = 4;
+  doc::Corpus corpus = datagen::ClusteredGenerator(options).Generate();
+  index::InvertedIndex index(corpus);
+  for (auto algorithm :
+       {core::ExpansionAlgorithm::kIskr, core::ExpansionAlgorithm::kPebc,
+        core::ExpansionAlgorithm::kFMeasure}) {
+    core::QueryExpanderOptions serial;
+    serial.algorithm = algorithm;
+    core::QueryExpanderOptions threaded = serial;
+    threaded.iskr.sweep_threads = 4;
+    threaded.pebc.sweep_threads = 4;
+    threaded.fmeasure.sweep_threads = 4;
+    core::QueryExpander a(index, serial);
+    core::QueryExpander b(index, threaded);
+    auto ra = a.ExpandText("c0t0");
+    auto rb = b.ExpandText("c0t0");
+    ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    ASSERT_EQ(ra->set_score, rb->set_score);  // exact
+    ASSERT_EQ(ra->queries.size(), rb->queries.size());
+    for (size_t i = 0; i < ra->queries.size(); ++i) {
+      EXPECT_EQ(ra->queries[i].terms, rb->queries[i].terms);
+      EXPECT_EQ(ra->queries[i].value_recomputations,
+                rb->queries[i].value_recomputations);
+    }
+  }
+}
+
+TEST(ReorderCorpusDeathTest, RejectsNonPermutations) {
+  doc::Corpus corpus = InterleavedTopicCorpus();
+  std::vector<DocId> bad(corpus.NumDocs(), 0);  // repeats doc 0
+  EXPECT_DEATH(cluster::ReorderCorpus(corpus, bad), "");
+  std::vector<DocId> short_order = {0, 1};
+  EXPECT_DEATH(cluster::ReorderCorpus(corpus, short_order), "");
+}
+
+}  // namespace
+}  // namespace qec

@@ -9,9 +9,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "cluster/doc_reorder.h"
 #include "common/crc32.h"
 #include "common/random.h"
 #include "core/query_expander.h"
@@ -415,6 +417,144 @@ std::string Fingerprint(const core::ExpansionOutcome& outcome) {
     fp += buf;
   }
   return fp;
+}
+
+// ----------------------------------------------------------- PERM section
+
+/// A snapshot of a cluster-reordered corpus: documents permuted by a
+/// handcrafted (non-identity) order, serialized with the PERM section.
+struct ReorderedFixture {
+  std::vector<DocId> order = {2, 0, 1};
+  std::string blob;
+  doc::Corpus original = TextCorpus();
+
+  ReorderedFixture() {
+    doc::Corpus reordered = cluster::ReorderCorpus(original, order);
+    index::InvertedIndex index(reordered);
+    blob = SerializeSnapshot(index, order);
+  }
+};
+
+TEST(SnapshotPermTest, RoundTripInstallsExternalIds) {
+  ReorderedFixture fx;
+  auto snapshot = DeserializeSnapshot(fx.blob);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->external_ids, fx.order);
+  EXPECT_EQ(snapshot->index->external_ids(), fx.order);
+  // Document i is the original document order[i].
+  for (DocId i = 0; i < snapshot->corpus->NumDocs(); ++i) {
+    EXPECT_EQ(snapshot->corpus->Get(i).title(),
+              fx.original.Get(fx.order[i]).title());
+  }
+}
+
+TEST(SnapshotPermTest, PermIsTheLastTocSection) {
+  ReorderedFixture fx;
+  auto reader = SnapshotReader::Open(fx.blob);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->sections().size(), 6u);
+  EXPECT_EQ(reader->sections().back().id, kSectionPerm);
+  // Readers that predate PERM skip unknown sections, so the version is
+  // unchanged.
+  EXPECT_EQ(reader->version(), kSnapshotFormatVersion);
+}
+
+TEST(SnapshotPermTest, AbsentPermIsNotFoundAndIdentity) {
+  doc::Corpus corpus = TextCorpus();
+  index::InvertedIndex index(corpus);
+  std::string blob = SerializeSnapshot(index);
+  auto reader = SnapshotReader::Open(blob);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->HasSection(kSectionPerm));
+  auto perm = reader->ReadPermutation();
+  ASSERT_FALSE(perm.ok());
+  EXPECT_EQ(perm.status().code(), StatusCode::kNotFound);
+  auto snapshot = reader->Load();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(snapshot->external_ids.empty());
+  EXPECT_TRUE(snapshot->index->external_ids().empty());
+}
+
+TEST(SnapshotPermTest, EveryPermByteFlipIsRejected) {
+  ReorderedFixture fx;
+  auto reader = SnapshotReader::Open(fx.blob);
+  ASSERT_TRUE(reader.ok());
+  auto perm_info = reader->Section(kSectionPerm);
+  ASSERT_TRUE(perm_info.ok());
+  const SectionInfo& info = reader->sections().back();
+  for (uint64_t i = 0; i < info.length; ++i) {
+    std::string mutated = fx.blob;
+    mutated[info.offset + i] ^= 0x01;
+    ExpectCorrupt(mutated, "PERM flip at byte " + std::to_string(i));
+  }
+}
+
+/// Forges the PERM payload through `edit`, re-checksums, and expects both
+/// ReadPermutation and the full Load to reject with Corruption — the
+/// semantic validation layer past the CRCs.
+void ExpectForgedPermRejected(
+    const std::function<void(std::string&, const SectionInfo&)>& edit,
+    const std::string& what) {
+  ReorderedFixture fx;
+  auto reader = SnapshotReader::Open(fx.blob);
+  ASSERT_TRUE(reader.ok());
+  size_t perm_idx = 0;
+  SectionInfo info;
+  for (size_t i = 0; i < reader->sections().size(); ++i) {
+    if (reader->sections()[i].id == kSectionPerm) {
+      perm_idx = i;
+      info = reader->sections()[i];
+    }
+  }
+  ASSERT_EQ(info.id, kSectionPerm);
+  std::string forged = fx.blob;
+  edit(forged, info);
+  FixCrcs(forged, perm_idx, info.offset, info.length);
+  auto forged_reader = SnapshotReader::Open(forged);
+  ASSERT_TRUE(forged_reader.ok()) << what;
+  auto perm = forged_reader->ReadPermutation();
+  ASSERT_FALSE(perm.ok()) << what;
+  EXPECT_EQ(perm.status().code(), StatusCode::kCorruption)
+      << what << ": " << perm.status().ToString();
+  ExpectCorrupt(forged, what);
+}
+
+TEST(SnapshotPermTest, CountMismatchIsCorruption) {
+  // The satellite contract: a PERM section whose length differs from the
+  // snapshot's doc count is Corruption, even with valid CRCs.
+  ExpectForgedPermRejected(
+      [](std::string& blob, const SectionInfo& info) {
+        PutU32(blob, info.offset, 99);  // count field: != 3 docs
+      },
+      "forged count");
+}
+
+TEST(SnapshotPermTest, OutOfRangeIdIsCorruption) {
+  ExpectForgedPermRejected(
+      [](std::string& blob, const SectionInfo& info) {
+        PutU32(blob, info.offset + 4, 7);  // first id: >= doc count
+      },
+      "out-of-range id");
+}
+
+TEST(SnapshotPermTest, DuplicateIdIsCorruption) {
+  ExpectForgedPermRejected(
+      [](std::string& blob, const SectionInfo& info) {
+        PutU32(blob, info.offset + 8, 2);  // second id repeats the first (2)
+      },
+      "duplicate id");
+}
+
+TEST(SnapshotPermTest, FileRoundTripCarriesThePermutation) {
+  const std::string path = "/tmp/qec_storage_perm_test.qsnap";
+  ReorderedFixture fx;
+  doc::Corpus reordered = cluster::ReorderCorpus(fx.original, fx.order);
+  index::InvertedIndex index(reordered);
+  ASSERT_TRUE(WriteSnapshot(index, fx.order, path).ok());
+  auto snapshot = ReadSnapshot(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->external_ids, fx.order);
+  std::remove(path.c_str());
 }
 
 TEST(SnapshotDeterminismTest, ExpansionsMatchInMemoryBuild) {
