@@ -86,15 +86,18 @@ int main() {
     }
     std::printf("  %-4zu %-8s %-10s %8.0f %6.0f %8s %8.3f\n", i + 1,
                 s.is_removal ? "remove" : "add",
-                corpus.analyzer().vocabulary().TermString(s.keyword).c_str(),
+                std::string(
+                    corpus.analyzer().vocabulary().TermString(s.keyword))
+                    .c_str(),
                 s.benefit, s.cost, value_buf, s.f_measure_after);
   }
 
   std::printf("\nfinal expanded query: \"");
   for (size_t i = 0; i < result.query.size(); ++i) {
     std::printf("%s%s", i > 0 ? ", " : "",
-                corpus.analyzer().vocabulary().TermString(
-                    result.query[i]).c_str());
+                std::string(corpus.analyzer().vocabulary().TermString(
+                                result.query[i]))
+                    .c_str());
   }
   std::printf("\"\nprecision %.2f, recall %.3f (R6, R7, R8 of the 8-result "
               "cluster; nothing from U)\n",

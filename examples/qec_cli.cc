@@ -65,7 +65,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd_kernels.h"
 #include "common/string_util.h"
+#include "common/sweep_pool.h"
 #include "core/query_expander.h"
 #include "eval/table_printer.h"
 #include "obs/flight_recorder.h"
@@ -361,6 +363,15 @@ int CmdIndexInspect(const std::vector<std::string>& args) {
   } else {
     std::printf("permutation:      none\n");
   }
+  // Runtime facts about this binary, not the snapshot: the bitset-kernel
+  // tier the dispatcher picked on this machine and the sweep-pool counters
+  // (zero here unless an expansion ran in-process).
+  std::printf("kernel tier:      %s\n", qec::simd::ActiveTierName());
+  const auto pool = qec::common::SweepPool::Instance().GetStats();
+  std::printf("sweep pool:       runs=%llu spawns=%llu reuses=%llu\n",
+              static_cast<unsigned long long>(pool.runs),
+              static_cast<unsigned long long>(pool.spawns),
+              static_cast<unsigned long long>(pool.reuses));
   return rc;
 }
 
@@ -488,9 +499,7 @@ int CmdExpand(const std::vector<std::string>& args) {
       // are candidate-ordered, so output is byte-identical to serial.
       const size_t n = static_cast<size_t>(
           std::stoul(args[i].substr(strlen("--sweep-threads="))));
-      options.iskr.sweep_threads = n;
-      options.pebc.sweep_threads = n;
-      options.fmeasure.sweep_threads = n;
+      options.sweep.threads = n;
       i += 1;
     } else {
       return Usage();
@@ -598,8 +607,9 @@ int CmdExplain(const std::vector<std::string>& args) {
     for (const auto& eq : outcome->queries) {
       for (const auto& row : eq.term_details) {
         table.AddRow({arm_names[arm], std::to_string(eq.cluster_index),
-                      data->corpus->analyzer().vocabulary().TermString(
-                          row.term),
+                      std::string(
+                          data->corpus->analyzer().vocabulary().TermString(
+                              row.term)),
                       row.is_removal ? "remove" : "add", fmt(row.benefit),
                       fmt(row.cost), fmt(row.value)});
       }

@@ -60,7 +60,7 @@ std::vector<SuggestedQuery> ClusterSummarization::Suggest(
     for (size_t i = 0; i < scored.size() && i < options_.label_size; ++i) {
       q.terms.push_back(scored[i].term);
     }
-    for (TermId t : q.terms) q.keywords.push_back(vocab.TermString(t));
+    for (TermId t : q.terms) q.keywords.emplace_back(vocab.TermString(t));
     out.push_back(std::move(q));
   }
   return out;

@@ -40,7 +40,7 @@ std::vector<SuggestedQuery> DataClouds::Suggest(
     SuggestedQuery q;
     q.terms = user_terms;
     q.terms.push_back(scored[i].term);
-    for (TermId t : q.terms) q.keywords.push_back(vocab.TermString(t));
+    for (TermId t : q.terms) q.keywords.emplace_back(vocab.TermString(t));
     out.push_back(std::move(q));
   }
   return out;

@@ -5,8 +5,8 @@
 
 namespace qec::cluster {
 
-SparseVector::SparseVector(std::vector<std::pair<TermId, double>> entries)
-    : entries_(std::move(entries)) {
+SparseVector::SparseVector(std::vector<std::pair<TermId, double>> entries) {
+  entries_.assign(entries.begin(), entries.end());
   std::sort(entries_.begin(), entries_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   // Merge duplicates and drop explicit zeros.
@@ -24,13 +24,12 @@ SparseVector::SparseVector(std::vector<std::pair<TermId, double>> entries)
 }
 
 SparseVector SparseVector::FromDocument(const doc::Document& document) {
-  std::vector<std::pair<TermId, double>> entries;
-  entries.reserve(document.term_set().size());
-  for (TermId t : document.term_set()) {
-    entries.emplace_back(t, static_cast<double>(document.TermFrequency(t)));
-  }
   SparseVector v;
-  v.entries_ = std::move(entries);  // already sorted & unique
+  v.entries_.reserve(document.term_set().size());
+  for (TermId t : document.term_set()) {
+    // term_set() is sorted & unique, so entries_ stays sorted.
+    v.entries_.emplace_back(t, static_cast<double>(document.TermFrequency(t)));
+  }
   return v;
 }
 
@@ -73,7 +72,7 @@ double SparseVector::Cosine(const SparseVector& other) const {
 }
 
 void SparseVector::AddScaled(const SparseVector& other, double scale) {
-  std::vector<std::pair<TermId, double>> merged;
+  EntryList merged;
   merged.reserve(entries_.size() + other.entries_.size());
   size_t a = 0, b = 0;
   while (a < entries_.size() || b < other.entries_.size()) {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/types.h"
 #include "doc/document.h"
 
@@ -16,6 +17,12 @@ namespace qec::cluster {
 /// similarity.
 class SparseVector {
  public:
+  /// Sparse TF entries, sorted by term. Small-size-optimized: short
+  /// documents and centroid deltas (the common case in per-request
+  /// clustering) keep their entries inline instead of heap-allocating a
+  /// vector per result.
+  using EntryList = common::SmallVector<std::pair<TermId, double>, 8>;
+
   SparseVector() = default;
 
   /// Builds from unsorted (term, weight) pairs; duplicate terms are summed.
@@ -24,9 +31,7 @@ class SparseVector {
   /// TF vector of a document (weight = term frequency).
   static SparseVector FromDocument(const doc::Document& document);
 
-  const std::vector<std::pair<TermId, double>>& entries() const {
-    return entries_;
-  }
+  const EntryList& entries() const { return entries_; }
 
   size_t NumNonZero() const { return entries_.size(); }
   bool IsZero() const { return entries_.empty(); }
@@ -54,7 +59,7 @@ class SparseVector {
   void Normalize();
 
  private:
-  std::vector<std::pair<TermId, double>> entries_;  // sorted by TermId
+  EntryList entries_;  // sorted by TermId
 };
 
 }  // namespace qec::cluster

@@ -1,6 +1,7 @@
 #include "common/dynamic_bitset.h"
 
 #include "common/logging.h"
+#include "common/simd_kernels.h"
 
 namespace qec {
 
@@ -53,16 +54,11 @@ void DynamicBitset::ResetAll() {
 }
 
 size_t DynamicBitset::Count() const {
-  size_t n = 0;
-  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
-  return n;
+  return simd::Ops().popcount(words_.data(), words_.size());
 }
 
 bool DynamicBitset::None() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return !simd::Ops().any(words_.data(), words_.size());
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
@@ -91,67 +87,60 @@ DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
 
 size_t DynamicBitset::AndCount(const DynamicBitset& other) const {
   QEC_CHECK_EQ(size_, other.size_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
-  }
-  return n;
+  return simd::Ops().and_count(words_.data(), other.words_.data(),
+                               words_.size());
 }
 
 size_t DynamicBitset::AndNotCount(const DynamicBitset& other) const {
   QEC_CHECK_EQ(size_, other.size_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & ~other.words_[i]));
-  }
-  return n;
+  return simd::Ops().and_not_count(words_.data(), other.words_.data(),
+                                   words_.size());
 }
 
 size_t DynamicBitset::AndNotCount(const DynamicBitset& other,
                                   const WordRange& range) const {
   QEC_CHECK_EQ(size_, other.size_);
   const size_t end = range.end < words_.size() ? range.end : words_.size();
-  size_t n = 0;
-  for (size_t i = range.begin; i < end; ++i) {
-    n += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & ~other.words_[i]));
-  }
-  return n;
+  if (range.begin >= end) return 0;
+  return simd::Ops().and_not_count(words_.data() + range.begin,
+                                   other.words_.data() + range.begin,
+                                   end - range.begin);
 }
 
 size_t DynamicBitset::AndCount3(const DynamicBitset& b,
                                 const DynamicBitset& c) const {
   QEC_CHECK_EQ(size_, b.size_);
   QEC_CHECK_EQ(size_, c.size_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & b.words_[i] & c.words_[i]));
-  }
-  return n;
+  return simd::Ops().and_count3(words_.data(), b.words_.data(),
+                                c.words_.data(), words_.size());
 }
 
 size_t DynamicBitset::AndNotAndCount(const DynamicBitset& b,
                                      const DynamicBitset& c) const {
   QEC_CHECK_EQ(size_, b.size_);
   QEC_CHECK_EQ(size_, c.size_);
-  size_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & ~b.words_[i] & c.words_[i]));
-  }
-  return n;
+  return simd::Ops().and_not_and_count(words_.data(), b.words_.data(),
+                                       c.words_.data(), words_.size());
+}
+
+size_t DynamicBitset::AndNotAndCount(const DynamicBitset& b,
+                                     const DynamicBitset& c,
+                                     const WordRange& range) const {
+  QEC_CHECK_EQ(size_, b.size_);
+  QEC_CHECK_EQ(size_, c.size_);
+  const size_t end = range.end < words_.size() ? range.end : words_.size();
+  if (range.begin >= end) return 0;
+  return simd::Ops().and_not_and_count(
+      words_.data() + range.begin, b.words_.data() + range.begin,
+      c.words_.data() + range.begin, end - range.begin);
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& b,
                                const DynamicBitset& c) const {
   QEC_CHECK_EQ(size_, b.size_);
   QEC_CHECK_EQ(size_, c.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & b.words_[i] & c.words_[i]) != 0) return true;
-  }
-  return false;
+  return simd::Ops().intersects3(words_.data(), b.words_.data(),
+                                 c.words_.data(), words_.size());
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& b, const DynamicBitset& c,
@@ -159,10 +148,11 @@ bool DynamicBitset::Intersects(const DynamicBitset& b, const DynamicBitset& c,
   QEC_CHECK_EQ(size_, b.size_);
   QEC_CHECK_EQ(size_, c.size_);
   const size_t end = range.end < words_.size() ? range.end : words_.size();
-  for (size_t i = range.begin; i < end; ++i) {
-    if ((words_[i] & b.words_[i] & c.words_[i]) != 0) return true;
-  }
-  return false;
+  if (range.begin >= end) return false;
+  return simd::Ops().intersects3(words_.data() + range.begin,
+                                 b.words_.data() + range.begin,
+                                 c.words_.data() + range.begin,
+                                 end - range.begin);
 }
 
 WordRange DynamicBitset::NonzeroWordRange() const {
@@ -176,18 +166,14 @@ WordRange DynamicBitset::NonzeroWordRange() const {
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   QEC_CHECK_EQ(size_, other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return simd::Ops().intersects2(words_.data(), other.words_.data(),
+                                 words_.size());
 }
 
 bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
   QEC_CHECK_EQ(size_, other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return !simd::Ops().any_and_not(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 std::vector<size_t> DynamicBitset::ToIndices() const {

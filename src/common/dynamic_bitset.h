@@ -106,6 +106,11 @@ class DynamicBitset {
   /// |this & ~b & c|.
   size_t AndNotAndCount(const DynamicBitset& b, const DynamicBitset& c) const;
 
+  /// |this & ~b & c| scanning only words in `range` (clamped). Equal to
+  /// the full count when (this & c) is zero outside `range`.
+  size_t AndNotAndCount(const DynamicBitset& b, const DynamicBitset& c,
+                        const WordRange& range) const;
+
   /// True if (this & other) has any bit set.
   bool Intersects(const DynamicBitset& other) const;
 

@@ -1,0 +1,46 @@
+#include "common/interned_strings.h"
+
+#include <cstring>
+
+namespace qec::common {
+
+namespace {
+constexpr size_t kChunkSize = 64 * 1024;
+}  // namespace
+
+std::string_view StringInterner::Intern(std::string_view s) {
+  auto it = set_.find(s);
+  if (it != set_.end()) return *it;
+  const std::string_view stored = CopyToArena(s);
+  set_.insert(stored);
+  return stored;
+}
+
+std::string_view StringInterner::CopyToArena(std::string_view s) {
+  if (chunk_used_ + s.size() > chunk_capacity_) {
+    // Oversized strings get a dedicated chunk so the common chunk keeps
+    // its remaining space for small terms.
+    const size_t cap = s.size() > kChunkSize ? s.size() : kChunkSize;
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    arena_bytes_ += cap;
+    if (cap == kChunkSize || chunks_.size() == 1) {
+      chunk_used_ = 0;
+      chunk_capacity_ = cap;
+    } else {
+      // Dedicated oversized chunk: fill it whole, keep the previous chunk
+      // as the active one by swapping it back to the tail.
+      char* dst = chunks_.back().get();
+      std::memcpy(dst, s.data(), s.size());
+      if (chunks_.size() >= 2) {
+        std::swap(chunks_[chunks_.size() - 1], chunks_[chunks_.size() - 2]);
+      }
+      return std::string_view(dst, s.size());
+    }
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+}  // namespace qec::common

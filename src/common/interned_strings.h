@@ -1,0 +1,57 @@
+#ifndef QEC_COMMON_INTERNED_STRINGS_H_
+#define QEC_COMMON_INTERNED_STRINGS_H_
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace qec::common {
+
+/// Append-only interned-string table backed by a chunked char arena. Each
+/// distinct string is stored exactly once; Intern returns a string_view
+/// into the arena that stays valid for the interner's lifetime (chunks are
+/// never reallocated, only appended). The vocabulary keeps one entry per
+/// term this way instead of a std::string per map node plus a second copy
+/// in the id->term vector, and everything downstream passes 16-byte views
+/// instead of owning strings.
+///
+/// Not thread-safe for concurrent Intern; concurrent readers of
+/// previously returned views are fine (the arena is append-only).
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the canonical arena-backed view for `s`, copying it into the
+  /// arena on first sight.
+  std::string_view Intern(std::string_view s);
+
+  /// Number of distinct strings interned.
+  size_t size() const { return set_.size(); }
+
+  /// Total arena bytes reserved (capacity, not just used).
+  size_t arena_bytes() const { return arena_bytes_; }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::string_view CopyToArena(std::string_view s);
+
+  std::unordered_set<std::string_view, Hash> set_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = 0;
+  size_t chunk_capacity_ = 0;
+  size_t arena_bytes_ = 0;
+};
+
+}  // namespace qec::common
+
+#endif  // QEC_COMMON_INTERNED_STRINGS_H_

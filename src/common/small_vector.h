@@ -1,0 +1,237 @@
+#ifndef QEC_COMMON_SMALL_VECTOR_H_
+#define QEC_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qec::common {
+
+/// Small-size-optimized vector: the first N elements live inline in the
+/// object, so the hot-path containers of the benefit/cost sweeps (sparse
+/// TF entries, query keyword lists, conjunction-key scratch) perform zero
+/// heap allocations at typical sizes. Growth beyond N falls back to a
+/// heap buffer with doubling capacity, exactly like std::vector.
+///
+/// Relocation (growth, move construction into a spilled buffer) uses
+/// memcpy when T is trivially relocatable — approximated here, as in most
+/// SmallVector implementations, by std::is_trivially_copyable — and
+/// move-construct + destroy otherwise. Moving a SmallVector whose
+/// elements still sit inline must copy/move the elements (the inline
+/// buffer cannot be stolen); moving a spilled one steals the heap buffer.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(N > 0, "SmallVector requires at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) UncheckedEmplaceBack(v);
+  }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      FreeStorage();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { FreeStorage(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  /// True while elements still live in the inline buffer (test hook for
+  /// the SOO boundary).
+  bool is_inline() const { return data_ == InlineData(); }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void clear() {
+    DestroyAll();
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2 > size_ + 1 ? capacity_ * 2 : size_ + 1);
+    }
+    return UncheckedEmplaceBack(std::forward<Args>(args)...);
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) ::new (data_ + i) T();
+    }
+    size_ = n;
+  }
+
+  void resize(size_t n, const T& fill) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) data_[i].~T();
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) ::new (data_ + i) T(fill);
+    }
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) emplace_back(*first);
+  }
+
+  iterator erase(iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(iterator first, iterator last) {
+    iterator out = std::move(last, end(), first);
+    for (iterator it = out; it != end(); ++it) it->~T();
+    size_ = static_cast<size_t>(out - data_);
+    return first;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
+
+  template <typename... Args>
+  T& UncheckedEmplaceBack(Args&&... args) {
+    T* slot = ::new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Relocates `n` constructed elements from src to raw dst storage:
+  /// memcpy on the trivially-relocatable fast path, move + destroy
+  /// otherwise.
+  static void Relocate(T* dst, T* src, size_t n) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (n != 0) std::memcpy(dst, src, n * sizeof(T));
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        ::new (dst + i) T(std::move(src[i]));
+        src[i].~T();
+      }
+    }
+  }
+
+  void Grow(size_t n) {
+    T* fresh = static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(alignof(T))));
+    Relocate(fresh, data_, size_);
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) {
+      UncheckedEmplaceBack(other.data_[i]);
+    }
+  }
+
+  /// Precondition: *this owns no elements (freshly constructed or just
+  /// FreeStorage()d).
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      data_ = InlineData();
+      capacity_ = N;
+      size_ = 0;
+      Relocate(data_, other.data_, other.size_);
+      size_ = other.size_;
+      other.size_ = 0;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  void DestroyAll() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+  }
+
+  void FreeStorage() {
+    DestroyAll();
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace qec::common
+
+#endif  // QEC_COMMON_SMALL_VECTOR_H_

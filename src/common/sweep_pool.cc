@@ -1,0 +1,78 @@
+#include "common/sweep_pool.h"
+
+namespace qec::common {
+
+struct SweepPool::Task {
+  void (*fn)(void*);
+  void* ctx;
+  /// Helper starts not yet handed to a worker. The task leaves the queue
+  /// when this reaches zero; the submitting caller is released when both
+  /// remaining and active reach zero.
+  size_t remaining;
+  size_t active = 0;
+};
+
+SweepPool& SweepPool::Instance() {
+  static SweepPool pool;
+  return pool;
+}
+
+SweepPool::~SweepPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+void SweepPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    // Drain queued work even when stopping so no caller is left waiting.
+    if (queue_.empty()) return;
+    Task* task = queue_.front();
+    if (--task->remaining == 0) queue_.pop_front();
+    ++task->active;
+    lock.unlock();
+    task->fn(task->ctx);
+    lock.lock();
+    --task->active;
+    --outstanding_;
+    if (task->remaining == 0 && task->active == 0) done_cv_.notify_all();
+  }
+}
+
+void SweepPool::RunImpl(size_t threads, void (*fn)(void*), void* ctx) {
+  const size_t helpers = threads - 1;
+  Task task{fn, ctx, helpers};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.runs;
+    outstanding_ += helpers;
+    const size_t deficit =
+        outstanding_ > workers_.size() ? outstanding_ - workers_.size() : 0;
+    stats_.spawns += deficit;
+    stats_.reuses += helpers - deficit;
+    workers_.reserve(workers_.size() + deficit);
+    for (size_t i = 0; i < deficit; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    queue_.push_back(&task);
+  }
+  work_cv_.notify_all();
+  // The caller is worker zero: it runs the same body as the helpers, so a
+  // Run(threads, ...) always applies `threads` workers even while helpers
+  // are still waking up.
+  fn(ctx);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return task.remaining == 0 && task.active == 0; });
+}
+
+SweepPool::Stats SweepPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qec::common

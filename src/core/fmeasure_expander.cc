@@ -3,24 +3,26 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/small_vector.h"
+#include "common/sweep_pool.h"
 #include "common/threading.h"
 
 namespace qec::core {
 
-FMeasureExpander::FMeasureExpander(FMeasureOptions options)
-    : options_(options) {}
+FMeasureExpander::FMeasureExpander(FMeasureOptions options, SweepOptions sweep)
+    : options_(options), sweep_(sweep) {}
 
 ExpansionResult FMeasureExpander::Expand(
     const ExpansionContext& context) const {
   QEC_CHECK(context.universe != nullptr);
   const ResultUniverse& universe = *context.universe;
 
-  std::vector<TermId> query = context.user_query;
+  common::SmallVector<TermId, 16> query;
+  query.assign(context.user_query.begin(), context.user_query.end());
   std::unordered_set<TermId> user_terms(context.user_query.begin(),
                                         context.user_query.end());
   // All working sets are arena leases: repeated expansions over one
@@ -59,7 +61,7 @@ ExpansionResult FMeasureExpander::Expand(
     const size_t n = context.candidates.size();
     candidate_f.assign(n, -1.0);
     evaluated.assign(n, 0);
-    const size_t threads = ResolveThreadCount(options_.sweep_threads, n);
+    const size_t threads = ResolveThreadCount(sweep_.threads, n);
     if (threads <= 1) {
       for (size_t i = 0; i < n; ++i) {
         TermId k = context.candidates[i];
@@ -72,26 +74,22 @@ ExpansionResult FMeasureExpander::Expand(
       }
     } else {
       // Scatter-gather: each candidate's delta-F is computed whole by one
-      // work-stealing worker (own scratch lease), then merged below in
-      // candidate-index order — byte-identical to the serial sweep.
+      // work-stealing SweepPool worker (own scratch lease per worker),
+      // then merged below in candidate-index order — byte-identical to
+      // the serial sweep.
       std::atomic<size_t> next{0};
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (size_t t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-          auto rt = universe.AcquireScratch();
-          for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-            TermId k = context.candidates[i];
-            if (in_query.count(k) != 0) continue;
-            evaluated[i] = 1;
-            *rt = *base;
-            *rt &= universe.DocsWithTerm(k);
-            candidate_f[i] =
-                EvaluateQuery(universe, *rt, context.cluster).f_measure;
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
+      common::SweepPool::Instance().Run(threads, [&] {
+        auto rt = universe.AcquireScratch();
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          TermId k = context.candidates[i];
+          if (in_query.count(k) != 0) continue;
+          evaluated[i] = 1;
+          *rt = *base;
+          *rt &= universe.DocsWithTerm(k);
+          candidate_f[i] =
+              EvaluateQuery(universe, *rt, context.cluster).f_measure;
+        }
+      });
     }
     for (size_t i = 0; i < n; ++i) {
       if (evaluated[i] == 0) continue;
@@ -137,7 +135,7 @@ ExpansionResult FMeasureExpander::Expand(
   }
 
   ExpansionResult result;
-  result.query = std::move(query);
+  result.query.assign(query.begin(), query.end());
   result.quality = EvaluateQuery(universe, *retrieved, context.cluster);
   result.iterations = iterations;
   result.value_recomputations = recomputations;

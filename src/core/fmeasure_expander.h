@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/expansion_context.h"
+#include "core/sweep_options.h"
 
 namespace qec::core {
 
@@ -11,12 +12,6 @@ namespace qec::core {
 struct FMeasureOptions {
   size_t max_iterations = 200;
   bool allow_removal = true;
-  /// Threads for the per-iteration candidate sweep (every candidate's
-  /// delta-F is an independent full evaluation). Same scatter-gather
-  /// contract as IskrOptions::sweep_threads: per-candidate values merge in
-  /// candidate-index order, so any thread count is byte-identical to the
-  /// serial sweep. 1 = serial, 0 = auto.
-  size_t sweep_threads = 1;
 };
 
 /// The "F-measure" comparison method of Sec. 5: the ISKR refinement loop,
@@ -27,14 +22,19 @@ struct FMeasureOptions {
 /// (Fig. 6) show it at 30+ seconds on some queries versus sub-second ISKR.
 class FMeasureExpander {
  public:
-  explicit FMeasureExpander(FMeasureOptions options = {});
+  /// `sweep` configures the per-iteration candidate sweep fan-out (shared
+  /// SweepOptions contract; default serial).
+  explicit FMeasureExpander(FMeasureOptions options = {},
+                            SweepOptions sweep = {});
 
   ExpansionResult Expand(const ExpansionContext& context) const;
 
   const FMeasureOptions& options() const { return options_; }
+  const SweepOptions& sweep_options() const { return sweep_; }
 
  private:
   FMeasureOptions options_;
+  SweepOptions sweep_;
 };
 
 }  // namespace qec::core

@@ -19,6 +19,7 @@ std::vector<ExpansionResult> ExpandAll(const ResultUniverse& universe,
                                        const cluster::Clustering& clustering,
                                        const std::vector<TermId>& candidates,
                                        const IskrOptions& iskr_options,
+                                       const SweepOptions& sweep_options,
                                        double* set_score) {
   std::vector<ExpansionResult> expansions;
   std::vector<QueryQuality> qualities;
@@ -28,7 +29,7 @@ std::vector<ExpansionResult> ExpandAll(const ResultUniverse& universe,
     for (size_t i : cluster_members) bits.Set(i);
     ExpansionContext ctx =
         MakeContext(universe, user_terms, std::move(bits), candidates);
-    ExpansionResult r = IskrExpander(iskr_options).Expand(ctx);
+    ExpansionResult r = IskrExpander(iskr_options, sweep_options).Expand(ctx);
     qualities.push_back(r.quality);
     expansions.push_back(std::move(r));
   }
@@ -87,7 +88,7 @@ InterleavedOutcome InterleavedExpander::Run(
   outcome.clustering = initial;
   outcome.expansions =
       ExpandAll(universe, user_terms, outcome.clustering, candidates,
-                options_.iskr, &outcome.set_score);
+                options_.iskr, options_.sweep, &outcome.set_score);
 
   for (size_t round = 0; round < options_.max_rounds; ++round) {
     cluster::Clustering refined = outcome.clustering;
@@ -95,7 +96,7 @@ InterleavedOutcome InterleavedExpander::Run(
     double refined_score = 0.0;
     std::vector<ExpansionResult> refined_expansions =
         ExpandAll(universe, user_terms, refined, candidates, options_.iskr,
-                  &refined_score);
+                  options_.sweep, &refined_score);
     if (refined_score <= outcome.set_score + 1e-12) break;
     outcome.clustering = std::move(refined);
     outcome.expansions = std::move(refined_expansions);

@@ -6,6 +6,7 @@
 #include "cluster/kmeans.h"
 #include "core/expansion_context.h"
 #include "core/iskr.h"
+#include "core/sweep_options.h"
 
 namespace qec::core {
 
@@ -14,6 +15,8 @@ struct InterleavedOptions {
   /// Maximum refine rounds after the initial expansion.
   size_t max_rounds = 3;
   IskrOptions iskr;
+  /// Sweep fan-out forwarded to the per-cluster ISKR expansions.
+  SweepOptions sweep;
 };
 
 /// Outcome of the interleaved process.

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/small_vector.h"
+#include "common/sweep_pool.h"
 #include "common/threading.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -41,16 +42,17 @@ struct Entry {
 class IskrState {
  public:
   IskrState(const ExpansionContext& ctx, const IskrOptions& options,
-            std::vector<IskrStep>* trace)
+            const SweepOptions& sweep, std::vector<IskrStep>* trace)
       : ctx_(ctx),
         options_(options),
+        sweep_(sweep),
         trace_(trace),
         retrieved_(ctx.universe->AcquireScratch()),
         delta_(ctx.universe->AcquireScratch()),
         without_(ctx.universe->AcquireScratch()),
         cluster_range_(ctx.cluster.NonzeroWordRange()),
         others_range_(ctx.others.NonzeroWordRange()) {
-    query_ = ctx.user_query;
+    query_.assign(ctx.user_query.begin(), ctx.user_query.end());
     ctx_.universe->RetrieveInto(query_, &*retrieved_);
     RefreshScanRanges();
     SweepCandidates();
@@ -84,7 +86,7 @@ class IskrState {
       }
     }
     ExpansionResult result;
-    result.query = query_;
+    result.query.assign(query_.begin(), query_.end());
     result.quality = EvaluateQuery(*ctx_.universe, *retrieved_, ctx_.cluster);
     result.iterations = iterations_;
     result.value_recomputations = recomputations_;
@@ -102,12 +104,13 @@ class IskrState {
 
  private:
   // Initial benefit/cost evaluation of every candidate. Candidates are
-  // independent, so the sweep fans out over sweep_threads workers; each
-  // entry is computed whole by one thread and merged in candidate-index
-  // order, keeping results byte-identical to the serial sweep.
+  // independent, so the sweep fans out over SweepOptions::threads pool
+  // workers; each entry is computed whole by one thread and merged in
+  // candidate-index order, keeping results byte-identical to the serial
+  // sweep.
   void SweepCandidates() {
     const size_t n = ctx_.candidates.size();
-    const size_t threads = ResolveThreadCount(options_.sweep_threads, n);
+    const size_t threads = ResolveThreadCount(sweep_.threads, n);
     if (threads <= 1) {
       for (TermId k : ctx_.candidates) {
         add_entries_.emplace(k, ComputeAddEntry(k));
@@ -115,18 +118,14 @@ class IskrState {
     } else {
       QEC_TRACE_SPAN("iskr/parallel_sweep");
       QEC_COUNTER_INC("iskr/parallel_sweeps");
-      std::vector<Entry> entries(n);
+      entry_scratch_.resize(n);
+      Entry* entries = entry_scratch_.data();
       std::atomic<size_t> next{0};
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (size_t t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-          for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-            entries[i] = ComputeAddEntry(ctx_.candidates[i]);
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
+      common::SweepPool::Instance().Run(threads, [&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          entries[i] = ComputeAddEntry(ctx_.candidates[i]);
+        }
+      });
       for (size_t i = 0; i < n; ++i) {
         add_entries_.emplace(ctx_.candidates[i], entries[i]);
       }
@@ -235,7 +234,7 @@ class IskrState {
   // removal of "job" after adding store and location). Removal entries are
   // few (|q| keywords), so they are simply recomputed every step.
   //
-  // The addition refresh fans out over sweep_threads like the initial
+  // The addition refresh fans out over the sweep pool like the initial
   // sweep: ComputeAddEntry only reads shared state and every affected
   // entry is overwritten whole, so the refreshed values — and the
   // recomputation count, a plain sum — are byte-identical to the serial
@@ -244,7 +243,7 @@ class IskrState {
   void RefreshAffected(const DynamicBitset& delta) {
     if (!delta.None()) {
       const size_t threads =
-          ResolveThreadCount(options_.sweep_threads, add_entries_.size());
+          ResolveThreadCount(sweep_.threads, add_entries_.size());
       if (threads <= 1) {
         for (auto& [k, e] : add_entries_) {
           if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
@@ -253,28 +252,24 @@ class IskrState {
           }
         }
       } else {
-        std::vector<std::pair<TermId, Entry*>> slots;
-        slots.reserve(add_entries_.size());
-        for (auto& [k, e] : add_entries_) slots.emplace_back(k, &e);
+        slot_scratch_.clear();
+        slot_scratch_.reserve(add_entries_.size());
+        for (auto& [k, e] : add_entries_) slot_scratch_.emplace_back(k, &e);
+        auto& slots = slot_scratch_;
         std::atomic<size_t> next{0};
         std::atomic<size_t> refreshed{0};
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (size_t t = 0; t < threads; ++t) {
-          pool.emplace_back([&] {
-            size_t local = 0;
-            for (size_t i = next.fetch_add(1); i < slots.size();
-                 i = next.fetch_add(1)) {
-              const TermId k = slots[i].first;
-              if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
-                *slots[i].second = ComputeAddEntry(k);
-                ++local;
-              }
+        common::SweepPool::Instance().Run(threads, [&] {
+          size_t local = 0;
+          for (size_t i = next.fetch_add(1); i < slots.size();
+               i = next.fetch_add(1)) {
+            const TermId k = slots[i].first;
+            if (!delta.IsSubsetOf(ctx_.universe->DocsWithTerm(k))) {
+              *slots[i].second = ComputeAddEntry(k);
+              ++local;
             }
-            refreshed.fetch_add(local);
-          });
-        }
-        for (auto& th : pool) th.join();
+          }
+          refreshed.fetch_add(local);
+        });
         recomputations_ += refreshed.load();
       }
     }
@@ -286,8 +281,9 @@ class IskrState {
 
   const ExpansionContext& ctx_;
   const IskrOptions& options_;
+  const SweepOptions& sweep_;
   std::vector<IskrStep>* trace_;
-  std::vector<TermId> query_;
+  common::SmallVector<TermId, 16> query_;
   /// Current R(q), plus two step-scoped scratches (delta results and
   /// R(q\k)), all leased from the universe arena.
   ResultUniverse::ScratchBitset retrieved_;
@@ -301,6 +297,12 @@ class IskrState {
   WordRange others_scan_;
   std::unordered_map<TermId, Entry> add_entries_;
   std::unordered_map<TermId, Entry> remove_entries_;
+  /// Per-sweep merge scratch, reused across sweeps of one expansion: the
+  /// scatter target of the initial sweep and the slot list of the
+  /// incremental refresh. Inline up to 64 entries, so small candidate
+  /// sets never touch the heap.
+  common::SmallVector<Entry, 64> entry_scratch_;
+  common::SmallVector<std::pair<TermId, Entry*>, 64> slot_scratch_;
   size_t iterations_ = 0;
   size_t recomputations_ = 0;
   size_t additions_ = 0;
@@ -309,7 +311,8 @@ class IskrState {
 
 }  // namespace
 
-IskrExpander::IskrExpander(IskrOptions options) : options_(options) {}
+IskrExpander::IskrExpander(IskrOptions options, SweepOptions sweep)
+    : options_(options), sweep_(sweep) {}
 
 ExpansionResult IskrExpander::Expand(const ExpansionContext& context) const {
   return ExpandWithTrace(context, nullptr);
@@ -319,7 +322,7 @@ ExpansionResult IskrExpander::ExpandWithTrace(
     const ExpansionContext& context, std::vector<IskrStep>* trace) const {
   QEC_CHECK(context.universe != nullptr);
   QEC_TRACE_SPAN("iskr/expand");
-  IskrState state(context, options_, trace);
+  IskrState state(context, options_, sweep_, trace);
   return state.Run();
 }
 

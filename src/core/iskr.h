@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/expansion_context.h"
+#include "core/sweep_options.h"
 
 namespace qec::core {
 
@@ -15,14 +16,6 @@ struct IskrOptions {
   /// Allow the removal step (Example 3.2). Disabling it yields the
   /// "add-only" ablation.
   bool allow_removal = true;
-  /// Threads for the initial candidate sweep (the state constructor
-  /// evaluates benefit/cost for every candidate independently). 1 =
-  /// serial, 0 = auto; values are clamped to the candidate count
-  /// (ResolveThreadCount semantics, like QueryExpanderOptions::
-  /// num_threads). Entries merge in candidate-index order and each is
-  /// computed whole by one thread, so results are byte-identical to the
-  /// serial sweep at any thread count.
-  size_t sweep_threads = 1;
 };
 
 /// Iterative Single-Keyword Refinement (Sec. 3, Algorithm 1).
@@ -54,7 +47,9 @@ struct IskrStep {
 /// ISKR much faster than the delta-F-measure variant (Sec. 5.3).
 class IskrExpander {
  public:
-  explicit IskrExpander(IskrOptions options = {});
+  /// `sweep` configures the candidate-sweep fan-out (SweepOptions is the
+  /// shared knob across all three algorithms; default is serial).
+  explicit IskrExpander(IskrOptions options = {}, SweepOptions sweep = {});
 
   /// Generates the expanded query for `context`'s cluster.
   ExpansionResult Expand(const ExpansionContext& context) const;
@@ -65,9 +60,11 @@ class IskrExpander {
                                   std::vector<IskrStep>* trace) const;
 
   const IskrOptions& options() const { return options_; }
+  const SweepOptions& sweep_options() const { return sweep_; }
 
  private:
   IskrOptions options_;
+  SweepOptions sweep_;
 };
 
 }  // namespace qec::core

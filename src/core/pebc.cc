@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/small_vector.h"
+#include "common/sweep_pool.h"
 #include "common/threading.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -32,11 +33,11 @@ double ValueOf(double benefit, double cost) {
 /// across all Build() calls of the builder.
 class SampleBuilder {
  public:
-  SampleBuilder(const ExpansionContext& ctx, Rng& rng, size_t sweep_threads,
-                size_t* recomputations)
+  SampleBuilder(const ExpansionContext& ctx, Rng& rng,
+                const SweepOptions& sweep, size_t* recomputations)
       : ctx_(ctx),
         rng_(rng),
-        sweep_threads_(sweep_threads),
+        sweep_(sweep),
         recomputations_(recomputations),
         retrieved_(ctx.universe->AcquireScratch()),
         saved_(ctx.universe->AcquireScratch()),
@@ -51,7 +52,7 @@ class SampleBuilder {
   /// while maximizing retained C, using `strategy`.
   PebcSample Build(double target_percent, PebcStrategy strategy) {
     QEC_TRACE_SPAN("pebc/build_sample");
-    query_ = ctx_.user_query;
+    query_.assign(ctx_.user_query.begin(), ctx_.user_query.end());
     in_query_.clear();
     in_query_.insert(query_.begin(), query_.end());
     ctx_.universe->RetrieveInto(query_, &*retrieved_);
@@ -77,7 +78,7 @@ class SampleBuilder {
             : 0.0;
     sample.f_measure =
         EvaluateQuery(*ctx_.universe, *retrieved_, ctx_.cluster).f_measure;
-    sample.query = query_;
+    sample.query.assign(query_.begin(), query_.end());
     return sample;
   }
 
@@ -134,31 +135,30 @@ class SampleBuilder {
     uint32_t evals = 0;
     bool eligible = false;
   };
+  /// Scatter target of a sweep; inline up to 64 candidates.
+  using EntryBuffer = common::SmallVector<CandidateEntry, 64>;
 
   // Scatter-gather over the candidate list: evaluates `eval` (a pure
-  // function of one candidate) with work-stealing workers and merges the
-  // entries in candidate-index order — the IskrOptions::sweep_threads
+  // function of one candidate) on work-stealing SweepPool workers and
+  // merges the entries in candidate-index order — the shared SweepOptions
   // machinery, so any thread count is byte-identical to the serial loop.
   template <typename Eval>
-  void SweepCandidates(const Eval& eval, std::vector<CandidateEntry>* out) {
+  void SweepCandidates(const Eval& eval, EntryBuffer* out) {
     const size_t n = ctx_.candidates.size();
-    out->assign(n, CandidateEntry{});
-    const size_t threads = ResolveThreadCount(sweep_threads_, n);
+    out->clear();
+    out->resize(n, CandidateEntry{});
+    const size_t threads = ResolveThreadCount(sweep_.threads, n);
     if (threads <= 1) {
       for (size_t i = 0; i < n; ++i) (*out)[i] = eval(ctx_.candidates[i]);
     } else {
       QEC_COUNTER_INC("pebc/parallel_sweeps");
+      CandidateEntry* entries = out->data();
       std::atomic<size_t> next{0};
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (size_t t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-          for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-            (*out)[i] = eval(ctx_.candidates[i]);
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
+      common::SweepPool::Instance().Run(threads, [&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          entries[i] = eval(ctx_.candidates[i]);
+        }
+      });
     }
     for (const CandidateEntry& e : *out) *recomputations_ += e.evals;
   }
@@ -194,8 +194,7 @@ class SampleBuilder {
   // Serial argmax over swept entries in candidate-index order, with the
   // value-then-fewest-eliminated tiebreak shared by the fixed-order and
   // single-result strategies.
-  TermId SelectBestByValueThenElim(const std::vector<CandidateEntry>& entries)
-      const {
+  TermId SelectBestByValueThenElim(const EntryBuffer& entries) const {
     TermId best = kInvalidTermId;
     double best_value = -1.0;
     size_t best_elim = 0;
@@ -360,10 +359,10 @@ class SampleBuilder {
 
   const ExpansionContext& ctx_;
   Rng& rng_;
-  size_t sweep_threads_;
+  const SweepOptions& sweep_;
   size_t* recomputations_;
   double total_u_weight_ = 0.0;
-  std::vector<TermId> query_;
+  common::SmallVector<TermId, 16> query_;
   /// Current R(q) plus strategy scratches, leased from the universe arena:
   /// saved_ holds the pre-apply set for the closeness-rule undo, selected_
   /// the random-subset targets, blocked_ the dead ends of the single-
@@ -384,13 +383,14 @@ class SampleBuilder {
   /// Reused index buffer (random-subset shuffle, single-result pool) and
   /// swept-entry buffer (scatter-gather merge target).
   std::vector<size_t> indices_buf_;
-  std::vector<CandidateEntry> entries_buf_;
+  EntryBuffer entries_buf_;
   std::unordered_set<TermId> in_query_;
 };
 
 }  // namespace
 
-PebcExpander::PebcExpander(PebcOptions options) : options_(options) {}
+PebcExpander::PebcExpander(PebcOptions options, SweepOptions sweep)
+    : options_(options), sweep_(sweep) {}
 
 ExpansionResult PebcExpander::Expand(const ExpansionContext& context) const {
   return ExpandWithTrace(context, nullptr);
@@ -402,7 +402,7 @@ ExpansionResult PebcExpander::ExpandWithTrace(
   QEC_TRACE_SPAN("pebc/expand");
   Rng rng(options_.seed);
   size_t recomputations = 0;
-  SampleBuilder builder(context, rng, options_.sweep_threads, &recomputations);
+  SampleBuilder builder(context, rng, sweep_, &recomputations);
 
   const size_t nseg = std::max<size_t>(1, options_.num_segments);
   double left = 0.0, right = 100.0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/expansion_context.h"
+#include "core/sweep_options.h"
 
 namespace qec::core {
 
@@ -35,13 +36,6 @@ struct PebcOptions {
   size_t num_iterations = 3;
   PebcStrategy strategy = PebcStrategy::kRandomSingleResult;
   uint64_t seed = 42;
-  /// Threads for the per-candidate benefit/cost sweeps inside each sample
-  /// build — the same scatter-gather contract as IskrOptions::
-  /// sweep_threads: each candidate's entry is computed whole by one worker
-  /// and the winner is selected serially in candidate-index order, so
-  /// results are byte-identical to the serial sweep at any thread count.
-  /// 1 = serial, 0 = auto (ResolveThreadCount semantics).
-  size_t sweep_threads = 1;
 };
 
 /// One tested sample point (for tracing / the ablation bench).
@@ -60,7 +54,9 @@ struct PebcSample {
 /// average F-measure. Returns the best sample query seen.
 class PebcExpander {
  public:
-  explicit PebcExpander(PebcOptions options = {});
+  /// `sweep` configures the per-candidate sweep fan-out inside each sample
+  /// build (shared SweepOptions contract; default serial).
+  explicit PebcExpander(PebcOptions options = {}, SweepOptions sweep = {});
 
   ExpansionResult Expand(const ExpansionContext& context) const;
 
@@ -69,9 +65,11 @@ class PebcExpander {
                                   std::vector<PebcSample>* trace) const;
 
   const PebcOptions& options() const { return options_; }
+  const SweepOptions& sweep_options() const { return sweep_; }
 
  private:
   PebcOptions options_;
+  SweepOptions sweep_;
 };
 
 }  // namespace qec::core

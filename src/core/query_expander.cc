@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/sweep_pool.h"
 #include "common/threading.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -137,7 +137,7 @@ ExpansionOutcome QueryExpander::ExpandClustered(
       }
       eq.terms = std::move(results[c].query);
       eq.keywords.reserve(eq.terms.size());
-      for (TermId t : eq.terms) eq.keywords.push_back(vocab.TermString(t));
+      for (TermId t : eq.terms) eq.keywords.emplace_back(vocab.TermString(t));
       eq.quality = results[c].quality;
       eq.cluster_index = c;
       eq.cluster_size = c < members.size() ? members[c].size() : 0;
@@ -171,6 +171,7 @@ ExpansionOutcome QueryExpander::ExpandClustered(
     InterleavedOptions interleaved_options;
     interleaved_options.max_rounds = options_.interleave_rounds;
     interleaved_options.iskr = options_.iskr;
+    interleaved_options.sweep = options_.sweep;
     InterleavedOutcome io = InterleavedExpander(interleaved_options)
                                 .Run(universe, user_terms, clustering,
                                      candidates);
@@ -194,19 +195,17 @@ ExpansionOutcome QueryExpander::ExpandClustered(
     for (size_t c = 0; c < members.size(); ++c) expand_one(c);
   } else {
     // Clusters are expanded independently (Sec. 2), so a simple work-
-    // stealing counter suffices and results are identical to serial.
+    // stealing counter suffices and results are identical to serial. The
+    // workers come from the persistent SweepPool — nested benefit/cost
+    // sweeps inside expand_one reuse the same pool without deadlock (the
+    // pool grows by demand, then parks the workers).
     std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (size_t c = next.fetch_add(1); c < members.size();
-             c = next.fetch_add(1)) {
-          expand_one(c);
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
+    common::SweepPool::Instance().Run(threads, [&] {
+      for (size_t c = next.fetch_add(1); c < members.size();
+           c = next.fetch_add(1)) {
+        expand_one(c);
+      }
+    });
   }
   assemble(clustering, std::move(results));
   return outcome;
@@ -217,13 +216,14 @@ ExpansionResult QueryExpander::RunAlgorithm(
   switch (options_.algorithm) {
     case ExpansionAlgorithm::kIskr: {
       if (!options_.explain_terms) {
-        return IskrExpander(options_.iskr).Expand(context);
+        return IskrExpander(options_.iskr, options_.sweep).Expand(context);
       }
       // ISKR's refinement trace already carries the benefit/cost each step
       // was chosen at — use it verbatim rather than re-deriving post hoc.
       std::vector<IskrStep> steps;
       ExpansionResult result =
-          IskrExpander(options_.iskr).ExpandWithTrace(context, &steps);
+          IskrExpander(options_.iskr, options_.sweep)
+              .ExpandWithTrace(context, &steps);
       result.term_details.reserve(steps.size());
       for (const IskrStep& step : steps) {
         TermExplain row;
@@ -237,7 +237,8 @@ ExpansionResult QueryExpander::RunAlgorithm(
       return result;
     }
     case ExpansionAlgorithm::kPebc: {
-      ExpansionResult result = PebcExpander(options_.pebc).Expand(context);
+      ExpansionResult result =
+          PebcExpander(options_.pebc, options_.sweep).Expand(context);
       if (options_.explain_terms) {
         result.term_details = ExplainAddedTerms(context, result.query);
       }
@@ -245,7 +246,7 @@ ExpansionResult QueryExpander::RunAlgorithm(
     }
     case ExpansionAlgorithm::kFMeasure: {
       ExpansionResult result =
-          FMeasureExpander(options_.fmeasure).Expand(context);
+          FMeasureExpander(options_.fmeasure, options_.sweep).Expand(context);
       if (options_.explain_terms) {
         result.term_details = ExplainAddedTerms(context, result.query);
       }

@@ -14,6 +14,7 @@
 #include "core/metrics.h"
 #include "core/pebc.h"
 #include "core/result_universe.h"
+#include "core/sweep_options.h"
 #include "index/inverted_index.h"
 
 namespace qec::core {
@@ -86,6 +87,9 @@ struct QueryExpanderOptions {
   IskrOptions iskr;
   PebcOptions pebc;
   FMeasureOptions fmeasure;
+  /// Shared benefit/cost sweep fan-out for whichever algorithm runs (the
+  /// formerly triplicated sweep_threads knob; see core/sweep_options.h).
+  SweepOptions sweep;
   /// Clustering knobs; .k is overridden by max_clusters. auto_k defaults
   /// on: max_clusters is the paper's upper bound, not an exact count.
   cluster::KMeansOptions kmeans = {

@@ -6,8 +6,10 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 
 #include "common/logging.h"
+#include "common/small_vector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,25 +19,35 @@ namespace {
 constexpr double kMinWeight = 1e-9;
 
 /// Order-independent memo key for an AND conjunction: the sorted TermIds
-/// packed little-endian-of-host into a string. Both the sort buffer and
-/// the key are thread-local and reused, so steady-state lookups neither
-/// copy the query nor allocate a fresh string; the map only copies the key
-/// on a miss (try_emplace).
-const std::string& ConjunctionKey(const std::vector<TermId>& query) {
-  thread_local std::vector<TermId> sorted;
-  thread_local std::string key;
+/// viewed as raw bytes. The sort buffer is a thread-local SmallVector
+/// (inline up to 16 terms — every memoizable query, since kMaxMemoArity
+/// is 4), so steady-state lookups touch no heap at all; the returned view
+/// aliases the buffer and the map only materializes an owning string on a
+/// miss (heterogeneous lookup below).
+std::string_view ConjunctionKey(std::span<const TermId> query) {
+  thread_local common::SmallVector<TermId, 16> sorted;
   sorted.assign(query.begin(), query.end());
   std::sort(sorted.begin(), sorted.end());
-  key.assign(reinterpret_cast<const char*>(sorted.data()),
-             sorted.size() * sizeof(TermId));
-  return key;
+  return std::string_view(reinterpret_cast<const char*>(sorted.data()),
+                          sorted.size() * sizeof(TermId));
 }
+
+/// Transparent hash so the conjunction memo probes with the borrowed
+/// string_view key and only allocates a std::string when inserting.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 }  // namespace
 
 struct ResultUniverse::SetAlgebraCache {
   std::shared_mutex mu;
   std::unordered_map<TermId, DynamicBitset> complements;
-  std::unordered_map<std::string, DynamicBitset> conjunctions;
+  std::unordered_map<std::string, DynamicBitset, TransparentStringHash,
+                     std::equal_to<>>
+      conjunctions;
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
 };
@@ -132,6 +144,9 @@ void ResultUniverse::BuildTermMap() {
   QEC_COUNTER_INC("universe/builds");
   total_weight_ = 0.0;
   for (double w : weights_) total_weight_ += w;
+  unit_weights_ =
+      std::all_of(weights_.begin(), weights_.end(),
+                  [](double w) { return w == 1.0; });
   empty_ = DynamicBitset(docs_.size());
   for (size_t i = 0; i < docs_.size(); ++i) {
     const doc::Document& d = corpus_->Get(docs_[i]);
@@ -151,24 +166,44 @@ void ResultUniverse::BuildTermMap() {
 // (the expanders' */benefit_cost_evals counters cover the call count).
 double ResultUniverse::TotalWeight(const DynamicBitset& set) const {
   QEC_CHECK_EQ(set.size(), docs_.size());
+  if (unit_weights_) return static_cast<double>(set.Count());
   double sum = 0.0;
   set.ForEachSetBit([&](size_t i) { sum += weights_[i]; });
   return sum;
 }
 
+// The unit-weight branches below route S(.) through the SIMD count
+// kernels (simd::Ops() via DynamicBitset): with every weight exactly 1.0
+// the weighted fold sums k in-order ones, which is exactly k, so the
+// count is bit-identical to the scalar double accumulation. The ranked
+// path keeps the scalar fold — vectorizing it would reorder the
+// floating-point additions.
+
 double ResultUniverse::WeightOfAnd(const DynamicBitset& a,
                                    const DynamicBitset& b) const {
+  if (unit_weights_) {
+    QEC_COUNTER_INC("universe/fused_evals");
+    return static_cast<double>(a.AndCount(b));
+  }
   return WeightWhere([](uint64_t x, uint64_t y) { return x & y; }, a, b);
 }
 
 double ResultUniverse::WeightOfAndNot(const DynamicBitset& a,
                                       const DynamicBitset& b) const {
+  if (unit_weights_) {
+    QEC_COUNTER_INC("universe/fused_evals");
+    return static_cast<double>(a.AndNotCount(b));
+  }
   return WeightWhere([](uint64_t x, uint64_t y) { return x & ~y; }, a, b);
 }
 
 double ResultUniverse::WeightOfAndNotAnd(const DynamicBitset& a,
                                          const DynamicBitset& b,
                                          const DynamicBitset& c) const {
+  if (unit_weights_) {
+    QEC_COUNTER_INC("universe/fused_evals");
+    return static_cast<double>(a.AndNotAndCount(b, c));
+  }
   return WeightWhere(
       [](uint64_t x, uint64_t y, uint64_t z) { return x & ~y & z; }, a, b, c);
 }
@@ -177,6 +212,10 @@ double ResultUniverse::WeightOfAndNotAnd(const DynamicBitset& a,
                                          const DynamicBitset& b,
                                          const DynamicBitset& c,
                                          const WordRange& range) const {
+  if (unit_weights_) {
+    QEC_COUNTER_INC("universe/fused_evals");
+    return static_cast<double>(a.AndNotAndCount(b, c, range));
+  }
   return WeightWhereInRange(
       range, [](uint64_t x, uint64_t y, uint64_t z) { return x & ~y & z; }, a,
       b, c);
@@ -237,14 +276,14 @@ DynamicBitset ResultUniverse::DocsWithoutTerm(TermId term) const {
   return out;
 }
 
-void ResultUniverse::RetrieveInto(const std::vector<TermId>& query,
+void ResultUniverse::RetrieveInto(std::span<const TermId> query,
                                   DynamicBitset* out) const {
   QEC_COUNTER_ADD("universe/term_intersections", query.size());
   out->Reinitialize(size(), /*value=*/true);
   for (TermId t : query) *out &= FindDocs(t);
 }
 
-void ResultUniverse::RetrieveWithoutInto(const std::vector<TermId>& query,
+void ResultUniverse::RetrieveWithoutInto(std::span<const TermId> query,
                                          TermId excluded,
                                          DynamicBitset* out) const {
   QEC_COUNTER_ADD("universe/term_intersections", query.size());
@@ -254,10 +293,10 @@ void ResultUniverse::RetrieveWithoutInto(const std::vector<TermId>& query,
   }
 }
 
-DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
+DynamicBitset ResultUniverse::Retrieve(std::span<const TermId> query) const {
   if (set_cache_ != nullptr && query.size() >= 2 &&
       query.size() <= kMaxMemoArity) {
-    const std::string& key = ConjunctionKey(query);
+    const std::string_view key = ConjunctionKey(query);
     {
       std::shared_lock lock(set_cache_->mu);
       auto it = set_cache_->conjunctions.find(key);
@@ -273,7 +312,8 @@ DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
     set_cache_->misses.fetch_add(1, std::memory_order_relaxed);
     QEC_COUNTER_INC("universe/set_cache_misses");
     std::unique_lock lock(set_cache_->mu);
-    return set_cache_->conjunctions.try_emplace(key, std::move(out))
+    return set_cache_->conjunctions
+        .try_emplace(std::string(key), std::move(out))
         .first->second;
   }
   // One batched add per call: Retrieve sits inside every benefit/cost
@@ -284,8 +324,7 @@ DynamicBitset ResultUniverse::Retrieve(const std::vector<TermId>& query) const {
   return out;
 }
 
-DynamicBitset ResultUniverse::RetrieveOr(
-    const std::vector<TermId>& query) const {
+DynamicBitset ResultUniverse::RetrieveOr(std::span<const TermId> query) const {
   QEC_COUNTER_ADD("universe/term_intersections", query.size());
   DynamicBitset out = EmptySet();
   for (TermId t : query) out |= FindDocs(t);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -122,22 +123,43 @@ class ResultUniverse {
   DynamicBitset DocsWithoutTerm(TermId term) const;
 
   /// R(q) within the universe under AND semantics: results containing every
-  /// term of `query`. The empty query retrieves the whole universe.
-  DynamicBitset Retrieve(const std::vector<TermId>& query) const;
+  /// term of `query`. The empty query retrieves the whole universe. Takes
+  /// a span so callers may keep their query in any contiguous buffer
+  /// (std::vector, common::SmallVector, a C array).
+  DynamicBitset Retrieve(std::span<const TermId> query) const;
 
   /// R(q) into `out`, reusing its word storage (no allocation once the
   /// buffer is warm). Bypasses the set-algebra memo: meant for hot loops
   /// that own a scratch buffer (typically leased via AcquireScratch).
-  void RetrieveInto(const std::vector<TermId>& query, DynamicBitset* out) const;
+  void RetrieveInto(std::span<const TermId> query, DynamicBitset* out) const;
 
   /// R(q \ {excluded}) into `out`; every occurrence of `excluded` in
   /// `query` is skipped. The allocation-free core of ISKR's removal probe.
-  void RetrieveWithoutInto(const std::vector<TermId>& query, TermId excluded,
+  void RetrieveWithoutInto(std::span<const TermId> query, TermId excluded,
                            DynamicBitset* out) const;
 
   /// R(q) within the universe under OR semantics: results containing at
   /// least one term of `query`. The empty query retrieves nothing.
-  DynamicBitset RetrieveOr(const std::vector<TermId>& query) const;
+  DynamicBitset RetrieveOr(std::span<const TermId> query) const;
+
+  /// Braced-list conveniences forwarding to the span overloads (a braced
+  /// initializer does not deduce to std::span; std::vector and
+  /// common::SmallVector convert via span's range constructor).
+  DynamicBitset Retrieve(std::initializer_list<TermId> query) const {
+    return Retrieve(std::span<const TermId>(query.begin(), query.size()));
+  }
+  void RetrieveInto(std::initializer_list<TermId> query,
+                    DynamicBitset* out) const {
+    RetrieveInto(std::span<const TermId>(query.begin(), query.size()), out);
+  }
+  void RetrieveWithoutInto(std::initializer_list<TermId> query,
+                           TermId excluded, DynamicBitset* out) const {
+    RetrieveWithoutInto(std::span<const TermId>(query.begin(), query.size()),
+                        excluded, out);
+  }
+  DynamicBitset RetrieveOr(std::initializer_list<TermId> query) const {
+    return RetrieveOr(std::span<const TermId>(query.begin(), query.size()));
+  }
 
   /// All distinct terms that appear in at least one result.
   const std::vector<TermId>& DistinctTerms() const { return distinct_terms_; }
@@ -211,6 +233,11 @@ class ResultUniverse {
   const doc::Corpus* corpus_;
   std::vector<DocId> docs_;
   std::vector<double> weights_;
+  /// True when every result weighs exactly 1.0 (the unranked setting).
+  /// S(.) of a set expression is then its cardinality, so the weighted
+  /// kernels shortcut to the SIMD count kernels — bit-identical, because
+  /// summing k in-order 1.0s yields exactly k.
+  bool unit_weights_ = false;
   double total_weight_ = 0.0;
   std::unordered_map<TermId, DynamicBitset> term_docs_;
   std::unordered_map<TermId, int> term_tf_;

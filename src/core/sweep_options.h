@@ -1,0 +1,25 @@
+#ifndef QEC_CORE_SWEEP_OPTIONS_H_
+#define QEC_CORE_SWEEP_OPTIONS_H_
+
+#include <cstddef>
+
+namespace qec::core {
+
+/// Shared configuration of the scatter-gather benefit/cost sweeps. All
+/// three expansion algorithms (ISKR, PEBC, F-measure) fan their
+/// per-candidate sweeps out over the same persistent common::SweepPool
+/// under the same contract: each candidate's value is computed whole by
+/// one work-stealing worker and merged in candidate-index order, so any
+/// thread count is byte-identical to the serial sweep. One struct — set
+/// once by the CLI/server wiring — replaces the formerly triplicated
+/// IskrOptions/PebcOptions/FMeasureOptions::sweep_threads knobs.
+struct SweepOptions {
+  /// Workers per sweep: 1 = serial (never touches the pool), 0 = auto;
+  /// values are clamped to the candidate count (ResolveThreadCount
+  /// semantics, like QueryExpanderOptions::num_threads).
+  size_t threads = 1;
+};
+
+}  // namespace qec::core
+
+#endif  // QEC_CORE_SWEEP_OPTIONS_H_

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/simd_kernels.h"
+#include "common/sweep_pool.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 
@@ -71,7 +73,23 @@ std::string PrometheusBuildInfo() {
 #else
   out += "on";
 #endif
+  // The bitset-kernel tier the runtime dispatcher selected (cpuid +
+  // QEC_KERNEL_DISPATCH override) — scalar and avx2 are exact-equal, so
+  // this label is for performance triage, not correctness.
+  out += "\",kernel=\"";
+  out += simd::ActiveTierName();
   out += "\"} 1\n";
+  return out;
+}
+
+std::string PrometheusSweepPool() {
+  const common::SweepPool::Stats s = common::SweepPool::Instance().GetStats();
+  std::string out = "# TYPE qec_sweep_pool_runs_total counter\n";
+  out += "qec_sweep_pool_runs_total " + std::to_string(s.runs) + "\n";
+  out += "# TYPE qec_sweep_pool_spawns_total counter\n";
+  out += "qec_sweep_pool_spawns_total " + std::to_string(s.spawns) + "\n";
+  out += "# TYPE qec_sweep_pool_reuses_total counter\n";
+  out += "qec_sweep_pool_reuses_total " + std::to_string(s.reuses) + "\n";
   return out;
 }
 
@@ -84,6 +102,7 @@ std::string PrometheusName(std::string_view name) {
 
 std::string WritePrometheus(const MetricsSnapshot& snapshot) {
   std::string out = PrometheusBuildInfo();
+  out += PrometheusSweepPool();
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = CounterName(name);
     out += "# TYPE " + prom + " counter\n";

@@ -24,11 +24,17 @@ std::string PrometheusName(std::string_view name);
 
 /// The `qec_build_info` gauge (its `# TYPE` line plus one sample of value
 /// 1) carrying build metadata as labels: library version, `git describe`
-/// output when the build tree had git available, and the popcount/tracing
-/// compile flags. Emitted at the top of every WritePrometheus exposition
-/// so dashboards can correlate a regression with the build that shipped
-/// it.
+/// output when the build tree had git available, the popcount/tracing
+/// compile flags, and the runtime-dispatched bitset-kernel tier
+/// (`kernel="scalar"|"avx2"`). Emitted at the top of every WritePrometheus
+/// exposition so dashboards can correlate a regression with the build that
+/// shipped it.
 std::string PrometheusBuildInfo();
+
+/// Persistent sweep-pool counters (`qec_sweep_pool_{runs,spawns,reuses}_total`)
+/// in exposition format. Steady state is reuses climbing while spawns stay
+/// flat — a growing spawn rate means sweeps keep outsizing the pool.
+std::string PrometheusSweepPool();
 
 /// Renders a snapshot in Prometheus text exposition format:
 ///   - counters as `<name>_total` with a `# TYPE ... counter` line,

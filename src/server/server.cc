@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/simd_kernels.h"
+#include "common/sweep_pool.h"
 #include "common/threading.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -635,6 +637,16 @@ std::string QecServer::StatsJsonLine() const {
   out += ",\"queue_depth\":" + std::to_string(queue_depth());
   out += ",\"queue_capacity\":" + std::to_string(options_.queue_capacity);
   out += ",\"workers\":" + std::to_string(num_workers());
+  // Runtime-dispatched bitset-kernel tier and persistent sweep-pool
+  // counters — steady state is zero new spawns per STATS interval.
+  out += ",\"kernel\":" +
+         obs::json::Quote(qec::simd::ActiveTierName());
+  const common::SweepPool::Stats pool =
+      common::SweepPool::Instance().GetStats();
+  out += ",\"sweep_pool\":{\"runs\":" + std::to_string(pool.runs);
+  out += ",\"spawns\":" + std::to_string(pool.spawns);
+  out += ",\"reuses\":" + std::to_string(pool.reuses);
+  out += "}";
   out += ",\"submitted\":" + std::to_string(s.submitted);
   out += ",\"admitted\":" + std::to_string(s.admitted);
   out += ",\"completed\":" + std::to_string(s.completed);

@@ -63,7 +63,7 @@ Snippet SnippetGenerator::GenerateText(
   const size_t end = std::min(best_start + window, terms.size());
   for (size_t i = best_start; i < end; ++i) {
     if (i > best_start) out.text += ' ';
-    const std::string& word = vocabulary.TermString(terms[i]);
+    const std::string_view word = vocabulary.TermString(terms[i]);
     if (options_.highlight && query_set.count(terms[i]) != 0) {
       out.text += '[';
       out.text += word;
@@ -81,7 +81,7 @@ Snippet SnippetGenerator::GenerateStructured(
     const doc::Document& document, const std::vector<TermId>& query_terms,
     const text::Vocabulary& vocabulary) const {
   std::unordered_set<std::string> query_words;
-  for (TermId t : query_terms) query_words.insert(vocabulary.TermString(t));
+  for (TermId t : query_terms) query_words.emplace(vocabulary.TermString(t));
 
   // A feature "matches" when any of its parts, lowercased, is a query word
   // or its canonical token is one.

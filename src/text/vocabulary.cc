@@ -5,20 +5,21 @@
 namespace qec::text {
 
 TermId Vocabulary::Intern(std::string_view term) {
-  auto it = ids_.find(std::string(term));
+  auto it = ids_.find(term);
   if (it != ids_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
-  terms_.emplace_back(term);
-  ids_.emplace(terms_.back(), id);
+  std::string_view stored = arena_.Intern(term);
+  terms_.push_back(stored);
+  ids_.emplace(stored, id);
   return id;
 }
 
 TermId Vocabulary::Lookup(std::string_view term) const {
-  auto it = ids_.find(std::string(term));
+  auto it = ids_.find(term);
   return it == ids_.end() ? kInvalidTermId : it->second;
 }
 
-const std::string& Vocabulary::TermString(TermId id) const {
+std::string_view Vocabulary::TermString(TermId id) const {
   QEC_CHECK_LT(id, terms_.size());
   return terms_[id];
 }

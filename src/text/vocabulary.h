@@ -1,18 +1,21 @@
 #ifndef QEC_TEXT_VOCABULARY_H_
 #define QEC_TEXT_VOCABULARY_H_
 
-#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/interned_strings.h"
 #include "common/types.h"
 
 namespace qec::text {
 
 /// Bidirectional string interner: term string <-> dense TermId. All corpus
 /// processing works on TermIds; strings only reappear when presenting
-/// expanded queries to the user.
+/// expanded queries to the user. Term bytes live in a StringInterner arena,
+/// so both the id map keys and the id->string table are views into stable
+/// storage — Intern/Lookup never allocate a temporary std::string for the
+/// probe, and TermString hands out a view with vocabulary lifetime.
 class Vocabulary {
  public:
   Vocabulary() = default;
@@ -23,11 +26,15 @@ class Vocabulary {
   /// Id of `term`, or kInvalidTermId if it was never interned.
   TermId Lookup(std::string_view term) const;
 
-  /// String of an interned id. `id` must be valid.
-  const std::string& TermString(TermId id) const;
+  /// String of an interned id. `id` must be valid. The view stays valid for
+  /// the lifetime of the vocabulary (arena storage is never reallocated).
+  std::string_view TermString(TermId id) const;
 
   /// Number of distinct interned terms.
   size_t size() const { return terms_.size(); }
+
+  /// Bytes held by the term arena (observability).
+  size_t arena_bytes() const { return arena_.arena_bytes(); }
 
   /// Pre-sizes the intern tables for `n` terms; deserializers call this
   /// before bulk re-interning a stored vocabulary.
@@ -37,8 +44,16 @@ class Vocabulary {
   }
 
  private:
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> terms_;
+  struct ViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  common::StringInterner arena_;
+  std::unordered_map<std::string_view, TermId, ViewHash, std::equal_to<>> ids_;
+  std::vector<std::string_view> terms_;
 };
 
 }  // namespace qec::text

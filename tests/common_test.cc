@@ -6,10 +6,18 @@
 #include <cmath>
 #include <set>
 
+#include <atomic>
+#include <string>
+#include <vector>
+
 #include "common/dynamic_bitset.h"
+#include "common/interned_strings.h"
 #include "common/random.h"
+#include "common/simd_kernels.h"
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/sweep_pool.h"
 #include "common/threading.h"
 
 namespace qec {
@@ -437,6 +445,275 @@ TEST(DynamicBitsetTest, ForEachWordVisitsAllOperands) {
       },
       a, b, c);
   EXPECT_EQ(fused_count, 3u);
+}
+
+
+// ------------------------------------------------------------ SmallVector --
+
+TEST(SmallVectorTest, StaysInlineUpToN) {
+  common::SmallVector<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(SmallVectorTest, SpillsPastTheBoundaryAndKeepsContents) {
+  common::SmallVector<int, 4> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_GE(v.capacity(), 5u);
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, GrowsThroughManyDoublings) {
+  common::SmallVector<int, 2> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, MoveStealsHeapBuffer) {
+  common::SmallVector<int, 2> v{1, 2, 3, 4};
+  ASSERT_FALSE(v.is_inline());
+  const int* heap = v.data();
+  common::SmallVector<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), heap);  // stolen, not copied
+  EXPECT_EQ(moved, (common::SmallVector<int, 2>{1, 2, 3, 4}));
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_inline());  // reset to the inline buffer
+  v.push_back(9);              // and still usable
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVectorTest, MoveOfInlineVectorRelocatesElements) {
+  common::SmallVector<std::string, 4> v{"alpha", "beta"};
+  ASSERT_TRUE(v.is_inline());
+  common::SmallVector<std::string, 4> moved(std::move(v));
+  EXPECT_TRUE(moved.is_inline());
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "alpha");
+  EXPECT_EQ(moved[1], "beta");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, CopyAndAssignPreserveIndependence) {
+  common::SmallVector<int, 2> a{1, 2, 3};
+  common::SmallVector<int, 2> b(a);
+  b.push_back(4);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 4u);
+  a = b;
+  EXPECT_EQ(a, b);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(SmallVectorTest, EraseSingleAndRange) {
+  common::SmallVector<int, 4> v{0, 1, 2, 3, 4, 5};
+  auto it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 2);
+  EXPECT_EQ(v, (common::SmallVector<int, 4>{0, 2, 3, 4, 5}));
+  v.erase(v.begin() + 1, v.begin() + 3);
+  EXPECT_EQ(v, (common::SmallVector<int, 4>{0, 4, 5}));
+  v.erase(v.begin(), v.end());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVectorTest, ResizeAssignPopBack) {
+  common::SmallVector<int, 2> v;
+  v.resize(5, 7);
+  EXPECT_EQ(v, (common::SmallVector<int, 2>{7, 7, 7, 7, 7}));
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  const std::vector<int> src = {1, 2, 3};
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v, (common::SmallVector<int, 2>{1, 2, 3}));
+  v.pop_back();
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVectorTest, NonTrivialElementsSurviveGrowth) {
+  common::SmallVector<std::string, 2> v;
+  for (int i = 0; i < 20; ++i) {
+    v.emplace_back("string-with-heap-allocation-" + std::to_string(i));
+  }
+  ASSERT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)],
+              "string-with-heap-allocation-" + std::to_string(i));
+  }
+}
+
+// --------------------------------------------------------- StringInterner --
+
+TEST(StringInternerTest, DeduplicatesToTheSameView) {
+  common::StringInterner interner;
+  const std::string_view a = interner.Intern("apple");
+  const std::string_view b = interner.Intern("apple");
+  EXPECT_EQ(a.data(), b.data());  // same arena bytes, not just equal
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_NE(interner.Intern("banana").data(), a.data());
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInternerTest, ViewsStayValidAsTheArenaGrows) {
+  common::StringInterner interner;
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 10000; ++i) {
+    views.push_back(interner.Intern("term-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(views[static_cast<size_t>(i)], "term-" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.size(), 10000u);
+  EXPECT_GT(interner.arena_bytes(), 0u);
+}
+
+TEST(StringInternerTest, OversizedStringsGetTheirOwnChunk) {
+  common::StringInterner interner;
+  const std::string_view small = interner.Intern("small");
+  const std::string huge(1 << 20, 'x');
+  const std::string_view stored = interner.Intern(huge);
+  EXPECT_EQ(stored, huge);
+  EXPECT_EQ(interner.Intern("small").data(), small.data());
+  EXPECT_EQ(interner.Intern(huge).data(), stored.data());
+}
+
+// ---------------------------------------------------------- SIMD kernels --
+
+/// Every dispatch tier must return bit-identical results: the kernels
+/// compute integer counts and booleans, so there is no tolerance — a
+/// mismatch in any single word pattern is a bug.
+TEST(SimdKernelsTest, TiersAgreeOnRandomWordArrays) {
+  const simd::KernelTier original = simd::ActiveTier();
+  if (!simd::Avx2Supported()) GTEST_SKIP() << "no AVX2 on this host";
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Cover the AVX2 block boundary (4 words) and scalar tails.
+    const size_t n = 1 + rng.UniformInt(12);
+    std::vector<uint64_t> a(n), b(n), c(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Mix dense, sparse, and zero words so the early-exit predicates
+      // take both paths.
+      a[i] = rng.Bernoulli(0.2) ? 0 : rng.Next();
+      b[i] = rng.Bernoulli(0.2) ? ~0ULL : rng.Next();
+      c[i] = rng.Bernoulli(0.3) ? 0 : rng.Next();
+    }
+    ASSERT_TRUE(simd::SetTier(simd::KernelTier::kScalar));
+    const simd::KernelOps& scalar = simd::Ops();
+    const size_t pc = scalar.popcount(a.data(), n);
+    const size_t ac = scalar.and_count(a.data(), b.data(), n);
+    const size_t anc = scalar.and_not_count(a.data(), b.data(), n);
+    const size_t ac3 = scalar.and_count3(a.data(), b.data(), c.data(), n);
+    const size_t anac =
+        scalar.and_not_and_count(a.data(), b.data(), c.data(), n);
+    const bool any = scalar.any(a.data(), n);
+    const bool i2 = scalar.intersects2(a.data(), b.data(), n);
+    const bool i3 = scalar.intersects3(a.data(), b.data(), c.data(), n);
+    const bool aan = scalar.any_and_not(a.data(), b.data(), n);
+    ASSERT_TRUE(simd::SetTier(simd::KernelTier::kAvx2));
+    const simd::KernelOps& avx2 = simd::Ops();
+    ASSERT_EQ(avx2.popcount(a.data(), n), pc);
+    ASSERT_EQ(avx2.and_count(a.data(), b.data(), n), ac);
+    ASSERT_EQ(avx2.and_not_count(a.data(), b.data(), n), anc);
+    ASSERT_EQ(avx2.and_count3(a.data(), b.data(), c.data(), n), ac3);
+    ASSERT_EQ(avx2.and_not_and_count(a.data(), b.data(), c.data(), n), anac);
+    ASSERT_EQ(avx2.any(a.data(), n), any);
+    ASSERT_EQ(avx2.intersects2(a.data(), b.data(), n), i2);
+    ASSERT_EQ(avx2.intersects3(a.data(), b.data(), c.data(), n), i3);
+    ASSERT_EQ(avx2.any_and_not(a.data(), b.data(), n), aan);
+  }
+  simd::SetTier(original);
+}
+
+TEST(SimdKernelsTest, SetTierRejectsUnsupportedAndReportsNames) {
+  const simd::KernelTier original = simd::ActiveTier();
+  EXPECT_TRUE(simd::SetTier(simd::KernelTier::kScalar));
+  EXPECT_EQ(simd::ActiveTier(), simd::KernelTier::kScalar);
+  EXPECT_STREQ(simd::ActiveTierName(), "scalar");
+  if (simd::Avx2Supported()) {
+    EXPECT_TRUE(simd::SetTier(simd::KernelTier::kAvx2));
+    EXPECT_STREQ(simd::ActiveTierName(), "avx2");
+  } else {
+    EXPECT_FALSE(simd::SetTier(simd::KernelTier::kAvx2));
+    EXPECT_EQ(simd::ActiveTier(), simd::KernelTier::kScalar);
+  }
+  EXPECT_STREQ(simd::TierName(simd::KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(simd::TierName(simd::KernelTier::kAvx2), "avx2");
+  simd::SetTier(original);
+}
+
+// ------------------------------------------------------------- SweepPool --
+
+TEST(SweepPoolTest, SerialRunExecutesInlineWithoutThePool) {
+  auto& pool = common::SweepPool::Instance();
+  const auto before = pool.GetStats();
+  int calls = 0;
+  pool.Run(1, [&] { ++calls; });
+  pool.Run(0, [&] { ++calls; });
+  EXPECT_EQ(calls, 2);
+  const auto after = pool.GetStats();
+  EXPECT_EQ(after.runs, before.runs);
+  EXPECT_EQ(after.spawns, before.spawns);
+}
+
+TEST(SweepPoolTest, AllWorkersRunTheBodyExactlyOnce) {
+  auto& pool = common::SweepPool::Instance();
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+    std::atomic<int> calls{0};
+    pool.Run(threads, [&] { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), static_cast<int>(threads));
+  }
+}
+
+TEST(SweepPoolTest, WorkStealingClosureCoversEveryItem) {
+  auto& pool = common::SweepPool::Instance();
+  constexpr size_t kItems = 1000;
+  std::vector<int> hit(kItems, 0);
+  std::atomic<size_t> next{0};
+  pool.Run(4, [&] {
+    for (size_t i = next.fetch_add(1); i < kItems; i = next.fetch_add(1)) {
+      hit[i] += 1;
+    }
+  });
+  for (size_t i = 0; i < kItems; ++i) ASSERT_EQ(hit[i], 1) << i;
+}
+
+TEST(SweepPoolTest, StopsSpawningAfterWarmup) {
+  // Mirror of ScratchArenaStopsAllocatingAfterWarmup: after one warm-up
+  // sweep at a given width, further sweeps must be served entirely by
+  // parked workers — zero thread spawns in the steady state.
+  auto& pool = common::SweepPool::Instance();
+  constexpr size_t kThreads = 4;
+  pool.Run(kThreads, [] {});  // Warm the pool.
+  const auto before = pool.GetStats();
+  constexpr uint64_t kRuns = 50;
+  for (uint64_t i = 0; i < kRuns; ++i) {
+    std::atomic<int> calls{0};
+    pool.Run(kThreads, [&] { calls.fetch_add(1); });
+    ASSERT_EQ(calls.load(), static_cast<int>(kThreads));
+  }
+  const auto after = pool.GetStats();
+  EXPECT_EQ(after.spawns, before.spawns);
+  EXPECT_EQ(after.runs, before.runs + kRuns);
+  EXPECT_EQ(after.reuses, before.reuses + kRuns * (kThreads - 1));
+}
+
+TEST(SweepPoolTest, NestedRunsDoNotDeadlock) {
+  // QueryExpander fans clusters out over the pool while each cluster's
+  // expander runs its own sweeps on the same pool.
+  auto& pool = common::SweepPool::Instance();
+  std::atomic<int> inner_calls{0};
+  std::atomic<size_t> next{0};
+  pool.Run(3, [&] {
+    for (size_t i = next.fetch_add(1); i < 6; i = next.fetch_add(1)) {
+      pool.Run(2, [&] { inner_calls.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(inner_calls.load(), 12);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/sweep_pool.h"
 #include "core/expansion_context.h"
 #include "core/iskr.h"
 #include "core/result_universe.h"
@@ -76,7 +77,7 @@ class PaperExampleFixture : public ::testing::Test {
   std::set<std::string> QueryWords(const ExpansionResult& r) const {
     std::set<std::string> words;
     for (TermId t : r.query) {
-      words.insert(corpus_.analyzer().vocabulary().TermString(t));
+      words.emplace(corpus_.analyzer().vocabulary().TermString(t));
     }
     return words;
   }
@@ -173,8 +174,9 @@ TEST_F(PaperExampleFixture, TraceMatchesExampleTables) {
   // store and location both have benefit 1, cost 0 after job; order
   // between them is a tie broken by term id — accept either order.
   std::set<std::string> middle = {
-      corpus_.analyzer().vocabulary().TermString(trace[1].keyword),
-      corpus_.analyzer().vocabulary().TermString(trace[2].keyword)};
+      std::string(corpus_.analyzer().vocabulary().TermString(trace[1].keyword)),
+      std::string(
+          corpus_.analyzer().vocabulary().TermString(trace[2].keyword))};
   EXPECT_EQ(middle, (std::set<std::string>{"store", "location"}));
   for (int i : {1, 2}) {
     EXPECT_FALSE(trace[i].is_removal);
@@ -196,18 +198,16 @@ TEST_F(PaperExampleFixture, ParallelSweepMatchesSerialByteForByte) {
   // order — every field of the result, including the doubles in the
   // trace, must be bit-identical to the serial sweep.
   std::vector<IskrStep> serial_trace;
-  IskrOptions serial_options;
-  serial_options.sweep_threads = 1;
   ExpansionResult serial =
-      IskrExpander(serial_options).ExpandWithTrace(*context_, &serial_trace);
+      IskrExpander(IskrOptions{}, SweepOptions{/*threads=*/1})
+          .ExpandWithTrace(*context_, &serial_trace);
 
   for (size_t sweep : {size_t{2}, size_t{3}, size_t{8}, size_t{0}}) {
     SCOPED_TRACE("sweep_threads=" + std::to_string(sweep));
     std::vector<IskrStep> trace;
-    IskrOptions options;
-    options.sweep_threads = sweep;
     ExpansionResult parallel =
-        IskrExpander(options).ExpandWithTrace(*context_, &trace);
+        IskrExpander(IskrOptions{}, SweepOptions{/*threads=*/sweep})
+            .ExpandWithTrace(*context_, &trace);
     EXPECT_EQ(parallel.query, serial.query);
     EXPECT_EQ(parallel.iterations, serial.iterations);
     EXPECT_EQ(parallel.value_recomputations, serial.value_recomputations);
@@ -242,6 +242,28 @@ TEST_F(PaperExampleFixture, ScratchArenaStopsAllocatingAfterWarmup) {
       universe_->scratch_arena_stats();
   EXPECT_EQ(after.allocs, before.allocs);
   EXPECT_EQ(after.reuses, before.reuses + kRuns * 3);
+}
+
+TEST_F(PaperExampleFixture, SweepPoolStopsSpawningAfterWarmup) {
+  // Thread-side mirror of ScratchArenaStopsAllocatingAfterWarmup: a
+  // parallel sweep used to spawn a fresh std::vector<std::thread> per
+  // candidate scan. With the persistent SweepPool a single warm-up
+  // expansion sizes the pool; every later sweep must be served entirely
+  // by parked workers — zero thread spawns in the steady state.
+  IskrExpander iskr(IskrOptions{}, SweepOptions{/*threads=*/4});
+  iskr.Expand(*context_);  // Warm the pool.
+  const common::SweepPool::Stats before =
+      common::SweepPool::Instance().GetStats();
+  constexpr size_t kRuns = 3;
+  for (size_t i = 0; i < kRuns; ++i) iskr.Expand(*context_);
+  const common::SweepPool::Stats after =
+      common::SweepPool::Instance().GetStats();
+  EXPECT_EQ(after.spawns, before.spawns);
+  EXPECT_GT(after.runs, before.runs);
+  // Every parallel run brings >= 1 helper, and with spawns flat each
+  // helper start is a reuse. (The exact count varies: sweeps clamp the
+  // thread count to the shrinking candidate list.)
+  EXPECT_GE(after.reuses - before.reuses, after.runs - before.runs);
 }
 
 TEST_F(PaperExampleFixture, TraceFMeasureIsFinalQuality) {

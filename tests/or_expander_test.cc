@@ -40,7 +40,7 @@ class OrFixture : public ::testing::Test {
   std::set<std::string> Words(const ExpansionResult& r) const {
     std::set<std::string> out;
     for (TermId t : r.query) {
-      out.insert(corpus_.analyzer().vocabulary().TermString(t));
+      out.emplace(corpus_.analyzer().vocabulary().TermString(t));
     }
     return out;
   }

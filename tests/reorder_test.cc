@@ -192,9 +192,7 @@ TEST(SweepThreadsTest, ThreadedSweepsMatchSerialExactly) {
     core::QueryExpanderOptions serial;
     serial.algorithm = algorithm;
     core::QueryExpanderOptions threaded = serial;
-    threaded.iskr.sweep_threads = 4;
-    threaded.pebc.sweep_threads = 4;
-    threaded.fmeasure.sweep_threads = 4;
+    threaded.sweep.threads = 4;
     core::QueryExpander a(index, serial);
     core::QueryExpander b(index, threaded);
     auto ra = a.ExpandText("c0t0");

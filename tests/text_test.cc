@@ -192,7 +192,7 @@ TEST(AnalyzerTest, RemovesStopwordsByDefault) {
   Analyzer a;
   auto ids = a.Analyze("the apple is on the tree");
   std::vector<std::string> words;
-  for (TermId id : ids) words.push_back(a.vocabulary().TermString(id));
+  for (TermId id : ids) words.emplace_back(a.vocabulary().TermString(id));
   EXPECT_EQ(words, (std::vector<std::string>{"apple", "tree"}));
 }
 
