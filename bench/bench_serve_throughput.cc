@@ -29,6 +29,13 @@
 // the acceptance bar is >= 4x — and cross-checks that the TCP transport
 // returns byte-identical responses (volatile fields canonicalized) to the
 // direct submission path for the same request stream.
+//
+// --admin-port (net mode) additionally runs an in-process HTTP admin plane
+// and repeats the pipelined run under a 1 Hz /metrics scrape; the result
+// JSON gains "scrape":{"scrapes","p99_ratio","scraped"} — the CI gate
+// compares p99_ratio against its regression budget. --profile-out=FILE
+// [--profile-hz=N, default 99] captures a sampling CPU profile of the
+// measured runs as folded stacks (render with `qec_cli profile FILE`).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -57,6 +64,8 @@
 #include "eval/obs_report.h"
 #include "eval/table_printer.h"
 #include "index/inverted_index.h"
+#include "obs/profiler.h"
+#include "server/admin/admin_server.h"
 #include "server/net/net_server.h"
 #include "server/protocol.h"
 #include "server/request_context.h"
@@ -500,13 +509,101 @@ size_t CheckTransportIdentity(qec::server::QecServer* server, uint16_t port,
   return mismatches;
 }
 
+/// Starts the sampling CPU profiler when `path` is nonempty; Stop() (or the
+/// destructor) writes the folded stacks there and reports the sample count.
+class ScopedCpuProfile {
+ public:
+  ScopedCpuProfile(std::string path, int hz) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    const qec::Status started = qec::obs::CpuProfiler::Global().Start(hz);
+    if (!started.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", started.ToString().c_str());
+      path_.clear();
+      return;
+    }
+    active_ = true;
+  }
+
+  ~ScopedCpuProfile() { Stop(); }
+
+  void Stop() {
+    if (!active_) return;
+    active_ = false;
+    qec::obs::CpuProfiler& profiler = qec::obs::CpuProfiler::Global();
+    const std::string folded = profiler.StopFolded();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(folded.data(), 1, folded.size(), f);
+    std::fclose(f);
+    std::printf("cpu profile: %llu samples at %s\n",
+                static_cast<unsigned long long>(profiler.sample_count()),
+                path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  bool active_ = false;
+};
+
+/// A stand-in Prometheus scraper: GET /metrics over a fresh connection once
+/// per second until Stop(), which returns the completed scrape count. Used
+/// to measure the foreground cost of a realistic scrape cadence.
+class MetricsScraper {
+ public:
+  explicit MetricsScraper(uint16_t port) {
+    thread_ = std::thread([this, port] {
+      while (!stop_.load(std::memory_order_acquire)) {
+        const int fd = ConnectLoopback(port);
+        if (fd >= 0) {
+          static constexpr char kRequest[] =
+              "GET /metrics HTTP/1.1\r\nhost: bench\r\n"
+              "connection: close\r\n\r\n";
+          if (SendAll(fd, kRequest, sizeof(kRequest) - 1)) {
+            char buf[16 * 1024];
+            size_t total = 0;
+            ssize_t n = 0;
+            while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+              total += static_cast<size_t>(n);
+            }
+            if (total > 0) ++scrapes_;
+          }
+          ::close(fd);
+        }
+        // 1 Hz cadence, sliced so Stop() returns promptly.
+        for (int i = 0; i < 20 && !stop_.load(std::memory_order_acquire);
+             ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
+  ~MetricsScraper() { Stop(); }
+
+  size_t Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    return scrapes_;
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  size_t scrapes_ = 0;
+  std::thread thread_;
+};
+
 /// The --net benchmark: single-in-flight baseline vs pipelined connections
-/// against one warm in-process NetServer. Returns the process exit code and
-/// appends the net section of the result JSON.
+/// against one warm in-process NetServer. With `admin` set, an AdminServer
+/// rides along and the pipelined run repeats under a 1 Hz /metrics scrape
+/// to measure the scrape's foreground p99 cost. Returns the process exit
+/// code and appends the net section of the result JSON.
 int RunNetMode(const qec::index::InvertedIndex& index,
                const std::vector<std::string>& workload, size_t threads,
                size_t queue_capacity, size_t connections, size_t depth,
-               std::string* result_json) {
+               bool admin, std::string* result_json) {
   qec::server::ServerOptions options;
   options.num_threads = threads;
   // Admission must hold a full pipelined burst from every connection, or
@@ -544,9 +641,30 @@ int RunNetMode(const qec::index::InvertedIndex& index,
       "transport identity (net vs direct, %zu requests): %s\n", identity_n,
       mismatches == 0 ? "identical" : "MISMATCH");
 
+  std::unique_ptr<qec::server::admin::AdminServer> admin_server;
+  if (admin) {
+    admin_server = std::make_unique<qec::server::admin::AdminServer>(
+        &server, &net);
+    const qec::Status admin_started = admin_server->Start();
+    if (!admin_started.ok()) {
+      std::fprintf(stderr, "admin server: %s\n",
+                   admin_started.ToString().c_str());
+      return 1;
+    }
+  }
+
   RunResult baseline = RunNetWorkload(net.port(), workload, 1, 1);
   RunResult pipelined =
       RunNetWorkload(net.port(), workload, connections, depth);
+
+  RunResult scraped;
+  size_t scrapes = 0;
+  if (admin_server != nullptr) {
+    MetricsScraper scraper(admin_server->port());
+    scraped = RunNetWorkload(net.port(), workload, connections, depth);
+    scrapes = scraper.Stop();
+    admin_server->Shutdown();
+  }
   net.Shutdown();
 
   const qec::server::net::NetServerStats net_stats = net.stats();
@@ -561,6 +679,7 @@ int RunNetMode(const qec::index::InvertedIndex& index,
   };
   add_row("net single-in-flight", baseline);
   add_row("net pipelined", pipelined);
+  if (admin_server != nullptr) add_row("net pipelined + 1Hz scrape", scraped);
   std::printf("%s", table.ToString().c_str());
   std::printf(
       "net: %zu conns x depth %zu, %llu batches over %llu expands "
@@ -587,9 +706,27 @@ int RunNetMode(const qec::index::InvertedIndex& index,
   AppendRunJson(result_json, baseline);
   *result_json += ",\"pipelined\":";
   AppendRunJson(result_json, pipelined);
-  *result_json += "}";
 
   int rc = 0;
+  if (admin_server != nullptr) {
+    const double p99_off = pipelined.Percentile(99.0);
+    const double p99_on = scraped.Percentile(99.0);
+    const double scrape_ratio = p99_off > 0.0 ? p99_on / p99_off : 0.0;
+    std::printf(
+        "scrape overhead (1Hz /metrics, %zu scrapes): p99 %.3fms -> %.3fms "
+        "(%.3fx)\n",
+        scrapes, p99_off, p99_on, scrape_ratio);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"scrape\":{\"scrapes\":%zu,\"p99_ratio\":%.4f,"
+                  "\"scraped\":",
+                  scrapes, scrape_ratio);
+    *result_json += buf;
+    AppendRunJson(result_json, scraped);
+    *result_json += "}";
+    if (scraped.errors > 0) rc = 1;
+  }
+  *result_json += "}";
+
   if (ratio < 4.0 || mismatches > 0) rc = 1;
   if (baseline.errors > 0 || pipelined.errors > 0) rc = 1;
   return rc;
@@ -608,6 +745,9 @@ int main(int argc, char** argv) {
   size_t pipeline_depth = 32;
   double shadow_rate = 0.0;
   std::string result_out;
+  bool admin = false;
+  std::string profile_out;
+  int profile_hz = 99;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (qec::StartsWith(arg, "--requests=")) {
@@ -628,6 +768,15 @@ int main(int argc, char** argv) {
       shadow_rate = std::stod(arg.substr(strlen("--shadow-rate=")));
     } else if (qec::StartsWith(arg, "--result-out=")) {
       result_out = arg.substr(strlen("--result-out="));
+    } else if (arg == "--admin-port" ||
+               qec::StartsWith(arg, "--admin-port=")) {
+      // In-process: the admin listener always binds an ephemeral loopback
+      // port, so any requested number is ignored.
+      admin = true;
+    } else if (qec::StartsWith(arg, "--profile-out=")) {
+      profile_out = arg.substr(strlen("--profile-out="));
+    } else if (qec::StartsWith(arg, "--profile-hz=")) {
+      profile_hz = std::stoi(arg.substr(strlen("--profile-hz=")));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -654,8 +803,11 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf), "\"requests\":%zu,\"threads\":%zu",
                   workload.size(), threads);
     result_json += buf;
+    ScopedCpuProfile profile(profile_out, profile_hz);
     const int rc = RunNetMode(index, workload, threads, queue_capacity,
-                              connections, pipeline_depth, &result_json);
+                              connections, pipeline_depth, admin,
+                              &result_json);
+    profile.Stop();
     result_json += "}";
     if (!result_out.empty()) {
       std::FILE* f = std::fopen(result_out.c_str(), "w");
@@ -682,6 +834,7 @@ int main(int argc, char** argv) {
 
   // Uncached first so the cached run's server/cache_* counters are the
   // last written into the metrics snapshot.
+  ScopedCpuProfile profile(profile_out, profile_hz);
   RunResult uncached =
       RunWorkload(index, workload, false, threads, queue_capacity);
   add_row("no-cache", uncached);
@@ -750,6 +903,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.ToString().c_str());
     PrintStageBreakdown("no-cache", uncached);
   }
+  profile.Stop();
   result_json += "}";
   if (!result_out.empty()) {
     std::FILE* f = std::fopen(result_out.c_str(), "w");

@@ -71,7 +71,9 @@
 #include "core/query_expander.h"
 #include "eval/table_printer.h"
 #include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/prometheus.h"
+#include "server/admin/admin_server.h"
 #include "server/net/net_server.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -109,12 +111,16 @@ int Usage() {
       "  qec_cli serve  <corpus.qec|shopping|wikipedia> [--snapshot=FILE] "
       "[--port=N [--host=ADDR] [--max-conns=N] [--max-line-bytes=N] "
       "[--drain-ms=N]] "
+      "[--admin-port=N [--admin-host=ADDR]] "
       "[--threads=N] [--queue=N] [--deadline-ms=N] [--no-cache] "
       "[--cache-size=N] [--slowlog-dump=FILE] [--slow-ms=N] "
       "[--flight-recorder=N] [--metrics-flush-interval=SEC] "
       "[--metrics-flush-out=FILE] [--shadow-rate=R] [--shadow-algo=A] "
       "[--shadow-queue=N]\n"
       "  qec_cli slowlog <dump.jsonl> [-n N]\n"
+      "  qec_cli metrics-lint [exposition.prom|-]   (default: stdin)\n"
+      "  qec_cli profile <folded.txt|-> [-n N] | --self=SECONDS [--hz=H] "
+      "[--out=FILE]\n"
       "  qec_cli quickstart [--snapshot=FILE [--query=Q]]\n"
       "global flags: --metrics-out=FILE --trace --trace-out=FILE "
       "--log-level=LEVEL\n");
@@ -749,11 +755,18 @@ int CmdAbtest(const std::vector<std::string>& args) {
 }
 
 // The serve --port signal hook: SIGINT/SIGTERM request a graceful drain.
-// NetServer::RequestStop is async-signal-safe (atomic store + eventfd
-// write), so the handler may call it directly.
+// NetServer::RequestStop and AdminServer::SetDraining are both
+// async-signal-safe (atomic store + eventfd write), so the handler may
+// call them directly.
 std::atomic<qec::server::net::NetServer*> g_net_server{nullptr};
+std::atomic<qec::server::admin::AdminServer*> g_admin_server{nullptr};
 
 void HandleStopSignal(int) {
+  // Flip /readyz to 503 first, so a load balancer polling readiness sees
+  // "draining" before the query listener actually closes.
+  qec::server::admin::AdminServer* admin =
+      g_admin_server.load(std::memory_order_acquire);
+  if (admin != nullptr) admin->SetDraining();
   qec::server::net::NetServer* net =
       g_net_server.load(std::memory_order_acquire);
   if (net != nullptr) net->RequestStop();
@@ -829,7 +842,9 @@ int CmdServe(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   qec::server::ServerOptions options;
   qec::server::net::NetServerOptions net_options;
+  qec::server::admin::AdminServerOptions admin_options;
   bool net_mode = false;
+  bool admin_mode = false;
   std::string corpus_arg;
   std::string snapshot_path;
   std::string metrics_flush_out = "metrics.prom";
@@ -850,6 +865,12 @@ int CmdServe(const std::vector<std::string>& args) {
     } else if (qec::StartsWith(arg, "--drain-ms=")) {
       net_options.drain_timeout_ms =
           std::stoull(arg.substr(strlen("--drain-ms=")));
+    } else if (qec::StartsWith(arg, "--admin-port=")) {
+      admin_mode = true;
+      admin_options.port = static_cast<uint16_t>(
+          std::stoul(arg.substr(strlen("--admin-port="))));
+    } else if (qec::StartsWith(arg, "--admin-host=")) {
+      admin_options.host = arg.substr(strlen("--admin-host="));
     } else if (qec::StartsWith(arg, "--snapshot=")) {
       snapshot_path = arg.substr(strlen("--snapshot="));
     } else if (qec::StartsWith(arg, "--threads=")) {
@@ -940,6 +961,22 @@ int CmdServe(const std::vector<std::string>& args) {
       std::fprintf(stderr, "%s\n", bound.ToString().c_str());
       return 1;
     }
+    std::unique_ptr<qec::server::admin::AdminServer> admin;
+    if (admin_mode) {
+      admin = std::make_unique<qec::server::admin::AdminServer>(
+          &server, &net, admin_options);
+      const qec::Status admin_up = admin->Start();
+      if (!admin_up.ok()) {
+        std::fprintf(stderr, "%s\n", admin_up.ToString().c_str());
+        return 1;
+      }
+      g_admin_server.store(admin.get(), std::memory_order_release);
+      std::fprintf(stderr,
+                   "admin plane on http://%s:%u (/metrics /healthz /readyz "
+                   "/statusz /slowlog /abtest /pprof/profile)\n",
+                   admin_options.host.c_str(),
+                   static_cast<unsigned>(admin->port()));
+    }
     g_net_server.store(&net, std::memory_order_release);
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
@@ -947,12 +984,37 @@ int CmdServe(const std::vector<std::string>& args) {
                  net_options.host.c_str(), static_cast<unsigned>(net.port()));
     const qec::Status run = net.Run();
     g_net_server.store(nullptr, std::memory_order_release);
+    // The admin plane outlives the query drain (so /readyz answered 503 the
+    // whole time queries were finishing) and only now shuts down.
+    g_admin_server.store(nullptr, std::memory_order_release);
+    if (admin != nullptr) admin->Shutdown();
     if (flusher != nullptr) flusher->Stop();
     if (!run.ok()) {
       std::fprintf(stderr, "%s\n", run.ToString().c_str());
       return 1;
     }
     return 0;
+  }
+
+  // The admin plane also works without --port: stdin-driven serve with
+  // --admin-port gets /metrics, /statusz, and the profiler over HTTP while
+  // requests flow through the pipe (net_server == nullptr, so /readyz only
+  // reflects SetDraining).
+  std::unique_ptr<qec::server::admin::AdminServer> admin;
+  if (admin_mode) {
+    admin = std::make_unique<qec::server::admin::AdminServer>(
+        &server, nullptr, admin_options);
+    const qec::Status admin_up = admin->Start();
+    if (!admin_up.ok()) {
+      std::fprintf(stderr, "%s\n", admin_up.ToString().c_str());
+      return 1;
+    }
+    g_admin_server.store(admin.get(), std::memory_order_release);
+    std::fprintf(stderr,
+                 "admin plane on http://%s:%u (/metrics /healthz /readyz "
+                 "/statusz /slowlog /abtest /pprof/profile)\n",
+                 admin_options.host.c_str(),
+                 static_cast<unsigned>(admin->port()));
   }
 
   // Stdin transport, same submission path as the network front end:
@@ -1039,6 +1101,8 @@ int CmdServe(const std::vector<std::string>& args) {
   }
   flush_batch();
   writer.Drain();
+  g_admin_server.store(nullptr, std::memory_order_release);
+  if (admin != nullptr) admin->Shutdown();
   if (flusher != nullptr) flusher->Stop();
   return 0;
 }
@@ -1106,6 +1170,133 @@ int CmdSlowlog(const std::vector<std::string>& args) {
   std::printf("%s", table.ToString().c_str());
   std::printf("%zu record%s\n", records.size(),
               records.size() == 1 ? "" : "s");
+  return 0;
+}
+
+std::string ReadAllStdin() {
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) out.append(buf, n);
+  return out;
+}
+
+// Lints a Prometheus/OpenMetrics exposition (a /metrics scrape, a METRICS
+// verb response, or a --metrics-flush-out file): parse, histogram
+// invariants (cumulative buckets, +Inf, _count, exemplar-within-bucket),
+// then the qec naming conventions. Exit 0 with a summary line on success,
+// 1 with the first violation on stderr otherwise.
+int CmdMetricsLint(const std::vector<std::string>& args) {
+  if (args.size() > 1) return Usage();
+  std::string source = "<stdin>";
+  std::string text;
+  if (args.empty() || args[0] == "-") {
+    text = ReadAllStdin();
+  } else {
+    source = args[0];
+    auto content = ReadFile(source);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    text = *std::move(content);
+  }
+
+  auto families = qec::obs::ParsePrometheusText(text);
+  if (!families.ok()) {
+    std::fprintf(stderr, "%s: %s\n", source.c_str(),
+                 families.status().ToString().c_str());
+    return 1;
+  }
+  const qec::Status histograms =
+      qec::obs::ValidatePrometheusHistograms(*families);
+  if (!histograms.ok()) {
+    std::fprintf(stderr, "%s: %s\n", source.c_str(),
+                 histograms.ToString().c_str());
+    return 1;
+  }
+  const qec::Status naming = qec::obs::LintPrometheusNaming(*families);
+  if (!naming.ok()) {
+    std::fprintf(stderr, "%s: %s\n", source.c_str(),
+                 naming.ToString().c_str());
+    return 1;
+  }
+
+  size_t samples = 0;
+  size_t exemplars = 0;
+  for (const auto& family : *families) {
+    samples += family.samples.size();
+    for (const auto& sample : family.samples) {
+      if (sample.has_exemplar) ++exemplars;
+    }
+  }
+  std::printf("%s: OK (%zu families, %zu samples, %zu exemplars)\n",
+              source.c_str(), families->size(), samples, exemplars);
+  return 0;
+}
+
+// Pretty-prints folded-stack profiler output (GET /pprof/profile, or
+// bench --profile-out): per-frame inclusive/self sample counts, heaviest
+// self-time first. `--self=SECONDS` instead profiles this process live —
+// the standalone smoke test for the SIGPROF profiler.
+int CmdProfile(const std::vector<std::string>& args) {
+  std::string path;
+  size_t limit = 30;
+  double self_seconds = 0.0;
+  int hz = 99;
+  std::string out_path;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "-n") {
+      if (i + 1 >= args.size()) return Usage();
+      limit = static_cast<size_t>(std::stoul(args[++i]));
+    } else if (qec::StartsWith(arg, "--self=")) {
+      self_seconds = std::stod(arg.substr(strlen("--self=")));
+    } else if (qec::StartsWith(arg, "--hz=")) {
+      hz = std::stoi(arg.substr(strlen("--hz=")));
+    } else if (qec::StartsWith(arg, "--out=")) {
+      out_path = arg.substr(strlen("--out="));
+    } else if (qec::StartsWith(arg, "--")) {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::string folded;
+  if (self_seconds > 0.0) {
+    auto profile = qec::obs::CollectCpuProfile(hz, self_seconds);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 1;
+    }
+    folded = *std::move(profile);
+    if (!out_path.empty()) {
+      std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+          std::fopen(out_path.c_str(), "wb"), &std::fclose);
+      if (f == nullptr ||
+          std::fwrite(folded.data(), 1, folded.size(), f.get()) !=
+              folded.size()) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+    }
+  } else {
+    if (path.empty()) return Usage();
+    if (path == "-") {
+      folded = ReadAllStdin();
+    } else {
+      auto content = ReadFile(path);
+      if (!content.ok()) {
+        std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+        return 1;
+      }
+      folded = *std::move(content);
+    }
+  }
+  std::printf("%s", qec::obs::SummarizeFoldedStacks(folded, limit).c_str());
   return 0;
 }
 
@@ -1240,6 +1431,10 @@ int main(int argc, char** argv) {
       rc = CmdServe(rest);
     } else if (cmd == "slowlog") {
       rc = CmdSlowlog(rest);
+    } else if (cmd == "metrics-lint") {
+      rc = CmdMetricsLint(rest);
+    } else if (cmd == "profile") {
+      rc = CmdProfile(rest);
     } else if (cmd == "quickstart") {
       rc = CmdQuickstart(rest);
     } else {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 
 #include "obs/json.h"
@@ -27,6 +28,23 @@ void Histogram::Record(uint64_t value) {
   while (value > cur &&
          !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::Record(uint64_t value, uint64_t exemplar_trace_id) {
+  Record(value);
+  if (exemplar_trace_id == 0) return;
+  const uint64_t now_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplars_[std::bit_width(value)] = {exemplar_trace_id, value, now_ms};
+}
+
+Exemplar Histogram::BucketExemplar(size_t i) const {
+  if (i >= kNumBuckets) return {};
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_[i];
 }
 
 uint64_t Histogram::min() const {
@@ -76,6 +94,8 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  for (auto& e : exemplars_) e = {};
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -137,7 +157,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     hs.p99 = h->Percentile(99.0);
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       uint64_t n = h->BucketCount(i);
-      if (n > 0) hs.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
+      if (n == 0) continue;
+      hs.buckets.emplace_back(Histogram::BucketUpperBound(i), n);
+      Exemplar ex = h->BucketExemplar(i);
+      if (ex.trace_id != 0) {
+        hs.exemplars.push_back({Histogram::BucketUpperBound(i), ex});
+      }
     }
     snap.histograms.push_back(std::move(hs));
   }

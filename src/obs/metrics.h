@@ -38,6 +38,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One exemplar: the most recent traced observation that landed in a
+/// histogram bucket — the exact recorded value, the request's trace id, and
+/// the wall-clock time. Exposed on `_bucket` lines in OpenMetrics format so
+/// a slow bucket links straight to its flight-recorder record.
+struct Exemplar {
+  uint64_t trace_id = 0;  // 0 = no exemplar recorded
+  uint64_t value = 0;
+  uint64_t unix_ms = 0;
+};
+
 /// Fixed-bucket histogram over non-negative integer samples (typically
 /// nanoseconds). Buckets are base-2 exponential: bucket 0 holds the value
 /// 0 and bucket i (i >= 1) holds [2^(i-1), 2^i - 1], so Record() is a
@@ -49,6 +59,15 @@ class Histogram {
   static constexpr size_t kNumBuckets = 65;
 
   void Record(uint64_t value);
+
+  /// Record() plus a bucket exemplar: the trace id (0 = skip the exemplar)
+  /// and value are stored on the containing bucket, last-writer-wins. The
+  /// exemplar store takes a mutex — this is for once-per-request latency
+  /// sites, not inner loops (Record() stays lock-free).
+  void Record(uint64_t value, uint64_t exemplar_trace_id);
+
+  /// The most recent exemplar of bucket i (trace_id 0 when none).
+  Exemplar BucketExemplar(size_t i) const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -72,9 +91,20 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
+  /// Guards exemplars_ so a snapshot never sees a torn (trace, value) pair;
+  /// only the traced Record overload and BucketExemplar touch it.
+  mutable std::mutex exemplar_mu_;
+  Exemplar exemplars_[kNumBuckets] = {};
 };
 
 struct HistogramSnapshot {
+  /// One bucket's exemplar keyed by the bucket's inclusive upper bound
+  /// (matching the `buckets` entries).
+  struct BucketExemplar {
+    uint64_t upper = 0;
+    Exemplar exemplar;
+  };
+
   std::string name;
   uint64_t count = 0;
   uint64_t sum = 0;
@@ -85,6 +115,8 @@ struct HistogramSnapshot {
   double p99 = 0.0;
   /// (inclusive upper bound, count) for non-empty buckets only.
   std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  /// Exemplars of the non-empty buckets that have one, in bucket order.
+  std::vector<BucketExemplar> exemplars;
 };
 
 /// Aggregated timings of one span name (see trace.h).
@@ -170,6 +202,16 @@ class MetricsRegistry {
     qec_obs_hist_->Record(v);                                     \
   } while (0)
 
+// Record plus a bucket exemplar carrying the request's trace id, so the
+// Prometheus exposition can link a latency bucket to its flight-recorder
+// record. Use only at once-per-request sites (the exemplar store locks).
+#define QEC_HISTOGRAM_RECORD_TRACED(name, v, trace_id)            \
+  do {                                                            \
+    static ::qec::obs::Histogram* const qec_obs_hist_ =           \
+        ::qec::obs::MetricsRegistry::Global().GetHistogram(name); \
+    qec_obs_hist_->Record(v, trace_id);                           \
+  } while (0)
+
 #else
 
 // (void)sizeof keeps the argument "used" without evaluating it, so call
@@ -185,6 +227,11 @@ class MetricsRegistry {
 #define QEC_HISTOGRAM_RECORD(name, v) \
   do {                                \
     (void)sizeof(v);                  \
+  } while (0)
+#define QEC_HISTOGRAM_RECORD_TRACED(name, v, trace_id) \
+  do {                                                 \
+    (void)sizeof(v);                                   \
+    (void)sizeof(trace_id);                            \
   } while (0)
 
 #endif  // QEC_DISABLE_METRICS / QEC_DISABLE_TRACING

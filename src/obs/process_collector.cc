@@ -1,0 +1,74 @@
+#include "obs/process_collector.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace qec::obs {
+
+ProcessStats SampleProcessStats() {
+  ProcessStats stats;
+  std::FILE* f = std::fopen("/proc/self/stat", "rb");
+  if (f == nullptr) return stats;
+  char buf[4096];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+
+  // Field 2 (comm) is parenthesized and may itself contain spaces or
+  // parentheses, so field scanning starts after the LAST ')'.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return stats;
+  ++p;
+  // 1-based field numbers over the whole line: utime=14, stime=15 (both in
+  // _SC_CLK_TCK ticks), vsize=23 (bytes), rss=24 (pages). %*s skips are
+  // immune to the width/signedness of the intervening fields.
+  unsigned long long utime = 0, stime = 0, vsize = 0, rss_pages = 0;
+  if (std::sscanf(p,
+                  " %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %llu %llu"
+                  " %*s %*s %*s %*s %*s %*s %*s %llu %llu",
+                  &utime, &stime, &vsize, &rss_pages) != 4) {
+    return stats;
+  }
+  const long ticks_per_sec = ::sysconf(_SC_CLK_TCK);
+  stats.cpu_seconds =
+      ticks_per_sec > 0
+          ? static_cast<double>(utime + stime) / static_cast<double>(ticks_per_sec)
+          : 0.0;
+  stats.virtual_bytes = vsize;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  stats.resident_bytes = rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+
+  if (DIR* dir = ::opendir("/proc/self/fd")) {
+    uint64_t entries = 0;
+    while (::readdir(dir) != nullptr) ++entries;
+    ::closedir(dir);
+    // Drop ".", "..", and the fd opendir itself holds.
+    stats.open_fds = entries > 3 ? entries - 3 : 0;
+  }
+  stats.valid = true;
+  return stats;
+}
+
+std::string PrometheusProcess() {
+  const ProcessStats s = SampleProcessStats();
+  if (!s.valid) return {};
+  std::string out = "# TYPE qec_process_cpu_seconds_total counter\n";
+  out += "qec_process_cpu_seconds_total " + json::NumberToString(s.cpu_seconds) +
+         "\n";
+  out += "# TYPE qec_process_resident_memory_bytes gauge\n";
+  out += "qec_process_resident_memory_bytes " +
+         std::to_string(s.resident_bytes) + "\n";
+  out += "# TYPE qec_process_virtual_memory_bytes gauge\n";
+  out += "qec_process_virtual_memory_bytes " + std::to_string(s.virtual_bytes) +
+         "\n";
+  out += "# TYPE qec_process_open_fds gauge\n";
+  out += "qec_process_open_fds " + std::to_string(s.open_fds) + "\n";
+  return out;
+}
+
+}  // namespace qec::obs

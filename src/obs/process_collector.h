@@ -1,0 +1,34 @@
+#ifndef QEC_OBS_PROCESS_COLLECTOR_H_
+#define QEC_OBS_PROCESS_COLLECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qec::obs {
+
+/// Point-in-time resource usage of this process, sampled from /proc/self.
+/// `valid` is false when /proc was unreadable (non-Linux or locked-down
+/// container) — the collector degrades to emitting nothing rather than
+/// lying with zeros.
+struct ProcessStats {
+  bool valid = false;
+  /// User + system CPU consumed since process start, in seconds.
+  double cpu_seconds = 0.0;
+  uint64_t resident_bytes = 0;
+  uint64_t virtual_bytes = 0;
+  uint64_t open_fds = 0;
+};
+
+/// One fresh sample (two /proc reads; cheap enough for every scrape).
+ProcessStats SampleProcessStats();
+
+/// The standard process families in Prometheus exposition format:
+/// `qec_process_cpu_seconds_total`, `qec_process_resident_memory_bytes`,
+/// `qec_process_virtual_memory_bytes`, `qec_process_open_fds`. Empty
+/// string when /proc is unavailable. Appended to PrometheusSnapshot() so
+/// every scrape carries live process health.
+std::string PrometheusProcess();
+
+}  // namespace qec::obs
+
+#endif  // QEC_OBS_PROCESS_COLLECTOR_H_

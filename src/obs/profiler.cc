@@ -1,0 +1,259 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <errno.h>
+#include <execinfo.h>
+
+#include <cstring>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace qec::obs {
+
+namespace {
+
+/// backtrace() returns return addresses; dladdr the byte before so the
+/// lookup lands inside the call instruction's function, not the next one.
+std::string SymbolizePc(uint64_t pc) {
+  Dl_info info;
+  if (::dladdr(reinterpret_cast<void*>(pc - 1), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // ';' is the folded-stack frame separator; make frames separator-clean.
+    for (char& c : name) {
+      if (c == ';' || c == '\n') c = ':';
+    }
+    return name;
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return hex;
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::Global() {
+  static CpuProfiler* profiler = new CpuProfiler();
+  return *profiler;
+}
+
+void CpuProfiler::Handler(int /*signo*/) {
+  // Async-signal-safe path: save errno, capture PCs into a stack array,
+  // reserve buffer space with one fetch_add, copy, restore errno. No
+  // locks, no allocation (backtrace itself was primed in Start()).
+  const int saved_errno = errno;
+  CpuProfiler& p = Global();
+  if (p.running_.load(std::memory_order_relaxed)) {
+    void* pcs[kMaxDepth];
+    int depth = ::backtrace(pcs, kMaxDepth);
+    // Drop the handler + signal-trampoline frames.
+    constexpr int kSkip = 2;
+    if (depth > kSkip) {
+      depth -= kSkip;
+      const uint64_t need = static_cast<uint64_t>(depth) + 1;
+      const uint64_t start =
+          p.cursor_.fetch_add(need, std::memory_order_relaxed);
+      if (start + need <= kCapacityWords) {
+        // Frames first, depth word last: RenderFolded treats a zero depth
+        // word as end-of-data, so a half-written record is never read.
+        for (int i = 0; i < depth; ++i) {
+          p.buf_[start + 1 + i] =
+              reinterpret_cast<uint64_t>(pcs[i + kSkip]);
+        }
+        std::atomic_ref<uint64_t>(p.buf_[start])
+            .store(static_cast<uint64_t>(depth), std::memory_order_release);
+        p.samples_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        p.dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  errno = saved_errno;
+}
+
+Status CpuProfiler::Start(int hz) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("cpu profile already running");
+  }
+  hz = std::clamp(hz, 1, 1000);
+  if (buf_ == nullptr) buf_ = std::make_unique<uint64_t[]>(kCapacityWords);
+  std::fill_n(buf_.get(), kCapacityWords, uint64_t{0});
+  // backtrace()'s first call dlopens libgcc (malloc + loader locks) —
+  // force that now, outside any signal handler.
+  void* prime[2];
+  ::backtrace(prime, 2);
+
+  cursor_.store(0, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &CpuProfiler::Handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (::sigaction(SIGPROF, &sa, &old_action_) != 0) {
+    running_.store(false, std::memory_order_release);
+    return Status::Internal("sigaction(SIGPROF) failed");
+  }
+  struct itimerval timer;
+  timer.it_interval.tv_sec = hz == 1 ? 1 : 0;
+  timer.it_interval.tv_usec = hz == 1 ? 0 : 1000000 / hz;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    ::sigaction(SIGPROF, &old_action_, nullptr);
+    running_.store(false, std::memory_order_release);
+    return Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+  return Status::Ok();
+}
+
+std::string CpuProfiler::StopFolded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_.load(std::memory_order_relaxed)) return "";
+  struct itimerval zero;
+  std::memset(&zero, 0, sizeof(zero));
+  ::setitimer(ITIMER_PROF, &zero, nullptr);
+  ::sigaction(SIGPROF, &old_action_, nullptr);
+  running_.store(false, std::memory_order_release);
+  // A handler that fired on another thread just before the disarm may
+  // still be copying its frames; the depth-word-last discipline keeps the
+  // read safe, and this settle keeps the last record from being lost.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  return RenderFolded();
+}
+
+std::string CpuProfiler::RenderFolded() const {
+  const uint64_t end =
+      std::min(cursor_.load(std::memory_order_acquire), kCapacityWords);
+  std::unordered_map<uint64_t, std::string> symbol_cache;
+  std::map<std::string, uint64_t> folded;
+  uint64_t pos = 0;
+  while (pos < end) {
+    const uint64_t depth =
+        std::atomic_ref<uint64_t>(buf_[pos]).load(std::memory_order_acquire);
+    if (depth == 0 || pos + 1 + depth > end) break;
+    std::string stack;
+    // Stored leaf-first; folded format wants root-first.
+    for (uint64_t i = depth; i > 0; --i) {
+      const uint64_t pc = buf_[pos + i];
+      auto it = symbol_cache.find(pc);
+      if (it == symbol_cache.end()) {
+        it = symbol_cache.emplace(pc, SymbolizePc(pc)).first;
+      }
+      if (!stack.empty()) stack += ';';
+      stack += it->second;
+    }
+    folded[stack] += 1;
+    pos += 1 + depth;
+  }
+  std::string out;
+  for (const auto& [stack, count] : folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> CollectCpuProfile(int hz, double seconds) {
+  seconds = std::clamp(seconds, 0.1, 300.0);
+  CpuProfiler& profiler = CpuProfiler::Global();
+  Status st = profiler.Start(hz);
+  if (!st.ok()) return st;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000.0)));
+  return profiler.StopFolded();
+}
+
+std::string SummarizeFoldedStacks(std::string_view folded, size_t limit) {
+  struct FrameStat {
+    uint64_t inclusive = 0;
+    uint64_t self = 0;
+  };
+  std::map<std::string, FrameStat> frames;
+  uint64_t total = 0;
+  size_t pos = 0;
+  while (pos < folded.size()) {
+    size_t end = folded.find('\n', pos);
+    if (end == std::string_view::npos) end = folded.size();
+    std::string_view line = folded.substr(pos, end - pos);
+    pos = end + 1;
+    const size_t space = line.rfind(' ');
+    if (space == std::string_view::npos) continue;
+    uint64_t count = 0;
+    for (char c : line.substr(space + 1)) {
+      if (c < '0' || c > '9') {
+        count = 0;
+        break;
+      }
+      count = count * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (count == 0) continue;
+    total += count;
+    std::string_view stack = line.substr(0, space);
+    // Inclusive: each distinct frame on the stack once; self: the leaf.
+    std::vector<std::string_view> parts;
+    size_t fp = 0;
+    while (fp <= stack.size()) {
+      size_t fe = stack.find(';', fp);
+      if (fe == std::string_view::npos) fe = stack.size();
+      if (fe > fp) parts.push_back(stack.substr(fp, fe - fp));
+      fp = fe + 1;
+    }
+    for (size_t i = 0; i < parts.size(); ++i) {
+      bool seen_before = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (parts[j] == parts[i]) {
+          seen_before = true;
+          break;
+        }
+      }
+      if (!seen_before) frames[std::string(parts[i])].inclusive += count;
+    }
+    if (!parts.empty()) frames[std::string(parts.back())].self += count;
+  }
+
+  std::vector<std::pair<std::string, FrameStat>> ranked(frames.begin(),
+                                                        frames.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    if (a.second.inclusive != b.second.inclusive) {
+      return a.second.inclusive > b.second.inclusive;
+    }
+    return a.first < b.first;
+  });
+  if (ranked.size() > limit) ranked.resize(limit);
+
+  std::string out = "total samples: " + std::to_string(total) + "\n";
+  out += "   self    incl  frame\n";
+  for (const auto& [name, stat] : ranked) {
+    char row[64];
+    std::snprintf(row, sizeof(row), "%7llu %7llu  ",
+                  static_cast<unsigned long long>(stat.self),
+                  static_cast<unsigned long long>(stat.inclusive));
+    out += row;
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qec::obs

@@ -1,5 +1,7 @@
 #include "obs/prometheus.h"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +11,7 @@
 #include "common/simd_kernels.h"
 #include "common/sweep_pool.h"
 #include "obs/json.h"
+#include "obs/process_collector.h"
 #include "obs/trace.h"
 
 namespace qec::obs {
@@ -47,6 +50,45 @@ void AppendSample(std::string& out, const std::string& name,
   out += '\n';
 }
 
+/// 16 lowercase hex digits, matching the server layer's trace-id rendering
+/// (obs can't depend on server, so the formatter is duplicated here).
+std::string TraceIdHex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+/// Milliseconds since the epoch as OpenMetrics seconds ("1754700000.123").
+std::string UnixMsToSeconds(uint64_t unix_ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(unix_ms / 1000),
+                static_cast<unsigned long long>(unix_ms % 1000));
+  return std::string(buf);
+}
+
+/// One `_bucket{le="..."}` line, with the OpenMetrics exemplar tail when
+/// the bucket has a traced observation.
+void AppendBucket(std::string& out, const std::string& family,
+                  const std::string& le, uint64_t cumulative,
+                  const Exemplar* exemplar) {
+  out += family;
+  out += "_bucket{le=\"";
+  out += le;
+  out += "\"} ";
+  out += std::to_string(cumulative);
+  if (exemplar != nullptr && exemplar->trace_id != 0) {
+    out += " # {trace_id=\"";
+    out += TraceIdHex(exemplar->trace_id);
+    out += "\"} ";
+    out += std::to_string(exemplar->value);
+    out += ' ';
+    out += UnixMsToSeconds(exemplar->unix_ms);
+  }
+  out += '\n';
+}
+
 }  // namespace
 
 // Build metadata injected by src/obs/CMakeLists.txt; the fallbacks cover
@@ -58,26 +100,33 @@ void AppendSample(std::string& out, const std::string& name,
 #define QEC_GIT_DESCRIBE "unknown"
 #endif
 
-std::string PrometheusBuildInfo() {
-  std::string out = "# TYPE qec_build_info gauge\n";
-  out += "qec_build_info{version=\"" QEC_VERSION "\",git=\"" QEC_GIT_DESCRIBE
-         "\",popcount=\"";
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.version = QEC_VERSION;
+  info.git = QEC_GIT_DESCRIBE;
 #if defined(__POPCNT__)
-  out += "on";
-#else
-  out += "off";
+  info.popcount = true;
 #endif
-  out += "\",tracing=\"";
-#ifdef QEC_DISABLE_TRACING
-  out += "off";
-#else
-  out += "on";
+#ifndef QEC_DISABLE_TRACING
+  info.tracing = true;
 #endif
   // The bitset-kernel tier the runtime dispatcher selected (cpuid +
   // QEC_KERNEL_DISPATCH override) — scalar and avx2 are exact-equal, so
-  // this label is for performance triage, not correctness.
+  // this is for performance triage, not correctness.
+  info.kernel_tier = simd::ActiveTierName();
+  return info;
+}
+
+std::string PrometheusBuildInfo() {
+  const BuildInfo info = GetBuildInfo();
+  std::string out = "# TYPE qec_build_info gauge\n";
+  out += "qec_build_info{version=\"" + info.version + "\",git=\"" + info.git +
+         "\",popcount=\"";
+  out += info.popcount ? "on" : "off";
+  out += "\",tracing=\"";
+  out += info.tracing ? "on" : "off";
   out += "\",kernel=\"";
-  out += simd::ActiveTierName();
+  out += info.kernel_tier;
   out += "\"} 1\n";
   return out;
 }
@@ -118,15 +167,22 @@ std::string WritePrometheus(const MetricsSnapshot& snapshot) {
     out += "# TYPE " + prom + " histogram\n";
     // Registry buckets are (inclusive upper bound, count) for non-empty
     // buckets only; cumulating them yields exact `le` counts because the
-    // bounds are inclusive.
+    // bounds are inclusive. Exemplars arrive sorted by the same upper
+    // bounds, so one forward cursor pairs them up.
     uint64_t cumulative = 0;
+    size_t ex_i = 0;
     for (const auto& [upper, count] : h.buckets) {
       cumulative += count;
-      AppendSample(out, prom + "_bucket", "le", std::to_string(upper),
-                   std::to_string(cumulative));
+      while (ex_i < h.exemplars.size() && h.exemplars[ex_i].upper < upper) {
+        ++ex_i;
+      }
+      const Exemplar* exemplar =
+          ex_i < h.exemplars.size() && h.exemplars[ex_i].upper == upper
+              ? &h.exemplars[ex_i].exemplar
+              : nullptr;
+      AppendBucket(out, prom, std::to_string(upper), cumulative, exemplar);
     }
-    AppendSample(out, prom + "_bucket", "le", "+Inf",
-                 std::to_string(h.count));
+    AppendBucket(out, prom, "+Inf", h.count, nullptr);
     AppendSample(out, prom + "_sum", "", "", std::to_string(h.sum));
     AppendSample(out, prom + "_count", "", "", std::to_string(h.count));
   }
@@ -134,10 +190,30 @@ std::string WritePrometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-std::string PrometheusSnapshot() { return WritePrometheus(CaptureMetrics()); }
+std::string PrometheusSnapshot() {
+  std::string out = WritePrometheus(CaptureMetrics());
+  // Splice the live qec_process_* families in before the trailing # EOF so
+  // the admin /metrics route (and the flusher file) expose process health
+  // without WritePrometheus — a pure snapshot renderer — touching /proc.
+  const std::string_view eof = "# EOF\n";
+  if (out.size() >= eof.size() &&
+      out.compare(out.size() - eof.size(), eof.size(), eof) == 0) {
+    out.resize(out.size() - eof.size());
+  }
+  out += PrometheusProcess();
+  out += "# EOF\n";
+  return out;
+}
 
 std::string_view PrometheusSample::Label(std::string_view key) const {
   for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::string_view PrometheusSample::ExemplarLabel(std::string_view key) const {
+  for (const auto& [k, v] : exemplar_labels) {
     if (k == key) return v;
   }
   return {};
@@ -161,6 +237,81 @@ bool BelongsTo(std::string_view sample, std::string_view family) {
 Status BadLine(size_t line_no, const std::string& why) {
   return Status::InvalidArgument("prometheus text line " +
                                  std::to_string(line_no) + ": " + why);
+}
+
+/// Parses a `{key="value",...}` label set starting at the '{' at `i`,
+/// leaving `i` one past the closing '}'. Shared by the sample label set
+/// and the exemplar label set.
+Status ParseLabelSet(std::string_view line, size_t& i, size_t line_no,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  ++i;  // '{'
+  while (i < line.size() && line[i] != '}') {
+    size_t key_start = i;
+    while (i < line.size() && IsNameChar(line[i])) ++i;
+    if (i == key_start || i >= line.size() || line[i] != '=') {
+      return BadLine(line_no, "malformed label");
+    }
+    std::string key(line.substr(key_start, i - key_start));
+    ++i;  // '='
+    if (i >= line.size() || line[i] != '"') {
+      return BadLine(line_no, "label value must be quoted");
+    }
+    ++i;  // opening quote
+    std::string value;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) break;
+        switch (line[i]) {
+          case 'n':
+            value.push_back('\n');
+            break;
+          case '\\':
+            value.push_back('\\');
+            break;
+          case '"':
+            value.push_back('"');
+            break;
+          default:
+            return BadLine(line_no, "bad label escape");
+        }
+        ++i;
+      } else {
+        value.push_back(line[i]);
+        ++i;
+      }
+    }
+    if (i >= line.size()) return BadLine(line_no, "unterminated label");
+    ++i;  // closing quote
+    out->emplace_back(std::move(key), std::move(value));
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (i >= line.size()) return BadLine(line_no, "unterminated label set");
+  ++i;  // '}'
+  return Status::Ok();
+}
+
+/// Parses a sample value token ("+Inf"/"-Inf"/decimal) starting at `i`,
+/// leaving `i` one past the token.
+Status ParseValueToken(std::string_view line, size_t& i, size_t line_no,
+                       double* out) {
+  size_t end = line.find(' ', i);
+  if (end == std::string_view::npos) end = line.size();
+  const std::string text(line.substr(i, end - i));
+  if (text.empty()) return BadLine(line_no, "missing sample value");
+  if (text == "+Inf") {
+    *out = HUGE_VAL;
+  } else if (text == "-Inf") {
+    *out = -HUGE_VAL;
+  } else {
+    char* parse_end = nullptr;
+    *out = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size()) {
+      return BadLine(line_no, "bad sample value '" + text + "'");
+    }
+  }
+  i = end;
+  return Status::Ok();
 }
 
 }  // namespace
@@ -210,65 +361,43 @@ Result<std::vector<PrometheusFamily>> ParsePrometheusText(
     sample.name = std::string(line.substr(0, i));
 
     if (i < line.size() && line[i] == '{') {
-      ++i;
-      while (i < line.size() && line[i] != '}') {
-        size_t key_start = i;
-        while (i < line.size() && IsNameChar(line[i])) ++i;
-        if (i == key_start || i >= line.size() || line[i] != '=') {
-          return BadLine(line_no, "malformed label");
-        }
-        std::string key(line.substr(key_start, i - key_start));
-        ++i;  // '='
-        if (i >= line.size() || line[i] != '"') {
-          return BadLine(line_no, "label value must be quoted");
-        }
-        ++i;  // opening quote
-        std::string value;
-        while (i < line.size() && line[i] != '"') {
-          if (line[i] == '\\') {
-            ++i;
-            if (i >= line.size()) break;
-            switch (line[i]) {
-              case 'n':
-                value.push_back('\n');
-                break;
-              case '\\':
-                value.push_back('\\');
-                break;
-              case '"':
-                value.push_back('"');
-                break;
-              default:
-                return BadLine(line_no, "bad label escape");
-            }
-            ++i;
-          } else {
-            value.push_back(line[i]);
-            ++i;
-          }
-        }
-        if (i >= line.size()) return BadLine(line_no, "unterminated label");
-        ++i;  // closing quote
-        sample.labels.emplace_back(std::move(key), std::move(value));
-        if (i < line.size() && line[i] == ',') ++i;
-      }
-      if (i >= line.size()) return BadLine(line_no, "unterminated label set");
-      ++i;  // '}'
+      Status st = ParseLabelSet(line, i, line_no, &sample.labels);
+      if (!st.ok()) return st;
     }
 
     while (i < line.size() && line[i] == ' ') ++i;
     if (i >= line.size()) return BadLine(line_no, "missing sample value");
-    const std::string value_text(line.substr(i, line.find(' ', i) - i));
-    if (value_text == "+Inf") {
-      sample.value = HUGE_VAL;
-    } else if (value_text == "-Inf") {
-      sample.value = -HUGE_VAL;
-    } else {
-      char* parse_end = nullptr;
-      sample.value = std::strtod(value_text.c_str(), &parse_end);
-      if (parse_end != value_text.c_str() + value_text.size()) {
-        return BadLine(line_no, "bad sample value '" + value_text + "'");
+    {
+      Status st = ParseValueToken(line, i, line_no, &sample.value);
+      if (!st.ok()) return st;
+    }
+
+    // Optional tail: a plain timestamp token, then an OpenMetrics
+    // exemplar `# {labels} value [timestamp]`.
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] != '#') {
+      // Sample timestamp: accepted and ignored (we never emit one).
+      while (i < line.size() && line[i] != ' ') ++i;
+      while (i < line.size() && line[i] == ' ') ++i;
+    }
+    if (i < line.size() && line[i] == '#') {
+      ++i;  // '#'
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '{') {
+        return BadLine(line_no, "exemplar must start with a label set");
       }
+      Status st = ParseLabelSet(line, i, line_no, &sample.exemplar_labels);
+      if (!st.ok()) return st;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size()) return BadLine(line_no, "missing exemplar value");
+      st = ParseValueToken(line, i, line_no, &sample.exemplar_value);
+      if (!st.ok()) return st;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i < line.size()) {
+        st = ParseValueToken(line, i, line_no, &sample.exemplar_timestamp);
+        if (!st.ok()) return st;
+      }
+      sample.has_exemplar = true;
     }
 
     if (families.empty() || !BelongsTo(sample.name, families.back().name)) {
@@ -299,9 +428,17 @@ Status ValidatePrometheusHistograms(
               family.name + ": cumulative buckets must be non-decreasing");
         }
         last_bucket = sample.value;
-        if (sample.Label("le") == "+Inf") {
+        const std::string_view le = sample.Label("le");
+        if (le == "+Inf") {
           saw_inf = true;
           inf_count = sample.value;
+        }
+        if (sample.has_exemplar && le != "+Inf") {
+          const double bound = std::strtod(std::string(le).c_str(), nullptr);
+          if (sample.exemplar_value > bound) {
+            return Status::InvalidArgument(
+                family.name + ": exemplar value above its bucket's le bound");
+          }
         }
       } else if (sample.name == family.name + "_count") {
         count = sample.value;
@@ -319,6 +456,85 @@ Status ValidatePrometheusHistograms(
   return Status::Ok();
 }
 
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsLegalMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  if (name[0] >= '0' && name[0] <= '9') return false;
+  for (char c : name) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LintPrometheusNaming(const std::vector<PrometheusFamily>& families) {
+  for (const PrometheusFamily& family : families) {
+    if (!IsLegalMetricName(family.name)) {
+      return Status::InvalidArgument("family '" + family.name +
+                                     "': illegal metric name");
+    }
+    if (family.type == "counter") {
+      if (!EndsWith(family.name, "_total")) {
+        return Status::InvalidArgument(
+            "counter '" + family.name + "': name must end in _total");
+      }
+      for (const PrometheusSample& sample : family.samples) {
+        if (sample.name != family.name) {
+          return Status::InvalidArgument("counter '" + family.name +
+                                         "': sample '" + sample.name +
+                                         "' must match the family name");
+        }
+      }
+    } else if (family.type == "histogram") {
+      for (const std::string_view reserved :
+           {"_total", "_bucket", "_sum", "_count"}) {
+        if (EndsWith(family.name, reserved)) {
+          return Status::InvalidArgument(
+              "histogram '" + family.name + "': family name carries the "
+              "reserved suffix '" + std::string(reserved) + "'");
+        }
+      }
+      bool saw_bucket = false, saw_sum = false, saw_count = false;
+      for (const PrometheusSample& sample : family.samples) {
+        if (sample.name == family.name + "_bucket") {
+          saw_bucket = true;
+          if (sample.Label("le").empty()) {
+            return Status::InvalidArgument(
+                "histogram '" + family.name + "': _bucket without le label");
+          }
+        } else if (sample.name == family.name + "_sum") {
+          saw_sum = true;
+        } else if (sample.name == family.name + "_count") {
+          saw_count = true;
+        } else {
+          return Status::InvalidArgument(
+              "histogram '" + family.name + "': unexpected sample '" +
+              sample.name + "'");
+        }
+      }
+      if (!saw_bucket || !saw_sum || !saw_count) {
+        return Status::InvalidArgument(
+            "histogram '" + family.name +
+            "': must emit _bucket, _sum, and _count");
+      }
+    } else if (family.type == "gauge") {
+      if (EndsWith(family.name, "_total")) {
+        return Status::InvalidArgument(
+            "gauge '" + family.name + "': _total suffix is reserved for "
+            "counters");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 MetricsFlusher::MetricsFlusher(std::string path,
                                std::chrono::milliseconds interval)
     : path_(std::move(path)), interval_(interval) {
@@ -329,13 +545,18 @@ MetricsFlusher::~MetricsFlusher() { Stop(); }
 
 bool MetricsFlusher::FlushNow() {
   const std::string text = PrometheusSnapshot();
-  const std::string tmp = path_ + ".tmp";
+  // Pid-unique temp name so two processes flushing to the same path never
+  // clobber each other's in-progress write; fsync before the rename so the
+  // atomic swap never publishes an empty or torn file after a crash.
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
   const bool wrote =
       std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool flushed = wrote && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed) {
+  if (!wrote || !flushed || !closed) {
     std::remove(tmp.c_str());
     return false;
   }

@@ -22,6 +22,19 @@ namespace qec::obs {
 /// in separators collide; keep registry names unambiguous.)
 std::string PrometheusName(std::string_view name);
 
+/// Build metadata as structured fields (the label values of
+/// `qec_build_info`), for JSON surfaces like the admin /statusz route.
+struct BuildInfo {
+  std::string version;
+  std::string git;
+  bool popcount = false;
+  bool tracing = false;
+  /// Runtime-dispatched bitset-kernel tier ("scalar" or "avx2").
+  std::string kernel_tier;
+};
+
+BuildInfo GetBuildInfo();
+
 /// The `qec_build_info` gauge (its `# TYPE` line plus one sample of value
 /// 1) carrying build metadata as labels: library version, `git describe`
 /// output when the build tree had git available, the popcount/tracing
@@ -41,24 +54,38 @@ std::string PrometheusSweepPool();
 ///   - gauges with `# TYPE ... gauge`,
 ///   - histograms as cumulative `_bucket{le="..."}` series (always ending
 ///     in `le="+Inf"`) plus `_sum` and `_count`, `# TYPE ... histogram`.
-/// Span aggregates are not emitted separately — every span already feeds
-/// its `span/<name>` histogram. The output ends with a `# EOF` line so
-/// stream consumers (the METRICS protocol verb) can find the end.
+/// Buckets whose histogram recorded a traced observation carry an
+/// OpenMetrics exemplar: ` # {trace_id="<16-hex>"} <value> <unix seconds>`
+/// appended to the `_bucket` line, linking the bucket to its
+/// flight-recorder record. Span aggregates are not emitted separately —
+/// every span already feeds its `span/<name>` histogram. The output ends
+/// with a `# EOF` line so stream consumers (the METRICS protocol verb and
+/// the admin /metrics route) can find the end.
 std::string WritePrometheus(const MetricsSnapshot& snapshot);
 
 /// WritePrometheus over the full live registry + span aggregates
-/// (CaptureMetrics() in trace.h).
+/// (CaptureMetrics() in trace.h), plus the `qec_process_*` families
+/// sampled live from /proc (see process_collector.h).
 std::string PrometheusSnapshot();
 
-/// One parsed sample line: `name{labels} value`.
+/// One parsed sample line: `name{labels} value [# {exemplar} value [ts]]`.
 struct PrometheusSample {
   std::string name;
   /// Label pairs in source order (empty when the sample has no label set).
   std::vector<std::pair<std::string, std::string>> labels;
   double value = 0.0;
 
+  /// OpenMetrics exemplar parsed from the ` # {...} value [timestamp]`
+  /// tail, when present (timestamp 0 when the exemplar carried none).
+  bool has_exemplar = false;
+  std::vector<std::pair<std::string, std::string>> exemplar_labels;
+  double exemplar_value = 0.0;
+  double exemplar_timestamp = 0.0;
+
   /// Value of label `key`, or "" when absent.
   std::string_view Label(std::string_view key) const;
+  /// Value of exemplar label `key`, or "" when absent.
+  std::string_view ExemplarLabel(std::string_view key) const;
 };
 
 /// One metric family: a `# TYPE` line and the samples grouped under it.
@@ -77,9 +104,18 @@ Result<std::vector<PrometheusFamily>> ParsePrometheusText(
 
 /// Validates the histogram invariants of a parsed exposition: each
 /// histogram family has monotonically non-decreasing cumulative buckets,
-/// a final `le="+Inf"` bucket, and `_count` equal to that bucket.
+/// a final `le="+Inf"` bucket, `_count` equal to that bucket, and every
+/// bucket exemplar's value within its bucket's `le` bound.
 Status ValidatePrometheusHistograms(
     const std::vector<PrometheusFamily>& families);
+
+/// Naming-convention lint over a parsed exposition (the `qec_cli
+/// metrics-lint` subcommand): counter families end `_total` and their
+/// samples match the family name exactly; histogram families carry no
+/// reserved suffix and emit at least one `_bucket` (each with an `le`
+/// label), `_sum`, and `_count`; gauge families don't end `_total`; all
+/// family names are legal metric names. Returns the first violation.
+Status LintPrometheusNaming(const std::vector<PrometheusFamily>& families);
 
 /// Background thread that periodically writes PrometheusSnapshot() to a
 /// file (atomically: temp file + rename), so external scrapers and CI can

@@ -1,0 +1,343 @@
+#include "server/admin/admin_server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sweep_pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/process_collector.h"
+#include "obs/profiler.h"
+#include "obs/prometheus.h"
+
+namespace qec::server::admin {
+
+namespace {
+
+constexpr char kTextPlain[] = "text/plain; charset=utf-8";
+constexpr char kJson[] = "application/json";
+/// The exposition carries `# EOF` and exemplars, i.e. OpenMetrics.
+constexpr char kOpenMetrics[] =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Parses a positive decimal query parameter, clamped to [min, max];
+/// `fallback` when absent or malformed.
+double QueryNumber(const HttpRequest& request, std::string_view key,
+                   double fallback, double min, double max) {
+  const std::string_view raw = request.QueryParam(key);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const std::string text(raw);
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || value <= 0) return fallback;
+  return value < min ? min : (value > max ? max : value);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(QecServer* server, net::NetServer* net_server,
+                         AdminServerOptions options)
+    : server_(server),
+      net_server_(net_server),
+      options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Shutdown(); }
+
+Status AdminServer::Bind() {
+  if (listener_) return Status::Ok();
+  loop_ = std::make_shared<net::EventLoop>();
+  if (!loop_->status().ok()) return loop_->status();
+  auto listener =
+      net::Listener::Bind(options_.host, options_.port, options_.backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  bound_port_.store(listener_->port(), std::memory_order_release);
+  const Status added = loop_->Add(listener_->fd(), EPOLLIN, [this](uint32_t) {
+    listener_->AcceptReady(
+        [this](int fd, std::string peer) { OnAccept(fd, std::move(peer)); });
+  });
+  if (!added.ok()) return added;
+  QEC_LOG(Info) << "admin: listening on " << options_.host << ":"
+                << listener_->port();
+  return Status::Ok();
+}
+
+uint16_t AdminServer::port() const {
+  return bound_port_.load(std::memory_order_acquire);
+}
+
+Status AdminServer::Start() {
+  const Status bound = Bind();
+  if (!bound.ok()) return bound;
+  run_thread_ = std::thread([this] { RunLoop(); });
+  return Status::Ok();
+}
+
+void AdminServer::RunLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (loop_->RunOnce(/*timeout_ms=*/1000) < 0) {
+      QEC_LOG(Error) << "admin: event loop failed";
+      return;
+    }
+  }
+  Drain();
+}
+
+void AdminServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  profile_abort_.store(true, std::memory_order_release);
+  if (loop_) loop_->Wakeup();
+}
+
+void AdminServer::Shutdown() {
+  RequestStop();
+  if (run_thread_.joinable()) run_thread_.join();
+  if (profile_thread_.joinable()) profile_thread_.join();
+}
+
+void AdminServer::OnAccept(int fd, std::string peer) {
+  if (connections_.size() >= options_.max_connections) {
+    QEC_COUNTER_INC("admin/http_rejected_over_capacity");
+    const std::string busy = HttpConnection::RenderResponse(
+        503, kTextPlain, "admin connection limit reached\n",
+        /*keep_alive=*/false);
+    (void)::send(fd, busy.data(), busy.size(), MSG_NOSIGNAL);
+    ::close(fd);
+    return;
+  }
+  HttpConnection::Callbacks callbacks;
+  callbacks.on_request = [this](HttpConnection& c, const HttpRequest& r,
+                                uint64_t slot) { OnRequest(c, r, slot); };
+  callbacks.on_closed = [this](HttpConnection& c) { OnClosed(c); };
+  auto connection = std::make_shared<HttpConnection>(
+      loop_.get(), fd, std::move(peer), options_.max_header_bytes,
+      options_.max_body_bytes, std::move(callbacks));
+  const Status registered = connection->Register();
+  if (!registered.ok()) {
+    QEC_LOG(Warning) << "admin: register " << connection->peer()
+                     << " failed: " << registered.message();
+    return;
+  }
+  QEC_COUNTER_INC("admin/http_connections_accepted");
+  connections_.emplace(fd, std::move(connection));
+  QEC_GAUGE_SET("admin/http_active_connections",
+                static_cast<int64_t>(connections_.size()));
+}
+
+void AdminServer::OnClosed(HttpConnection& connection) {
+  connections_.erase(connection.fd());
+  QEC_GAUGE_SET("admin/http_active_connections",
+                static_cast<int64_t>(connections_.size()));
+}
+
+void AdminServer::OnRequest(HttpConnection& connection,
+                            const HttpRequest& request, uint64_t slot) {
+  const std::string response = Route(connection, request, slot);
+  if (response.empty()) return;  // completes asynchronously
+  connection.CompleteSlot(slot, response, /*close_after=*/!request.keep_alive);
+}
+
+std::string AdminServer::Route(HttpConnection& connection,
+                               const HttpRequest& request, uint64_t slot) {
+  const bool keep = request.keep_alive;
+  const std::string& path = request.path;
+
+  const bool known_path =
+      path == "/metrics" || path == "/healthz" || path == "/readyz" ||
+      path == "/statusz" || path == "/slowlog" || path == "/abtest" ||
+      path == "/pprof/profile";
+  if (!known_path) {
+    return HttpConnection::RenderResponse(404, kTextPlain,
+                                          "unknown route " + path + "\n",
+                                          keep);
+  }
+  // Admin routes are all read-only views; HEAD/POST/PUT/... earn a 405 so
+  // a misconfigured pusher fails loudly instead of silently succeeding.
+  if (request.method != "GET") {
+    return HttpConnection::RenderResponse(
+        405, kTextPlain, "method " + request.method + " not allowed\n", keep);
+  }
+
+  if (path == "/metrics") {
+    QEC_COUNTER_INC("admin/scrapes");
+    return HttpConnection::RenderResponse(200, kOpenMetrics,
+                                          obs::PrometheusSnapshot(), keep);
+  }
+  if (path == "/healthz") {
+    return HttpConnection::RenderResponse(200, kTextPlain, "ok\n", keep);
+  }
+  if (path == "/readyz") {
+    const bool ready =
+        !draining() &&
+        (net_server_ == nullptr || !net_server_->stop_requested());
+    return ready ? HttpConnection::RenderResponse(200, kTextPlain, "ready\n",
+                                                  keep)
+                 : HttpConnection::RenderResponse(503, kTextPlain,
+                                                  "draining\n", keep);
+  }
+  if (path == "/statusz") {
+    return HttpConnection::RenderResponse(200, kJson, StatuszJson(), keep);
+  }
+  if (path == "/slowlog") {
+    const size_t n = static_cast<size_t>(
+        QueryNumber(request, "n", 16.0, 1.0, 1024.0));
+    return HttpConnection::RenderResponse(
+        200, kJson, server_->SlowlogJsonLine(n) + "\n", keep);
+  }
+  if (path == "/abtest") {
+    const size_t n = static_cast<size_t>(
+        QueryNumber(request, "n", 16.0, 1.0, 1024.0));
+    return HttpConnection::RenderResponse(
+        200, kJson, server_->AbtestJsonLine(n) + "\n", keep);
+  }
+  // /pprof/profile
+  StartProfile(connection, request, slot);
+  return "";
+}
+
+std::string AdminServer::StatuszJson() const {
+  const obs::BuildInfo build = obs::GetBuildInfo();
+  const obs::ProcessStats process = obs::SampleProcessStats();
+  const common::SweepPool::Stats pool =
+      common::SweepPool::Instance().GetStats();
+  const double uptime_seconds =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count() /
+      1000.0;
+
+  std::string out = "{";
+  out += "\"version\": " + obs::json::Quote(build.version);
+  out += ", \"git\": " + obs::json::Quote(build.git);
+  out += ", \"kernel\": " + obs::json::Quote(build.kernel_tier);
+  out += std::string(", \"popcount\": ") + (build.popcount ? "true" : "false");
+  out += std::string(", \"tracing\": ") + (build.tracing ? "true" : "false");
+  out += ", \"pid\": " + std::to_string(static_cast<long>(::getpid()));
+  out += ", \"uptime_seconds\": " + obs::json::NumberToString(uptime_seconds);
+  out += std::string(", \"draining\": ") + (draining() ? "true" : "false");
+  if (process.valid) {
+    out += ", \"process\": {";
+    out += "\"cpu_seconds\": " + obs::json::NumberToString(process.cpu_seconds);
+    out += ", \"resident_bytes\": " + std::to_string(process.resident_bytes);
+    out += ", \"virtual_bytes\": " + std::to_string(process.virtual_bytes);
+    out += ", \"open_fds\": " + std::to_string(process.open_fds);
+    out += "}";
+  }
+  out += ", \"sweep_pool\": {";
+  out += "\"runs\": " + std::to_string(pool.runs);
+  out += ", \"spawns\": " + std::to_string(pool.spawns);
+  out += ", \"reuses\": " + std::to_string(pool.reuses);
+  out += "}";
+  // StatsJsonLine is already a JSON object (admission, cache, shadow
+  // stats); embed it verbatim rather than re-modeling its schema here.
+  out += ", \"server\": " + server_->StatsJsonLine();
+  if (net_server_ != nullptr) {
+    const net::NetServerStats net = net_server_->stats();
+    out += ", \"net\": {";
+    out += "\"accepted\": " + std::to_string(net.accepted);
+    out += ", \"rejected_over_capacity\": " +
+           std::to_string(net.rejected_over_capacity);
+    out += ", \"closed\": " + std::to_string(net.closed);
+    out += ", \"lines\": " + std::to_string(net.lines);
+    out += ", \"expand_requests\": " + std::to_string(net.expand_requests);
+    out += ", \"parse_errors\": " + std::to_string(net.parse_errors);
+    out += ", \"batches\": " + std::to_string(net.batches);
+    out += ", \"active_connections\": " +
+           std::to_string(net.active_connections);
+    out += "}";
+  }
+  out += "}\n";
+  return out;
+}
+
+void AdminServer::StartProfile(HttpConnection& connection,
+                               const HttpRequest& request, uint64_t slot) {
+  const bool keep = request.keep_alive;
+  const double seconds = QueryNumber(request, "seconds", 2.0, 0.1,
+                                     options_.max_profile_seconds);
+  const int hz = static_cast<int>(QueryNumber(
+      request, "hz", static_cast<double>(options_.default_profile_hz), 1.0,
+      1000.0));
+
+  bool expected = false;
+  if (!profile_busy_.compare_exchange_strong(expected, true)) {
+    connection.CompleteSlot(
+        slot,
+        HttpConnection::RenderResponse(
+            409, kTextPlain, "a cpu profile is already running\n", keep),
+        !keep);
+    return;
+  }
+  // The previous capture thread (if any) has finished — profile_busy_ was
+  // clear — so this join returns immediately.
+  if (profile_thread_.joinable()) profile_thread_.join();
+
+  QEC_COUNTER_INC("admin/profiles");
+  std::weak_ptr<HttpConnection> weak = connection.weak_from_this();
+  auto loop = loop_;
+  profile_thread_ = std::thread([this, loop, weak, slot, keep, hz, seconds] {
+    obs::CpuProfiler& profiler = obs::CpuProfiler::Global();
+    std::string response;
+    const Status started = profiler.Start(hz);
+    if (!started.ok()) {
+      response = HttpConnection::RenderResponse(
+          409, kTextPlain, started.message() + "\n", keep);
+    } else {
+      // Sleep in slices so shutdown aborts a long capture promptly.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000.0));
+      while (std::chrono::steady_clock::now() < deadline &&
+             !profile_abort_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      response = HttpConnection::RenderResponse(
+          200, kTextPlain, profiler.StopFolded(), keep);
+    }
+    loop->Post([weak, slot, response = std::move(response), keep]() mutable {
+      if (auto conn = weak.lock()) {
+        conn->CompleteSlot(slot, std::move(response), !keep);
+      }
+    });
+    profile_busy_.store(false, std::memory_order_release);
+  });
+}
+
+void AdminServer::Drain() {
+  if (listener_) {
+    loop_->Remove(listener_->fd());
+    listener_->Close();
+  }
+  std::vector<std::shared_ptr<HttpConnection>> open;
+  open.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) open.push_back(conn);
+  for (auto& conn : open) conn->StartDrain();
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (!connections_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    loop_->RunOnce(static_cast<int>(
+        std::min<std::chrono::milliseconds::rep>(left.count(), 50)));
+  }
+  if (!connections_.empty()) {
+    QEC_LOG(Warning) << "admin: drain timeout, force-closing "
+                     << connections_.size() << " connection(s)";
+    open.clear();
+    for (auto& [fd, conn] : connections_) open.push_back(conn);
+    for (auto& conn : open) conn->Close();
+  }
+  QEC_GAUGE_SET("admin/http_active_connections", 0);
+}
+
+}  // namespace qec::server::admin

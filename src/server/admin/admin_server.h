@@ -1,0 +1,129 @@
+#ifndef QEC_SERVER_ADMIN_ADMIN_SERVER_H_
+#define QEC_SERVER_ADMIN_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "server/admin/http_connection.h"
+#include "server/net/event_loop.h"
+#include "server/net/listener.h"
+#include "server/net/net_server.h"
+#include "server/server.h"
+
+namespace qec::server::admin {
+
+struct AdminServerOptions {
+  /// Admin plane stays on loopback unless explicitly opened up.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (AdminServer::port() reports it).
+  uint16_t port = 0;
+  int backlog = 64;
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 64 * 1024;
+  /// Scrapers and probes are few; a tight cap keeps a misconfigured LB
+  /// from exhausting fds meant for the query plane.
+  size_t max_connections = 64;
+  uint64_t drain_timeout_ms = 2000;
+  /// Bounds for GET /pprof/profile?seconds=N&hz=H.
+  double max_profile_seconds = 60.0;
+  int default_profile_hz = 99;
+};
+
+/// The HTTP admin plane: a second listener on its own EventLoop and thread
+/// (admin traffic never competes with query pipelining), speaking just
+/// enough HTTP/1.1 for fleet tooling. Routes:
+///
+///   GET /metrics        Prometheus/OpenMetrics text with exemplars and
+///                       the qec_process_* families
+///   GET /healthz        liveness: 200 while the process runs
+///   GET /readyz         readiness: 503 the moment drain begins (before
+///                       the query listener closes), 200 otherwise
+///   GET /statusz        build info, uptime, kernel tier, process, sweep
+///                       pool, server and net stats as JSON
+///   GET /slowlog?n=K    the flight recorder's slowest requests
+///   GET /abtest?n=K     shadow A/B tallies
+///   GET /pprof/profile?seconds=N&hz=H
+///                       SIGPROF sampling profile, folded-stack text
+///                       (flamegraph-ready); 409 while one is running
+///
+/// Unknown paths 404; known paths with a non-GET method 405. The profiler
+/// runs on a dedicated thread and completes its response slot through the
+/// loop, so a 30-second capture never blocks /healthz probes.
+class AdminServer {
+ public:
+  /// `server` must outlive this. `net_server` may be null (stdin mode);
+  /// when set, /readyz also reports 503 once the query plane is stopping.
+  AdminServer(QecServer* server, net::NetServer* net_server,
+              AdminServerOptions options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Creates the loop and binds the listener; port() is valid after an OK
+  /// return. Start() calls it implicitly if needed.
+  Status Bind();
+  uint16_t port() const;
+
+  /// Bind() + a background thread running the loop until RequestStop().
+  Status Start();
+
+  /// RequestStop() + join. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Signals the loop to stop and drain. Async-signal-safe.
+  void RequestStop();
+
+  /// Flips /readyz to 503. Async-signal-safe: the SIGTERM handler calls
+  /// this first, then stops the query plane — an LB polling /readyz sees
+  /// "draining" while in-flight queries still complete.
+  void SetDraining() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+ private:
+  void RunLoop();
+  void OnAccept(int fd, std::string peer);
+  void OnRequest(HttpConnection& connection, const HttpRequest& request,
+                 uint64_t slot);
+  void OnClosed(HttpConnection& connection);
+  /// Routes a GET. Returns the serialized response, or "" when the route
+  /// completes asynchronously (the profiler).
+  std::string Route(HttpConnection& connection, const HttpRequest& request,
+                    uint64_t slot);
+  std::string StatuszJson() const;
+  void StartProfile(HttpConnection& connection, const HttpRequest& request,
+                    uint64_t slot);
+  void Drain();
+
+  QecServer* server_;
+  net::NetServer* net_server_;
+  AdminServerOptions options_;
+  std::shared_ptr<net::EventLoop> loop_;
+  std::unique_ptr<net::Listener> listener_;
+  std::unordered_map<int, std::shared_ptr<HttpConnection>> connections_;
+
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
+
+  std::thread run_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint16_t> bound_port_{0};
+
+  /// One profile at a time; the flag clears when the capture thread hands
+  /// its response to the loop.
+  std::atomic<bool> profile_busy_{false};
+  /// Tells an in-flight capture to cut its sleep short on shutdown.
+  std::atomic<bool> profile_abort_{false};
+  std::thread profile_thread_;
+};
+
+}  // namespace qec::server::admin
+
+#endif  // QEC_SERVER_ADMIN_ADMIN_SERVER_H_

@@ -1,0 +1,156 @@
+#ifndef QEC_SERVER_ADMIN_HTTP_CONNECTION_H_
+#define QEC_SERVER_ADMIN_HTTP_CONNECTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/net/event_loop.h"
+
+namespace qec::server::admin {
+
+/// One parsed HTTP/1.1 request head. Every admin route is a GET; request
+/// bodies are accepted up to the configured bound and discarded, so
+/// misbehaving probes can't wedge the connection.
+struct HttpRequest {
+  std::string method;   // as sent ("GET", "POST", ...)
+  std::string target;   // raw request-target, e.g. "/pprof/profile?seconds=2"
+  std::string path;     // target up to the first '?'
+  std::string query;    // after the '?', "" when absent
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  /// (lower-cased key, trimmed value) in source order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// HTTP/1.1 defaults to keep-alive; `Connection: close` (or 1.0 without
+  /// `Connection: keep-alive`) turns it off.
+  bool keep_alive = true;
+
+  /// Value of header `key` (pass lower-case), or "" when absent.
+  std::string_view Header(std::string_view key) const;
+  /// Value of `key` in the query string ("" when absent or valueless).
+  /// No %-decoding — admin parameters are plain integers.
+  std::string_view QueryParam(std::string_view key) const;
+};
+
+/// One accepted admin-plane connection speaking HTTP/1.1, owned by the
+/// event-loop thread. Mirrors the line-protocol Connection's discipline:
+/// incremental nonblocking reads (a request split across arbitrarily many
+/// segments parses identically to one arriving whole), pipelining with
+/// strict in-order response slots, and coalesced writeback — plus HTTP
+/// framing: bounded header and body sizes (431/413), malformed-request
+/// rejection (400), chunked uploads refused (501), and keep-alive.
+///
+/// Thread model: every method runs on the loop thread. Slow routes (the
+/// CPU profiler) complete their slot from another thread by posting
+/// through the EventLoop, exactly like the query plane's worker pool.
+class HttpConnection : public std::enable_shared_from_this<HttpConnection> {
+ public:
+  struct Callbacks {
+    /// One fully-parsed request occupying in-order response slot `slot`.
+    /// The handler must eventually CompleteSlot(slot, ...) — synchronously
+    /// or via EventLoop::Post from another thread.
+    std::function<void(HttpConnection&, const HttpRequest&, uint64_t slot)>
+        on_request;
+    /// The fd is closed and deregistered; drop the owning shared_ptr.
+    std::function<void(HttpConnection&)> on_closed;
+  };
+
+  HttpConnection(net::EventLoop* loop, int fd, std::string peer,
+                 size_t max_header_bytes, size_t max_body_bytes,
+                 Callbacks callbacks);
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Registers the fd with the loop. Call once, right after construction.
+  Status Register();
+
+  /// Delivers the full serialized response (status line + headers + body,
+  /// from RenderResponse) for a slot. `close_after` ends the connection
+  /// once this response flushes (the request asked `Connection: close`, or
+  /// the response is a framing-error reply). No-op after Close.
+  void CompleteSlot(uint64_t slot, std::string response_bytes,
+                    bool close_after);
+
+  /// Stops reading; closes once every open slot has flushed.
+  void StartDrain();
+
+  /// Immediate teardown: deregisters, closes the fd, invokes on_closed.
+  void Close();
+
+  int fd() const { return fd_; }
+  const std::string& peer() const { return peer_; }
+  bool closed() const { return closed_; }
+  size_t open_slots() const { return slots_.size(); }
+  bool idle() const { return slots_.empty() && write_pos_ >= wbuf_.size(); }
+
+  /// Serializes one response: status line, Content-Type, Content-Length,
+  /// Connection: keep-alive|close, blank line, body.
+  static std::string RenderResponse(int status, std::string_view content_type,
+                                    std::string_view body, bool keep_alive);
+  /// The canonical reason phrase for the status codes this plane emits.
+  static std::string_view ReasonPhrase(int status);
+
+ private:
+  struct Slot {
+    bool done = false;
+    bool close_after = false;
+    std::string bytes;
+  };
+
+  void HandleEvents(uint32_t events);
+  void OnReadable();
+  /// Extracts every complete request from rbuf_, enforcing the header and
+  /// body bounds; dispatches each through on_request.
+  void DeliverRequests();
+  /// Parses one head [head_start, head_end). Returns false after
+  /// responding with a framing error (the connection is draining).
+  bool ParseHead(size_t head_start, size_t head_end, HttpRequest* out);
+  /// Opens a slot, completes it with an error response, and drains the
+  /// connection (framing errors poison the stream).
+  void RejectAndDrain(int status, std::string_view message);
+  uint64_t OpenSlot();
+  void FlushCompleted();
+  void ScheduleFlush();
+  void TryWrite();
+  void UpdateWriteInterest(bool want_write);
+  bool MaybeFinish();
+
+  net::EventLoop* loop_;
+  int fd_;
+  std::string peer_;
+  const size_t max_header_bytes_;
+  const size_t max_body_bytes_;
+  Callbacks callbacks_;
+
+  std::string rbuf_;
+  /// Bytes of the pending request body still to arrive and be discarded
+  /// before the next head parses.
+  size_t body_to_skip_ = 0;
+
+  std::deque<Slot> slots_;
+  uint64_t next_slot_ = 0;
+  uint64_t base_slot_ = 0;
+
+  std::string wbuf_;
+  size_t write_pos_ = 0;
+  bool want_write_ = false;
+  bool flush_scheduled_ = false;
+  /// Set when a flushed response carried close_after; MaybeFinish closes
+  /// even though the peer kept the stream open.
+  bool close_when_flushed_ = false;
+
+  bool peer_eof_ = false;
+  bool draining_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace qec::server::admin
+
+#endif  // QEC_SERVER_ADMIN_HTTP_CONNECTION_H_

@@ -139,12 +139,14 @@ void NetServer::OnLine(Connection& connection, std::string_view line) {
     // behaves identically).
     OnBatchEnd(connection);
     immediate_requests_.fetch_add(1, std::memory_order_relaxed);
+    QEC_COUNTER_INC("net/immediate_requests");
     const uint64_t slot = connection.OpenSlot();
     connection.CompleteSlot(slot, ImmediateResponse(request));
     return;
   }
 
   expand_requests_.fetch_add(1, std::memory_order_relaxed);
+  QEC_COUNTER_INC("net/expand_requests");
   const uint64_t slot = connection.OpenSlot();
   // The completion callback runs on a worker thread. It holds the loop by
   // shared_ptr (posting into a stopped loop is a harmless no-op) and the
@@ -167,6 +169,7 @@ void NetServer::OnLine(Connection& connection, std::string_view line) {
 void NetServer::OnBatchEnd(Connection&) {
   if (batch_.empty()) return;
   batches_.fetch_add(1, std::memory_order_relaxed);
+  QEC_COUNTER_INC("net/batches");
   server_->SubmitBatch(std::move(batch_));
   batch_.clear();
 }
@@ -213,6 +216,7 @@ std::string NetServer::ImmediateResponse(const ServeRequest& request) {
 }
 
 void NetServer::Drain() {
+  const auto drain_start = std::chrono::steady_clock::now();
   // 1. No new connections.
   if (listener_) {
     loop_->Remove(listener_->fd());
@@ -247,6 +251,12 @@ void NetServer::Drain() {
     for (auto& conn : open) conn->Close();
   }
   QEC_GAUGE_SET("net/active_connections", 0);
+  const uint64_t drain_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - drain_start)
+          .count());
+  drain_duration_ms_.store(drain_ms, std::memory_order_relaxed);
+  QEC_GAUGE_SET("net/drain_duration_ms", static_cast<double>(drain_ms));
 }
 
 NetServerStats NetServer::stats() const {
@@ -261,6 +271,7 @@ NetServerStats NetServer::stats() const {
   s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.active_connections = active_connections_.load(std::memory_order_relaxed);
+  s.drain_duration_ms = drain_duration_ms_.load(std::memory_order_relaxed);
   return s;
 }
 

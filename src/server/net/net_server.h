@@ -48,6 +48,9 @@ struct NetServerStats {
   uint64_t parse_errors = 0;
   uint64_t batches = 0;
   size_t active_connections = 0;
+  /// Milliseconds the graceful drain took (0 until a drain ran). Also
+  /// exported as the `qec_net_drain_duration_ms` gauge.
+  uint64_t drain_duration_ms = 0;
 };
 
 /// Epoll front end serving the qec line protocol over TCP, in front of an
@@ -98,6 +101,12 @@ class NetServer {
   /// straight from a SIGINT/SIGTERM handler.
   void RequestStop();
 
+  /// True once RequestStop() was called — the admin plane's /readyz flips
+  /// to 503 on this, before the listener actually closes.
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
   NetServerStats stats() const;
   const NetServerOptions& options() const { return options_; }
 
@@ -137,6 +146,7 @@ class NetServer {
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> drain_duration_ms_{0};
 };
 
 }  // namespace qec::server::net

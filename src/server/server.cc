@@ -52,15 +52,18 @@ void RecordStageTails(const StageTimings& stages) {
   if (se > 100'000'000) QEC_COUNTER_INC("server/stage/serialize_gt_100ms");
 }
 
-void RecordStageHistograms(const StageTimings& stages) {
-  QEC_HISTOGRAM_RECORD("server/stage/queue_wait_ns",
-                       stages[Stage::kQueueWait]);
-  QEC_HISTOGRAM_RECORD("server/stage/cache_lookup_ns",
-                       stages[Stage::kCacheLookup]);
-  QEC_HISTOGRAM_RECORD("server/stage/expansion_ns",
-                       stages[Stage::kExpansion]);
-  QEC_HISTOGRAM_RECORD("server/stage/serialize_ns",
-                       stages[Stage::kSerialize]);
+void RecordStageHistograms(const StageTimings& stages, uint64_t trace_id) {
+  // Traced records attach the request's trace id as a bucket exemplar, so
+  // a slow bucket on the scrape links straight to its flight-recorder
+  // record (SLOWLOG / EXPLAIN by trace id).
+  QEC_HISTOGRAM_RECORD_TRACED("server/stage/queue_wait_ns",
+                              stages[Stage::kQueueWait], trace_id);
+  QEC_HISTOGRAM_RECORD_TRACED("server/stage/cache_lookup_ns",
+                              stages[Stage::kCacheLookup], trace_id);
+  QEC_HISTOGRAM_RECORD_TRACED("server/stage/expansion_ns",
+                              stages[Stage::kExpansion], trace_id);
+  QEC_HISTOGRAM_RECORD_TRACED("server/stage/serialize_ns",
+                              stages[Stage::kSerialize], trace_id);
   RecordStageTails(stages);
 }
 
@@ -346,8 +349,9 @@ void QecServer::Process(Pending pending) {
   const Clock::time_point done = Clock::now();
   const uint64_t total_ns = ToNanos(done - context.submit_time);
   response.total_seconds = static_cast<double>(total_ns) / 1e9;
-  QEC_HISTOGRAM_RECORD("server/request_latency_ns", total_ns);
-  RecordStageHistograms(context.stages);
+  QEC_HISTOGRAM_RECORD_TRACED("server/request_latency_ns", total_ns,
+                              context.trace_id);
+  RecordStageHistograms(context.stages, context.trace_id);
   if (options_.slow_request_threshold_ms != 0 &&
       total_ns >= options_.slow_request_threshold_ms * 1'000'000ULL) {
     slow_requests_.fetch_add(1, std::memory_order_relaxed);
